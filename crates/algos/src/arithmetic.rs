@@ -1,0 +1,247 @@
+//! Quantum arithmetic benchmarks: Bernstein–Vazirani, the Draper QFT adder
+//! and the QFT multiplier.
+
+use crate::fourier::{iqft, qft};
+use qt_circuit::Circuit;
+use std::f64::consts::PI;
+
+/// Bernstein–Vazirani with an `n_data`-bit secret.
+///
+/// Register layout: data qubits `0..n_data`, phase ancilla at `n_data`.
+/// Measuring the data qubits yields the secret deterministically (ideally).
+///
+/// # Panics
+///
+/// Panics if the secret does not fit in `n_data` bits.
+pub fn bernstein_vazirani(n_data: usize, secret: u64) -> Circuit {
+    assert!(
+        n_data >= 64 || secret < (1u64 << n_data),
+        "secret does not fit in {n_data} bits"
+    );
+    let anc = n_data;
+    let mut c = Circuit::new(n_data + 1);
+    c.x(anc).h(anc);
+    for q in 0..n_data {
+        c.h(q);
+    }
+    c.mark_layer();
+    for q in 0..n_data {
+        if (secret >> q) & 1 == 1 {
+            c.cx(q, anc);
+        }
+    }
+    c.mark_layer();
+    for q in 0..n_data {
+        c.h(q);
+    }
+    c
+}
+
+/// The Draper QFT adder: computes `b ← (a + b) mod 2^n` in place.
+///
+/// Register layout: `a` in qubits `0..n`, `b` in qubits `n..2n` (both
+/// little-endian). Inputs are loaded with X gates. Measure the `b` register.
+pub fn qft_adder(n: usize, a: u64, b: u64) -> Circuit {
+    qft_adder_sized(n, n, a, b)
+}
+
+/// The Draper adder with asymmetric register sizes: computes
+/// `b ← (a + b) mod 2^n_b` with `a` in `n_a` bits and `b` in `n_b ≥ n_a`
+/// bits (use `n_b = n_a + 1` for a carry bit — the paper's 7-qubit adder is
+/// `n_a = 3, n_b = 4`).
+pub fn qft_adder_sized(n_a: usize, n_b: usize, a: u64, b: u64) -> Circuit {
+    assert!(n_b >= n_a, "b register must hold the sum");
+    assert!(n_a >= 64 || a < (1u64 << n_a));
+    assert!(n_b >= 64 || b < (1u64 << n_b));
+    let n = n_a + n_b;
+    let mut c = Circuit::new(n);
+    for q in 0..n_a {
+        if (a >> q) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    for q in 0..n_b {
+        if (b >> q) & 1 == 1 {
+            c.x(n_a + q);
+        }
+    }
+    c.mark_layer();
+    // QFT on b (b qubit j at index n_a + j).
+    let map: Vec<usize> = (n_a..n).collect();
+    c.append(&qft(n_b).remap(&map, n));
+    c.mark_layer();
+    // Controlled phase additions: qubit b_j accumulates e^{2πi a / 2^{j+1}}.
+    for m in 0..n_a {
+        for j in m..n_b {
+            let theta = PI * (1 << m) as f64 / (1 << j) as f64;
+            c.cp(m, n_a + j, theta);
+        }
+    }
+    c.mark_layer();
+    c.append(&iqft(n_b).remap(&map, n));
+    c
+}
+
+/// The QFT multiplier (Ruiz-Perez & Garcia-Escartin): computes
+/// `out = (a · b) mod 2^n_out` into a fresh output register.
+///
+/// Register layout: `a` in `0..n_a`, `b` in `n_a..n_a+n_b`, output in the
+/// remaining `n_out` qubits. The paper's 4-qubit instance is
+/// `n_a = n_b = 1, n_out = 2`.
+pub fn qft_multiplier(n_a: usize, n_b: usize, n_out: usize, a: u64, b: u64) -> Circuit {
+    assert!(n_a >= 64 || a < (1u64 << n_a));
+    assert!(n_b >= 64 || b < (1u64 << n_b));
+    let n = n_a + n_b + n_out;
+    let out0 = n_a + n_b;
+    let mut c = Circuit::new(n);
+    for q in 0..n_a {
+        if (a >> q) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    for q in 0..n_b {
+        if (b >> q) & 1 == 1 {
+            c.x(n_a + q);
+        }
+    }
+    c.mark_layer();
+    let map: Vec<usize> = (out0..n).collect();
+    c.append(&qft(n_out).remap(&map, n));
+    c.mark_layer();
+    // Doubly-controlled phase additions of 2^{m+l} into the output.
+    for m in 0..n_a {
+        for l in 0..n_b {
+            for j in 0..n_out {
+                // e^{2πi·2^{m+l} / 2^{j+1}} on out_j — skip full turns.
+                let power = m + l;
+                if power > j {
+                    continue;
+                }
+                let theta = PI * (1 << power) as f64 / (1 << j) as f64;
+                c.ccp(m, n_a + l, out0 + j, theta);
+            }
+        }
+    }
+    c.mark_layer();
+    c.append(&iqft(n_out).remap(&map, n));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_sim::StateVector;
+
+    fn peak(probs: &[f64]) -> (usize, f64) {
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, &p)| (i, p))
+            .unwrap()
+    }
+
+    #[test]
+    fn bv_recovers_secret() {
+        for secret in [0b1011u64, 0b0001, 0b1111, 0b0000] {
+            let c = bernstein_vazirani(4, secret);
+            let sv = StateVector::from_circuit(&c);
+            let probs = sv.marginal_probabilities(&[0, 1, 2, 3]);
+            let (idx, p) = peak(&probs);
+            assert_eq!(idx as u64, secret);
+            assert!((p - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adder_is_exhaustively_correct() {
+        let n = 2;
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let c = qft_adder(n, a, b);
+                let sv = StateVector::from_circuit(&c);
+                let probs = sv.marginal_probabilities(&[2, 3]);
+                let (idx, p) = peak(&probs);
+                assert_eq!(
+                    idx as u64,
+                    (a + b) % 4,
+                    "adder failed for {a}+{b}: {probs:?}"
+                );
+                assert!((p - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn adder_with_carry_register() {
+        // n_a = 3, n_b = 4 (the paper's 7-qubit adder): sums up to 14 fit.
+        for (a, b) in [(7u64, 7u64), (5, 6), (3, 1)] {
+            let c = qft_adder_sized(3, 4, a, b);
+            let sv = StateVector::from_circuit(&c);
+            let probs = sv.marginal_probabilities(&[3, 4, 5, 6]);
+            let (idx, p) = peak(&probs);
+            assert_eq!(idx as u64, (a + b) % 16, "{a}+{b}");
+            assert!((p - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adder_three_bits_spot_checks() {
+        for (a, b) in [(3u64, 6u64), (5, 5), (7, 1)] {
+            let c = qft_adder(3, a, b);
+            let sv = StateVector::from_circuit(&c);
+            let probs = sv.marginal_probabilities(&[3, 4, 5]);
+            let (idx, p) = peak(&probs);
+            assert_eq!(idx as u64, (a + b) % 8);
+            assert!((p - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiplier_is_exhaustively_correct_1x1() {
+        for a in 0..2u64 {
+            for b in 0..2u64 {
+                let c = qft_multiplier(1, 1, 2, a, b);
+                let sv = StateVector::from_circuit(&c);
+                let probs = sv.marginal_probabilities(&[2, 3]);
+                let (idx, p) = peak(&probs);
+                assert_eq!(idx as u64, (a * b) % 4, "multiplier {a}*{b}");
+                assert!((p - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_2x2() {
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let c = qft_multiplier(2, 2, 4, a, b);
+                let sv = StateVector::from_circuit(&c);
+                let probs = sv.marginal_probabilities(&[4, 5, 6, 7]);
+                let (idx, p) = peak(&probs);
+                assert_eq!(idx as u64, (a * b) % 16, "multiplier {a}*{b}");
+                assert!((p - 1.0).abs() < 1e-9, "{a}*{b}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn bv_data_qubits_admit_z_checks() {
+        let c = bernstein_vazirani(4, 0b1010);
+        for q in 0..4 {
+            assert!(
+                qt_circuit::passes::split_into_segments(&c, &[q]).is_ok(),
+                "data qubit {q} should be traceable"
+            );
+        }
+    }
+
+    #[test]
+    fn adder_control_register_admits_z_checks() {
+        // The `a` register only controls phases: traceable.
+        let c = qft_adder(2, 2, 1);
+        for q in 0..2 {
+            assert!(qt_circuit::passes::split_into_segments(&c, &[q]).is_ok());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Quantum Fourier transform, its inverse, and quantum phase estimation.
+
+use qt_circuit::Circuit;
+use std::f64::consts::PI;
+
+/// The quantum Fourier transform on `n` qubits, without terminal swaps.
+///
+/// After `qft`, qubit `j` carries the phase `e^{2πi·x / 2^{j+1}}` of the
+/// input integer `x` (the phase-basis encoding used by the Draper adder).
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for j in (0..n).rev() {
+        c.h(j);
+        for k in (0..j).rev() {
+            c.cp(k, j, PI / (1 << (j - k)) as f64);
+        }
+    }
+    c
+}
+
+/// The inverse QFT on `n` qubits, without terminal swaps.
+pub fn iqft(n: usize) -> Circuit {
+    qft(n).inverse()
+}
+
+/// The paper's motivating example (Fig. 2): a 3-qubit iQFT preceded by a
+/// state-preparation layer.
+///
+/// The input is a slightly detuned Fourier state (phase `x = 2.7` in units
+/// of the 3-bit grid), so the ideal output concentrates near `|3⟩` without
+/// being a point mass — giving the noisy run plenty of fidelity to lose,
+/// as in the paper's figure.
+pub fn iqft_example() -> Circuit {
+    let x = 2.7;
+    let mut c = Circuit::new(3);
+    for j in 0..3 {
+        c.h(j);
+        c.p(j, 2.0 * PI * x / (1 << (j + 1)) as f64);
+    }
+    c.mark_layer();
+    c.append(&iqft(3));
+    c
+}
+
+/// Quantum phase estimation of the phase gate `P(2π·phase)` with `n_count`
+/// counting qubits.
+///
+/// Register layout: counting qubits `0..n_count` (qubit `k` controls
+/// `U^{2^k}`), eigenstate target at index `n_count` (prepared in `|1⟩`).
+/// Measure the counting qubits; the outcome integer after the inverse QFT
+/// estimates `phase · 2^n_count` (exact when `phase` has `n_count` bits).
+pub fn qpe(n_count: usize, phase: f64) -> Circuit {
+    let n = n_count + 1;
+    let target = n_count;
+    let mut c = Circuit::new(n);
+    // Eigenstate |1⟩ of P(θ) with eigenvalue e^{iθ}.
+    c.x(target);
+    for k in 0..n_count {
+        c.h(k);
+    }
+    c.mark_layer();
+    // Controlled powers: counting qubit k controls U^{2^{n_count−1−k}},
+    // matching the no-swap iQFT's phase-encoding convention (qubit j of the
+    // QFT image carries e^{2πi·x / 2^{j+1}}), so that the estimate reads out
+    // little-endian on the counting register with no terminal swaps.
+    for k in 0..n_count {
+        let theta = 2.0 * PI * phase * (1u64 << (n_count - 1 - k)) as f64;
+        c.cp(k, target, theta);
+    }
+    c.mark_layer();
+    c.append(&iqft(n_count));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_sim::StateVector;
+
+    #[test]
+    fn qft_then_iqft_is_identity() {
+        for n in 1..=4 {
+            let mut c = qft(n);
+            c.append(&iqft(n));
+            assert!(c
+                .unitary()
+                .approx_eq_up_to_phase(&qt_math::Matrix::identity(1 << n), 1e-9));
+        }
+    }
+
+    #[test]
+    fn qft_phase_encoding_is_correct() {
+        // For input x, qubit j must carry relative phase e^{2πi x / 2^{j+1}}.
+        let n = 3;
+        for x in 0..(1usize << n) {
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                if (x >> q) & 1 == 1 {
+                    c.x(q);
+                }
+            }
+            c.append(&qft(n));
+            let sv = StateVector::from_circuit(&c);
+            // The state is a product; qubit j's ⟨X⟩ should be
+            // cos(2π x / 2^{j+1}).
+            for j in 0..n {
+                let expect = (2.0 * PI * x as f64 / (1 << (j + 1)) as f64).cos();
+                let got = sv
+                    .expectation_pauli(&qt_math::PauliString::single(n, j, qt_math::Pauli::X))
+                    .re;
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "x={x} qubit {j}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qpe_exact_phase_peaks_deterministically() {
+        // phase = 3/8 with 3 counting qubits: outcome must be 3 w.p. 1.
+        let c = qpe(3, 3.0 / 8.0);
+        let sv = StateVector::from_circuit(&c);
+        let probs = sv.marginal_probabilities(&[0, 1, 2]);
+        assert!((probs[3] - 1.0).abs() < 1e-9, "{probs:?}");
+    }
+
+    #[test]
+    fn qpe_inexact_phase_concentrates_near_truth() {
+        let n_count = 4;
+        let phase = 1.0 / 3.0;
+        let c = qpe(n_count, phase);
+        let sv = StateVector::from_circuit(&c);
+        let probs = sv.marginal_probabilities(&[0, 1, 2, 3]);
+        // The two outcomes around phase·16 ≈ 5.33 carry the most mass.
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(best == 5 || best == 6, "peak at {best}: {probs:?}");
+        assert!(probs[5] + probs[6] > 0.55);
+    }
+
+    #[test]
+    fn qpe_layers_are_marked() {
+        let c = qpe(3, 0.25);
+        assert_eq!(c.layer_bounds().len(), 2);
+    }
+
+    #[test]
+    fn iqft_example_distribution_is_nontrivial() {
+        let c = iqft_example();
+        let sv = StateVector::from_circuit(&c);
+        let probs = sv.probabilities();
+        let max = probs.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 0.9, "distribution too peaked: {probs:?}");
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+}

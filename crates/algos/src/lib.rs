@@ -1,0 +1,105 @@
+//! Benchmark workload generators (Sec. VI of the paper).
+//!
+//! Every generator returns plain [`qt_circuit::Circuit`]s with layer marks
+//! where the algorithm has natural cut boundaries. The QFT-family circuits
+//! are built *without* terminal swaps (handled by relabeling), which keeps
+//! every gate on the traced qubits diagonal or controlled — the structural
+//! property QuTracer's Z checks rely on.
+
+pub mod arithmetic;
+pub mod fourier;
+pub mod qaoa;
+pub mod vqe;
+
+pub use arithmetic::{bernstein_vazirani, qft_adder, qft_adder_sized, qft_multiplier};
+pub use fourier::{iqft, iqft_example, qft, qpe};
+pub use qaoa::{qaoa_maxcut, ring_graph, QaoaParams};
+
+pub use vqe::vqe_ansatz;
+
+use qt_circuit::Circuit;
+
+/// A named benchmark: circuit plus the qubits the algorithm measures.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name (used in result tables).
+    pub name: String,
+    /// The circuit.
+    pub circuit: Circuit,
+    /// The measured qubits (ascending order).
+    pub measured: Vec<usize>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(name: impl Into<String>, circuit: Circuit, measured: Vec<usize>) -> Self {
+        Workload {
+            name: name.into(),
+            circuit,
+            measured,
+        }
+    }
+}
+
+/// The paper's Table II benchmark suite (single-layer circuits) with the
+/// register sizes and inputs used in the evaluation.
+pub fn paper_single_layer_suite() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "4-q QFTMultiplier",
+            qft_multiplier(1, 1, 2, 1, 1),
+            vec![2, 3],
+        ),
+        Workload::new("5-q QPE", qpe(4, 1.0 / 3.0), (0..4).collect()),
+        Workload::new("6-q QPE", qpe(5, 1.0 / 3.0), (0..5).collect()),
+        Workload::new(
+            "7-q QFTAdder",
+            qft_adder_sized(3, 4, 5, 6),
+            (3..7).collect(),
+        ),
+        Workload::new(
+            "9-q BV",
+            bernstein_vazirani(8, 0b1011_0110),
+            (0..8).collect(),
+        ),
+        Workload::new("12-q VQE 1 layer", vqe_ansatz(12, 1, 11), (0..12).collect()),
+        Workload::new("15-q VQE 1 layer", vqe_ansatz(15, 1, 12), (0..15).collect()),
+        Workload::new(
+            "10-q QAOA 1 layer",
+            qaoa_maxcut(10, &ring_graph(10), &QaoaParams::seeded(1, 6)),
+            (0..10).collect(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_papers_eight_workloads() {
+        let suite = paper_single_layer_suite();
+        assert_eq!(suite.len(), 8);
+        for wl in &suite {
+            assert!(!wl.measured.is_empty());
+            assert!(wl.circuit.len() > 0, "{} is empty", wl.name);
+            for &m in &wl.measured {
+                assert!(m < wl.circuit.n_qubits());
+            }
+        }
+    }
+
+    #[test]
+    fn suite_qubit_counts_match_names() {
+        for wl in paper_single_layer_suite() {
+            let n: usize = wl
+                .name
+                .split("-q")
+                .next()
+                .unwrap()
+                .parse()
+                .expect("name starts with qubit count");
+            assert_eq!(wl.circuit.n_qubits(), n, "{}", wl.name);
+        }
+    }
+}

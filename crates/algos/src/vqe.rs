@@ -1,0 +1,75 @@
+//! Hardware-efficient VQE ansatz (Kandala et al. style): layers of
+//! single-qubit Y rotations and linear-entanglement CZ layers — the circuit
+//! family of Figs. 6–8 and Tables II/III.
+
+use qt_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Builds the ansatz: an initial Ry layer, then `layers` repetitions of
+/// (CZ chain + Ry layer). Rotation angles are drawn deterministically from
+/// `seed`.
+///
+/// Layer boundaries are marked around every CZ chain, giving QuTracer its
+/// cut points.
+pub fn vqe_ansatz(n: usize, layers: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut theta = || rng.random::<f64>() * std::f64::consts::PI;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.ry(q, theta());
+    }
+    for _ in 0..layers {
+        c.mark_layer();
+        for q in 0..n.saturating_sub(1) {
+            c.cz(q, q + 1);
+        }
+        for q in 0..n {
+            c.ry(q, theta());
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_sim::StateVector;
+
+    #[test]
+    fn structure_matches_definition() {
+        let n = 5;
+        let layers = 3;
+        let c = vqe_ansatz(n, layers, 7);
+        let counts = c.gate_counts();
+        assert_eq!(counts["ry"], n * (layers + 1));
+        assert_eq!(counts["cz"], (n - 1) * layers);
+        assert_eq!(c.layer_bounds().len(), layers);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(vqe_ansatz(4, 2, 42), vqe_ansatz(4, 2, 42));
+        assert_ne!(vqe_ansatz(4, 2, 42), vqe_ansatz(4, 2, 43));
+    }
+
+    #[test]
+    fn every_qubit_is_traceable() {
+        let c = vqe_ansatz(6, 2, 1);
+        for q in 0..6 {
+            let segs = qt_circuit::passes::split_into_segments(&c, &[q]).unwrap();
+            // One local block + one check segment per layer (plus trailing).
+            assert!(segs.len() >= 2, "qubit {q}: {} segments", segs.len());
+        }
+    }
+
+    #[test]
+    fn output_distribution_is_normalized_and_spread() {
+        let c = vqe_ansatz(4, 1, 3);
+        let sv = StateVector::from_circuit(&c);
+        let probs = sv.probabilities();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        let nonzero = probs.iter().filter(|&&p| p > 1e-6).count();
+        assert!(nonzero > 4, "ansatz should spread amplitude");
+    }
+}

@@ -1,0 +1,24 @@
+//! Comparison baselines: Jigsaw (measurement subsetting) and SQEM
+//! (classically simulated Pauli checks via full circuit cutting).
+
+pub mod jigsaw;
+pub mod sqem;
+
+pub use jigsaw::{run_jigsaw, JigsawReport};
+pub use sqem::{run_sqem, SqemReport, SqemUnsupported};
+
+/// Execution-cost bookkeeping shared by the result tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverheadStats {
+    /// Number of distinct circuits executed (including the global run).
+    pub n_circuits: usize,
+    /// Shot budget relative to the unmitigated run (the paper's
+    /// "normalized number of shots": circuit copies at the original shot
+    /// count).
+    pub normalized_shots: f64,
+    /// Average 2-qubit basis gate count per *mitigation* circuit (the
+    /// paper's gate-count column; the global circuit reported separately).
+    pub avg_two_qubit_gates: f64,
+    /// 2-qubit basis gate count of the global (original) circuit.
+    pub global_two_qubit_gates: usize,
+}

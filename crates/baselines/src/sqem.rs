@@ -1,0 +1,217 @@
+//! The SQEM baseline (Liu, Gonzales & Saleem): classical simulators as
+//! quantum error mitigators via circuit cutting.
+//!
+//! SQEM virtualizes the PCS checking circuit with *standard* circuit
+//! cutting: the full 3-basis × 6-state reconstruction on the original,
+//! unoptimized circuit. It therefore mitigates gate and measurement errors
+//! like QSPC, but runs more and larger circuits (no false-dependency
+//! removal, no state-preparation reduction) — and its cost grows
+//! exponentially with the number of check layers, so multi-layer circuits
+//! are unsupported (the paper's `N/A` table entries).
+
+use crate::OverheadStats;
+use qt_circuit::{passes, Circuit, Instruction};
+use qt_dist::{recombine, Distribution};
+use qt_math::Matrix;
+use qt_pcs::{QspcConfig, QspcSingle};
+use qt_sim::{Program, Runner};
+
+/// Result of an SQEM run.
+#[derive(Debug, Clone)]
+pub struct SqemReport {
+    /// The refined global distribution.
+    pub distribution: Distribution,
+    /// The unrefined (noisy) global distribution.
+    pub global: Distribution,
+    /// Overheads.
+    pub stats: OverheadStats,
+}
+
+/// Returned when a workload needs more than one check layer per traced
+/// qubit: SQEM's reconstruction cost is exponential in the layer count
+/// (`3^m · 4^n` circuit copies), so the paper marks those entries `N/A`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqemUnsupported {
+    /// The qubit that needed multiple check layers.
+    pub qubit: usize,
+    /// How many check layers it needed.
+    pub layers: usize,
+}
+
+impl std::fmt::Display for SqemUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SQEM needs {} check layers on qubit {} (exponential cost)",
+            self.layers, self.qubit
+        )
+    }
+}
+
+impl std::error::Error for SqemUnsupported {}
+
+/// Runs SQEM with subset size 1 over every measured qubit.
+///
+/// # Errors
+///
+/// Returns [`SqemUnsupported`] if any traced qubit needs more than one
+/// check layer, or if a qubit cannot be traced at all (non-diagonal
+/// coupling).
+pub fn run_sqem<R: Runner>(
+    runner: &R,
+    circuit: &Circuit,
+    measured: &[usize],
+) -> Result<SqemReport, SqemUnsupported> {
+    let program = Program::from_circuit(circuit);
+    let global_out = runner.run(&program, measured);
+    let global = Distribution::from_probs(measured.len(), global_out.dist);
+
+    let mut locals = Vec::new();
+    let mut n_circuits = 1usize;
+    let mut mitig_2q_total = 0usize;
+    let mut mitig_circuits = 0usize;
+
+    for (pos, &qubit) in measured.iter().enumerate() {
+        let segments = passes::split_into_segments(circuit, &[qubit]).map_err(|_| {
+            SqemUnsupported { qubit, layers: 0 }
+        })?;
+        let checking: Vec<usize> = segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.check_touches(&[qubit]))
+            .map(|(i, _)| i)
+            .collect();
+        if checking.len() > 1 {
+            return Err(SqemUnsupported {
+                qubit,
+                layers: checking.len(),
+            });
+        }
+
+        // Classically track the local state through the segment structure.
+        let mut rho = qt_math::states::PrepState::Zero.projector();
+        let mut prefix = Circuit::new(circuit.n_qubits());
+        let mut local_dist: Option<Distribution> = None;
+        for (i, seg) in segments.iter().enumerate() {
+            rho = apply_local(&rho, &seg.local, qubit);
+            for instr in &seg.local {
+                prefix.push(instr.gate.clone(), instr.qubits.clone());
+            }
+            if checking.contains(&i) {
+                let mut segment = Circuit::new(circuit.n_qubits());
+                for instr in &seg.check {
+                    segment.push(instr.gate.clone(), instr.qubits.clone());
+                }
+                let q = QspcSingle {
+                    exec: runner,
+                    qubit,
+                    prefix: &prefix,
+                    segment: &segment,
+                    config: QspcConfig::sqem(),
+                };
+                let (state, _den, stats) = q.mitigated_state(&rho);
+                rho = state;
+                n_circuits += stats.n_circuits;
+                mitig_circuits += stats.n_circuits;
+                mitig_2q_total += stats.total_two_qubit_gates;
+            }
+            for instr in &seg.check {
+                prefix.push(instr.gate.clone(), instr.qubits.clone());
+            }
+        }
+        let _ = &mut local_dist;
+        let p0 = rho[(0, 0)].re.clamp(0.0, 1.0);
+        locals.push((
+            Distribution::from_probs(1, vec![p0, 1.0 - p0]).normalized(),
+            vec![pos],
+        ));
+    }
+
+    let refined = recombine::bayesian_update_all(&global, &locals);
+    Ok(SqemReport {
+        distribution: refined,
+        global,
+        stats: OverheadStats {
+            n_circuits,
+            normalized_shots: n_circuits as f64,
+            avg_two_qubit_gates: if mitig_circuits > 0 {
+                mitig_2q_total as f64 / mitig_circuits as f64
+            } else {
+                0.0
+            },
+            global_two_qubit_gates: global_out.two_qubit_gates,
+        },
+    })
+}
+
+/// Applies subset-local single-qubit instructions to a 2×2 state.
+fn apply_local(rho: &Matrix, instrs: &[Instruction], qubit: usize) -> Matrix {
+    let mut u = Matrix::identity(2);
+    for instr in instrs {
+        debug_assert_eq!(instr.qubits, vec![qubit]);
+        u = instr.gate.matrix().mul(&u);
+    }
+    u.mul(rho).mul(&u.dagger())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_algos::{bernstein_vazirani, vqe_ansatz};
+    use qt_dist::hellinger_fidelity;
+    use qt_sim::{ideal_distribution, Backend, Executor, NoiseModel};
+
+    #[test]
+    fn sqem_mitigates_vqe_single_layer() {
+        let circ = vqe_ansatz(5, 1, 8);
+        let measured: Vec<usize> = (0..5).collect();
+        let ideal = Distribution::from_probs(
+            5,
+            ideal_distribution(&Program::from_circuit(&circ), &measured),
+        );
+        let noise = NoiseModel::depolarizing(0.002, 0.02).with_readout(0.05);
+        let exec = Executor::with_backend(noise, Backend::DensityMatrix);
+        let report = run_sqem(&exec, &circ, &measured).unwrap();
+        let before = hellinger_fidelity(&report.global, &ideal);
+        let after = hellinger_fidelity(&report.distribution, &ideal);
+        assert!(after > before, "SQEM should help: {before} -> {after}");
+    }
+
+    #[test]
+    fn sqem_handles_bernstein_vazirani() {
+        let circ = bernstein_vazirani(4, 0b1101);
+        let measured: Vec<usize> = (0..4).collect();
+        let ideal = Distribution::from_probs(
+            4,
+            ideal_distribution(&Program::from_circuit(&circ), &measured),
+        );
+        let noise = NoiseModel::depolarizing(0.003, 0.03).with_readout(0.08);
+        let exec = Executor::with_backend(noise, Backend::DensityMatrix);
+        let report = run_sqem(&exec, &circ, &measured).unwrap();
+        let before = hellinger_fidelity(&report.global, &ideal);
+        let after = hellinger_fidelity(&report.distribution, &ideal);
+        assert!(after > before + 0.05, "{before} -> {after}");
+    }
+
+    #[test]
+    fn sqem_rejects_multi_layer_circuits() {
+        let circ = vqe_ansatz(4, 3, 8);
+        let measured: Vec<usize> = (0..4).collect();
+        let exec = Executor::with_backend(NoiseModel::ideal(), Backend::DensityMatrix);
+        let err = run_sqem(&exec, &circ, &measured).unwrap_err();
+        assert!(err.layers > 1);
+    }
+
+    #[test]
+    fn sqem_uses_more_circuits_than_reduced_qspc_would() {
+        // 6 preps × 3 bases per traced qubit (+1 global).
+        let circ = vqe_ansatz(4, 1, 8);
+        let measured: Vec<usize> = (0..4).collect();
+        let exec = Executor::with_backend(
+            NoiseModel::depolarizing(0.001, 0.01),
+            Backend::DensityMatrix,
+        );
+        let report = run_sqem(&exec, &circ, &measured).unwrap();
+        assert_eq!(report.stats.n_circuits, 1 + 4 * 18);
+    }
+}

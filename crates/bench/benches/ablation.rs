@@ -1,0 +1,58 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! false-dependency removal on/off, reduced vs full preparation basis,
+//! state traceback on/off, and layout-trial scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qt_core::{trace_single, TraceConfig};
+use qt_device::{choose_layout, lower_program, route_program, Device};
+use qt_sim::{Backend, Executor, NoiseModel, Program};
+use std::hint::black_box;
+
+fn bench_optimization_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_optimizations");
+    group.sample_size(10);
+    let circ = qt_algos::vqe_ansatz(7, 1, 9);
+    let exec = Executor::with_backend(
+        NoiseModel::depolarizing(0.001, 0.01).with_readout(0.02),
+        Backend::DensityMatrix,
+    );
+    for (label, optimize, traceback, reduced) in [
+        ("all_optimizations", true, true, true),
+        ("no_false_dep_removal", false, true, true),
+        ("no_traceback", true, false, true),
+        ("full_prep_basis", true, true, false),
+    ] {
+        group.bench_function(label, |b| {
+            let config = TraceConfig {
+                optimize_circuits: optimize,
+                state_traceback: traceback,
+                use_reduced_preps: reduced,
+                ..Default::default()
+            };
+            b.iter(|| black_box(trace_single(&exec, &circ, 3, &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layout_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_layout");
+    group.sample_size(20);
+    let device = Device::fake_hanoi();
+    let circ = qt_algos::vqe_ansatz(12, 2, 4);
+    let measured: Vec<usize> = (0..12).collect();
+    for &trials in &[1usize, 8, 16] {
+        group.bench_function(format!("layout_{trials}_trials"), |b| {
+            b.iter(|| black_box(choose_layout(&circ, &device, &measured, 3, trials)))
+        });
+    }
+    group.bench_function("route_after_layout", |b| {
+        let layout = choose_layout(&circ, &device, &measured, 3, 8);
+        let lowered = lower_program(&Program::from_circuit(&circ));
+        b.iter(|| black_box(route_program(&lowered, &layout, &device.coupling)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimization_ablation, bench_layout_ablation);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Performance of the simulation substrate: state-vector and
+//! density-matrix gate kernels, noise channels, and trajectory throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qt_circuit::{Gate, Instruction};
+use qt_sim::{
+    DensityMatrix, Executor, KrausChannel, NoiseModel, Program, StateVector, TrajectoryConfig,
+};
+use std::hint::black_box;
+
+fn bench_statevector_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    for &n in &[10usize, 14, 18] {
+        group.bench_function(format!("h_chain_{n}q"), |b| {
+            b.iter_batched(
+                || StateVector::zero(n),
+                |mut sv| {
+                    for q in 0..n {
+                        sv.apply_op(&Gate::H.matrix(), &[q]);
+                    }
+                    black_box(sv)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("cx_chain_{n}q"), |b| {
+            b.iter_batched(
+                || StateVector::zero(n),
+                |mut sv| {
+                    for q in 0..n - 1 {
+                        sv.apply_op(&Gate::Cx.matrix(), &[q, q + 1]);
+                    }
+                    black_box(sv)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_matrix");
+    group.sample_size(20);
+    for &n in &[6usize, 8] {
+        group.bench_function(format!("cz_layer_{n}q"), |b| {
+            b.iter_batched(
+                || DensityMatrix::zero(n),
+                |mut rho| {
+                    for q in 0..n - 1 {
+                        rho.apply_instruction(&Instruction::new(Gate::Cz, vec![q, q + 1]));
+                    }
+                    black_box(rho)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("depolarizing_fast_path_{n}q"), |b| {
+            b.iter_batched(
+                || DensityMatrix::zero(n),
+                |mut rho| {
+                    rho.apply_depolarizing(&[0, 1], 0.01);
+                    black_box(rho)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("depolarizing_kraus_{n}q"), |b| {
+            let ch = KrausChannel::depolarizing(2, 0.01);
+            b.iter_batched(
+                || DensityMatrix::zero(n),
+                |mut rho| {
+                    rho.apply_kraus(ch.ops(), &[0, 1]);
+                    black_box(rho)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trajectories");
+    group.sample_size(10);
+    let circ = qt_algos::vqe_ansatz(12, 1, 5);
+    let program = Program::from_circuit(&circ);
+    let measured: Vec<usize> = (0..12).collect();
+    for &traj in &[256usize, 1024] {
+        group.bench_function(format!("vqe12_{traj}traj"), |b| {
+            let exec = Executor::with_backend(
+                NoiseModel::depolarizing(0.001, 0.01),
+                qt_sim::Backend::Trajectory(TrajectoryConfig {
+                    n_trajectories: traj,
+                    seed: 1,
+                    n_threads: Some(2),
+                }),
+            );
+            b.iter(|| black_box(exec.noisy_distribution(&program, &measured)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("passes");
+    let circ = qt_algos::vqe_ansatz(15, 3, 9);
+    group.bench_function("reduce_for_z_measurement_15q", |b| {
+        b.iter(|| {
+            black_box(qt_circuit::passes::reduce_for_z_measurement(
+                black_box(&circ),
+                &[7],
+            ))
+        })
+    });
+    group.bench_function("split_into_segments_15q", |b| {
+        b.iter(|| black_box(qt_circuit::passes::split_into_segments(black_box(&circ), &[7])))
+    });
+    group.bench_function("unitary_embedding_8q", |b| {
+        let small = qt_algos::iqft(8);
+        b.iter(|| black_box(small.unitary()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statevector_gates,
+    bench_density_matrix,
+    bench_trajectories,
+    bench_circuit_passes
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Preparation and basis-rotation helpers.
+//!
+//! The QSPC and wire-cut protocols prepare single-qubit Pauli eigenstates and
+//! measure in Pauli bases. These helpers produce the corresponding gate
+//! sequences (all single-qubit, as the paper's cost analysis requires).
+
+use crate::circuit::Instruction;
+use crate::gate::Gate;
+use qt_math::states::PrepState;
+use qt_math::Pauli;
+
+/// Gates preparing `state` on qubit `q` starting from `|0⟩`.
+pub fn prepare(state: PrepState, q: usize) -> Vec<Instruction> {
+    let gates: &[Gate] = match state {
+        PrepState::Zero => &[],
+        PrepState::One => &[Gate::X],
+        PrepState::Plus => &[Gate::H],
+        PrepState::Minus => &[Gate::X, Gate::H],
+        PrepState::PlusI => &[Gate::H, Gate::S],
+        PrepState::MinusI => &[Gate::X, Gate::H, Gate::S],
+    };
+    gates
+        .iter()
+        .map(|g| Instruction::new(g.clone(), vec![q]))
+        .collect()
+}
+
+/// Gates rotating the `basis` eigenbasis to the computational basis on `q`,
+/// so that a terminal Z measurement realizes a `basis` measurement.
+///
+/// Measuring `I` needs no rotation (and its outcome is a constant `+1`).
+pub fn measure_rotation(basis: Pauli, q: usize) -> Vec<Instruction> {
+    let gates: &[Gate] = match basis {
+        Pauli::I | Pauli::Z => &[],
+        Pauli::X => &[Gate::H],
+        Pauli::Y => &[Gate::Sdg, Gate::H],
+    };
+    gates
+        .iter()
+        .map(|g| Instruction::new(g.clone(), vec![q]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use qt_math::{Complex, Matrix};
+
+    #[test]
+    fn preparation_produces_the_right_state() {
+        for s in PrepState::ALL {
+            let mut c = Circuit::new(1);
+            for i in prepare(s, 0) {
+                c.push_instruction(i);
+            }
+            let u = c.unitary();
+            let got = [u[(0, 0)], u[(1, 0)]];
+            let want = s.ket();
+            // Compare projectors to ignore global phase.
+            let proj = |k: &[Complex; 2]| {
+                Matrix::mat2(
+                    k[0] * k[0].conj(),
+                    k[0] * k[1].conj(),
+                    k[1] * k[0].conj(),
+                    k[1] * k[1].conj(),
+                )
+            };
+            assert!(
+                proj(&got).approx_eq(&proj(&want), 1e-12),
+                "wrong preparation for {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_maps_eigenbasis_to_computational() {
+        for basis in [Pauli::X, Pauli::Y, Pauli::Z] {
+            let mut c = Circuit::new(1);
+            for i in measure_rotation(basis, 0) {
+                c.push_instruction(i);
+            }
+            let u = c.unitary();
+            let [(_, vplus), (_, vminus)] = basis.eigenbasis();
+            // The +1 eigenvector must map to |0⟩ (up to phase), −1 to |1⟩.
+            let out_plus = u.mul_vec(&vplus);
+            let out_minus = u.mul_vec(&vminus);
+            assert!(out_plus[1].norm() < 1e-12, "{basis}: +1 → not |0⟩");
+            assert!(out_minus[0].norm() < 1e-12, "{basis}: −1 → not |1⟩");
+        }
+    }
+
+    #[test]
+    fn prepare_uses_only_single_qubit_gates() {
+        for s in PrepState::ALL {
+            for i in prepare(s, 3) {
+                assert_eq!(i.qubits, vec![3]);
+                assert_eq!(i.gate.n_qubits(), 1);
+            }
+        }
+    }
+}

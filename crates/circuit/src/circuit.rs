@@ -1,0 +1,547 @@
+//! The circuit IR: instructions, the circuit container and its builder API.
+
+use crate::gate::Gate;
+use qt_math::{Complex, Matrix};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A gate applied to specific qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The gate.
+    pub gate: Gate,
+    /// Operand qubits; for controlled gates the control comes first.
+    pub qubits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates an instruction, validating the operand count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the gate arity or if
+    /// operands repeat.
+    pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
+        assert_eq!(
+            gate.n_qubits(),
+            qubits.len(),
+            "gate {} expects {} operands, got {}",
+            gate.name(),
+            gate.n_qubits(),
+            qubits.len()
+        );
+        for (i, a) in qubits.iter().enumerate() {
+            for b in &qubits[i + 1..] {
+                assert_ne!(a, b, "repeated operand {a} in {}", gate.name());
+            }
+        }
+        Instruction { gate, qubits }
+    }
+
+    /// Whether the instruction touches qubit `q`.
+    pub fn acts_on(&self, q: usize) -> bool {
+        self.qubits.contains(&q)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?}", self.gate.name(), self.qubits)
+    }
+}
+
+/// A quantum circuit: a qubit count and an ordered list of instructions.
+///
+/// Circuits carry optional *layer boundaries* — indices into the instruction
+/// list marking algorithmic layers (e.g. one VQE entangling block, one QAOA
+/// step). QuTracer uses the boundaries as candidate cut locations.
+///
+/// # Example
+///
+/// ```
+/// use qt_circuit::{Circuit, Gate};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.two_qubit_gate_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    n_qubits: usize,
+    instrs: Vec<Instruction>,
+    layer_bounds: Vec<usize>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            instrs: Vec::new(),
+            layer_bounds: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Appends an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is out of range.
+    pub fn push(&mut self, gate: Gate, qubits: Vec<usize>) -> &mut Self {
+        for &q in &qubits {
+            assert!(
+                q < self.n_qubits,
+                "qubit {q} out of range for {}-qubit circuit",
+                self.n_qubits
+            );
+        }
+        self.instrs.push(Instruction::new(gate, qubits));
+        self
+    }
+
+    /// Appends a pre-built instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is out of range.
+    pub fn push_instruction(&mut self, instr: Instruction) -> &mut Self {
+        let Instruction { gate, qubits } = instr;
+        self.push(gate, qubits)
+    }
+
+    /// Records a layer boundary at the current end of the circuit.
+    ///
+    /// Consecutive duplicate boundaries are coalesced.
+    pub fn mark_layer(&mut self) -> &mut Self {
+        let pos = self.instrs.len();
+        if self.layer_bounds.last() != Some(&pos) {
+            self.layer_bounds.push(pos);
+        }
+        self
+    }
+
+    /// Layer boundaries (positions in the instruction list).
+    pub fn layer_bounds(&self) -> &[usize] {
+        &self.layer_bounds
+    }
+
+    // ------------------------------------------------------------------
+    // Builder shorthands.
+    // ------------------------------------------------------------------
+
+    /// Applies a Hadamard on `q`.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H, vec![q])
+    }
+    /// Applies Pauli-X on `q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X, vec![q])
+    }
+    /// Applies Pauli-Y on `q`.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Y, vec![q])
+    }
+    /// Applies Pauli-Z on `q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z, vec![q])
+    }
+    /// Applies the phase gate S on `q`.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::S, vec![q])
+    }
+    /// Applies S† on `q`.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Sdg, vec![q])
+    }
+    /// Applies the T gate on `q`.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::T, vec![q])
+    }
+    /// Applies T† on `q`.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Tdg, vec![q])
+    }
+    /// Applies √X on `q`.
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Sx, vec![q])
+    }
+    /// Applies `Rx(theta)` on `q`.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rx(theta), vec![q])
+    }
+    /// Applies `Ry(theta)` on `q`.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Ry(theta), vec![q])
+    }
+    /// Applies `Rz(theta)` on `q`.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rz(theta), vec![q])
+    }
+    /// Applies the phase gate `P(theta)` on `q`.
+    pub fn p(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Phase(theta), vec![q])
+    }
+    /// Applies `U(theta, phi, lambda)` on `q`.
+    pub fn u(&mut self, q: usize, theta: f64, phi: f64, lambda: f64) -> &mut Self {
+        self.push(Gate::U(theta, phi, lambda), vec![q])
+    }
+    /// Applies CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cx, vec![control, target])
+    }
+    /// Applies controlled-Y.
+    pub fn cy(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cy, vec![control, target])
+    }
+    /// Applies controlled-Z.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Cz, vec![a, b])
+    }
+    /// Applies a controlled phase.
+    pub fn cp(&mut self, a: usize, b: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Cp(theta), vec![a, b])
+    }
+    /// Applies controlled-`Rz`.
+    pub fn crz(&mut self, control: usize, target: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Crz(theta), vec![control, target])
+    }
+    /// Applies controlled-`Rx`.
+    pub fn crx(&mut self, control: usize, target: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Crx(theta), vec![control, target])
+    }
+    /// Applies controlled-`Ry`.
+    pub fn cry(&mut self, control: usize, target: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Cry(theta), vec![control, target])
+    }
+    /// Applies SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Swap, vec![a, b])
+    }
+    /// Applies a doubly-controlled phase.
+    pub fn ccp(&mut self, a: usize, b: usize, c: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Ccp(theta), vec![a, b, c])
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-circuit operations.
+    // ------------------------------------------------------------------
+
+    /// Appends all instructions (and layer bounds, shifted) of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than `self`.
+    pub fn append(&mut self, other: &Circuit) -> &mut Self {
+        assert!(
+            other.n_qubits <= self.n_qubits,
+            "cannot append a {}-qubit circuit to a {}-qubit circuit",
+            other.n_qubits,
+            self.n_qubits
+        );
+        let off = self.instrs.len();
+        for b in &other.layer_bounds {
+            let pos = off + b;
+            if self.layer_bounds.last() != Some(&pos) {
+                self.layer_bounds.push(pos);
+            }
+        }
+        self.instrs.extend(other.instrs.iter().cloned());
+        self
+    }
+
+    /// The inverse circuit (reversed order, inverted gates).
+    ///
+    /// Layer boundaries are dropped.
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::new(self.n_qubits);
+        for instr in self.instrs.iter().rev() {
+            inv.push(instr.gate.inverse(), instr.qubits.clone());
+        }
+        inv
+    }
+
+    /// Re-targets every instruction through `map` (old qubit → new qubit)
+    /// onto a circuit with `new_n` qubits. Layer bounds are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mapped qubit is out of range.
+    pub fn remap(&self, map: &[usize], new_n: usize) -> Circuit {
+        let mut out = Circuit::new(new_n);
+        let mut bounds = self.layer_bounds.iter().peekable();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            while bounds.peek() == Some(&&i) {
+                out.mark_layer();
+                bounds.next();
+            }
+            let qs = instr.qubits.iter().map(|&q| map[q]).collect();
+            out.push(instr.gate.clone(), qs);
+        }
+        while bounds.next().is_some() {
+            out.mark_layer();
+        }
+        out
+    }
+
+    /// Per-gate-name instruction counts.
+    pub fn gate_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for instr in &self.instrs {
+            *counts.entry(instr.gate.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Number of instructions acting on two or more qubits.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| i.gate.is_multi_qubit())
+            .count()
+    }
+
+    /// Circuit depth (longest chain of instructions per qubit).
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.n_qubits];
+        let mut depth = 0;
+        for instr in &self.instrs {
+            let level = instr
+                .qubits
+                .iter()
+                .map(|&q| frontier[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for &q in &instr.qubits {
+                frontier[q] = level;
+            }
+            depth = depth.max(level);
+        }
+        depth
+    }
+
+    /// The set of qubits touched by at least one instruction.
+    pub fn used_qubits(&self) -> Vec<usize> {
+        let mut used = vec![false; self.n_qubits];
+        for instr in &self.instrs {
+            for &q in &instr.qubits {
+                used[q] = true;
+            }
+        }
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(q, _)| q)
+            .collect()
+    }
+
+    /// The full `2^n × 2^n` unitary of the circuit.
+    ///
+    /// Intended for testing and for small fragments (the subset circuits in
+    /// QuTracer are 1–3 qubits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits > 12` (the matrix would be too large).
+    pub fn unitary(&self) -> Matrix {
+        assert!(
+            self.n_qubits <= 12,
+            "unitary() is only for small circuits ({} qubits requested)",
+            self.n_qubits
+        );
+        let dim = 1usize << self.n_qubits;
+        let mut u = Matrix::identity(dim);
+        for instr in &self.instrs {
+            let g = embed(&instr.gate.matrix(), &instr.qubits, self.n_qubits);
+            u = g.mul(&u);
+        }
+        u
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits:", self.n_qubits)?;
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if self.layer_bounds.contains(&i) {
+                writeln!(f, "  --- layer ---")?;
+            }
+            writeln!(f, "  {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Embeds a `2^k × 2^k` gate matrix acting on `qubits` into the full
+/// `2^n × 2^n` space. Qubit 0 is the least-significant index bit; operand
+/// `qubits[0]` corresponds to the least-significant bit of the local index.
+///
+/// Intended for testing and small registers.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent or `n > 12`.
+pub fn embed(gate: &Matrix, qubits: &[usize], n: usize) -> Matrix {
+    assert!(n <= 12, "embed() is only for small registers");
+    let k = qubits.len();
+    assert_eq!(gate.rows(), 1 << k, "gate matrix does not match arity");
+    let dim = 1usize << n;
+    let mut out = Matrix::zeros(dim, dim);
+    for col in 0..dim {
+        // Local index of this basis state.
+        let mut local = 0usize;
+        for (pos, &q) in qubits.iter().enumerate() {
+            if (col >> q) & 1 == 1 {
+                local |= 1 << pos;
+            }
+        }
+        // Bits outside the gate's support stay fixed.
+        let mut base = col;
+        for &q in qubits {
+            base &= !(1usize << q);
+        }
+        for lrow in 0..(1 << k) {
+            let amp = gate[(lrow, local)];
+            if amp == Complex::ZERO {
+                continue;
+            }
+            let mut row = base;
+            for (pos, &q) in qubits.iter().enumerate() {
+                if (lrow >> pos) & 1 == 1 {
+                    row |= 1 << q;
+                }
+            }
+            out[(row, col)] += amp;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_in_order() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(2, 0.5);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.instructions()[1].gate, Gate::Cx);
+        assert_eq!(c.instructions()[1].qubits, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        c.h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated operand")]
+    fn push_rejects_repeated_operands() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 1);
+    }
+
+    #[test]
+    fn inverse_undoes_circuit() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(1, 0.7).ry(0, -0.3);
+        let mut full = c.clone();
+        full.append(&c.inverse());
+        assert!(full
+            .unitary()
+            .approx_eq_up_to_phase(&Matrix::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn unitary_of_bell_circuit() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let u = c.unitary();
+        // |00⟩ → (|00⟩ + |11⟩)/√2
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(u[(0, 0)].approx_eq(Complex::real(s), 1e-12));
+        assert!(u[(3, 0)].approx_eq(Complex::real(s), 1e-12));
+        assert!(u[(1, 0)].approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn embed_acts_on_correct_qubit() {
+        // X on qubit 1 of 2: |00⟩ → |10⟩ (index 0 → 2).
+        let m = embed(&Gate::X.matrix(), &[1], 2);
+        assert!(m[(2, 0)].approx_eq(Complex::ONE, 1e-15));
+        assert!(m[(0, 2)].approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn embed_respects_operand_order() {
+        // CX with control=1, target=0 on 2 qubits: |10⟩ (idx 2) → |11⟩ (idx 3).
+        let m = embed(&Gate::Cx.matrix(), &[1, 0], 2);
+        assert!(m[(3, 2)].approx_eq(Complex::ONE, 1e-15));
+        // |01⟩ (idx 1: control=0) unchanged.
+        assert!(m[(1, 1)].approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn depth_and_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).cx(0, 1).cx(1, 2).rz(2, 1.0);
+        assert_eq!(c.depth(), 4);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.gate_counts()["h"], 2);
+    }
+
+    #[test]
+    fn layer_marks_survive_append_and_remap() {
+        let mut a = Circuit::new(2);
+        a.h(0).mark_layer().cx(0, 1).mark_layer();
+        let mut b = Circuit::new(2);
+        b.x(1);
+        let mut c = Circuit::new(2);
+        c.append(&b).append(&a);
+        assert_eq!(c.layer_bounds(), &[2, 3]);
+
+        let remapped = a.remap(&[1, 0], 2);
+        assert_eq!(remapped.layer_bounds(), &[1, 2]);
+        assert_eq!(remapped.instructions()[0].qubits, vec![1]);
+        assert_eq!(remapped.instructions()[1].qubits, vec![1, 0]);
+    }
+
+    #[test]
+    fn swap_equals_three_cnots() {
+        let mut swaps = Circuit::new(2);
+        swaps.swap(0, 1);
+        let mut cnots = Circuit::new(2);
+        cnots.cx(0, 1).cx(1, 0).cx(0, 1);
+        assert!(swaps.unitary().approx_eq(&cnots.unitary(), 1e-12));
+    }
+
+    #[test]
+    fn used_qubits_reports_support() {
+        let mut c = Circuit::new(4);
+        c.h(1).cx(1, 3);
+        assert_eq!(c.used_qubits(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Commutation analysis.
+//!
+//! QuTracer's check placement and circuit optimizations all reduce to one
+//! structural question: is a gate *block-diagonal* in the computational basis
+//! of some of its operands? A gate that is block-diagonal on qubit `q`
+//! commutes with `Z_q` and with every computational-basis projector on `q`,
+//! which is exactly the condition under which
+//! * a `Z_q` Pauli check sandwiches it losslessly (`C_R U C_L = U`), and
+//! * it can be removed without changing the Z-basis statistics of `q`
+//!   (false dependency removal / gate bypassing).
+//!
+//! Rather than a table of per-gate rules, the predicate is evaluated
+//! numerically from the gate's (tiny) matrix, so it is exact for every gate
+//! in the set including parametric ones.
+
+use crate::circuit::Instruction;
+use qt_math::{Matrix, Pauli};
+
+const TOL: f64 = 1e-12;
+
+/// Whether matrix `m` (size `2^k`) is block-diagonal with respect to the
+/// computational basis of the operand bit positions in `positions`.
+///
+/// Equivalently: `m[i][j] = 0` whenever `i` and `j` differ in any bit listed
+/// in `positions`.
+pub fn block_diagonal_on_positions(m: &Matrix, positions: &[usize]) -> bool {
+    let dim = m.rows();
+    let mut mask = 0usize;
+    for &p in positions {
+        mask |= 1 << p;
+    }
+    for i in 0..dim {
+        for j in 0..dim {
+            if (i & mask) != (j & mask) && m[(i, j)].norm() > TOL {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `instr` is block-diagonal in the computational basis of every
+/// operand that belongs to `subset`.
+///
+/// Operands outside `subset` are unconstrained. Returns `true` when the
+/// instruction does not touch `subset` at all.
+pub fn block_diagonal_on_subset(instr: &Instruction, subset: &[usize]) -> bool {
+    let positions: Vec<usize> = instr
+        .qubits
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| subset.contains(q))
+        .map(|(pos, _)| pos)
+        .collect();
+    if positions.is_empty() {
+        return true;
+    }
+    block_diagonal_on_positions(&instr.gate.matrix(), &positions)
+}
+
+/// Whether `instr`'s unitary commutes with the Pauli `p` applied on operand
+/// qubit `q` (identity elsewhere).
+///
+/// Returns `true` if `instr` does not act on `q` at all.
+pub fn commutes_with_pauli(instr: &Instruction, q: usize, p: Pauli) -> bool {
+    let Some(pos) = instr.qubits.iter().position(|&x| x == q) else {
+        return true;
+    };
+    let m = instr.gate.matrix();
+    let k = instr.qubits.len();
+    // Build P at the local operand position.
+    let mut pm = Matrix::identity(1);
+    for local in (0..k).rev() {
+        let f = if local == pos {
+            p.matrix()
+        } else {
+            Matrix::identity(2)
+        };
+        pm = pm.kron(&f);
+    }
+    m.mul(&pm).approx_eq(&pm.mul(&m), TOL)
+}
+
+/// Whether two instructions commute as operators on the full register.
+///
+/// Uses the disjoint-support shortcut, then falls back to an exact matrix
+/// check on the union of the supports.
+pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
+    let shared: Vec<usize> = a
+        .qubits
+        .iter()
+        .copied()
+        .filter(|q| b.qubits.contains(q))
+        .collect();
+    if shared.is_empty() {
+        return true;
+    }
+    // Embed both on the union of supports.
+    let mut union: Vec<usize> = a.qubits.clone();
+    for &q in &b.qubits {
+        if !union.contains(&q) {
+            union.push(q);
+        }
+    }
+    union.sort_unstable();
+    let n = union.len();
+    let local_index = |q: usize| union.iter().position(|&x| x == q).unwrap();
+    let qa: Vec<usize> = a.qubits.iter().map(|&q| local_index(q)).collect();
+    let qb: Vec<usize> = b.qubits.iter().map(|&q| local_index(q)).collect();
+    let ma = crate::circuit::embed(&a.gate.matrix(), &qa, n);
+    let mb = crate::circuit::embed(&b.gate.matrix(), &qb, n);
+    ma.mul(&mb).approx_eq(&mb.mul(&ma), TOL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn instr(gate: Gate, qubits: Vec<usize>) -> Instruction {
+        Instruction::new(gate, qubits)
+    }
+
+    #[test]
+    fn controlled_gates_are_block_diagonal_on_control() {
+        for g in [Gate::Cx, Gate::Cy, Gate::Crx(0.7), Gate::Cry(1.1)] {
+            let i = instr(g, vec![5, 2]);
+            assert!(block_diagonal_on_subset(&i, &[5]), "control side");
+            assert!(!block_diagonal_on_subset(&i, &[2]), "target side");
+        }
+        // Crz is fully diagonal: block-diagonal on both sides.
+        let i = instr(Gate::Crz(0.7), vec![5, 2]);
+        assert!(block_diagonal_on_subset(&i, &[5]));
+        assert!(block_diagonal_on_subset(&i, &[2]));
+    }
+
+    #[test]
+    fn diagonal_gates_are_block_diagonal_everywhere() {
+        for g in [Gate::Cz, Gate::Cp(0.4)] {
+            let i = instr(g, vec![1, 3]);
+            assert!(block_diagonal_on_subset(&i, &[1]));
+            assert!(block_diagonal_on_subset(&i, &[3]));
+            assert!(block_diagonal_on_subset(&i, &[1, 3]));
+        }
+        let rz = instr(Gate::Rz(0.2), vec![0]);
+        assert!(block_diagonal_on_subset(&rz, &[0]));
+    }
+
+    #[test]
+    fn hadamard_is_not_block_diagonal() {
+        let h = instr(Gate::H, vec![0]);
+        assert!(!block_diagonal_on_subset(&h, &[0]));
+        // But trivially block-diagonal on qubits it does not touch.
+        assert!(block_diagonal_on_subset(&h, &[1]));
+    }
+
+    #[test]
+    fn swap_is_not_block_diagonal_on_either_side() {
+        let sw = instr(Gate::Swap, vec![0, 1]);
+        assert!(!block_diagonal_on_subset(&sw, &[0]));
+        assert!(!block_diagonal_on_subset(&sw, &[1]));
+    }
+
+    #[test]
+    fn ccp_is_block_diagonal_on_all_three() {
+        let g = instr(Gate::Ccp(0.9), vec![0, 1, 2]);
+        assert!(block_diagonal_on_subset(&g, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn z_commutation_matches_block_diagonality() {
+        let cases = vec![
+            (Gate::Cx, vec![0, 1]),
+            (Gate::Cz, vec![0, 1]),
+            (Gate::H, vec![0]),
+            (Gate::Rz(0.3), vec![0]),
+            (Gate::Ry(0.3), vec![0]),
+            (Gate::Swap, vec![0, 1]),
+        ];
+        for (g, qs) in cases {
+            let i = instr(g, qs.clone());
+            for &q in &qs {
+                assert_eq!(
+                    commutes_with_pauli(&i, q, Pauli::Z),
+                    block_diagonal_on_subset(&i, &[q]),
+                    "{} on {:?} at {}",
+                    i.gate.name(),
+                    qs,
+                    q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cx_commutes_with_x_on_target() {
+        let i = instr(Gate::Cx, vec![0, 1]);
+        assert!(commutes_with_pauli(&i, 1, Pauli::X));
+        assert!(!commutes_with_pauli(&i, 1, Pauli::Z));
+        assert!(commutes_with_pauli(&i, 0, Pauli::Z));
+        assert!(!commutes_with_pauli(&i, 0, Pauli::X));
+    }
+
+    #[test]
+    fn disjoint_instructions_commute() {
+        let a = instr(Gate::H, vec![0]);
+        let b = instr(Gate::Cx, vec![1, 2]);
+        assert!(instructions_commute(&a, &b));
+    }
+
+    #[test]
+    fn overlapping_commutation_is_exact() {
+        let cz01 = instr(Gate::Cz, vec![0, 1]);
+        let cz12 = instr(Gate::Cz, vec![1, 2]);
+        assert!(instructions_commute(&cz01, &cz12));
+        let cx01 = instr(Gate::Cx, vec![0, 1]);
+        let cx10 = instr(Gate::Cx, vec![1, 0]);
+        assert!(!instructions_commute(&cx01, &cx10));
+        let h1 = instr(Gate::H, vec![1]);
+        assert!(!instructions_commute(&cz01, &h1));
+    }
+}

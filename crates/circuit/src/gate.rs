@@ -1,0 +1,362 @@
+//! The gate set used by the QuTracer workloads and mitigation circuits.
+
+use qt_math::{Complex, Matrix};
+
+/// A quantum gate.
+///
+/// The gate set covers everything the paper's benchmarks need: the Clifford
+/// generators, parametric rotations, controlled phases (QFT/QPE/arithmetic),
+/// and the doubly-controlled phase used by the QFT multiplier.
+///
+/// Operand ordering: for controlled gates the **control comes first**. In the
+/// gate's local matrix (see [`Gate::matrix`]) operand 0 is the
+/// least-significant bit of the basis index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdg,
+    /// T gate `diag(1, e^{iπ/4})`.
+    T,
+    /// T† gate.
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Rotation about X by the given angle (radians).
+    Rx(f64),
+    /// Rotation about Y by the given angle (radians).
+    Ry(f64),
+    /// Rotation about Z by the given angle (radians).
+    Rz(f64),
+    /// Phase gate `diag(1, e^{iθ})`.
+    Phase(f64),
+    /// Generic single-qubit gate `U(θ, φ, λ)` (Qiskit's U convention).
+    U(f64, f64, f64),
+    /// Controlled-X. Operands: control, target.
+    Cx,
+    /// Controlled-Y. Operands: control, target.
+    Cy,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Controlled phase `diag(1,1,1,e^{iθ})` (symmetric).
+    Cp(f64),
+    /// Controlled `Rz`. Operands: control, target.
+    Crz(f64),
+    /// Controlled `Rx`. Operands: control, target.
+    Crx(f64),
+    /// Controlled `Ry`. Operands: control, target.
+    Cry(f64),
+    /// SWAP.
+    Swap,
+    /// Doubly-controlled phase `diag(1,...,1,e^{iθ})` on three qubits
+    /// (symmetric); used by the QFT multiplier.
+    Ccp(f64),
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    pub fn n_qubits(&self) -> usize {
+        use Gate::*;
+        match self {
+            H | X | Y | Z | S | Sdg | T | Tdg | Sx | Rx(_) | Ry(_) | Rz(_) | Phase(_)
+            | U(..) => 1,
+            Cx | Cy | Cz | Cp(_) | Crz(_) | Crx(_) | Cry(_) | Swap => 2,
+            Ccp(_) => 3,
+        }
+    }
+
+    /// A short lowercase mnemonic (Qiskit-style).
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            H => "h",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            S => "s",
+            Sdg => "sdg",
+            T => "t",
+            Tdg => "tdg",
+            Sx => "sx",
+            Rx(_) => "rx",
+            Ry(_) => "ry",
+            Rz(_) => "rz",
+            Phase(_) => "p",
+            U(..) => "u",
+            Cx => "cx",
+            Cy => "cy",
+            Cz => "cz",
+            Cp(_) => "cp",
+            Crz(_) => "crz",
+            Crx(_) => "crx",
+            Cry(_) => "cry",
+            Swap => "swap",
+            Ccp(_) => "ccp",
+        }
+    }
+
+    /// The local unitary matrix of the gate.
+    ///
+    /// Operand 0 is the least-significant bit of the basis index, so for a
+    /// controlled gate (control = operand 0) the matrix is
+    /// `Σ_c |c⟩⟨c| ⊗ U^c` with the control in the low bit.
+    pub fn matrix(&self) -> Matrix {
+        use Gate::*;
+        let i = Complex::I;
+        match self {
+            H => Matrix::hadamard(),
+            X => qt_math::pauli::x2(),
+            Y => qt_math::pauli::y2(),
+            Z => qt_math::pauli::z2(),
+            S => Matrix::mat2(Complex::ONE, Complex::ZERO, Complex::ZERO, i),
+            Sdg => Matrix::mat2(Complex::ONE, Complex::ZERO, Complex::ZERO, -i),
+            T => Matrix::mat2(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_phase(std::f64::consts::FRAC_PI_4),
+            ),
+            Tdg => Matrix::mat2(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_phase(-std::f64::consts::FRAC_PI_4),
+            ),
+            Sx => {
+                let a = Complex::new(0.5, 0.5);
+                let b = Complex::new(0.5, -0.5);
+                Matrix::mat2(a, b, b, a)
+            }
+            Rx(th) => {
+                let c = Complex::real((th / 2.0).cos());
+                let s = Complex::imag(-(th / 2.0).sin());
+                Matrix::mat2(c, s, s, c)
+            }
+            Ry(th) => {
+                let c = Complex::real((th / 2.0).cos());
+                let s = Complex::real((th / 2.0).sin());
+                Matrix::mat2(c, -s, s, c)
+            }
+            Rz(th) => Matrix::mat2(
+                Complex::from_phase(-th / 2.0),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_phase(th / 2.0),
+            ),
+            Phase(th) => Matrix::mat2(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_phase(*th),
+            ),
+            U(th, phi, lam) => {
+                let c = (th / 2.0).cos();
+                let s = (th / 2.0).sin();
+                Matrix::mat2(
+                    Complex::real(c),
+                    -Complex::from_phase(*lam) * s,
+                    Complex::from_phase(*phi) * s,
+                    Complex::from_phase(*phi + *lam) * c,
+                )
+            }
+            Cx => controlled(&qt_math::pauli::x2()),
+            Cy => controlled(&qt_math::pauli::y2()),
+            Cz => controlled(&qt_math::pauli::z2()),
+            Cp(th) => controlled(&Gate::Phase(*th).matrix()),
+            Crz(th) => controlled(&Gate::Rz(*th).matrix()),
+            Crx(th) => controlled(&Gate::Rx(*th).matrix()),
+            Cry(th) => controlled(&Gate::Ry(*th).matrix()),
+            Swap => {
+                let mut m = Matrix::zeros(4, 4);
+                m[(0, 0)] = Complex::ONE;
+                m[(1, 2)] = Complex::ONE;
+                m[(2, 1)] = Complex::ONE;
+                m[(3, 3)] = Complex::ONE;
+                m
+            }
+            Ccp(th) => {
+                let mut m = Matrix::identity(8);
+                m[(7, 7)] = Complex::from_phase(*th);
+                m
+            }
+        }
+    }
+
+    /// The inverse gate.
+    pub fn inverse(&self) -> Gate {
+        use Gate::*;
+        match self {
+            H | X | Y | Z | Cx | Cy | Cz | Swap => self.clone(),
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            Sx => U(
+                std::f64::consts::FRAC_PI_2,
+                -std::f64::consts::FRAC_PI_2 - std::f64::consts::PI,
+                std::f64::consts::FRAC_PI_2 + std::f64::consts::PI,
+            ),
+            Rx(t) => Rx(-t),
+            Ry(t) => Ry(-t),
+            Rz(t) => Rz(-t),
+            Phase(t) => Phase(-t),
+            U(t, p, l) => U(-t, -l, -p),
+            Cp(t) => Cp(-t),
+            Crz(t) => Crz(-t),
+            Crx(t) => Crx(-t),
+            Cry(t) => Cry(-t),
+            Ccp(t) => Ccp(-t),
+        }
+    }
+
+    /// Whether the gate's matrix is diagonal in the computational basis.
+    pub fn is_diagonal(&self) -> bool {
+        use Gate::*;
+        matches!(
+            self,
+            Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) | Cz | Cp(_) | Crz(_) | Ccp(_)
+        )
+    }
+
+    /// Whether this is a two-qubit (or larger) entangling gate for the
+    /// purposes of 2-qubit basis gate counting.
+    pub fn is_multi_qubit(&self) -> bool {
+        self.n_qubits() > 1
+    }
+}
+
+/// Builds the controlled version of a single-qubit unitary, with the control
+/// as operand 0 (least-significant bit).
+pub fn controlled(u: &Matrix) -> Matrix {
+    assert_eq!(u.rows(), 2, "controlled() expects a single-qubit unitary");
+    let mut m = Matrix::identity(4);
+    // Indices with control bit (bit 0) set: 1 (t=0) and 3 (t=1).
+    m[(1, 1)] = u[(0, 0)];
+    m[(1, 3)] = u[(0, 1)];
+    m[(3, 1)] = u[(1, 0)];
+    m[(3, 3)] = u[(1, 1)];
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_test_gates() -> Vec<Gate> {
+        use Gate::*;
+        vec![
+            H,
+            X,
+            Y,
+            Z,
+            S,
+            Sdg,
+            T,
+            Tdg,
+            Sx,
+            Rx(0.3),
+            Ry(-1.2),
+            Rz(2.5),
+            Phase(0.7),
+            U(0.4, 1.1, -0.6),
+            Cx,
+            Cy,
+            Cz,
+            Cp(0.9),
+            Crz(1.3),
+            Crx(-0.8),
+            Cry(0.2),
+            Swap,
+            Ccp(0.55),
+        ]
+    }
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for g in all_test_gates() {
+            assert!(g.matrix().is_unitary(1e-10), "{} is not unitary", g.name());
+        }
+    }
+
+    #[test]
+    fn inverses_compose_to_identity() {
+        for g in all_test_gates() {
+            let m = g.matrix();
+            let mi = g.inverse().matrix();
+            let n = m.rows();
+            assert!(
+                mi.mul(&m).approx_eq_up_to_phase(&Matrix::identity(n), 1e-10),
+                "inverse of {} is wrong",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_flag_matches_matrix() {
+        for g in all_test_gates() {
+            let m = g.matrix();
+            let mut diag = true;
+            for r in 0..m.rows() {
+                for c in 0..m.cols() {
+                    if r != c && m[(r, c)].norm() > 1e-12 {
+                        diag = false;
+                    }
+                }
+            }
+            assert_eq!(diag, g.is_diagonal(), "diagonal flag wrong for {}", g.name());
+        }
+    }
+
+    #[test]
+    fn cx_flips_target_when_control_set() {
+        let m = Gate::Cx.matrix();
+        // Input |c=1, t=0⟩ = index 1 → output |c=1, t=1⟩ = index 3.
+        assert!(m[(3, 1)].approx_eq(Complex::ONE, 1e-15));
+        assert!(m[(1, 1)].approx_eq(Complex::ZERO, 1e-15));
+        // Input |c=0, t=1⟩ = index 2 stays.
+        assert!(m[(2, 2)].approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx = Gate::Sx.matrix();
+        assert!(sx
+            .mul(&sx)
+            .approx_eq_up_to_phase(&Gate::X.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn rz_is_phase_up_to_global_phase() {
+        let rz = Gate::Rz(0.7).matrix();
+        let p = Gate::Phase(0.7).matrix();
+        assert!(rz.approx_eq_up_to_phase(&p, 1e-12));
+    }
+
+    #[test]
+    fn u_reproduces_named_gates() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        let h = Gate::U(FRAC_PI_2, 0.0, PI).matrix();
+        assert!(h.approx_eq_up_to_phase(&Gate::H.matrix(), 1e-12));
+        let x = Gate::U(PI, 0.0, PI).matrix();
+        assert!(x.approx_eq_up_to_phase(&Gate::X.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn ccp_phases_only_all_ones() {
+        let m = Gate::Ccp(1.0).matrix();
+        for k in 0..7 {
+            assert!(m[(k, k)].approx_eq(Complex::ONE, 1e-15));
+        }
+        assert!(m[(7, 7)].approx_eq(Complex::from_phase(1.0), 1e-15));
+    }
+}

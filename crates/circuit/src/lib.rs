@@ -1,0 +1,31 @@
+//! Quantum circuit IR and analysis passes for the QuTracer reproduction.
+//!
+//! The crate provides:
+//! * [`Gate`] — the gate set used by every benchmark and mitigation circuit;
+//! * [`Circuit`] — an ordered instruction list with builder methods and layer
+//!   boundaries (candidate cut points);
+//! * [`commute`] — exact block-diagonality/commutation predicates;
+//! * [`passes`] — QuTracer's circuit optimizations (false dependency removal,
+//!   gate bypassing, subset segmentation for cut placement);
+//! * [`basis`] — Pauli-eigenstate preparation and basis-rotation helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use qt_circuit::{Circuit, passes};
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(2).cp(2, 1, 0.5).h(1).cp(1, 0, 0.5).h(0);
+//! // Tracing qubit 2: only its own H survives the reduction.
+//! let red = passes::reduce_for_z_measurement(&c, &[2]);
+//! assert_eq!(red.circuit.len(), 1);
+//! ```
+
+pub mod basis;
+pub mod circuit;
+pub mod commute;
+pub mod gate;
+pub mod passes;
+
+pub use circuit::{embed, Circuit, Instruction};
+pub use gate::Gate;

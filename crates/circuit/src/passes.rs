@@ -1,0 +1,444 @@
+//! Circuit analysis passes implementing QuTracer's optimizations.
+//!
+//! * [`reduce_for_z_measurement`] — *false dependency removal* and *gate
+//!   bypassing* (Sec. V-B of the paper): drops every gate that cannot affect
+//!   the Z-basis statistics of the measured qubits, using exact
+//!   block-diagonality instead of syntactic dependency.
+//! * [`split_into_segments`] — cut placement: partitions a circuit, relative
+//!   to a traced qubit subset, into alternating *local* blocks (subset-only
+//!   gates, classically simulable — *localized gate simulation*) and *check
+//!   segments* (operations commuting with `Z` on the subset, protectable by
+//!   a qubit-subsetting Pauli check).
+
+use crate::circuit::{Circuit, Instruction};
+use crate::commute::block_diagonal_on_subset;
+
+/// Result of [`reduce_for_z_measurement`].
+#[derive(Debug, Clone)]
+pub struct ReducedCircuit {
+    /// The reduced circuit (same qubit count, fewer instructions).
+    pub circuit: Circuit,
+    /// Indices (into the original instruction list) of the kept gates.
+    pub kept: Vec<usize>,
+    /// Qubits whose initial state can influence the measurement.
+    pub active_qubits: Vec<usize>,
+}
+
+/// Removes every instruction that provably does not affect the joint Z-basis
+/// measurement distribution of `targets`.
+///
+/// Walks the circuit backwards maintaining the Heisenberg-picture structure
+/// of the measurement observable:
+///
+/// * `A` — *active* qubits: the observable's support (initially `targets`);
+/// * `D ⊆ A` — *diagonal* qubits: qubits on which the evolved observable is
+///   still a sum of computational-basis projectors (initially all of `A`).
+///
+/// For each instruction `G` with operand set `Q` (from the end):
+///
+/// 1. `Q ∩ A = ∅` — causally irrelevant, **drop**;
+/// 2. `Q ∩ (A \ D) = ∅` and `G` block-diagonal on `Q ∩ D` — `G` conjugates
+///    the computational projectors on `Q ∩ D` to themselves, **drop**
+///    (*gate bypassing*: `Rz`/phase gates before measurement, controlled
+///    gates whose control is the measured qubit);
+/// 3. `G` commutes with every *kept* instruction after it and is
+///    block-diagonal on `Q ∩ targets` — `G` can be shifted to the end of the
+///    circuit where it cannot influence the terminal Z measurement, **drop**
+///    (*false dependency removal*: the paper's controlled-U/controlled-U²
+///    example in Sec. V-B);
+/// 4. otherwise **keep**: `A ← A ∪ Q`; if `Q ∩ (A \ D) = ∅` and `G` is a
+///    generalized permutation of the computational basis (X, CX, SWAP, …)
+///    the observable stays diagonal (`D ← D ∪ Q`), else `D ← D \ Q`.
+pub fn reduce_for_z_measurement(circ: &Circuit, targets: &[usize]) -> ReducedCircuit {
+    let n = circ.n_qubits();
+    let mut active = vec![false; n];
+    let mut diagonal = vec![false; n];
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        active[t] = true;
+        diagonal[t] = true;
+        is_target[t] = true;
+    }
+    let mut kept_rev: Vec<usize> = Vec::new();
+    let instrs = circ.instructions();
+    for (idx, instr) in instrs.iter().enumerate().rev() {
+        let touched_active: Vec<usize> = instr
+            .qubits
+            .iter()
+            .copied()
+            .filter(|&q| active[q])
+            .collect();
+        // Rule 1: outside the causal cone.
+        if touched_active.is_empty() {
+            continue;
+        }
+        let touches_nondiag = instr
+            .qubits
+            .iter()
+            .any(|&q| active[q] && !diagonal[q]);
+        let touched_diag: Vec<usize> = instr
+            .qubits
+            .iter()
+            .copied()
+            .filter(|&q| active[q] && diagonal[q])
+            .collect();
+        // Rule 2: gate bypassing against the diagonal frontier.
+        if !touches_nondiag && block_diagonal_on_subset(instr, &touched_diag) {
+            continue;
+        }
+        // Rule 3: commute past every kept gate, then check against the
+        // terminal Z measurement only.
+        let touched_targets: Vec<usize> = instr
+            .qubits
+            .iter()
+            .copied()
+            .filter(|&q| is_target[q])
+            .collect();
+        if block_diagonal_on_subset(instr, &touched_targets)
+            && kept_rev
+                .iter()
+                .all(|&k| crate::commute::instructions_commute(instr, &instrs[k]))
+        {
+            continue;
+        }
+        // Rule 4: keep.
+        kept_rev.push(idx);
+        let permutation =
+            !touches_nondiag && is_generalized_permutation(&instr.gate.matrix());
+        for &q in &instr.qubits {
+            active[q] = true;
+            if permutation {
+                diagonal[q] = true;
+            } else {
+                diagonal[q] = false;
+            }
+        }
+    }
+    kept_rev.reverse();
+    let mut circuit = Circuit::new(n);
+    for &idx in &kept_rev {
+        let instr = &instrs[idx];
+        circuit.push(instr.gate.clone(), instr.qubits.clone());
+    }
+    let active_qubits = active
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a)
+        .map(|(q, _)| q)
+        .collect();
+    ReducedCircuit {
+        circuit,
+        kept: kept_rev,
+        active_qubits,
+    }
+}
+
+/// Conservative causal cone for *state preparation*: keeps every gate that
+/// can influence the reduced density matrix on `targets` (not just its
+/// Z-basis diagonal — coherences matter here, so no block-diagonal
+/// dropping is applied).
+///
+/// Used to prune the noisy prefix of a QSPC ensemble circuit: the traced
+/// qubit's wire is replaced at the cut, so only the prefix gates in the cone
+/// of the *other* active qubits survive.
+pub fn reduce_for_state_preparation(circ: &Circuit, targets: &[usize]) -> ReducedCircuit {
+    let n = circ.n_qubits();
+    let mut active = vec![false; n];
+    for &t in targets {
+        active[t] = true;
+    }
+    let mut kept_rev = Vec::new();
+    for (idx, instr) in circ.instructions().iter().enumerate().rev() {
+        if instr.qubits.iter().any(|&q| active[q]) {
+            kept_rev.push(idx);
+            for &q in &instr.qubits {
+                active[q] = true;
+            }
+        }
+    }
+    kept_rev.reverse();
+    let mut circuit = Circuit::new(n);
+    for &idx in &kept_rev {
+        let instr = &circ.instructions()[idx];
+        circuit.push(instr.gate.clone(), instr.qubits.clone());
+    }
+    let active_qubits = active
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a)
+        .map(|(q, _)| q)
+        .collect();
+    ReducedCircuit {
+        circuit,
+        kept: kept_rev,
+        active_qubits,
+    }
+}
+
+/// Whether `m` is a generalized permutation matrix (exactly one non-zero
+/// entry per column): such gates map computational projectors to
+/// computational projectors under conjugation.
+fn is_generalized_permutation(m: &qt_math::Matrix) -> bool {
+    for col in 0..m.cols() {
+        let nonzero = (0..m.rows())
+            .filter(|&row| m[(row, col)].norm() > 1e-12)
+            .count();
+        if nonzero != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// One alternating block of the subset segmentation: subset-local gates
+/// followed by a `Z`-commuting check segment.
+#[derive(Debug, Clone, Default)]
+pub struct Segment {
+    /// Gates acting **only** on the traced subset that do not commute with
+    /// `Z` on it (basis changes: `H`, `Ry`, …). Simulated classically.
+    pub local: Vec<Instruction>,
+    /// Gates commuting with `Z` on every subset operand (plus any gate not
+    /// touching the subset). Protected by a QSPC check.
+    pub check: Vec<Instruction>,
+}
+
+impl Segment {
+    /// Whether both halves are empty.
+    pub fn is_empty(&self) -> bool {
+        self.local.is_empty() && self.check.is_empty()
+    }
+
+    /// Whether the check half contains at least one gate touching the subset.
+    pub fn check_touches(&self, subset: &[usize]) -> bool {
+        self.check
+            .iter()
+            .any(|i| i.qubits.iter().any(|q| subset.contains(q)))
+    }
+}
+
+/// Error returned by [`split_into_segments`] when a gate couples the subset
+/// to the rest in a way that no `Z` check can protect (e.g. a CX *target*
+/// inside the subset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnsupportedCoupling {
+    /// Index of the offending instruction.
+    pub index: usize,
+    /// A rendering of the offending instruction.
+    pub instruction: String,
+}
+
+impl std::fmt::Display for UnsupportedCoupling {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "instruction {} ({}) couples the subset non-diagonally",
+            self.index, self.instruction
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedCoupling {}
+
+/// Partitions `circ` relative to the traced `subset` into alternating
+/// local blocks and check segments (see module docs).
+///
+/// The concatenation `seg[0].local ++ seg[0].check ++ seg[1].local ++ …`
+/// reproduces the original circuit up to reordering of provably commuting
+/// instructions (gates not touching the subset may be hoisted past
+/// subset-local gates, with which they trivially commute).
+///
+/// # Errors
+///
+/// Returns [`UnsupportedCoupling`] if a multi-qubit gate straddles the
+/// subset boundary without being block-diagonal on the subset side.
+pub fn split_into_segments(
+    circ: &Circuit,
+    subset: &[usize],
+) -> Result<Vec<Segment>, UnsupportedCoupling> {
+    let mut segments: Vec<Segment> = vec![Segment::default()];
+    for (index, instr) in circ.instructions().iter().enumerate() {
+        let on_subset: Vec<usize> = instr
+            .qubits
+            .iter()
+            .copied()
+            .filter(|q| subset.contains(q))
+            .collect();
+        let only_subset = on_subset.len() == instr.qubits.len();
+        let current = segments.last_mut().expect("segments never empty");
+        if on_subset.is_empty() {
+            // Commutes with everything on the subset; goes to the check half.
+            current.check.push(instr.clone());
+        } else if block_diagonal_on_subset(instr, &on_subset) {
+            current.check.push(instr.clone());
+        } else if only_subset {
+            // A subset-local basis change: starts a new segment unless the
+            // current check half is still empty (then it joins its local
+            // half directly).
+            if current.check.is_empty() {
+                current.local.push(instr.clone());
+            } else {
+                segments.push(Segment {
+                    local: vec![instr.clone()],
+                    check: Vec::new(),
+                });
+            }
+        } else {
+            return Err(UnsupportedCoupling {
+                index,
+                instruction: instr.to_string(),
+            });
+        }
+    }
+    segments.retain(|s| !s.is_empty());
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use qt_math::Matrix;
+
+    /// iQFT-like 3-qubit circuit from the paper's motivating example.
+    fn iqft3() -> Circuit {
+        let mut c = Circuit::new(3);
+        use std::f64::consts::FRAC_PI_2;
+        c.h(2)
+            .cp(2, 1, -FRAC_PI_2)
+            .h(1)
+            .cp(2, 0, -FRAC_PI_2 / 2.0)
+            .cp(1, 0, -FRAC_PI_2)
+            .h(0);
+        c
+    }
+
+    #[test]
+    fn reduction_drops_gates_after_measured_controls() {
+        // Measuring only qubit 2 of the iQFT: everything except the first H
+        // is either a CP (diagonal) or acts on other qubits.
+        let c = iqft3();
+        let red = reduce_for_z_measurement(&c, &[2]);
+        assert_eq!(red.circuit.len(), 1);
+        assert_eq!(red.circuit.instructions()[0].gate, Gate::H);
+        assert_eq!(red.active_qubits, vec![2]);
+    }
+
+    #[test]
+    fn reduction_keeps_real_dependencies() {
+        // Measuring qubit 0: its H depends on the two CPs feeding it, which
+        // depend on the H gates of qubits 1 and 2.
+        let c = iqft3();
+        let red = reduce_for_z_measurement(&c, &[0]);
+        assert_eq!(red.circuit.len(), c.len());
+        assert_eq!(red.active_qubits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reduction_preserves_distribution() {
+        // Brute-force check: the Z distribution of the target qubit is
+        // unchanged by the reduction.
+        let c = iqft3();
+        for target in 0..3 {
+            let red = reduce_for_z_measurement(&c, &[target]);
+            let full = c.unitary();
+            let reduced = red.circuit.unitary();
+            // |ψ⟩ = U|000⟩ — compare marginal on `target`.
+            let p = |u: &Matrix| {
+                let mut p0 = 0.0;
+                for row in 0..8 {
+                    if (row >> target) & 1 == 0 {
+                        p0 += u[(row, 0)].norm_sqr();
+                    }
+                }
+                p0
+            };
+            assert!(
+                (p(&full) - p(&reduced)).abs() < 1e-10,
+                "marginal changed for qubit {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn rz_before_measurement_is_bypassed() {
+        let mut c = Circuit::new(1);
+        c.h(0).rz(0, 1.234).z(0).s(0);
+        let red = reduce_for_z_measurement(&c, &[0]);
+        assert_eq!(red.circuit.len(), 1);
+        assert_eq!(red.circuit.instructions()[0].gate, Gate::H);
+    }
+
+    #[test]
+    fn segmentation_of_vqe_like_circuit() {
+        // Ry layer; CZ layer; Ry layer — traced qubit 0.
+        let mut c = Circuit::new(3);
+        c.ry(0, 0.1).ry(1, 0.2).ry(2, 0.3);
+        c.cz(0, 1).cz(1, 2);
+        c.ry(0, 0.4).ry(1, 0.5).ry(2, 0.6);
+        let segs = split_into_segments(&c, &[0]).unwrap();
+        assert_eq!(segs.len(), 2);
+        // Segment 0: local Ry(0), check [CZ(0,1), CZ(1,2), Ry(1), Ry(2)...]
+        assert_eq!(segs[0].local.len(), 1);
+        assert!(segs[0].check.len() >= 2);
+        // Segment 1: local Ry(0) (final rotation), trailing Rys on others in check.
+        assert_eq!(segs[1].local.len(), 1);
+        assert!(segs[1].check_touches(&[0]) == false);
+    }
+
+    #[test]
+    fn segmentation_rejects_cx_target_in_subset() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 0);
+        let err = split_into_segments(&c, &[0]).unwrap_err();
+        assert_eq!(err.index, 0);
+    }
+
+    #[test]
+    fn segmentation_accepts_cx_control_in_subset() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        let segs = split_into_segments(&c, &[0]).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].local.len(), 1); // first H
+        assert_eq!(segs[0].check.len(), 1); // CX
+        assert_eq!(segs[1].local.len(), 1); // last H
+    }
+
+    #[test]
+    fn segmentation_concatenation_reproduces_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1).ry(1, 0.3).h(0).cp(0, 2, 0.7).ry(0, 0.2);
+        let segs = split_into_segments(&c, &[0]).unwrap();
+        let mut rebuilt = Circuit::new(3);
+        for s in &segs {
+            for i in &s.local {
+                rebuilt.push(i.gate.clone(), i.qubits.clone());
+            }
+            for i in &s.check {
+                rebuilt.push(i.gate.clone(), i.qubits.clone());
+            }
+        }
+        // Equality up to commuting reorder ⇒ identical unitaries.
+        assert!(rebuilt.unitary().approx_eq(&c.unitary(), 1e-10));
+    }
+
+    #[test]
+    fn qaoa_like_segmentation_subset_pair() {
+        // One QAOA layer on a 4-ring: ZZ interactions (via CP-like CZs) then Rx mixer.
+        let mut c = Circuit::new(4);
+        for &(a, b) in &[(0, 1), (1, 2), (2, 3), (3, 0)] {
+            c.cz(a, b);
+        }
+        for q in 0..4 {
+            c.rx(q, 0.4);
+        }
+        let segs = split_into_segments(&c, &[0, 1]).unwrap();
+        // Segment 0: no local prefix, check = the four CZs;
+        // Segment 1: local = Rx(0), Rx(1); check = Rx(2), Rx(3).
+        assert_eq!(segs.len(), 2);
+        assert!(segs[0].local.is_empty());
+        assert_eq!(segs[0].check.len(), 4);
+        assert_eq!(segs[1].local.len(), 2);
+        assert_eq!(segs[1].check.len(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the circuit IR and analysis passes.
+
+use proptest::prelude::*;
+use qt_circuit::{commute, passes, Circuit, Gate, Instruction};
+
+fn arb_gate(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
+    let q = 0..n;
+    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
+    prop_oneof![
+        q.clone().prop_map(|a| (Gate::H, vec![a])),
+        q.clone().prop_map(|a| (Gate::X, vec![a])),
+        q.clone().prop_map(|a| (Gate::T, vec![a])),
+        (q.clone(), -3.0..3.0f64).prop_map(|(a, t)| (Gate::Ry(t), vec![a])),
+        (q.clone(), -3.0..3.0f64).prop_map(|(a, t)| (Gate::Rz(t), vec![a])),
+        q2.clone().prop_map(|(a, b)| (Gate::Cx, vec![a, b])),
+        q2.clone().prop_map(|(a, b)| (Gate::Cz, vec![a, b])),
+        (q2, -3.0..3.0f64).prop_map(|((a, b), t)| (Gate::Cp(t), vec![a, b])),
+    ]
+}
+
+fn arb_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 1..len).prop_map(move |instrs| {
+        let mut c = Circuit::new(n);
+        for (g, qs) in instrs {
+            c.push(g, qs);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn inverse_composes_to_identity(circ in arb_circuit(3, 16)) {
+        let mut full = circ.clone();
+        full.append(&circ.inverse());
+        prop_assert!(full
+            .unitary()
+            .approx_eq_up_to_phase(&qt_math::Matrix::identity(8), 1e-8));
+    }
+
+    #[test]
+    fn reduction_is_idempotent(circ in arb_circuit(4, 16), t in 0usize..4) {
+        let once = passes::reduce_for_z_measurement(&circ, &[t]);
+        let twice = passes::reduce_for_z_measurement(&once.circuit, &[t]);
+        prop_assert_eq!(once.circuit.len(), twice.circuit.len());
+    }
+
+    #[test]
+    fn block_diagonality_matches_z_commutation(
+        (g, qs) in arb_gate(3),
+        target in 0usize..3,
+    ) {
+        let instr = Instruction::new(g, qs);
+        prop_assume!(instr.acts_on(target));
+        prop_assert_eq!(
+            commute::block_diagonal_on_subset(&instr, &[target]),
+            commute::commutes_with_pauli(&instr, target, qt_math::Pauli::Z)
+        );
+    }
+
+    #[test]
+    fn commutation_check_is_symmetric(
+        (g1, q1) in arb_gate(3),
+        (g2, q2) in arb_gate(3),
+    ) {
+        let a = Instruction::new(g1, q1);
+        let b = Instruction::new(g2, q2);
+        prop_assert_eq!(
+            commute::instructions_commute(&a, &b),
+            commute::instructions_commute(&b, &a)
+        );
+    }
+
+    #[test]
+    fn depth_never_exceeds_length(circ in arb_circuit(4, 24)) {
+        prop_assert!(circ.depth() <= circ.len());
+        prop_assert!(circ.depth() >= 1);
+    }
+
+    #[test]
+    fn remap_preserves_unitary_under_identity(circ in arb_circuit(3, 12)) {
+        let id: Vec<usize> = (0..3).collect();
+        let same = circ.remap(&id, 3);
+        prop_assert!(same.unitary().approx_eq(&circ.unitary(), 1e-12));
+    }
+
+    #[test]
+    fn state_preparation_cone_keeps_marginal_state(
+        circ in arb_circuit(4, 16),
+        t in 0usize..4,
+    ) {
+        // The conservative cone must preserve the reduced density matrix of
+        // the target exactly (not just its diagonal).
+        let red = passes::reduce_for_state_preparation(&circ, &[t]);
+        let full = qt_sim::DensityMatrix::from_circuit(&circ).partial_trace(&[t]);
+        let reduced = qt_sim::DensityMatrix::from_circuit(&red.circuit).partial_trace(&[t]);
+        prop_assert!(full.to_matrix().approx_eq(&reduced.to_matrix(), 1e-9));
+    }
+}

@@ -1,0 +1,30 @@
+//! The QuTracer framework (the paper's primary contribution).
+//!
+//! QuTracer continually tracks the state of small qubit subsets through a
+//! circuit's execution ("quantum watchpoints", implemented by repurposed
+//! wire cutting), mitigates gate *and* measurement errors on those subsets
+//! with qubit-subsetting Pauli checks (QSPC), and folds the resulting
+//! high-fidelity local distributions back into the noisy global
+//! distribution via Bayesian recombination.
+//!
+//! # Example
+//!
+//! ```
+//! use qt_core::{run_qutracer, QuTracerConfig};
+//! use qt_sim::{Backend, Executor, NoiseModel};
+//! use qt_algos::vqe_ansatz;
+//!
+//! let circ = vqe_ansatz(4, 1, 7);
+//! let exec = Executor::with_backend(
+//!     NoiseModel::depolarizing(0.001, 0.02).with_readout(0.05),
+//!     Backend::DensityMatrix,
+//! );
+//! let report = run_qutracer(&exec, &circ, &[0, 1, 2, 3], &QuTracerConfig::single());
+//! assert!((report.distribution.total() - 1.0).abs() < 1e-9);
+//! ```
+
+pub mod framework;
+pub mod trace;
+
+pub use framework::{run_qutracer, QuTracerConfig, QuTracerReport};
+pub use trace::{trace_pair, trace_single, TraceConfig, TraceOutcome};

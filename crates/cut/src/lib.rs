@@ -1,0 +1,314 @@
+//! Wire cutting, repurposed for state tracing.
+//!
+//! Conventional wire cutting (Peng et al.) replaces a qubit wire by a
+//! measure-and-prepare ensemble using the identity
+//!
+//! ```text
+//! ρ = ½ Σ_{M ∈ {I,X,Y,Z}}  M ⊗ tr_j(M_j ρ)          (paper Eq. 1)
+//! ```
+//!
+//! QuTracer repurposes the same identity to *watch* the state at a cut point
+//! rather than to split the circuit. This crate provides:
+//!
+//! * the canonical cut expansions ([`full_cut_terms`] with 6 preparation
+//!   states, [`reduced_cut_terms`] with 4 after the paper's *state
+//!   preparation reduction*);
+//! * [`build_cut_programs`] — the executable ensemble for a single wire cut,
+//!   using one extra qubit so that the upstream wire is measured at the end
+//!   (no mid-circuit measurement, as in the paper's non-LOCC setting);
+//! * [`recombine`] — quasi-probability recombination of ensemble results.
+
+use qt_circuit::{basis, Circuit};
+use qt_math::states::PrepState;
+use qt_math::Pauli;
+use qt_sim::Program;
+
+/// One term of a wire-cut expansion: run the upstream circuit, measure the
+/// cut wire in `basis`, prepare `prep` on the downstream wire, and weight
+/// the outcome `m ∈ {0, 1}` by `coeff · outcome_weights[m]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutTerm {
+    /// Scalar coefficient of the term.
+    pub coeff: f64,
+    /// Measurement basis on the upstream wire.
+    pub basis: Pauli,
+    /// Classical weight of each measurement outcome (indexed by bit).
+    pub outcome_weights: [f64; 2],
+    /// State prepared on the downstream wire.
+    pub prep: PrepState,
+}
+
+/// The canonical 8-term expansion (6 preparation states).
+///
+/// Terms: `½(P₀+P₁)⊗tr(ρ)` from `I`, and `±½` eigenstate preparations for
+/// `X`, `Y`, `Z` weighted by the measured eigenvalue.
+pub fn full_cut_terms() -> Vec<CutTerm> {
+    let e = [1.0, -1.0]; // eigenvalue of outcome 0 / 1 after basis rotation
+    let u = [1.0, 1.0];
+    vec![
+        // I-component: measure anything (Z), weight +1, prepare |0⟩ and |1⟩.
+        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: u, prep: PrepState::Zero },
+        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: u, prep: PrepState::One },
+        // X-component.
+        CutTerm { coeff: 0.5, basis: Pauli::X, outcome_weights: e, prep: PrepState::Plus },
+        CutTerm { coeff: -0.5, basis: Pauli::X, outcome_weights: e, prep: PrepState::Minus },
+        // Y-component.
+        CutTerm { coeff: 0.5, basis: Pauli::Y, outcome_weights: e, prep: PrepState::PlusI },
+        CutTerm { coeff: -0.5, basis: Pauli::Y, outcome_weights: e, prep: PrepState::MinusI },
+        // Z-component.
+        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: e, prep: PrepState::Zero },
+        CutTerm { coeff: -0.5, basis: Pauli::Z, outcome_weights: e, prep: PrepState::One },
+    ]
+}
+
+/// The reduced expansion using only the four preparations
+/// `{|0⟩, |1⟩, |+⟩, |i⟩}` — the paper's *state preparation reduction*
+/// (`|−⟩⟨−| = |0⟩⟨0| + |1⟩⟨1| − |+⟩⟨+|`, and likewise for `|−i⟩`).
+pub fn reduced_cut_terms() -> Vec<CutTerm> {
+    let e = [1.0, -1.0];
+    let u = [1.0, 1.0];
+    vec![
+        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: u, prep: PrepState::Zero },
+        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: u, prep: PrepState::One },
+        // X: +1·|+⟩ − ½·|0⟩ − ½·|1⟩, all weighted by the X outcome.
+        CutTerm { coeff: 1.0, basis: Pauli::X, outcome_weights: e, prep: PrepState::Plus },
+        CutTerm { coeff: -0.5, basis: Pauli::X, outcome_weights: e, prep: PrepState::Zero },
+        CutTerm { coeff: -0.5, basis: Pauli::X, outcome_weights: e, prep: PrepState::One },
+        // Y: +1·|i⟩ − ½·|0⟩ − ½·|1⟩.
+        CutTerm { coeff: 1.0, basis: Pauli::Y, outcome_weights: e, prep: PrepState::PlusI },
+        CutTerm { coeff: -0.5, basis: Pauli::Y, outcome_weights: e, prep: PrepState::Zero },
+        CutTerm { coeff: -0.5, basis: Pauli::Y, outcome_weights: e, prep: PrepState::One },
+        // Z.
+        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: e, prep: PrepState::Zero },
+        CutTerm { coeff: -0.5, basis: Pauli::Z, outcome_weights: e, prep: PrepState::One },
+    ]
+}
+
+/// The location of a single wire cut: on `qubit`, after instruction
+/// `position` of the circuit (0 = before the first instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutPoint {
+    /// The wire being cut.
+    pub qubit: usize,
+    /// Number of leading instructions that stay upstream.
+    pub position: usize,
+}
+
+/// One executable circuit of a cut ensemble.
+#[derive(Debug, Clone)]
+pub struct CutProgram {
+    /// The term this circuit realizes.
+    pub term: CutTerm,
+    /// The executable program on `n + 1` qubits.
+    pub program: Program,
+    /// The qubit carrying the upstream wire (measured in Z at the end;
+    /// the basis rotation is already in the program).
+    pub old_wire: usize,
+    /// The qubit carrying the downstream wire.
+    pub new_wire: usize,
+}
+
+/// Builds the executable ensemble for a single wire cut.
+///
+/// The upstream wire keeps its original index and is rotated into the
+/// measurement basis at the cut; downstream gates on the cut qubit are
+/// re-targeted to a fresh qubit (`n`), which is prepared in the term's
+/// state at the start.
+///
+/// # Panics
+///
+/// Panics if `cut.position > circ.len()` or `cut.qubit` is out of range.
+pub fn build_cut_programs(circ: &Circuit, cut: CutPoint, terms: &[CutTerm]) -> Vec<CutProgram> {
+    let n = circ.n_qubits();
+    assert!(cut.qubit < n, "cut qubit out of range");
+    assert!(cut.position <= circ.len(), "cut position out of range");
+    let new_wire = n;
+
+    terms
+        .iter()
+        .map(|term| {
+            let mut c = Circuit::new(n + 1);
+            // Prepare the downstream wire.
+            for i in basis::prepare(term.prep, new_wire) {
+                c.push_instruction(i);
+            }
+            // Upstream instructions unchanged.
+            for instr in &circ.instructions()[..cut.position] {
+                c.push(instr.gate.clone(), instr.qubits.clone());
+            }
+            // Rotate the upstream wire into the measurement basis.
+            for i in basis::measure_rotation(term.basis, cut.qubit) {
+                c.push_instruction(i);
+            }
+            // Downstream instructions, re-targeted.
+            for instr in &circ.instructions()[cut.position..] {
+                let qs = instr
+                    .qubits
+                    .iter()
+                    .map(|&q| if q == cut.qubit { new_wire } else { q })
+                    .collect();
+                c.push(instr.gate.clone(), qs);
+            }
+            CutProgram {
+                term: term.clone(),
+                program: Program::from_circuit(&c),
+                old_wire: cut.qubit,
+                new_wire,
+            }
+        })
+        .collect()
+}
+
+/// Recombines ensemble results into the downstream quasi-distribution.
+///
+/// Each entry pairs a [`CutTerm`] with the joint outcome distribution where
+/// **bit 0 is the upstream (old-wire) measurement** and the remaining bits
+/// are the downstream outcomes of interest. Returns the (possibly signed)
+/// recombined vector over the downstream outcomes; callers typically clamp
+/// and normalize via [`to_probabilities`].
+pub fn recombine(results: &[(CutTerm, Vec<f64>)]) -> Vec<f64> {
+    assert!(!results.is_empty());
+    let joint_len = results[0].1.len();
+    assert!(joint_len >= 2 && joint_len.is_power_of_two());
+    let out_len = joint_len / 2;
+    let mut out = vec![0.0; out_len];
+    for (term, joint) in results {
+        assert_eq!(joint.len(), joint_len, "inconsistent result sizes");
+        for (idx, &p) in joint.iter().enumerate() {
+            let m = idx & 1;
+            let rest = idx >> 1;
+            out[rest] += term.coeff * term.outcome_weights[m] * p;
+        }
+    }
+    out
+}
+
+/// Clamps negatives to zero and normalizes (standard quasi-probability
+/// post-processing).
+pub fn to_probabilities(quasi: &[f64]) -> Vec<f64> {
+    let clamped: Vec<f64> = quasi.iter().map(|&p| p.max(0.0)).collect();
+    let total: f64 = clamped.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / clamped.len() as f64; clamped.len()];
+    }
+    clamped.iter().map(|&p| p / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_math::states::{decompose_qubit_operator, recompose_qubit_operator};
+    use qt_math::{Complex, Matrix};
+    use qt_sim::{ideal_distribution, Executor, NoiseModel};
+
+    /// Verifies Eq. (1): the cut terms reconstruct an arbitrary single-qubit
+    /// state algebraically.
+    fn check_terms_reconstruct(terms: &[CutTerm]) {
+        // ρ arbitrary (from Bloch vector inside the ball).
+        let rho = qt_math::states::density_from_bloch([0.3, -0.5, 0.4]);
+        let mut recon = Matrix::zeros(2, 2);
+        for t in terms {
+            // Classical weight: Σ_m w[m] ⟨v_m|ρ|v_m⟩ over basis eigenvectors.
+            let eig = t.basis.eigenbasis();
+            let mut weight = 0.0;
+            for (m, (_, v)) in eig.iter().enumerate() {
+                let mut amp = Complex::ZERO;
+                for r in 0..2 {
+                    for c in 0..2 {
+                        amp += v[r].conj() * rho[(r, c)] * v[c];
+                    }
+                }
+                weight += t.outcome_weights[m] * amp.re;
+            }
+            recon = recon.add(&t.prep.projector().scale(Complex::real(t.coeff * weight)));
+        }
+        assert!(
+            recon.approx_eq(&rho, 1e-10),
+            "terms do not reconstruct the state"
+        );
+    }
+
+    #[test]
+    fn full_terms_reconstruct_arbitrary_state() {
+        check_terms_reconstruct(&full_cut_terms());
+    }
+
+    #[test]
+    fn reduced_terms_reconstruct_arbitrary_state() {
+        check_terms_reconstruct(&reduced_cut_terms());
+    }
+
+    #[test]
+    fn reduced_terms_use_only_four_preps() {
+        for t in reduced_cut_terms() {
+            assert!(PrepState::REDUCED.contains(&t.prep));
+        }
+    }
+
+    #[test]
+    fn cut_reconstructs_entangled_circuit() {
+        // H(0); CX(0,1); cut qubit 0 after the CX; then Ry(0); CX(0,1).
+        // Compare the reconstructed joint distribution with direct sim.
+        let mut circ = Circuit::new(2);
+        circ.h(0).cx(0, 1).ry(0, 0.9).cx(0, 1);
+        let cut = CutPoint { qubit: 0, position: 2 };
+        for terms in [full_cut_terms(), reduced_cut_terms()] {
+            let programs = build_cut_programs(&circ, cut, &terms);
+            let mut results = Vec::new();
+            for cp in &programs {
+                // Joint dist: bit0 = old wire, then downstream (new wire, q1).
+                let dist = ideal_distribution(&cp.program, &[cp.old_wire, cp.new_wire, 1]);
+                results.push((cp.term.clone(), dist));
+            }
+            let quasi = recombine(&results);
+            let direct = ideal_distribution(&qt_sim::Program::from_circuit(&circ), &[0, 1]);
+            for (a, b) in quasi.iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-9, "cut reconstruction {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_reconstructs_under_downstream_noise() {
+        // The identity holds channel-wise: cut + noisy downstream equals the
+        // uncut circuit with the same noisy downstream. Make the upstream
+        // noiseless-equivalent by cutting right after a gate and using Z
+        // basis terms identical... here we simply compare against the same
+        // ensemble executed with the noiseless engine for the upstream part
+        // by using a pure upstream (only the downstream is noisy in both).
+        let mut circ = Circuit::new(2);
+        circ.h(0).cx(0, 1).ry(0, 0.5).cz(0, 1);
+        let cut = CutPoint { qubit: 0, position: 2 };
+        let noise = NoiseModel::depolarizing(0.05, 0.1);
+        let exec = Executor::new(noise);
+        let programs = build_cut_programs(&circ, cut, &reduced_cut_terms());
+        let mut results = Vec::new();
+        for cp in &programs {
+            let dist = exec.raw_distribution(&cp.program, &[cp.old_wire, cp.new_wire, 1]);
+            results.push((cp.term.clone(), dist));
+        }
+        let quasi = recombine(&results);
+        let direct = exec.raw_distribution(&qt_sim::Program::from_circuit(&circ), &[0, 1]);
+        // The ensemble circuits carry extra noisy 1q gates (preparation and
+        // basis rotation), so equality is approximate.
+        for (a, b) in quasi.iter().zip(&direct) {
+            assert!((a - b).abs() < 0.05, "noisy cut {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn prep_decomposition_matches_cut_reduction() {
+        // decompose/recompose in qt-math is the same reduction rule.
+        let rho = PrepState::MinusI.projector();
+        let coeffs = decompose_qubit_operator(&rho);
+        assert!(recompose_qubit_operator(&coeffs).approx_eq(&rho, 1e-12));
+    }
+
+    #[test]
+    fn to_probabilities_handles_negatives() {
+        let q = vec![0.6, -0.1, 0.5];
+        let p = to_probabilities(&q);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p[1], 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Noise-aware initial layout (the paper's *qubit remapping*, after the
+//! noise-aware mapping of Nation & Treinish).
+//!
+//! Greedy placement: logical qubits are placed in decreasing order of
+//! interaction weight, each onto the free physical qubit that minimizes an
+//! error estimate (distance-weighted two-qubit error to already-placed
+//! partners plus single-qubit and readout error). Multiple seeded trials
+//! with different anchor qubits are scored and the best kept.
+
+use crate::calibration::Device;
+use qt_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Logical-pair interaction weights (2q gate counts) of a circuit.
+pub fn interaction_weights(circ: &Circuit) -> BTreeMap<(usize, usize), usize> {
+    let mut w = BTreeMap::new();
+    for instr in circ.instructions() {
+        if instr.qubits.len() >= 2 {
+            for i in 0..instr.qubits.len() {
+                for j in i + 1..instr.qubits.len() {
+                    let a = instr.qubits[i].min(instr.qubits[j]);
+                    let b = instr.qubits[i].max(instr.qubits[j]);
+                    *w.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    w
+}
+
+/// Estimated error of a candidate layout (lower is better): for every
+/// interacting logical pair, the coupling distance (extra swaps) times the
+/// device's median 2q error plus the endpoint errors; plus readout error on
+/// measured qubits.
+pub fn layout_cost(
+    device: &Device,
+    weights: &BTreeMap<(usize, usize), usize>,
+    measured: &[usize],
+    layout: &[usize],
+) -> f64 {
+    let median_q2: f64 = {
+        let mut v: Vec<f64> = device.q2_error.values().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let mut cost = 0.0;
+    for (&(a, b), &w) in weights {
+        let pa = layout[a];
+        let pb = layout[b];
+        let d = device.coupling.distances_from(pa)[pb];
+        let edge_err = if d == 1 {
+            device.edge_error(pa, pb)
+        } else {
+            // d−1 swaps (3 CX each) plus the gate itself, at median error.
+            median_q2 * (3.0 * (d.saturating_sub(1)) as f64 + 1.0)
+        };
+        cost += w as f64 * edge_err;
+        cost += w as f64 * (device.q1_error[pa] + device.q1_error[pb]);
+    }
+    for &m in measured {
+        cost += device.readout_error(layout[m]);
+    }
+    cost
+}
+
+/// Chooses a logical→physical layout for `circ` with `trials` seeded
+/// greedy attempts, returning the lowest-cost one.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the device has.
+pub fn choose_layout(
+    circ: &Circuit,
+    device: &Device,
+    measured: &[usize],
+    seed: u64,
+    trials: usize,
+) -> Vec<usize> {
+    let n = circ.n_qubits();
+    let np = device.n_qubits();
+    assert!(n <= np, "circuit needs {n} qubits, device has {np}");
+    let weights = interaction_weights(circ);
+
+    // Total interaction weight per logical qubit → placement order.
+    let mut totals = vec![0usize; n];
+    for (&(a, b), &w) in &weights {
+        totals[a] += w;
+        totals[b] += w;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&q| std::cmp::Reverse(totals[q]));
+
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let consider = |layout: Vec<usize>, best: &mut Option<(f64, Vec<usize>)>| {
+        let cost = layout_cost(device, &weights, measured, &layout);
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            *best = Some((cost, layout));
+        }
+    };
+    // Chain/ring interaction graphs (VQE linear entanglement, QAOA rings)
+    // get a dedicated path-embedding attempt: swap-free when the device
+    // admits a simple path of the right length; rings additionally ask for
+    // a nearby closure so routing stays cheap.
+    if let Some((chain, is_cycle)) = logical_chain(&weights, n) {
+        let closures: &[usize] = if is_cycle {
+            &[1, 2, 3, usize::MAX]
+        } else {
+            &[usize::MAX]
+        };
+        for &max_close in closures {
+            if let Some(layout) = embed_path(device, &chain, n, max_close) {
+                consider(layout, &mut best);
+                break;
+            }
+        }
+    }
+    for t in 0..trials.max(1) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+        let layout = greedy_layout(device, &weights, &order, n, &mut rng);
+        consider(layout, &mut best);
+    }
+    best.expect("at least one trial").1
+}
+
+/// If the interaction graph is a simple path or cycle, returns the logical
+/// qubits in walk order plus whether it was a cycle (broken at an arbitrary
+/// edge).
+fn logical_chain(
+    weights: &BTreeMap<(usize, usize), usize>,
+    n: usize,
+) -> Option<(Vec<usize>, bool)> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in weights.keys() {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    if adj.iter().any(|v| v.len() > 2) || weights.is_empty() {
+        return None;
+    }
+    // Start from an endpoint if any (path), else from 0 (cycle).
+    let endpoint = (0..n).find(|&q| adj[q].len() == 1);
+    let is_cycle = endpoint.is_none();
+    let start = endpoint.unwrap_or(0);
+    let mut order = vec![start];
+    let mut prev = usize::MAX;
+    let mut cur = start;
+    while order.len() < n {
+        let next = adj[cur].iter().copied().find(|&x| x != prev)?;
+        if next == start {
+            break; // closed the cycle early: disconnected chain
+        }
+        order.push(next);
+        prev = cur;
+        cur = next;
+    }
+    if order.len() == n {
+        Some((order, is_cycle))
+    } else {
+        None // disconnected interaction graph: fall back to greedy
+    }
+}
+
+/// Finds a simple path of `len` physical qubits minimizing accumulated edge
+/// error, by bounded DFS from the best starting qubits. For ring workloads
+/// `max_close` bounds the device distance between the path's endpoints.
+/// Returns the layout (logical `chain[i]` → i-th path vertex) or `None`.
+fn embed_path(
+    device: &Device,
+    chain: &[usize],
+    len: usize,
+    max_close: usize,
+) -> Option<Vec<usize>> {
+    let np = device.n_qubits();
+    let mut starts: Vec<usize> = (0..np).collect();
+    starts.sort_by(|&a, &b| {
+        device
+            .readout_error(a)
+            .partial_cmp(&device.readout_error(b))
+            .unwrap()
+    });
+    let mut budget = 200_000usize;
+    for &start in starts.iter().take(np) {
+        let dist_from_start = device.coupling.distances_from(start);
+        let mut path = vec![start];
+        let mut used = vec![false; np];
+        used[start] = true;
+        if dfs_path(device, &mut path, &mut used, len, max_close, &dist_from_start, &mut budget) {
+            let mut layout = vec![usize::MAX; chain.len()];
+            for (i, &logical) in chain.iter().enumerate() {
+                layout[logical] = path[i];
+            }
+            return Some(layout);
+        }
+        if budget == 0 {
+            break;
+        }
+    }
+    None
+}
+
+fn dfs_path(
+    device: &Device,
+    path: &mut Vec<usize>,
+    used: &mut [bool],
+    len: usize,
+    max_close: usize,
+    dist_from_start: &[usize],
+    budget: &mut usize,
+) -> bool {
+    let cur = *path.last().expect("path non-empty");
+    if path.len() == len {
+        return max_close == usize::MAX || dist_from_start[cur] <= max_close;
+    }
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    // Closure pruning: cannot wander further from the start than the
+    // remaining steps plus the allowed closing distance.
+    if max_close != usize::MAX {
+        let remaining = len - path.len();
+        if dist_from_start[cur] > remaining + max_close {
+            return false;
+        }
+    }
+    // Visit neighbors best-edge-first so the greedy completion is cheap.
+    let mut nbs: Vec<usize> = device
+        .coupling
+        .neighbors(cur)
+        .iter()
+        .copied()
+        .filter(|&q| !used[q])
+        .collect();
+    nbs.sort_by(|&a, &b| {
+        device
+            .edge_error(cur, a)
+            .partial_cmp(&device.edge_error(cur, b))
+            .unwrap()
+    });
+    for nb in nbs {
+        path.push(nb);
+        used[nb] = true;
+        if dfs_path(device, path, used, len, max_close, dist_from_start, budget) {
+            return true;
+        }
+        path.pop();
+        used[nb] = false;
+    }
+    false
+}
+
+fn greedy_layout(
+    device: &Device,
+    weights: &BTreeMap<(usize, usize), usize>,
+    order: &[usize],
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let np = device.n_qubits();
+    let mut layout = vec![usize::MAX; n];
+    let mut used = vec![false; np];
+
+    for (rank, &logical) in order.iter().enumerate() {
+        // Physical candidates: all free qubits; for the anchor pick among
+        // the best third by local quality, randomized by the trial seed.
+        let placed_partners: Vec<(usize, usize)> = weights
+            .iter()
+            .filter_map(|(&(a, b), &w)| {
+                if a == logical && layout[b] != usize::MAX {
+                    Some((layout[b], w))
+                } else if b == logical && layout[a] != usize::MAX {
+                    Some((layout[a], w))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut best_p = usize::MAX;
+        let mut best_cost = f64::INFINITY;
+        for p in 0..np {
+            if used[p] {
+                continue;
+            }
+            let mut cost = device.q1_error[p] * 4.0 + device.readout_error(p);
+            // Prefer qubits with good adjacent edges.
+            let mut best_edge = f64::INFINITY;
+            for &nb in device.coupling.neighbors(p) {
+                best_edge = best_edge.min(device.edge_error(p, nb));
+            }
+            cost += best_edge;
+            for &(pp, w) in &placed_partners {
+                let d = device.coupling.distances_from(p)[pp];
+                let e = if d == 1 {
+                    device.edge_error(p, pp)
+                } else {
+                    0.02 * d as f64 // distance penalty dominates
+                };
+                cost += w as f64 * e;
+            }
+            if rank == 0 {
+                // Randomize the anchor choice a little across trials.
+                cost += rng.random::<f64>() * 0.003;
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best_p = p;
+            }
+        }
+        layout[logical] = best_p;
+        used[best_p] = true;
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_algos::vqe_ansatz;
+
+    #[test]
+    fn layout_is_injective_and_in_range() {
+        let dev = Device::fake_hanoi();
+        let circ = vqe_ansatz(12, 2, 3);
+        let layout = choose_layout(&circ, &dev, &(0..12).collect::<Vec<_>>(), 1, 8);
+        assert_eq!(layout.len(), 12);
+        let mut seen = std::collections::BTreeSet::new();
+        for &p in &layout {
+            assert!(p < dev.n_qubits());
+            assert!(seen.insert(p), "duplicate physical qubit {p}");
+        }
+    }
+
+    #[test]
+    fn chain_circuit_lands_on_mostly_adjacent_qubits() {
+        // A 12-qubit linear-entanglement ansatz should map with few
+        // non-adjacent interacting pairs on the 27q heavy-hex device.
+        let dev = Device::fake_hanoi();
+        let circ = vqe_ansatz(12, 1, 3);
+        let layout = choose_layout(&circ, &dev, &(0..12).collect::<Vec<_>>(), 1, 16);
+        let weights = interaction_weights(&circ);
+        let nonadjacent = weights
+            .keys()
+            .filter(|&&(a, b)| !dev.coupling.are_coupled(layout[a], layout[b]))
+            .count();
+        assert!(
+            nonadjacent <= 3,
+            "{nonadjacent} of {} pairs non-adjacent",
+            weights.len()
+        );
+    }
+
+    #[test]
+    fn more_trials_never_worse() {
+        let dev = Device::fake_kyoto();
+        let circ = vqe_ansatz(10, 2, 5);
+        let measured: Vec<usize> = (0..10).collect();
+        let w = interaction_weights(&circ);
+        let l1 = choose_layout(&circ, &dev, &measured, 7, 1);
+        let l16 = choose_layout(&circ, &dev, &measured, 7, 16);
+        assert!(
+            layout_cost(&dev, &w, &measured, &l16)
+                <= layout_cost(&dev, &w, &measured, &l1) + 1e-12
+        );
+    }
+}

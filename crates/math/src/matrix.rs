@@ -1,0 +1,555 @@
+//! Dense, row-major complex matrices sized for few-qubit operators.
+//!
+//! Dimensions in this workspace are tiny (2×2 up to 16×16 for gates and
+//! subset density matrices, and up to `2^n × 2^n` for exact density-matrix
+//! simulation of small registers), so a simple contiguous `Vec<Complex>` with
+//! naive `O(n³)` multiplication is the right tool.
+
+use crate::complex::Complex;
+use std::fmt;
+
+/// A dense, row-major complex matrix.
+///
+/// # Example
+///
+/// ```
+/// use qt_math::{Complex, Matrix};
+/// let h = Matrix::hadamard();
+/// let hh = h.mul(&h);
+/// assert!(hh.approx_eq(&Matrix::identity(2), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Convenience constructor for a 2×2 matrix from row-major entries.
+    pub fn mat2(a: Complex, b: Complex, c: Complex, d: Complex) -> Self {
+        Matrix::from_rows(2, 2, vec![a, b, c, d])
+    }
+
+    /// The 2×2 Hadamard matrix.
+    pub fn hadamard() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Matrix::mat2(
+            Complex::real(s),
+            Complex::real(s),
+            Complex::real(s),
+            Complex::real(-s),
+        )
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product dimension mismatch: {}x{} times {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
+        let mut out = vec![Complex::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Sum `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix::from_rows(self.rows, self.cols, data)
+    }
+
+    /// Difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Matrix::from_rows(self.rows, self.cols, data)
+    }
+
+    /// Scalar multiple `c · self`.
+    pub fn scale(&self, c: Complex) -> Matrix {
+        let data = self.data.iter().map(|&a| a * c).collect();
+        Matrix::from_rows(self.rows, self.cols, data)
+    }
+
+    /// Conjugate transpose `self†`.
+    pub fn dagger(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Trace `tr(self)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every entry is within `tol` of `rhs`'s.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        if (self.rows, self.cols) != (rhs.rows, rhs.cols) {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .all(|(&a, &b)| a.approx_eq(b, tol))
+    }
+
+    /// Whether the matrix equals `rhs` up to a global phase, within `tol`.
+    ///
+    /// Useful for comparing unitaries where a global phase is unobservable.
+    pub fn approx_eq_up_to_phase(&self, rhs: &Matrix, tol: f64) -> bool {
+        if (self.rows, self.cols) != (rhs.rows, rhs.cols) {
+            return false;
+        }
+        // Find the largest entry of rhs to fix the phase against.
+        let mut best = 0usize;
+        let mut best_norm = 0.0;
+        for (i, &b) in rhs.data.iter().enumerate() {
+            if b.norm_sqr() > best_norm {
+                best_norm = b.norm_sqr();
+                best = i;
+            }
+        }
+        if best_norm < tol * tol {
+            return self.approx_eq(rhs, tol);
+        }
+        let phase = self.data[best] / rhs.data[best];
+        if (phase.norm() - 1.0).abs() > tol {
+            return false;
+        }
+        self.approx_eq(&rhs.scale(phase), tol)
+    }
+
+    /// Whether `self† · self = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        self.dagger()
+            .mul(self)
+            .approx_eq(&Matrix::identity(self.rows), tol)
+    }
+
+    /// Whether `self = self†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.dagger(), tol)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// `tr(self · rhs)` computed without forming the product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible with a square product.
+    pub fn trace_product(&self, rhs: &Matrix) -> Complex {
+        assert_eq!(self.cols, rhs.rows);
+        assert_eq!(self.rows, rhs.cols);
+        let mut acc = Complex::ZERO;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                acc += self[(i, k)] * rhs[(k, i)];
+            }
+        }
+        acc
+    }
+
+    /// Conjugation `U · self · U†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible.
+    pub fn conjugate_by(&self, u: &Matrix) -> Matrix {
+        u.mul(self).mul(&u.dagger())
+    }
+
+    /// Eigendecomposition of a Hermitian matrix by the complex Jacobi
+    /// method: returns `(eigenvalues, V)` with eigenvector `i` in column `i`
+    /// of `V`, so that `self = V · diag(λ) · V†`.
+    ///
+    /// Intended for the small (2×2 … 16×16) matrices of this workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not (numerically) Hermitian.
+    pub fn hermitian_eigen(&self) -> (Vec<f64>, Matrix) {
+        assert!(self.is_hermitian(1e-8), "matrix is not Hermitian");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut v = Matrix::identity(n);
+        for _sweep in 0..100 {
+            // Largest off-diagonal element.
+            let mut best = (0usize, 0usize, 0.0f64);
+            for p in 0..n {
+                for q in p + 1..n {
+                    let m = a[(p, q)].norm();
+                    if m > best.2 {
+                        best = (p, q, m);
+                    }
+                }
+            }
+            let (p, q, off) = best;
+            if off < 1e-13 {
+                break;
+            }
+            // Zero a[p][q] with a complex Givens rotation.
+            let apq = a[(p, q)];
+            let phi = apq.arg();
+            let alpha = a[(p, p)].re;
+            let beta = a[(q, q)].re;
+            let r = apq.norm();
+            let theta = 0.5 * (2.0 * r).atan2(alpha - beta);
+            let c = theta.cos();
+            let s = theta.sin();
+            let e_pos = Complex::from_phase(phi);
+            let e_neg = e_pos.conj();
+            // J differs from identity in the (p, q) block:
+            // J[p][p]=c, J[p][q]=−s·e^{iφ}, J[q][p]=s·e^{−iφ}, J[q][q]=c.
+            // Apply A ← J† A J and V ← V J by updating rows/cols p, q.
+            for k in 0..n {
+                let akp = a[(k, p)];
+                let akq = a[(k, q)];
+                a[(k, p)] = akp.scale(c) + akq * e_neg.scale(s);
+                a[(k, q)] = -akp * e_pos.scale(s) + akq.scale(c);
+            }
+            for k in 0..n {
+                let apk = a[(p, k)];
+                let aqk = a[(q, k)];
+                a[(p, k)] = apk.scale(c) + aqk * e_pos.scale(s);
+                a[(q, k)] = -apk * e_neg.scale(s) + aqk.scale(c);
+            }
+            for k in 0..n {
+                let vkp = v[(k, p)];
+                let vkq = v[(k, q)];
+                v[(k, p)] = vkp.scale(c) + vkq * e_neg.scale(s);
+                v[(k, q)] = -vkp * e_pos.scale(s) + vkq.scale(c);
+            }
+        }
+        let eigenvalues = (0..n).map(|i| a[(i, i)].re).collect();
+        (eigenvalues, v)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>24}", self[(i, j)].to_string())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pauli;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let x = pauli::x2();
+        assert!(x.mul(&Matrix::identity(2)).approx_eq(&x, 1e-15));
+        assert!(Matrix::identity(2).mul(&x).approx_eq(&x, 1e-15));
+    }
+
+    #[test]
+    fn hadamard_is_involution() {
+        let h = Matrix::hadamard();
+        assert!(h.mul(&h).approx_eq(&Matrix::identity(2), 1e-12));
+        assert!(h.is_unitary(1e-12));
+        assert!(h.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = Matrix::identity(2);
+        let b = pauli::x2();
+        let ab = a.kron(&b);
+        assert_eq!(ab.rows(), 4);
+        // I ⊗ X swaps within each block.
+        assert_eq!(ab[(0, 1)], Complex::ONE);
+        assert_eq!(ab[(2, 3)], Complex::ONE);
+        assert_eq!(ab[(0, 0)], Complex::ZERO);
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = pauli::x2().mul(&Matrix::hadamard());
+        let lhs = a.dagger();
+        let rhs = Matrix::hadamard().dagger().mul(&pauli::x2().dagger());
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn trace_product_matches_explicit_product() {
+        let a = Matrix::hadamard();
+        let b = pauli::y2();
+        let direct = a.mul(&b).trace();
+        assert!(a.trace_product(&b).approx_eq(direct, 1e-12));
+    }
+
+    #[test]
+    fn up_to_phase_comparison() {
+        let x = pauli::x2();
+        let ix = x.scale(Complex::I);
+        assert!(x.approx_eq_up_to_phase(&ix, 1e-12));
+        assert!(!x.approx_eq(&ix, 1e-12));
+        assert!(!x.approx_eq_up_to_phase(&pauli::z2(), 1e-12));
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_mul() {
+        let h = Matrix::hadamard();
+        let v = vec![Complex::ONE, Complex::ZERO];
+        let got = h.mul_vec(&v);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(got[0].approx_eq(Complex::real(s), 1e-12));
+        assert!(got[1].approx_eq(Complex::real(s), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_panics_on_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    fn eigen_of_paulis() {
+        for p in [pauli::x2(), pauli::y2(), pauli::z2()] {
+            let (vals, v) = p.hermitian_eigen();
+            let mut sorted = vals.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert!((sorted[0] + 1.0).abs() < 1e-10);
+            assert!((sorted[1] - 1.0).abs() < 1e-10);
+            assert!(v.is_unitary(1e-9));
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_hermitian_matrix() {
+        // A Hermitian 4×4 with complex off-diagonals.
+        let mut h = Matrix::zeros(4, 4);
+        let entries = [
+            (0, 0, Complex::real(0.7)),
+            (1, 1, Complex::real(-0.2)),
+            (2, 2, Complex::real(0.1)),
+            (3, 3, Complex::real(0.9)),
+            (0, 1, Complex::new(0.3, 0.4)),
+            (0, 3, Complex::new(-0.1, 0.2)),
+            (1, 2, Complex::new(0.05, -0.3)),
+            (2, 3, Complex::new(0.2, 0.1)),
+        ];
+        for (i, j, z) in entries {
+            h[(i, j)] = z;
+            if i != j {
+                h[(j, i)] = z.conj();
+            }
+        }
+        let (vals, v) = h.hermitian_eigen();
+        let mut d = Matrix::zeros(4, 4);
+        for (i, &l) in vals.iter().enumerate() {
+            d[(i, i)] = Complex::real(l);
+        }
+        let recon = v.mul(&d).mul(&v.dagger());
+        assert!(recon.approx_eq(&h, 1e-9), "eigendecomposition failed");
+        assert!(v.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn eigen_of_pure_state_projector() {
+        // |++⟩⟨++| has eigenvalues {1, 0, 0, 0}.
+        let plus = Matrix::mat2(
+            Complex::real(0.5),
+            Complex::real(0.5),
+            Complex::real(0.5),
+            Complex::real(0.5),
+        );
+        let p2 = plus.kron(&plus);
+        let (vals, _) = p2.hermitian_eigen();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!((sorted[0] - 1.0).abs() < 1e-9);
+        for &v in &sorted[1..] {
+            assert!(v.abs() < 1e-9, "spurious eigenvalue {v}");
+        }
+    }
+}

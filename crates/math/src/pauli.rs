@@ -1,0 +1,388 @@
+//! Pauli operators, Pauli strings and their algebra.
+//!
+//! Pauli checks (`C_L`, `C_R`) and cut-decomposition bases are all Pauli
+//! operators, so the QSPC machinery is expressed in terms of the types here.
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X (bit flip).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z (phase flip).
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis in canonical order `I, X, Y, Z`.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The 2×2 matrix of this Pauli.
+    pub fn matrix(self) -> Matrix {
+        match self {
+            Pauli::I => Matrix::identity(2),
+            Pauli::X => x2(),
+            Pauli::Y => y2(),
+            Pauli::Z => z2(),
+        }
+    }
+
+    /// Product `self · other = phase · pauli`.
+    ///
+    /// Returns the resulting Pauli together with the phase in `{±1, ±i}`.
+    pub fn mul(self, other: Pauli) -> (Complex, Pauli) {
+        use Pauli::*;
+        match (self, other) {
+            (I, p) | (p, I) => (Complex::ONE, p),
+            (X, X) | (Y, Y) | (Z, Z) => (Complex::ONE, I),
+            (X, Y) => (Complex::I, Z),
+            (Y, X) => (-Complex::I, Z),
+            (Y, Z) => (Complex::I, X),
+            (Z, Y) => (-Complex::I, X),
+            (Z, X) => (Complex::I, Y),
+            (X, Z) => (-Complex::I, Y),
+        }
+    }
+
+    /// Whether this Pauli commutes with `other`.
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+
+    /// Eigenvalues and eigenvectors: returns `[(+1, v+), (-1, v-)]`.
+    ///
+    /// For `I` both "eigenvalues" are `+1` (the computational basis is used).
+    pub fn eigenbasis(self) -> [(f64, [Complex; 2]); 2] {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        match self {
+            Pauli::I => [
+                (1.0, [Complex::ONE, Complex::ZERO]),
+                (1.0, [Complex::ZERO, Complex::ONE]),
+            ],
+            Pauli::Z => [
+                (1.0, [Complex::ONE, Complex::ZERO]),
+                (-1.0, [Complex::ZERO, Complex::ONE]),
+            ],
+            Pauli::X => [
+                (1.0, [Complex::real(s), Complex::real(s)]),
+                (-1.0, [Complex::real(s), Complex::real(-s)]),
+            ],
+            Pauli::Y => [
+                (1.0, [Complex::real(s), Complex::imag(s)]),
+                (-1.0, [Complex::real(s), Complex::imag(-s)]),
+            ],
+        }
+    }
+
+    /// One-letter label (`I`, `X`, `Y`, `Z`).
+    pub fn label(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The 2×2 Pauli-X matrix.
+pub fn x2() -> Matrix {
+    Matrix::mat2(Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO)
+}
+
+/// The 2×2 Pauli-Y matrix.
+pub fn y2() -> Matrix {
+    Matrix::mat2(Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO)
+}
+
+/// The 2×2 Pauli-Z matrix.
+pub fn z2() -> Matrix {
+    Matrix::mat2(Complex::ONE, Complex::ZERO, Complex::ZERO, -Complex::ONE)
+}
+
+/// A Pauli string: a Pauli operator on each of `n` qubits with a phase.
+///
+/// Qubit 0 is the least-significant position. The string `Z_j` (Z on qubit
+/// `j`, identity elsewhere) is the check operator used throughout QuTracer.
+///
+/// # Example
+///
+/// ```
+/// use qt_math::{Pauli, PauliString};
+/// let zj = PauliString::single(3, 1, Pauli::Z);
+/// assert_eq!(zj.to_string(), "+IZI");
+/// assert_eq!(zj.weight(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauliString {
+    phase: Complex,
+    paulis: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            phase: Complex::ONE,
+            paulis: vec![Pauli::I; n],
+        }
+    }
+
+    /// A string with `p` on qubit `q` and identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub fn single(n: usize, q: usize, p: Pauli) -> Self {
+        assert!(q < n, "qubit index {q} out of range for {n} qubits");
+        let mut s = PauliString::identity(n);
+        s.paulis[q] = p;
+        s
+    }
+
+    /// Builds a string from per-qubit Paulis (qubit 0 first).
+    pub fn from_paulis(paulis: Vec<Pauli>) -> Self {
+        PauliString {
+            phase: Complex::ONE,
+            paulis,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// Whether the string is on zero qubits.
+    pub fn is_empty(&self) -> bool {
+        self.paulis.is_empty()
+    }
+
+    /// The scalar phase in front of the tensor product.
+    pub fn phase(&self) -> Complex {
+        self.phase
+    }
+
+    /// The Pauli on qubit `q`.
+    pub fn pauli(&self, q: usize) -> Pauli {
+        self.paulis[q]
+    }
+
+    /// Per-qubit Paulis, qubit 0 first.
+    pub fn paulis(&self) -> &[Pauli] {
+        &self.paulis
+    }
+
+    /// Returns a copy scaled by `c`.
+    pub fn with_phase(&self, c: Complex) -> Self {
+        PauliString {
+            phase: self.phase * c,
+            paulis: self.paulis.clone(),
+        }
+    }
+
+    /// Number of non-identity positions.
+    pub fn weight(&self) -> usize {
+        self.paulis.iter().filter(|&&p| p != Pauli::I).count()
+    }
+
+    /// Indices of non-identity positions.
+    pub fn support(&self) -> Vec<usize> {
+        self.paulis
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p != Pauli::I)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Product of two strings (with phase tracking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree.
+    pub fn mul(&self, rhs: &PauliString) -> PauliString {
+        assert_eq!(self.len(), rhs.len(), "pauli string length mismatch");
+        let mut phase = self.phase * rhs.phase;
+        let paulis = self
+            .paulis
+            .iter()
+            .zip(&rhs.paulis)
+            .map(|(&a, &b)| {
+                let (ph, p) = a.mul(b);
+                phase *= ph;
+                p
+            })
+            .collect();
+        PauliString { phase, paulis }
+    }
+
+    /// Whether the two strings commute as operators.
+    pub fn commutes_with(&self, rhs: &PauliString) -> bool {
+        assert_eq!(self.len(), rhs.len(), "pauli string length mismatch");
+        let anti = self
+            .paulis
+            .iter()
+            .zip(&rhs.paulis)
+            .filter(|(&a, &b)| !a.commutes_with(b))
+            .count();
+        anti % 2 == 0
+    }
+
+    /// Hermitian conjugate.
+    pub fn dagger(&self) -> PauliString {
+        PauliString {
+            phase: self.phase.conj(),
+            paulis: self.paulis.clone(),
+        }
+    }
+
+    /// The full `2^n × 2^n` matrix (including phase). Only for small `n`.
+    ///
+    /// Qubit 0 is the least-significant bit of the basis-state index.
+    pub fn matrix(&self) -> Matrix {
+        let mut m = Matrix::identity(1);
+        // Most-significant qubit first in the Kronecker product so that
+        // qubit 0 is the least-significant index bit.
+        for &p in self.paulis.iter().rev() {
+            m = m.kron(&p.matrix());
+        }
+        m.scale(self.phase)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.phase.approx_eq(Complex::ONE, 1e-12) {
+            "+".to_string()
+        } else if self.phase.approx_eq(-Complex::ONE, 1e-12) {
+            "-".to_string()
+        } else if self.phase.approx_eq(Complex::I, 1e-12) {
+            "+i".to_string()
+        } else if self.phase.approx_eq(-Complex::I, 1e-12) {
+            "-i".to_string()
+        } else {
+            format!("({})", self.phase)
+        };
+        // Most-significant qubit printed first, Qiskit-style.
+        let body: String = self.paulis.iter().rev().map(|p| p.label()).collect();
+        write!(f, "{sign}{body}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_products_have_correct_phases() {
+        // XY = iZ
+        let (ph, p) = Pauli::X.mul(Pauli::Y);
+        assert_eq!(p, Pauli::Z);
+        assert!(ph.approx_eq(Complex::I, 1e-15));
+        // ZX = iY
+        let (ph, p) = Pauli::Z.mul(Pauli::X);
+        assert_eq!(p, Pauli::Y);
+        assert!(ph.approx_eq(Complex::I, 1e-15));
+        // XZ = -iY
+        let (ph, p) = Pauli::X.mul(Pauli::Z);
+        assert_eq!(p, Pauli::Y);
+        assert!(ph.approx_eq(-Complex::I, 1e-15));
+    }
+
+    #[test]
+    fn pauli_matrices_match_symbolic_products() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (ph, p) = a.mul(b);
+                let direct = a.matrix().mul(&b.matrix());
+                let symbolic = p.matrix().scale(ph);
+                assert!(
+                    direct.approx_eq(&symbolic, 1e-12),
+                    "mismatch for {a}·{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commutation_matches_matrices() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let ab = a.matrix().mul(&b.matrix());
+                let ba = b.matrix().mul(&a.matrix());
+                let commute = ab.approx_eq(&ba, 1e-12);
+                assert_eq!(commute, a.commutes_with(b), "commutation of {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenbasis_satisfies_eigen_equation() {
+        for p in [Pauli::X, Pauli::Y, Pauli::Z] {
+            let m = p.matrix();
+            for (val, vec) in p.eigenbasis() {
+                let mv = m.mul_vec(&vec);
+                for (a, b) in mv.iter().zip(vec.iter()) {
+                    assert!(
+                        a.approx_eq(b.scale(val), 1e-12),
+                        "eigen equation failed for {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn string_product_and_commutation() {
+        let zi = PauliString::single(2, 1, Pauli::Z);
+        let iz = PauliString::single(2, 0, Pauli::Z);
+        let xz = PauliString::from_paulis(vec![Pauli::Z, Pauli::X]);
+        assert!(zi.commutes_with(&iz));
+        assert!(!zi.mul(&xz).commutes_with(&xz) || zi.commutes_with(&xz) == false);
+        // Z on qubit 1 anti-commutes with X on qubit 1.
+        let x1 = PauliString::single(2, 1, Pauli::X);
+        assert!(!zi.commutes_with(&x1));
+    }
+
+    #[test]
+    fn string_matrix_matches_kron() {
+        // IZ (Z on qubit 0 of 2) should be diag(1,-1,1,-1).
+        let s = PauliString::single(2, 0, Pauli::Z);
+        let m = s.matrix();
+        assert!(m[(0, 0)].approx_eq(Complex::ONE, 1e-15));
+        assert!(m[(1, 1)].approx_eq(-Complex::ONE, 1e-15));
+        assert!(m[(2, 2)].approx_eq(Complex::ONE, 1e-15));
+        assert!(m[(3, 3)].approx_eq(-Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let s = PauliString::single(3, 0, Pauli::X);
+        assert_eq!(s.to_string(), "+IIX");
+        let t = PauliString::single(3, 2, Pauli::Y).with_phase(-Complex::ONE);
+        assert_eq!(t.to_string(), "-YII");
+    }
+
+    #[test]
+    fn string_mul_tracks_phase() {
+        let z = PauliString::single(1, 0, Pauli::Z);
+        let x = PauliString::single(1, 0, Pauli::X);
+        let zx = z.mul(&x);
+        assert_eq!(zx.pauli(0), Pauli::Y);
+        assert!(zx.phase().approx_eq(Complex::I, 1e-15));
+    }
+}

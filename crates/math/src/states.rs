@@ -1,0 +1,356 @@
+//! Single-qubit preparation states and the projector-basis decompositions
+//! used by wire cutting and QSPC.
+//!
+//! The cut protocol prepares eigenstates of the Pauli operators:
+//! `|0⟩, |1⟩, |+⟩, |−⟩, |i⟩, |−i⟩`. QuTracer's *state preparation reduction*
+//! observes that any 2×2 operator can be expanded over just four rank-1
+//! projectors `{|0⟩⟨0|, |1⟩⟨1|, |+⟩⟨+|, |i⟩⟨i|}`, eliminating the `|−⟩` and
+//! `|−i⟩` preparations; [`decompose_qubit_operator`] implements exactly that
+//! expansion (with complex coefficients, since QSPC feeds it non-Hermitian
+//! operators such as `Z·ρ`).
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+
+/// One of the six single-qubit Pauli eigenstates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrepState {
+    /// `|0⟩`, the +1 eigenstate of Z.
+    Zero,
+    /// `|1⟩`, the −1 eigenstate of Z.
+    One,
+    /// `|+⟩`, the +1 eigenstate of X.
+    Plus,
+    /// `|−⟩`, the −1 eigenstate of X.
+    Minus,
+    /// `|i⟩`, the +1 eigenstate of Y.
+    PlusI,
+    /// `|−i⟩`, the −1 eigenstate of Y.
+    MinusI,
+}
+
+impl PrepState {
+    /// The four states retained after state preparation reduction.
+    pub const REDUCED: [PrepState; 4] = [
+        PrepState::Zero,
+        PrepState::One,
+        PrepState::Plus,
+        PrepState::PlusI,
+    ];
+
+    /// All six Pauli eigenstates.
+    pub const ALL: [PrepState; 6] = [
+        PrepState::Zero,
+        PrepState::One,
+        PrepState::Plus,
+        PrepState::Minus,
+        PrepState::PlusI,
+        PrepState::MinusI,
+    ];
+
+    /// The state vector `(⟨0|ψ⟩, ⟨1|ψ⟩)`.
+    pub fn ket(self) -> [Complex; 2] {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        match self {
+            PrepState::Zero => [Complex::ONE, Complex::ZERO],
+            PrepState::One => [Complex::ZERO, Complex::ONE],
+            PrepState::Plus => [Complex::real(s), Complex::real(s)],
+            PrepState::Minus => [Complex::real(s), Complex::real(-s)],
+            PrepState::PlusI => [Complex::real(s), Complex::imag(s)],
+            PrepState::MinusI => [Complex::real(s), Complex::imag(-s)],
+        }
+    }
+
+    /// The rank-1 density matrix `|ψ⟩⟨ψ|`.
+    pub fn projector(self) -> Matrix {
+        let k = self.ket();
+        Matrix::mat2(
+            k[0] * k[0].conj(),
+            k[0] * k[1].conj(),
+            k[1] * k[0].conj(),
+            k[1] * k[1].conj(),
+        )
+    }
+
+    /// A short label, e.g. `"+i"` for `|i⟩`.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrepState::Zero => "0",
+            PrepState::One => "1",
+            PrepState::Plus => "+",
+            PrepState::Minus => "-",
+            PrepState::PlusI => "+i",
+            PrepState::MinusI => "-i",
+        }
+    }
+}
+
+impl std::fmt::Display for PrepState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "|{}⟩", self.label())
+    }
+}
+
+/// Decomposes an arbitrary 2×2 operator `σ` over the reduced projector basis:
+///
+/// `σ = c₀·|0⟩⟨0| + c₁·|1⟩⟨1| + c₊·|+⟩⟨+| + cᵢ·|i⟩⟨i|`
+///
+/// with complex coefficients `cₛ`. Writing `σ = aI + bX + cY + dZ`
+/// (with complex `a..d`), the unique solution is
+/// `c₀ = a − b − c + d`, `c₁ = a − b − c − d`, `c₊ = 2b`, `cᵢ = 2c`.
+///
+/// Returns coefficients in the order of [`PrepState::REDUCED`].
+///
+/// # Panics
+///
+/// Panics if `sigma` is not 2×2.
+pub fn decompose_qubit_operator(sigma: &Matrix) -> [Complex; 4] {
+    assert_eq!(sigma.rows(), 2, "expected a 2x2 operator");
+    assert_eq!(sigma.cols(), 2, "expected a 2x2 operator");
+    let half = Complex::real(0.5);
+    // σ = aI + bX + cY + dZ, coefficients via tr(P σ)/2.
+    let a = (sigma[(0, 0)] + sigma[(1, 1)]) * half;
+    let b = (sigma[(0, 1)] + sigma[(1, 0)]) * half;
+    let c = (sigma[(0, 1)] - sigma[(1, 0)]) * half * Complex::I;
+    let d = (sigma[(0, 0)] - sigma[(1, 1)]) * half;
+    [a - b - c + d, a - b - c - d, b * 2.0, c * 2.0]
+}
+
+/// Decomposes an arbitrary 2×2 operator over **all six** Pauli-eigenstate
+/// projectors (no state preparation reduction):
+///
+/// `σ = (a+d)·P₀ + (a−d)·P₁ + b·P₊ − b·P₋ + c·Pᵢ − c·P₋ᵢ`
+///
+/// for `σ = aI + bX + cY + dZ`. This is the costlier expansion used by the
+/// SQEM baseline's full reconstruction. Coefficients are ordered as
+/// [`PrepState::ALL`].
+pub fn decompose_qubit_operator_full(sigma: &Matrix) -> [Complex; 6] {
+    assert_eq!(sigma.rows(), 2, "expected a 2x2 operator");
+    assert_eq!(sigma.cols(), 2, "expected a 2x2 operator");
+    let half = Complex::real(0.5);
+    let a = (sigma[(0, 0)] + sigma[(1, 1)]) * half;
+    let b = (sigma[(0, 1)] + sigma[(1, 0)]) * half;
+    let c = (sigma[(0, 1)] - sigma[(1, 0)]) * half * Complex::I;
+    let d = (sigma[(0, 0)] - sigma[(1, 1)]) * half;
+    [a + d, a - d, b, -b, c, -c]
+}
+
+/// Reconstructs the 2×2 operator from full-basis coefficients
+/// (inverse of [`decompose_qubit_operator_full`]).
+pub fn recompose_qubit_operator_full(coeffs: &[Complex; 6]) -> Matrix {
+    let mut m = Matrix::zeros(2, 2);
+    for (c, s) in coeffs.iter().zip(PrepState::ALL) {
+        m = m.add(&s.projector().scale(*c));
+    }
+    m
+}
+
+/// Reconstructs the 2×2 operator from reduced-basis coefficients
+/// (inverse of [`decompose_qubit_operator`]).
+pub fn recompose_qubit_operator(coeffs: &[Complex; 4]) -> Matrix {
+    let mut m = Matrix::zeros(2, 2);
+    for (c, s) in coeffs.iter().zip(PrepState::REDUCED) {
+        m = m.add(&s.projector().scale(*c));
+    }
+    m
+}
+
+/// Decomposes an arbitrary `4×4` operator on two qubits over the 16 product
+/// projectors `|s⟩⟨s| ⊗ |t⟩⟨t|` with `s, t` ranging over
+/// [`PrepState::REDUCED`].
+///
+/// The returned coefficients are indexed `[s][t]` where `s` is the state of
+/// the *most-significant* qubit (row-major over `REDUCED`), matching the
+/// Kronecker convention `kron(high, low)` used by [`Matrix::kron`].
+///
+/// # Panics
+///
+/// Panics if `sigma` is not 4×4.
+pub fn decompose_two_qubit_operator(sigma: &Matrix) -> [[Complex; 4]; 4] {
+    assert_eq!(sigma.rows(), 4, "expected a 4x4 operator");
+    assert_eq!(sigma.cols(), 4, "expected a 4x4 operator");
+    // Work in the Pauli basis: σ = Σ_{PQ} g_{PQ} (P ⊗ Q), then convert each
+    // single-qubit Pauli expansion to projector coefficients.
+    // g_{PQ} = tr[(P ⊗ Q)† σ] / 4 and Paulis are Hermitian.
+    use crate::pauli::Pauli;
+    let mut g = [[Complex::ZERO; 4]; 4];
+    for (i, p) in Pauli::ALL.iter().enumerate() {
+        for (j, q) in Pauli::ALL.iter().enumerate() {
+            let pq = p.matrix().kron(&q.matrix());
+            g[i][j] = pq.trace_product(sigma) / 4.0;
+        }
+    }
+    // Single-qubit conversion matrix T: pauli index -> projector coeffs.
+    // I -> (1,1,0,0)·? No: from decompose_qubit_operator with σ = P:
+    //   I: a=1 -> (1, 1, 0, 0)
+    //   X: b=1 -> (-1, -1, 2, 0)
+    //   Y: c=1 -> (-1, -1, 0, 2)
+    //   Z: d=1 -> (1, -1, 0, 0)
+    let t: [[f64; 4]; 4] = [
+        [1.0, 1.0, 0.0, 0.0],
+        [-1.0, -1.0, 2.0, 0.0],
+        [-1.0, -1.0, 0.0, 2.0],
+        [1.0, -1.0, 0.0, 0.0],
+    ];
+    let mut out = [[Complex::ZERO; 4]; 4];
+    for (i, trow) in t.iter().enumerate() {
+        for (j, tcol) in t.iter().enumerate() {
+            for (s, &ts) in trow.iter().enumerate() {
+                if ts == 0.0 {
+                    continue;
+                }
+                for (u, &tu) in tcol.iter().enumerate() {
+                    if tu == 0.0 {
+                        continue;
+                    }
+                    out[s][u] += g[i][j] * ts * tu;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reconstructs a 4×4 operator from [`decompose_two_qubit_operator`] output.
+pub fn recompose_two_qubit_operator(coeffs: &[[Complex; 4]; 4]) -> Matrix {
+    let mut m = Matrix::zeros(4, 4);
+    for (s, row) in coeffs.iter().enumerate() {
+        for (t, &c) in row.iter().enumerate() {
+            let proj = PrepState::REDUCED[s]
+                .projector()
+                .kron(&PrepState::REDUCED[t].projector());
+            m = m.add(&proj.scale(c));
+        }
+    }
+    m
+}
+
+/// The Bloch vector `(⟨X⟩, ⟨Y⟩, ⟨Z⟩)` of a single-qubit density matrix.
+///
+/// # Panics
+///
+/// Panics if `rho` is not 2×2.
+pub fn bloch_vector(rho: &Matrix) -> [f64; 3] {
+    assert_eq!(rho.rows(), 2);
+    assert_eq!(rho.cols(), 2);
+    let x = (rho[(0, 1)] + rho[(1, 0)]).re;
+    let y = (Complex::I * (rho[(0, 1)] - rho[(1, 0)])).re;
+    let z = (rho[(0, 0)] - rho[(1, 1)]).re;
+    [x, y, z]
+}
+
+/// Builds a single-qubit density matrix from a Bloch vector.
+pub fn density_from_bloch(v: [f64; 3]) -> Matrix {
+    let half = Complex::real(0.5);
+    Matrix::mat2(
+        (Complex::ONE + Complex::real(v[2])) * half,
+        (Complex::real(v[0]) - Complex::imag(v[1])) * half,
+        (Complex::real(v[0]) + Complex::imag(v[1])) * half,
+        (Complex::ONE - Complex::real(v[2])) * half,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pauli::{self, Pauli};
+
+    #[test]
+    fn prep_states_are_pauli_eigenstates() {
+        let checks = [
+            (PrepState::Zero, Pauli::Z, 1.0),
+            (PrepState::One, Pauli::Z, -1.0),
+            (PrepState::Plus, Pauli::X, 1.0),
+            (PrepState::Minus, Pauli::X, -1.0),
+            (PrepState::PlusI, Pauli::Y, 1.0),
+            (PrepState::MinusI, Pauli::Y, -1.0),
+        ];
+        for (s, p, val) in checks {
+            let expect = p.matrix().trace_product(&s.projector());
+            assert!(
+                expect.approx_eq(Complex::real(val), 1e-12),
+                "⟨{p}⟩ on {s} should be {val}"
+            );
+        }
+    }
+
+    #[test]
+    fn projectors_are_valid_states() {
+        for s in PrepState::ALL {
+            let rho = s.projector();
+            assert!(rho.is_hermitian(1e-12));
+            assert!(rho.trace().approx_eq(Complex::ONE, 1e-12));
+            // Purity 1.
+            assert!(rho.mul(&rho).approx_eq(&rho, 1e-12));
+        }
+    }
+
+    #[test]
+    fn decomposition_reconstructs_paulis() {
+        for p in Pauli::ALL {
+            let m = p.matrix();
+            let coeffs = decompose_qubit_operator(&m);
+            assert!(
+                recompose_qubit_operator(&coeffs).approx_eq(&m, 1e-12),
+                "failed to reconstruct {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposition_reconstructs_non_hermitian() {
+        // Z·ρ for ρ = |+⟩⟨+| is non-Hermitian — the QSPC use case.
+        let zr = pauli::z2().mul(&PrepState::Plus.projector());
+        let coeffs = decompose_qubit_operator(&zr);
+        assert!(recompose_qubit_operator(&coeffs).approx_eq(&zr, 1e-12));
+    }
+
+    #[test]
+    fn two_qubit_decomposition_round_trip() {
+        // An entangled-ish non-Hermitian operator: (Z⊗I)·ρ_bell-like.
+        let bell = {
+            let mut m = Matrix::zeros(4, 4);
+            let h = Complex::real(0.5);
+            m[(0, 0)] = h;
+            m[(0, 3)] = h;
+            m[(3, 0)] = h;
+            m[(3, 3)] = h;
+            m
+        };
+        let zi = pauli::z2().kron(&Matrix::identity(2));
+        let op = zi.mul(&bell);
+        let coeffs = decompose_two_qubit_operator(&op);
+        assert!(recompose_two_qubit_operator(&coeffs).approx_eq(&op, 1e-10));
+    }
+
+    #[test]
+    fn bloch_round_trip() {
+        for s in PrepState::ALL {
+            let rho = s.projector();
+            let v = bloch_vector(&rho);
+            assert!(density_from_bloch(v).approx_eq(&rho, 1e-12));
+        }
+    }
+
+    #[test]
+    fn full_decomposition_round_trips() {
+        for p in Pauli::ALL {
+            let m = p.matrix();
+            let coeffs = decompose_qubit_operator_full(&m);
+            assert!(recompose_qubit_operator_full(&coeffs).approx_eq(&m, 1e-12));
+        }
+        let zr = pauli::z2().mul(&PrepState::PlusI.projector());
+        let coeffs = decompose_qubit_operator_full(&zr);
+        assert!(recompose_qubit_operator_full(&coeffs).approx_eq(&zr, 1e-12));
+    }
+
+    #[test]
+    fn reduced_decomposition_of_minus_matches_identity_trick() {
+        // |−⟩⟨−| = |0⟩⟨0| + |1⟩⟨1| − |+⟩⟨+| (the paper's reduction rule).
+        let coeffs = decompose_qubit_operator(&PrepState::Minus.projector());
+        assert!(coeffs[0].approx_eq(Complex::ONE, 1e-12));
+        assert!(coeffs[1].approx_eq(Complex::ONE, 1e-12));
+        assert!(coeffs[2].approx_eq(-Complex::ONE, 1e-12));
+        assert!(coeffs[3].approx_eq(Complex::ZERO, 1e-12));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the linear-algebra foundation.
+
+use proptest::prelude::*;
+use qt_math::states::{
+    decompose_qubit_operator, decompose_qubit_operator_full, decompose_two_qubit_operator,
+    recompose_qubit_operator, recompose_qubit_operator_full, recompose_two_qubit_operator,
+};
+use qt_math::{Complex, Matrix, Pauli, PauliString};
+
+fn arb_complex() -> impl Strategy<Value = Complex> {
+    (-2.0..2.0f64, -2.0..2.0f64).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+fn arb_matrix2() -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(arb_complex(), 4)
+        .prop_map(|v| Matrix::from_rows(2, 2, v))
+}
+
+fn arb_hermitian(dim: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(arb_complex(), dim * dim).prop_map(move |v| {
+        let m = Matrix::from_rows(dim, dim, v);
+        m.add(&m.dagger()).scale(Complex::real(0.5))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qubit_operator_decomposition_round_trips(m in arb_matrix2()) {
+        let reduced = decompose_qubit_operator(&m);
+        prop_assert!(recompose_qubit_operator(&reduced).approx_eq(&m, 1e-9));
+        let full = decompose_qubit_operator_full(&m);
+        prop_assert!(recompose_qubit_operator_full(&full).approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn two_qubit_decomposition_round_trips(
+        entries in prop::collection::vec(arb_complex(), 16),
+    ) {
+        let m = Matrix::from_rows(4, 4, entries);
+        let coeffs = decompose_two_qubit_operator(&m);
+        prop_assert!(recompose_two_qubit_operator(&coeffs).approx_eq(&m, 1e-8));
+    }
+
+    #[test]
+    fn hermitian_eigen_reconstructs(h in arb_hermitian(4)) {
+        let (vals, v) = h.hermitian_eigen();
+        prop_assert!(v.is_unitary(1e-8));
+        let mut d = Matrix::zeros(4, 4);
+        for (i, &l) in vals.iter().enumerate() {
+            d[(i, i)] = Complex::real(l);
+        }
+        prop_assert!(v.mul(&d).mul(&v.dagger()).approx_eq(&h, 1e-7));
+    }
+
+    #[test]
+    fn kron_is_associative(a in arb_matrix2(), b in arb_matrix2(), c in arb_matrix2()) {
+        let left = a.kron(&b).kron(&c);
+        let right = a.kron(&b.kron(&c));
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn pauli_string_multiplication_matches_matrices(
+        ps in prop::collection::vec(prop::sample::select(vec![Pauli::I, Pauli::X, Pauli::Y, Pauli::Z]), 3),
+        qs in prop::collection::vec(prop::sample::select(vec![Pauli::I, Pauli::X, Pauli::Y, Pauli::Z]), 3),
+    ) {
+        let a = PauliString::from_paulis(ps);
+        let b = PauliString::from_paulis(qs);
+        let symbolic = a.mul(&b).matrix();
+        let direct = a.matrix().mul(&b.matrix());
+        prop_assert!(symbolic.approx_eq(&direct, 1e-9));
+        prop_assert_eq!(a.commutes_with(&b), {
+            let ab = a.matrix().mul(&b.matrix());
+            let ba = b.matrix().mul(&a.matrix());
+            ab.approx_eq(&ba, 1e-9)
+        });
+    }
+
+    #[test]
+    fn complex_field_axioms(a in arb_complex(), b in arb_complex(), c in arb_complex()) {
+        prop_assert!(((a + b) + c).approx_eq(a + (b + c), 1e-9));
+        prop_assert!(((a * b) * c).approx_eq(a * (b * c), 1e-7));
+        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-8));
+        prop_assume!(b.norm() > 1e-6);
+        prop_assert!(((a / b) * b).approx_eq(a, 1e-7));
+    }
+
+    #[test]
+    fn bloch_round_trip_for_mixed_states(
+        x in -0.57f64..0.57,
+        y in -0.57f64..0.57,
+        z in -0.57f64..0.57,
+    ) {
+        let rho = qt_math::states::density_from_bloch([x, y, z]);
+        prop_assert!(rho.is_hermitian(1e-12));
+        prop_assert!(rho.trace().approx_eq(Complex::ONE, 1e-12));
+        let v = qt_math::states::bloch_vector(&rho);
+        prop_assert!((v[0] - x).abs() < 1e-10);
+        prop_assert!((v[1] - y).abs() < 1e-10);
+        prop_assert!((v[2] - z).abs() < 1e-10);
+        // Physical (|r| ≤ 1 here by construction): eigenvalues ≥ 0.
+        let (vals, _) = rho.hermitian_eigen();
+        prop_assert!(vals.iter().all(|&l| l > -1e-10));
+    }
+}

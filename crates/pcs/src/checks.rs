@@ -1,0 +1,109 @@
+//! Pauli-check validation.
+//!
+//! A segment `U` can be protected by the pair `C_L = C_R = Z_j` exactly when
+//! `Z_j U Z_j = U`, i.e. when `U` commutes with `Z` on the traced qubit —
+//! equivalently, when every instruction is block-diagonal in the
+//! computational basis of its subset operands.
+
+use qt_circuit::commute::block_diagonal_on_subset;
+use qt_circuit::Circuit;
+use qt_math::{Pauli, PauliString};
+
+/// Whether every instruction of `segment` commutes with `Z` on every qubit
+/// of `subset`, so that single-qubit Z checks protect the whole segment.
+pub fn z_checkable(segment: &Circuit, subset: &[usize]) -> bool {
+    segment
+        .instructions()
+        .iter()
+        .all(|i| block_diagonal_on_subset(i, subset))
+}
+
+/// The check operator `Z_j` (identity elsewhere) as a Pauli string.
+pub fn z_check_operator(n: usize, qubit: usize) -> PauliString {
+    PauliString::single(n, qubit, Pauli::Z)
+}
+
+/// Verifies the defining constraint `C_R · U · C_L = U` numerically for the
+/// Z check on `qubit` (small segments only).
+///
+/// # Panics
+///
+/// Panics if the segment has more than 10 qubits.
+pub fn verify_check_constraint(segment: &Circuit, qubit: usize) -> bool {
+    let n = segment.n_qubits();
+    assert!(n <= 10, "verify_check_constraint is for small segments");
+    let u = segment.unitary();
+    let z = z_check_operator(n, qubit).matrix();
+    z.mul(&u).mul(&z).approx_eq(&u, 1e-9)
+}
+
+/// Enumerates the qubits of `circ` that can be traced with single-qubit Z
+/// checks: those for which the subset segmentation succeeds.
+pub fn z_checkable_qubits(circ: &Circuit) -> Vec<usize> {
+    (0..circ.n_qubits())
+        .filter(|&q| qt_circuit::passes::split_into_segments(circ, &[q]).is_ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cz_segment_is_checkable_and_satisfies_constraint() {
+        let mut seg = Circuit::new(3);
+        seg.cz(0, 1).cz(1, 2).ry(1, 0.4).ry(2, -0.2);
+        assert!(z_checkable(&seg, &[0]));
+        assert!(verify_check_constraint(&seg, 0));
+        // Qubit 1 has an Ry inside: not checkable.
+        assert!(!z_checkable(&seg, &[1]));
+        assert!(!verify_check_constraint(&seg, 1));
+    }
+
+    #[test]
+    fn controlled_u_segment_checkable_on_control() {
+        let mut seg = Circuit::new(2);
+        seg.cp(0, 1, 0.7).crz(0, 1, 0.3).cx(0, 1);
+        assert!(z_checkable(&seg, &[0]));
+        assert!(verify_check_constraint(&seg, 0));
+        // CX target side fails.
+        assert!(!z_checkable(&seg, &[1]));
+    }
+
+    #[test]
+    fn checkable_matches_numeric_constraint_on_random_segments() {
+        let segments: Vec<Circuit> = {
+            let mut v = Vec::new();
+            let mut a = Circuit::new(2);
+            a.cz(0, 1).rz(0, 0.5);
+            v.push(a);
+            let mut b = Circuit::new(2);
+            b.swap(0, 1);
+            v.push(b);
+            let mut c = Circuit::new(2);
+            c.cx(1, 0);
+            v.push(c);
+            v
+        };
+        for seg in &segments {
+            for q in 0..2 {
+                assert_eq!(
+                    z_checkable(seg, &[q]),
+                    verify_check_constraint(seg, q),
+                    "mismatch on qubit {q} of {seg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bv_data_qubits_are_checkable() {
+        // Bernstein–Vazirani: H's, CXs from data to ancilla, H's.
+        let mut c = Circuit::new(3);
+        c.x(2).h(2).h(0).h(1).cx(0, 2).cx(1, 2).h(0).h(1);
+        let qs = z_checkable_qubits(&c);
+        assert!(qs.contains(&0) && qs.contains(&1));
+        // The ancilla is a CX target: not checkable.
+        assert!(!qs.contains(&2));
+    }
+}

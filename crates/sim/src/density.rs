@@ -1,0 +1,465 @@
+//! Exact mixed-state simulation.
+//!
+//! The density matrix of an `n`-qubit register is stored as a flat array of
+//! `4^n` amplitudes indexed by `row | (col << n)` — i.e. as a state vector on
+//! `2n` virtual qubits. A unitary `U` on qubits `qs` becomes `U` on the row
+//! bits and `conj(U)` on the column bits, so the state-vector kernel is
+//! reused verbatim; Kraus channels are sums of such applications.
+
+use crate::kernel;
+use crate::statevector::StateVector;
+use qt_circuit::{Circuit, Instruction};
+use qt_math::{Complex, Matrix};
+
+/// Maximum register size accepted by the density-matrix engine
+/// (`4^12 = 16.8M` amplitudes ≈ 268 MB).
+pub const MAX_QUBITS: usize = 12;
+
+/// An `n`-qubit density matrix.
+///
+/// # Example
+///
+/// ```
+/// use qt_sim::DensityMatrix;
+/// use qt_circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let rho = DensityMatrix::from_circuit(&bell);
+/// assert!((rho.purity() - 1.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n: usize,
+    amps: Vec<Complex>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_QUBITS`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= MAX_QUBITS, "register too large for exact DM: {n} qubits");
+        let mut amps = vec![Complex::ZERO; 1 << (2 * n)];
+        amps[0] = Complex::ONE;
+        DensityMatrix { n, amps }
+    }
+
+    /// Runs `circ` noiselessly from `|0…0⟩`.
+    pub fn from_circuit(circ: &Circuit) -> Self {
+        let mut rho = DensityMatrix::zero(circ.n_qubits());
+        for instr in circ.instructions() {
+            rho.apply_instruction(instr);
+        }
+        rho
+    }
+
+    /// Converts a pure state to a density matrix.
+    pub fn from_statevector(sv: &StateVector) -> Self {
+        let n = sv.n_qubits();
+        assert!(n <= MAX_QUBITS);
+        let a = sv.amplitudes();
+        let dim = 1usize << n;
+        let mut amps = vec![Complex::ZERO; dim * dim];
+        for r in 0..dim {
+            if a[r] == Complex::ZERO {
+                continue;
+            }
+            for c in 0..dim {
+                amps[r | (c << n)] = a[r] * a[c].conj();
+            }
+        }
+        DensityMatrix { n, amps }
+    }
+
+    /// Builds a density matrix from an explicit (small) matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not square with power-of-two dimension.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        assert!(m.is_square());
+        let dim = m.rows();
+        assert!(dim.is_power_of_two());
+        let n = dim.trailing_zeros() as usize;
+        assert!(n <= MAX_QUBITS);
+        let mut amps = vec![Complex::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                amps[r | (c << n)] = m[(r, c)];
+            }
+        }
+        DensityMatrix { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Extracts the dense matrix (small registers only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8` (the matrix would be enormous).
+    pub fn to_matrix(&self) -> Matrix {
+        assert!(self.n <= 8, "to_matrix() only for small registers");
+        let dim = 1usize << self.n;
+        let mut m = Matrix::zeros(dim, dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                m[(r, c)] = self.amps[r | (c << self.n)];
+            }
+        }
+        m
+    }
+
+    /// Applies a unitary operator on `qubits`.
+    pub fn apply_unitary(&mut self, u: &Matrix, qubits: &[usize]) {
+        let col_qubits: Vec<usize> = qubits.iter().map(|&q| q + self.n).collect();
+        kernel::apply_op(&mut self.amps, 2 * self.n, u, qubits);
+        let uc = conj_elementwise(u);
+        kernel::apply_op(&mut self.amps, 2 * self.n, &uc, &col_qubits);
+    }
+
+    /// Applies one circuit instruction (unitarily).
+    pub fn apply_instruction(&mut self, instr: &Instruction) {
+        self.apply_unitary(&instr.gate.matrix(), &instr.qubits);
+    }
+
+    /// Applies a noise channel, dispatching to the depolarizing fast path
+    /// when available.
+    pub fn apply_channel(&mut self, channel: &crate::noise::KrausChannel, qubits: &[usize]) {
+        match channel.kind() {
+            crate::noise::ChannelKind::Depolarizing { p } => {
+                self.apply_depolarizing(qubits, p);
+            }
+            crate::noise::ChannelKind::General => self.apply_kraus(channel.ops(), qubits),
+        }
+    }
+
+    /// Depolarizing fast path via the twirl identity:
+    /// `ρ → (1−λ)ρ + λ·(I/2^k ⊗ tr_q ρ)` with `λ = 4^k·p / (4^k − 1)`.
+    pub fn apply_depolarizing(&mut self, qubits: &[usize], p: f64) {
+        if p <= 0.0 {
+            return;
+        }
+        let k = qubits.len();
+        let dim_local = 1usize << k;
+        let lambda = (dim_local * dim_local) as f64 * p / ((dim_local * dim_local - 1) as f64);
+        let mut mixed = self.clone();
+        let mixed_small = Matrix::identity(dim_local)
+            .scale(Complex::real(1.0 / dim_local as f64));
+        mixed.reset_qubits(qubits, &mixed_small);
+        for (a, b) in self.amps.iter_mut().zip(&mixed.amps) {
+            *a = a.scale(1.0 - lambda) + b.scale(lambda);
+        }
+    }
+
+    /// Applies a Kraus channel `ρ → Σᵢ Kᵢ ρ Kᵢ†` on `qubits`.
+    pub fn apply_kraus(&mut self, kraus: &[Matrix], qubits: &[usize]) {
+        let col_qubits: Vec<usize> = qubits.iter().map(|&q| q + self.n).collect();
+        let mut acc = vec![Complex::ZERO; self.amps.len()];
+        for k in kraus {
+            let mut term = self.amps.clone();
+            kernel::apply_op(&mut term, 2 * self.n, k, qubits);
+            let kc = conj_elementwise(k);
+            kernel::apply_op(&mut term, 2 * self.n, &kc, &col_qubits);
+            for (a, t) in acc.iter_mut().zip(term) {
+                *a += t;
+            }
+        }
+        self.amps = acc;
+    }
+
+    /// The diagonal (outcome probabilities in the computational basis).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let dim = 1usize << self.n;
+        (0..dim).map(|i| self.amps[i | (i << self.n)].re).collect()
+    }
+
+    /// Marginal outcome probabilities over `subset`
+    /// (output bit `i` = `subset[i]`).
+    pub fn marginal_probabilities(&self, subset: &[usize]) -> Vec<f64> {
+        let diag = self.diagonal();
+        let mut out = vec![0.0; 1 << subset.len()];
+        for (idx, p) in diag.iter().enumerate() {
+            let mut key = 0usize;
+            for (pos, &q) in subset.iter().enumerate() {
+                if (idx >> q) & 1 == 1 {
+                    key |= 1 << pos;
+                }
+            }
+            out[key] += p;
+        }
+        out
+    }
+
+    /// Trace of the density matrix (1 for a normalized state; the QSPC
+    /// denominator uses unnormalized branches).
+    pub fn trace(&self) -> Complex {
+        let dim = 1usize << self.n;
+        (0..dim).map(|i| self.amps[i | (i << self.n)]).sum()
+    }
+
+    /// Purity `tr(ρ²)`.
+    pub fn purity(&self) -> f64 {
+        // tr(ρ²) = Σ_{r,c} ρ[r,c]·ρ[c,r] = Σ |ρ[r,c]|² for Hermitian ρ.
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Expectation `tr(ρ · Op)` of a local operator on `qubits`.
+    pub fn expectation_local(&self, op: &Matrix, qubits: &[usize]) -> Complex {
+        let k = qubits.len();
+        assert_eq!(op.rows(), 1 << k);
+        let dim_local = 1usize << k;
+        let mut sorted = qubits.to_vec();
+        sorted.sort_unstable();
+        let mut offsets = vec![0usize; dim_local];
+        for (l, off) in offsets.iter_mut().enumerate() {
+            for (pos, &q) in qubits.iter().enumerate() {
+                if (l >> pos) & 1 == 1 {
+                    *off |= 1 << q;
+                }
+            }
+        }
+        let mut acc = Complex::ZERO;
+        let outer = 1usize << (self.n - k);
+        for i in 0..outer {
+            let mut base = i;
+            for &q in &sorted {
+                let low = base & ((1usize << q) - 1);
+                base = ((base >> q) << (q + 1)) | low;
+            }
+            // tr(ρA) = Σ_{r,c} ρ[r,c] A[c,r]
+            for r in 0..dim_local {
+                for c in 0..dim_local {
+                    let a = op[(c, r)];
+                    if a == Complex::ZERO {
+                        continue;
+                    }
+                    let rho = self.amps[(base | offsets[r]) | ((base | offsets[c]) << self.n)];
+                    acc += rho * a;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Partial trace keeping only `keep` (in the given order: output qubit
+    /// `i` = `keep[i]`).
+    pub fn partial_trace(&self, keep: &[usize]) -> DensityMatrix {
+        let k = keep.len();
+        let traced: Vec<usize> = (0..self.n).filter(|q| !keep.contains(q)).collect();
+        let dim_keep = 1usize << k;
+        let mut out = vec![Complex::ZERO; dim_keep * dim_keep];
+        let expand = |bits_keep: usize, bits_traced: usize| -> usize {
+            let mut idx = 0usize;
+            for (pos, &q) in keep.iter().enumerate() {
+                if (bits_keep >> pos) & 1 == 1 {
+                    idx |= 1 << q;
+                }
+            }
+            for (pos, &q) in traced.iter().enumerate() {
+                if (bits_traced >> pos) & 1 == 1 {
+                    idx |= 1 << q;
+                }
+            }
+            idx
+        };
+        for r in 0..dim_keep {
+            for c in 0..dim_keep {
+                let mut acc = Complex::ZERO;
+                for x in 0..(1usize << traced.len()) {
+                    let rf = expand(r, x);
+                    let cf = expand(c, x);
+                    acc += self.amps[rf | (cf << self.n)];
+                }
+                out[r | (c << k)] = acc;
+            }
+        }
+        DensityMatrix { n: k, amps: out }
+    }
+
+    /// Replaces the state of `qubits` by `rho_small` (any density matrix of
+    /// dimension `2^k`), tracing out their previous contents:
+    /// `ρ → tr_qs(ρ) ⊗ ρ_small`.
+    pub fn reset_qubits(&mut self, qubits: &[usize], rho_small: &Matrix) {
+        let k = qubits.len();
+        assert_eq!(rho_small.rows(), 1 << k, "reset state dimension mismatch");
+        let rest: Vec<usize> = (0..self.n).filter(|q| !qubits.contains(q)).collect();
+        let reduced = self.partial_trace(&rest);
+        // reduced is on `rest` in order; rebuild the full matrix.
+        let dim = 1usize << self.n;
+        let mut out = vec![Complex::ZERO; dim * dim];
+        let nr = rest.len();
+        for rr in 0..(1usize << nr) {
+            for cr in 0..(1usize << nr) {
+                let base_val = reduced.amps[rr | (cr << nr)];
+                if base_val == Complex::ZERO {
+                    continue;
+                }
+                let mut rfull0 = 0usize;
+                let mut cfull0 = 0usize;
+                for (pos, &q) in rest.iter().enumerate() {
+                    if (rr >> pos) & 1 == 1 {
+                        rfull0 |= 1 << q;
+                    }
+                    if (cr >> pos) & 1 == 1 {
+                        cfull0 |= 1 << q;
+                    }
+                }
+                for rq in 0..(1usize << k) {
+                    for cq in 0..(1usize << k) {
+                        let sv = rho_small[(rq, cq)];
+                        if sv == Complex::ZERO {
+                            continue;
+                        }
+                        let mut rfull = rfull0;
+                        let mut cfull = cfull0;
+                        for (pos, &q) in qubits.iter().enumerate() {
+                            if (rq >> pos) & 1 == 1 {
+                                rfull |= 1 << q;
+                            }
+                            if (cq >> pos) & 1 == 1 {
+                                cfull |= 1 << q;
+                            }
+                        }
+                        out[rfull | (cfull << self.n)] = base_val * sv;
+                    }
+                }
+            }
+        }
+        self.amps = out;
+    }
+
+    /// Scales the density matrix (used for unnormalized QSPC branches).
+    pub fn scale(&mut self, c: Complex) {
+        for a in &mut self.amps {
+            *a = *a * c;
+        }
+    }
+
+    /// Adds `other` (element-wise) into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn add_assign(&mut self, other: &DensityMatrix) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.amps.iter_mut().zip(&other.amps) {
+            *a += *b;
+        }
+    }
+}
+
+fn conj_elementwise(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for v in out.as_mut_slice() {
+        *v = v.conj();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_math::states::PrepState;
+
+    #[test]
+    fn matches_statevector_on_random_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.8).cz(1, 2).rz(0, 0.3).cx(2, 0);
+        let sv = StateVector::from_circuit(&c);
+        let rho = DensityMatrix::from_circuit(&c);
+        let probs_sv = sv.probabilities();
+        let probs_dm = rho.diagonal();
+        for (a, b) in probs_sv.iter().zip(probs_dm) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn depolarizing_kraus_mixes_state() {
+        let mut rho = DensityMatrix::zero(1);
+        // Full depolarizing: p = 1 sends any state to I/2 on one qubit.
+        let p: f64 = 1.0;
+        let k = vec![
+            Matrix::identity(2).scale(Complex::real((1.0 - 3.0 * p / 4.0).sqrt())),
+            qt_math::pauli::x2().scale(Complex::real((p / 4.0).sqrt())),
+            qt_math::pauli::y2().scale(Complex::real((p / 4.0).sqrt())),
+            qt_math::pauli::z2().scale(Complex::real((p / 4.0).sqrt())),
+        ];
+        rho.apply_kraus(&k, &[0]);
+        let d = rho.diagonal();
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_is_maximally_mixed() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let rho = DensityMatrix::from_circuit(&c);
+        let r0 = rho.partial_trace(&[0]);
+        let m = r0.to_matrix();
+        assert!(m[(0, 0)].approx_eq(Complex::real(0.5), 1e-12));
+        assert!(m[(1, 1)].approx_eq(Complex::real(0.5), 1e-12));
+        assert!(m[(0, 1)].approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn reset_severs_correlations() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut rho = DensityMatrix::from_circuit(&c);
+        rho.reset_qubits(&[0], &PrepState::Plus.projector());
+        // Qubit 0 now |+⟩, qubit 1 maximally mixed, product state.
+        let q0 = rho.partial_trace(&[0]).to_matrix();
+        assert!(q0.approx_eq(&PrepState::Plus.projector(), 1e-10));
+        let q1 = rho.partial_trace(&[1]).to_matrix();
+        assert!(q1[(0, 0)].approx_eq(Complex::real(0.5), 1e-10));
+        assert!((rho.trace().re - 1.0).abs() < 1e-10);
+        // Product structure: ⟨X₀ Z₁⟩ = ⟨X₀⟩⟨Z₁⟩ = 1·0 = 0.
+        let xz = qt_math::pauli::z2().kron(&qt_math::pauli::x2());
+        assert!(rho
+            .expectation_local(&xz, &[0, 1])
+            .approx_eq(Complex::ZERO, 1e-10));
+    }
+
+    #[test]
+    fn expectation_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 1.1).cz(0, 2);
+        let sv = StateVector::from_circuit(&c);
+        let rho = DensityMatrix::from_circuit(&c);
+        let op = qt_math::pauli::x2().kron(&qt_math::pauli::z2()); // Z on first operand, X on second
+        let a = sv.expectation_local(&op, &[0, 2]);
+        let b = rho.expectation_local(&op, &[0, 2]);
+        assert!(a.approx_eq(b, 1e-10));
+    }
+
+    #[test]
+    fn marginals_match_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 2).ry(1, 0.5);
+        let sv = StateVector::from_circuit(&c);
+        let rho = DensityMatrix::from_circuit(&c);
+        let a = sv.marginal_probabilities(&[2, 1]);
+        let b = rho.marginal_probabilities(&[2, 1]);
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn from_matrix_round_trip() {
+        let m = PrepState::PlusI.projector();
+        let rho = DensityMatrix::from_matrix(&m);
+        assert!(rho.to_matrix().approx_eq(&m, 1e-12));
+    }
+}

@@ -1,0 +1,378 @@
+//! High-level execution: backend selection, noisy distributions and readout.
+//!
+//! The [`Executor`] mirrors the role of Qiskit's `AerSimulator` in the
+//! paper's artifact: callers hand it programs, it picks the exact
+//! density-matrix engine for small registers and the trajectory engine for
+//! large ones, applies the gate noise and terminal readout error, and
+//! returns outcome distributions.
+
+use crate::density::DensityMatrix;
+use crate::noise::{apply_readout, NoiseModel};
+use crate::program::{Op, Program};
+use crate::statevector::StateVector;
+use crate::trajectory::{self, TrajectoryConfig};
+use qt_math::Matrix;
+
+/// The result of one program execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// Noisy outcome distribution over the measured qubits.
+    pub dist: Vec<f64>,
+    /// Gates actually executed (post-transpilation where applicable).
+    pub gates: usize,
+    /// Multi-qubit gates actually executed.
+    pub two_qubit_gates: usize,
+}
+
+/// Anything that can execute a [`Program`] and return a noisy outcome
+/// distribution: the plain [`Executor`] here, or a transpiling device
+/// executor (`qt-device`) that first maps the program onto a physical
+/// topology.
+pub trait Runner {
+    /// Executes `program`, returning the noisy distribution over `measured`
+    /// (bit `i` of the outcome index = `measured[i]`) plus gate statistics.
+    fn run(&self, program: &Program, measured: &[usize]) -> RunOutput;
+}
+
+impl Runner for Executor {
+    fn run(&self, program: &Program, measured: &[usize]) -> RunOutput {
+        RunOutput {
+            dist: self.noisy_distribution(program, measured),
+            gates: program.gate_count(),
+            two_qubit_gates: program.two_qubit_gate_count(),
+        }
+    }
+}
+
+/// Simulation backend choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backend {
+    /// Exact density-matrix simulation up to the given register size, then
+    /// fall back to trajectories.
+    Auto {
+        /// Largest register simulated exactly.
+        dm_max_qubits: usize,
+        /// Trajectory settings for larger registers.
+        trajectories: TrajectoryConfig,
+    },
+    /// Always use the density-matrix engine.
+    DensityMatrix,
+    /// Always use the trajectory engine.
+    Trajectory(TrajectoryConfig),
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Auto {
+            dm_max_qubits: 10,
+            trajectories: TrajectoryConfig::default(),
+        }
+    }
+}
+
+/// A noisy-circuit executor.
+///
+/// # Example
+///
+/// ```
+/// use qt_sim::{Executor, NoiseModel, Program};
+/// use qt_circuit::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let exec = Executor::new(NoiseModel::depolarizing(0.001, 0.01).with_readout(0.02));
+/// let dist = exec.noisy_distribution(&Program::from_circuit(&c), &[0, 1]);
+/// assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    noise: NoiseModel,
+    backend: Backend,
+}
+
+impl Executor {
+    /// Creates an executor with the default (auto) backend.
+    pub fn new(noise: NoiseModel) -> Self {
+        Executor {
+            noise,
+            backend: Backend::default(),
+        }
+    }
+
+    /// Creates an executor with an explicit backend.
+    pub fn with_backend(noise: NoiseModel, backend: Backend) -> Self {
+        Executor { noise, backend }
+    }
+
+    /// The noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// The backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The gate-noisy outcome distribution over `measured`, **without**
+    /// readout error (bit `i` of the index = `measured[i]`).
+    ///
+    /// The program is first compacted onto its used qubits (plus `measured`)
+    /// so that reduced ensemble circuits do not pay for idle wires.
+    pub fn raw_distribution(&self, program: &Program, measured: &[usize]) -> Vec<f64> {
+        // Compaction renames qubits, so it is only sound when the noise
+        // model is uniform (no per-qubit/per-edge calibration).
+        let uniform = self.noise.per_qubit.is_empty()
+            && self.noise.per_edge.is_empty()
+            && self.noise.readout.per_qubit.is_empty();
+        let compacted = if uniform {
+            compact(program, measured)
+        } else {
+            None
+        };
+        let (program, measured) = &match compacted {
+            Some((p, m)) => (p, m),
+            None => (program.clone(), measured.to_vec()),
+        };
+        let measured: &[usize] = measured;
+        match self.backend {
+            Backend::DensityMatrix => self.run_dm(program).marginal_probabilities(measured),
+            Backend::Trajectory(cfg) => {
+                trajectory::run_distribution(program, &self.noise, measured, &cfg)
+            }
+            Backend::Auto {
+                dm_max_qubits,
+                trajectories,
+            } => {
+                if program.n_qubits() <= dm_max_qubits {
+                    self.run_dm(program).marginal_probabilities(measured)
+                } else {
+                    trajectory::run_distribution(program, &self.noise, measured, &trajectories)
+                }
+            }
+        }
+    }
+
+    /// The full noisy outcome distribution over `measured`: gate noise plus
+    /// readout error (including measurement crosstalk scaled by the number
+    /// of simultaneously measured qubits).
+    ///
+    /// Readout is applied with the *original* qubit identities, so per-qubit
+    /// readout calibration survives compaction.
+    pub fn noisy_distribution(&self, program: &Program, measured: &[usize]) -> Vec<f64> {
+        let raw = self.raw_distribution(program, measured);
+        apply_readout(&raw, measured, &self.noise.readout)
+    }
+
+    /// Samples `shots` measurement outcomes from the noisy distribution —
+    /// the finite-shot pipeline the paper's hardware runs use (100 000
+    /// shots per circuit). Returns per-outcome counts over `measured`.
+    pub fn sampled_counts(
+        &self,
+        program: &Program,
+        measured: &[usize],
+        shots: usize,
+        seed: u64,
+    ) -> Vec<u64> {
+        use rand::SeedableRng;
+        let dist = self.noisy_distribution(program, measured);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        crate::statevector::sample_from_probs(&dist, shots, &mut rng)
+    }
+
+    /// Runs the program on the exact density-matrix engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register exceeds [`crate::density::MAX_QUBITS`].
+    pub fn run_dm(&self, program: &Program) -> DensityMatrix {
+        let mut rho = DensityMatrix::zero(program.n_qubits());
+        for op in program.ops() {
+            match op {
+                Op::Gate(instr) => {
+                    rho.apply_instruction(instr);
+                    for (qs, ch) in self.noise.channels_for(instr) {
+                        rho.apply_channel(ch, &qs);
+                    }
+                }
+                Op::IdealGate(instr) => rho.apply_instruction(instr),
+                Op::Reset { qubits, ket } => {
+                    let rho_small = ket_to_density(ket);
+                    rho.reset_qubits(qubits, &rho_small);
+                }
+            }
+        }
+        rho
+    }
+}
+
+/// The noiseless outcome distribution of a program over `measured`.
+///
+/// Uses a pure-state simulation when the program has no resets, otherwise
+/// the density-matrix engine.
+pub fn ideal_distribution(program: &Program, measured: &[usize]) -> Vec<f64> {
+    if !program.has_resets() {
+        let mut sv = StateVector::zero(program.n_qubits());
+        for op in program.ops() {
+            if let Op::Gate(i) | Op::IdealGate(i) = op {
+                sv.apply_instruction(i);
+            }
+        }
+        return sv.marginal_probabilities(measured);
+    }
+    Executor::new(NoiseModel::ideal())
+        .run_dm(program)
+        .marginal_probabilities(measured)
+}
+
+/// Compacts a program onto its used qubits (always including `measured`).
+/// Returns `None` when nothing would shrink. Qubit *identities are
+/// preserved logically*: the caller still indexes results by the original
+/// `measured` order; only the register is renamed internally, so this is
+/// only valid for noise models without per-qubit overrides — the
+/// [`Executor`] therefore skips compaction when overrides exist.
+fn compact(program: &Program, measured: &[usize]) -> Option<(Program, Vec<usize>)> {
+    let mut used = vec![false; program.n_qubits()];
+    for op in program.ops() {
+        match op {
+            Op::Gate(i) | Op::IdealGate(i) => {
+                for &q in &i.qubits {
+                    used[q] = true;
+                }
+            }
+            Op::Reset { qubits, .. } => {
+                for &q in qubits {
+                    used[q] = true;
+                }
+            }
+        }
+    }
+    for &m in measured {
+        used[m] = true;
+    }
+    let kept: Vec<usize> = used
+        .iter()
+        .enumerate()
+        .filter(|(_, &u)| u)
+        .map(|(q, _)| q)
+        .collect();
+    if kept.len() == program.n_qubits() {
+        return None;
+    }
+    let mut map = vec![usize::MAX; program.n_qubits()];
+    for (c, &q) in kept.iter().enumerate() {
+        map[q] = c;
+    }
+    let mut out = Program::new(kept.len());
+    for op in program.ops() {
+        match op {
+            Op::Gate(i) => {
+                let qs = i.qubits.iter().map(|&q| map[q]).collect();
+                out.push_gate(qt_circuit::Instruction::new(i.gate.clone(), qs));
+            }
+            Op::IdealGate(i) => {
+                let qs = i.qubits.iter().map(|&q| map[q]).collect();
+                out.push_ideal_gate(qt_circuit::Instruction::new(i.gate.clone(), qs));
+            }
+            Op::Reset { qubits, ket } => {
+                let qs: Vec<usize> = qubits.iter().map(|&q| map[q]).collect();
+                out.push_reset(&qs, ket.clone());
+            }
+        }
+    }
+    let m = measured.iter().map(|&q| map[q]).collect();
+    Some((out, m))
+}
+
+fn ket_to_density(ket: &[qt_math::Complex]) -> Matrix {
+    let d = ket.len();
+    let mut m = Matrix::zeros(d, d);
+    for r in 0..d {
+        for c in 0..d {
+            m[(r, c)] = ket[r] * ket[c].conj();
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_circuit::Circuit;
+
+    #[test]
+    fn dm_and_trajectory_backends_agree() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cz(1, 2).ry(2, 0.4);
+        let prog = Program::from_circuit(&c);
+        let noise = NoiseModel::depolarizing(0.01, 0.05).with_readout(0.03);
+        let dm = Executor::with_backend(noise.clone(), Backend::DensityMatrix);
+        let tj = Executor::with_backend(
+            noise,
+            Backend::Trajectory(TrajectoryConfig {
+                n_trajectories: 30_000,
+                seed: 9,
+                n_threads: Some(2),
+            }),
+        );
+        let a = dm.noisy_distribution(&prog, &[0, 1, 2]);
+        let b = tj.noisy_distribution(&prog, &[0, 1, 2]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.02, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn readout_error_applied_on_top_of_gates() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let prog = Program::from_circuit(&c);
+        let exec = Executor::new(NoiseModel::ideal().with_readout(0.25));
+        let dist = exec.noisy_distribution(&prog, &[0]);
+        assert!((dist[0] - 0.25).abs() < 1e-12);
+        assert!((dist[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_distribution_matches_expected() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let prog = Program::from_circuit(&c);
+        let dist = ideal_distribution(&prog, &[0, 1]);
+        assert!((dist[0] - 0.5).abs() < 1e-12);
+        assert!((dist[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_distribution_with_resets_uses_dm() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut prog = Program::from_circuit(&c);
+        prog.push_reset_state(&[0], qt_math::states::PrepState::Zero);
+        let dist = ideal_distribution(&prog, &[0, 1]);
+        assert!((dist[0] - 0.5).abs() < 1e-12);
+        assert!((dist[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_reduces_when_measuring_fewer_qubits() {
+        // Jigsaw's premise: measuring a subset sees less readout error.
+        let mut c = Circuit::new(3);
+        c.x(0).x(1).x(2);
+        let prog = Program::from_circuit(&c);
+        let noise = NoiseModel::ideal()
+            .with_readout_model(crate::noise::ReadoutModel::with_crosstalk(0.01, 0.03));
+        let exec = Executor::new(noise);
+        let all = exec.noisy_distribution(&prog, &[0, 1, 2]);
+        let sub = exec.noisy_distribution(&prog, &[0]);
+        // P(correct) on qubit 0 alone must exceed marginal correctness when
+        // measured jointly with two others.
+        let p_joint_correct: f64 = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & 1 == 1)
+            .map(|(_, p)| p)
+            .sum();
+        assert!(sub[1] > p_joint_correct + 0.02);
+    }
+}

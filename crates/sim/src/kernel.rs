@@ -1,0 +1,213 @@
+//! Low-level gate-application kernels shared by the state-vector and
+//! density-matrix engines.
+//!
+//! Amplitude arrays are indexed with qubit 0 as the least-significant bit.
+//! A gate on operand list `qs` uses `qs[0]` as the least-significant bit of
+//! its local index (matching [`qt_circuit::Gate::matrix`]).
+
+use qt_math::{Complex, Matrix};
+
+/// Applies a `2^k × 2^k` operator `u` to the amplitudes `amps` of an
+/// `n`-qubit register on the operand qubits `qs`.
+///
+/// `u` need not be unitary (Kraus operators are applied with the same
+/// kernel).
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn apply_op(amps: &mut [Complex], n: usize, u: &Matrix, qs: &[usize]) {
+    let k = qs.len();
+    assert_eq!(u.rows(), 1 << k, "operator does not match operand count");
+    assert_eq!(amps.len(), 1 << n, "amplitude array does not match register");
+    debug_assert!(qs.iter().all(|&q| q < n));
+
+    let dim_local = 1usize << k;
+    let mut sorted = qs.to_vec();
+    sorted.sort_unstable();
+
+    let mut gathered = vec![Complex::ZERO; dim_local];
+    // Precompute, for each local index l, the offset to OR into the base.
+    let mut offsets = vec![0usize; dim_local];
+    for (l, off) in offsets.iter_mut().enumerate() {
+        for (pos, &q) in qs.iter().enumerate() {
+            if (l >> pos) & 1 == 1 {
+                *off |= 1 << q;
+            }
+        }
+    }
+
+    let outer = 1usize << (n - k);
+    for i in 0..outer {
+        // Expand i into a full index with zero bits at the operand positions.
+        let mut base = i;
+        for &q in &sorted {
+            let low = base & ((1usize << q) - 1);
+            base = ((base >> q) << (q + 1)) | low;
+        }
+        for l in 0..dim_local {
+            gathered[l] = amps[base | offsets[l]];
+        }
+        for r in 0..dim_local {
+            let mut acc = Complex::ZERO;
+            for (c, &g) in gathered.iter().enumerate() {
+                let m = u[(r, c)];
+                if m != Complex::ZERO {
+                    acc += m * g;
+                }
+            }
+            amps[base | offsets[r]] = acc;
+        }
+    }
+}
+
+/// Computes `⟨ψ| Op_{qs} |ψ⟩` for a local operator without copying the state.
+pub fn expectation_local(amps: &[Complex], n: usize, op: &Matrix, qs: &[usize]) -> Complex {
+    let k = qs.len();
+    assert_eq!(op.rows(), 1 << k);
+    assert_eq!(amps.len(), 1 << n);
+
+    let dim_local = 1usize << k;
+    let mut sorted = qs.to_vec();
+    sorted.sort_unstable();
+    let mut offsets = vec![0usize; dim_local];
+    for (l, off) in offsets.iter_mut().enumerate() {
+        for (pos, &q) in qs.iter().enumerate() {
+            if (l >> pos) & 1 == 1 {
+                *off |= 1 << q;
+            }
+        }
+    }
+    let mut acc = Complex::ZERO;
+    let outer = 1usize << (n - k);
+    for i in 0..outer {
+        let mut base = i;
+        for &q in &sorted {
+            let low = base & ((1usize << q) - 1);
+            base = ((base >> q) << (q + 1)) | low;
+        }
+        for r in 0..dim_local {
+            let ar = amps[base | offsets[r]];
+            if ar == Complex::ZERO {
+                continue;
+            }
+            for c in 0..dim_local {
+                let m = op[(r, c)];
+                if m != Complex::ZERO {
+                    acc += ar.conj() * m * amps[base | offsets[c]];
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Sums `|amps|²` over all indices whose bit `q` equals `bit`.
+pub fn probability_of_bit(amps: &[Complex], q: usize, bit: usize) -> f64 {
+    let mask = 1usize << q;
+    let want = bit << q;
+    amps.iter()
+        .enumerate()
+        .filter(|(i, _)| i & mask == want)
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// Marginal probability vector over `subset` (output bit `i` is `subset[i]`).
+pub fn marginal_probabilities(amps: &[Complex], subset: &[usize]) -> Vec<f64> {
+    let mut out = vec![0.0; 1 << subset.len()];
+    for (idx, a) in amps.iter().enumerate() {
+        let p = a.norm_sqr();
+        if p == 0.0 {
+            continue;
+        }
+        let mut key = 0usize;
+        for (pos, &q) in subset.iter().enumerate() {
+            if (idx >> q) & 1 == 1 {
+                key |= 1 << pos;
+            }
+        }
+        out[key] += p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_circuit::Gate;
+
+    fn zero_state(n: usize) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; 1 << n];
+        v[0] = Complex::ONE;
+        v
+    }
+
+    #[test]
+    fn kernel_matches_embedded_matrix() {
+        // Random-ish 3-qubit circuit applied both ways.
+        let n = 3;
+        let ops: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::H, vec![0]),
+            (Gate::Cx, vec![0, 2]),
+            (Gate::Ry(0.7), vec![1]),
+            (Gate::Cp(1.1), vec![2, 1]),
+            (Gate::Swap, vec![0, 1]),
+        ];
+        let mut amps = zero_state(n);
+        let mut u = Matrix::identity(1 << n);
+        for (g, qs) in &ops {
+            apply_op(&mut amps, n, &g.matrix(), qs);
+            u = qt_circuit::embed(&g.matrix(), qs, n).mul(&u);
+        }
+        for (i, a) in amps.iter().enumerate() {
+            assert!(a.approx_eq(u[(i, 0)], 1e-12), "amp {i} differs");
+        }
+    }
+
+    #[test]
+    fn expectation_matches_direct() {
+        let n = 2;
+        let mut amps = zero_state(n);
+        apply_op(&mut amps, n, &Gate::H.matrix(), &[0]);
+        apply_op(&mut amps, n, &Gate::Cx.matrix(), &[0, 1]);
+        // Bell state: ⟨Z0 Z1⟩ = 1, ⟨Z0⟩ = 0.
+        let zz = qt_math::pauli::z2().kron(&qt_math::pauli::z2());
+        let e = expectation_local(&amps, n, &zz, &[0, 1]);
+        assert!(e.approx_eq(Complex::ONE, 1e-12));
+        let z = qt_math::pauli::z2();
+        let e0 = expectation_local(&amps, n, &z, &[0]);
+        assert!(e0.approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let n = 3;
+        let mut amps = zero_state(n);
+        for q in 0..n {
+            apply_op(&mut amps, n, &Gate::H.matrix(), &[q]);
+        }
+        let m = marginal_probabilities(&amps, &[1, 2]);
+        assert_eq!(m.len(), 4);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((m[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_of_bit_on_plus_state() {
+        let mut amps = zero_state(1);
+        apply_op(&mut amps, 1, &Gate::H.matrix(), &[0]);
+        assert!((probability_of_bit(&amps, 0, 0) - 0.5).abs() < 1e-12);
+        assert!((probability_of_bit(&amps, 0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operand_order_is_respected() {
+        // CX with control=1, target=0: |10⟩ → |11⟩.
+        let n = 2;
+        let mut amps = zero_state(n);
+        apply_op(&mut amps, n, &Gate::X.matrix(), &[1]); // |10⟩ (index 2)
+        apply_op(&mut amps, n, &Gate::Cx.matrix(), &[1, 0]);
+        assert!(amps[3].approx_eq(Complex::ONE, 1e-12));
+    }
+}

@@ -1,0 +1,39 @@
+//! State-vector, density-matrix and quantum-trajectory simulators with
+//! Kraus noise channels — the substrate replacing the paper's Qiskit
+//! AerSimulator.
+//!
+//! * [`StateVector`] — pure-state engine (ideal runs, trajectories);
+//! * [`DensityMatrix`] — exact mixed-state engine with Kraus channels;
+//! * [`NoiseModel`]/[`KrausChannel`]/[`ReadoutModel`] — gate and readout
+//!   noise, including the measurement crosstalk Jigsaw exploits;
+//! * [`Program`] — circuits plus the mid-circuit wire resets QSPC needs;
+//! * [`Executor`] — backend selection (exact DM vs. trajectories), noisy
+//!   distribution extraction, readout application.
+//!
+//! # Example
+//!
+//! ```
+//! use qt_sim::{Executor, NoiseModel, Program};
+//! use qt_circuit::Circuit;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1);
+//! let exec = Executor::new(NoiseModel::depolarizing(0.001, 0.01));
+//! let dist = exec.noisy_distribution(&Program::from_circuit(&c), &[0, 1]);
+//! assert!(dist[0] > 0.45 && dist[3] > 0.45);
+//! ```
+
+pub mod density;
+pub mod executor;
+pub mod kernel;
+pub mod noise;
+pub mod program;
+pub mod statevector;
+pub mod trajectory;
+
+pub use density::DensityMatrix;
+pub use executor::{ideal_distribution, Backend, Executor, RunOutput, Runner};
+pub use noise::{apply_readout, KrausChannel, NoiseModel, NoiseRule, ReadoutModel};
+pub use program::{Op, Program};
+pub use statevector::StateVector;
+pub use trajectory::TrajectoryConfig;

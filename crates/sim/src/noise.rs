@@ -1,0 +1,662 @@
+//! Noise channels and noise models.
+//!
+//! A [`KrausChannel`] is a completely-positive trace-preserving map given by
+//! Kraus operators. A [`NoiseModel`] attaches channels to gate applications
+//! (uniform defaults plus per-qubit/per-edge overrides, which the device
+//! models use) and carries a [`ReadoutModel`] for terminal measurement
+//! errors — including the *measurement crosstalk* that makes measurement
+//! subsetting (Jigsaw) effective on real hardware.
+
+use qt_math::{Complex, Matrix};
+use std::collections::BTreeMap;
+
+/// Structural kind of a channel (enables fast simulation paths).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelKind {
+    /// `ρ → (1−p)ρ + p·(uniform non-identity Pauli)` — admits the twirl
+    /// identity fast path on density matrices.
+    Depolarizing {
+        /// The error probability.
+        p: f64,
+    },
+    /// No special structure.
+    General,
+}
+
+/// A quantum channel in Kraus form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrausChannel {
+    n_qubits: usize,
+    kind: ChannelKind,
+    ops: Vec<Matrix>,
+    /// If the channel is a probabilistic mixture of unitaries: the
+    /// state-independent probabilities and the normalized unitaries
+    /// (an optimization for trajectory sampling).
+    mixture: Option<(Vec<f64>, Vec<Matrix>)>,
+    /// Gram matrices `K†K` (used for state-dependent Kraus sampling).
+    grams: Vec<Matrix>,
+}
+
+impl KrausChannel {
+    /// Builds a channel from raw Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators have inconsistent dimensions or do not
+    /// satisfy the completeness relation `Σ K†K = I` within `1e-8`.
+    pub fn new(ops: Vec<Matrix>) -> Self {
+        assert!(!ops.is_empty(), "channel needs at least one Kraus operator");
+        let dim = ops[0].rows();
+        assert!(dim.is_power_of_two() && dim >= 2);
+        let n_qubits = dim.trailing_zeros() as usize;
+        let mut sum = Matrix::zeros(dim, dim);
+        let mut grams = Vec::with_capacity(ops.len());
+        for k in &ops {
+            assert_eq!(k.rows(), dim);
+            assert_eq!(k.cols(), dim);
+            let g = k.dagger().mul(k);
+            sum = sum.add(&g);
+            grams.push(g);
+        }
+        assert!(
+            sum.approx_eq(&Matrix::identity(dim), 1e-8),
+            "Kraus operators do not satisfy the completeness relation"
+        );
+        // Detect a mixed-unitary structure: K = √p · U with U unitary.
+        let mut probs = Vec::with_capacity(ops.len());
+        let mut units = Vec::with_capacity(ops.len());
+        let mut mixed = true;
+        for k in &ops {
+            let p = k.dagger().mul(k).trace().re / dim as f64;
+            if p < 1e-14 {
+                probs.push(0.0);
+                units.push(Matrix::identity(dim));
+                continue;
+            }
+            let u = k.scale(Complex::real(1.0 / p.sqrt()));
+            if u.is_unitary(1e-8) {
+                probs.push(p);
+                units.push(u);
+            } else {
+                mixed = false;
+                break;
+            }
+        }
+        let mixture = if mixed { Some((probs, units)) } else { None };
+        KrausChannel {
+            n_qubits,
+            kind: ChannelKind::General,
+            ops,
+            mixture,
+            grams,
+        }
+    }
+
+    /// The structural kind of the channel.
+    pub fn kind(&self) -> ChannelKind {
+        self.kind
+    }
+
+    /// Number of qubits the channel acts on.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The Kraus operators.
+    pub fn ops(&self) -> &[Matrix] {
+        &self.ops
+    }
+
+    /// Gram matrices `K†K`, aligned with [`KrausChannel::ops`].
+    pub fn grams(&self) -> &[Matrix] {
+        &self.grams
+    }
+
+    /// State-independent mixture probabilities, if the channel is a
+    /// probabilistic mixture of unitaries.
+    pub fn mixture_probs(&self) -> Option<&[f64]> {
+        self.mixture.as_ref().map(|(p, _)| p.as_slice())
+    }
+
+    /// Normalized unitaries of a mixed-unitary channel, aligned with
+    /// [`KrausChannel::mixture_probs`].
+    pub fn mixture_unitaries(&self) -> Option<&[Matrix]> {
+        self.mixture.as_ref().map(|(_, u)| u.as_slice())
+    }
+
+    /// The Pauli-twirling approximation of the channel: a Pauli mixture with
+    /// probabilities `q_P = |tr(P·K_i)|² / d²` summed over Kraus operators.
+    ///
+    /// Exact for channels that are already Pauli mixtures; for others (e.g.
+    /// thermal relaxation) it is the standard PTA used to speed up
+    /// stochastic simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for channels on more than 2 qubits.
+    pub fn pauli_twirled(&self) -> KrausChannel {
+        use qt_math::Pauli;
+        assert!(self.n_qubits <= 2, "twirling implemented for 1-2 qubits");
+        let d = (1usize << self.n_qubits) as f64;
+        let paulis: Vec<Matrix> = if self.n_qubits == 1 {
+            Pauli::ALL.iter().map(|p| p.matrix()).collect()
+        } else {
+            let mut v = Vec::with_capacity(16);
+            for hi in Pauli::ALL {
+                for lo in Pauli::ALL {
+                    v.push(hi.matrix().kron(&lo.matrix()));
+                }
+            }
+            v
+        };
+        let mut ops = Vec::new();
+        for p in &paulis {
+            let mut q = 0.0;
+            for k in &self.ops {
+                q += p.trace_product(k).norm_sqr();
+            }
+            q /= d * d;
+            if q > 1e-15 {
+                ops.push(p.scale(Complex::real(q.sqrt())));
+            }
+        }
+        KrausChannel::new(ops)
+    }
+
+    /// The identity channel on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        KrausChannel::new(vec![Matrix::identity(1 << n)])
+    }
+
+    /// The `n`-qubit depolarizing channel with error probability `p`:
+    /// with probability `p` a uniformly random non-identity Pauli is applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]` or `n ∉ {1, 2}`.
+    pub fn depolarizing(n: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        assert!(n == 1 || n == 2, "depolarizing supports 1 or 2 qubits");
+        let paulis_1q = [
+            Matrix::identity(2),
+            qt_math::pauli::x2(),
+            qt_math::pauli::y2(),
+            qt_math::pauli::z2(),
+        ];
+        let mut ops = Vec::new();
+        if n == 1 {
+            let k = 3.0;
+            for (i, m) in paulis_1q.iter().enumerate() {
+                let prob = if i == 0 { 1.0 - p } else { p / k };
+                if prob > 0.0 {
+                    ops.push(m.scale(Complex::real(prob.sqrt())));
+                }
+            }
+        } else {
+            let k = 15.0;
+            for (i, a) in paulis_1q.iter().enumerate() {
+                for (j, b) in paulis_1q.iter().enumerate() {
+                    let prob = if i == 0 && j == 0 { 1.0 - p } else { p / k };
+                    if prob > 0.0 {
+                        // Operand 0 is the low bit: kron(high=b, low=a).
+                        ops.push(b.kron(a).scale(Complex::real(prob.sqrt())));
+                    }
+                }
+            }
+        }
+        let mut ch = KrausChannel::new(ops);
+        ch.kind = ChannelKind::Depolarizing { p };
+        ch
+    }
+
+    /// Single-qubit bit-flip channel (X with probability `p`).
+    pub fn bit_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        KrausChannel::new(vec![
+            Matrix::identity(2).scale(Complex::real((1.0 - p).sqrt())),
+            qt_math::pauli::x2().scale(Complex::real(p.sqrt())),
+        ])
+    }
+
+    /// Single-qubit phase-flip channel (Z with probability `p`).
+    pub fn phase_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        KrausChannel::new(vec![
+            Matrix::identity(2).scale(Complex::real((1.0 - p).sqrt())),
+            qt_math::pauli::z2().scale(Complex::real(p.sqrt())),
+        ])
+    }
+
+    /// Single-qubit amplitude damping with decay probability `gamma`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma));
+        let k0 = Matrix::mat2(
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real((1.0 - gamma).sqrt()),
+        );
+        let k1 = Matrix::mat2(
+            Complex::ZERO,
+            Complex::real(gamma.sqrt()),
+            Complex::ZERO,
+            Complex::ZERO,
+        );
+        KrausChannel::new(vec![k0, k1])
+    }
+
+    /// Single-qubit thermal relaxation for duration `time` with relaxation
+    /// times `t1`, `t2` (same units). Valid for `t2 ≤ 2·t1`.
+    ///
+    /// Modeled as amplitude damping (`γ = 1 − e^{−t/T1}`) followed by pure
+    /// dephasing chosen so the coherence decays as `e^{−t/T2}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t2 > 2 t1` or any parameter is non-positive.
+    pub fn thermal_relaxation(t1: f64, t2: f64, time: f64) -> Self {
+        assert!(t1 > 0.0 && t2 > 0.0 && time >= 0.0);
+        assert!(t2 <= 2.0 * t1, "thermal relaxation requires T2 ≤ 2·T1");
+        let gamma = 1.0 - (-time / t1).exp();
+        // √(1−γ)·√(1−λ) = e^{−t/T2}  ⇒  1−λ = e^{−2t/T2} · e^{t/T1}
+        let one_minus_lambda = ((-2.0 * time / t2).exp() * (time / t1).exp()).min(1.0);
+        let lambda = (1.0 - one_minus_lambda).max(0.0);
+        let k0 = Matrix::mat2(
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real(((1.0 - gamma) * (1.0 - lambda)).sqrt()),
+        );
+        let k1 = Matrix::mat2(
+            Complex::ZERO,
+            Complex::real(gamma.sqrt()),
+            Complex::ZERO,
+            Complex::ZERO,
+        );
+        let k2 = Matrix::mat2(
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real(((1.0 - gamma) * lambda).sqrt()),
+        );
+        KrausChannel::new(vec![k0, k1, k2])
+    }
+}
+
+/// Terminal measurement (readout) error model.
+///
+/// Each measured qubit flips independently: a true `0` reads `1` with
+/// probability `p01`, a true `1` reads `0` with probability `p10`. The
+/// `crosstalk` term adds flip probability proportional to the number of
+/// *other* simultaneously measured qubits — the mechanism measurement
+/// subsetting exploits (Jigsaw, Sec. II-A of the paper).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReadoutModel {
+    /// Default probability of reading 1 when the state is 0.
+    pub default_p01: f64,
+    /// Default probability of reading 0 when the state is 1.
+    pub default_p10: f64,
+    /// Per-qubit overrides `(p01, p10)`.
+    pub per_qubit: BTreeMap<usize, (f64, f64)>,
+    /// Additional flip probability per other simultaneously measured qubit.
+    pub crosstalk: f64,
+}
+
+impl ReadoutModel {
+    /// No readout error.
+    pub fn ideal() -> Self {
+        ReadoutModel::default()
+    }
+
+    /// Uniform symmetric readout error.
+    pub fn uniform(p: f64) -> Self {
+        ReadoutModel {
+            default_p01: p,
+            default_p10: p,
+            ..Default::default()
+        }
+    }
+
+    /// Uniform symmetric readout error with measurement crosstalk.
+    pub fn with_crosstalk(p: f64, crosstalk: f64) -> Self {
+        ReadoutModel {
+            default_p01: p,
+            default_p10: p,
+            crosstalk,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the model is exactly noise-free.
+    pub fn is_ideal(&self) -> bool {
+        self.default_p01 == 0.0
+            && self.default_p10 == 0.0
+            && self.crosstalk == 0.0
+            && self.per_qubit.values().all(|&(a, b)| a == 0.0 && b == 0.0)
+    }
+
+    /// Effective flip probabilities `(p01, p10)` for qubit `q` when
+    /// `n_measured` qubits are read out simultaneously.
+    pub fn flip_probs(&self, q: usize, n_measured: usize) -> (f64, f64) {
+        let (p01, p10) = self
+            .per_qubit
+            .get(&q)
+            .copied()
+            .unwrap_or((self.default_p01, self.default_p10));
+        let extra = self.crosstalk * n_measured.saturating_sub(1) as f64;
+        ((p01 + extra).clamp(0.0, 0.5), (p10 + extra).clamp(0.0, 0.5))
+    }
+}
+
+/// Applies the readout model to an outcome distribution over `measured`
+/// qubits (distribution bit `i` = `measured[i]`).
+///
+/// The returned vector is a proper distribution (sums to the input's sum).
+pub fn apply_readout(
+    probs: &[f64],
+    measured: &[usize],
+    readout: &ReadoutModel,
+) -> Vec<f64> {
+    assert_eq!(probs.len(), 1 << measured.len());
+    if readout.is_ideal() {
+        return probs.to_vec();
+    }
+    let n_measured = measured.len();
+    let mut cur = probs.to_vec();
+    for (pos, &q) in measured.iter().enumerate() {
+        let (p01, p10) = readout.flip_probs(q, n_measured);
+        if p01 == 0.0 && p10 == 0.0 {
+            continue;
+        }
+        let mask = 1usize << pos;
+        let mut next = vec![0.0; cur.len()];
+        for (idx, &p) in cur.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            if idx & mask == 0 {
+                next[idx] += p * (1.0 - p01);
+                next[idx | mask] += p * p01;
+            } else {
+                next[idx] += p * (1.0 - p10);
+                next[idx & !mask] += p * p10;
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// A gate-level noise rule: channels applied on the full operand set plus
+/// channels applied on each operand individually (e.g. thermal relaxation).
+#[derive(Debug, Clone, Default)]
+pub struct NoiseRule {
+    /// Channels acting on all operands jointly (arity must match the gate).
+    pub full: Vec<KrausChannel>,
+    /// Single-qubit channels applied to every operand.
+    pub per_operand: Vec<KrausChannel>,
+}
+
+impl NoiseRule {
+    /// No noise.
+    pub fn ideal() -> Self {
+        NoiseRule::default()
+    }
+
+    /// Whether the rule applies no noise at all.
+    pub fn is_ideal(&self) -> bool {
+        self.full.is_empty() && self.per_operand.is_empty()
+    }
+}
+
+/// A complete gate + readout noise model.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseModel {
+    /// Rule applied to single-qubit gates.
+    pub one_qubit: NoiseRule,
+    /// Rule applied to two-qubit gates.
+    pub two_qubit: NoiseRule,
+    /// Per-qubit overrides for single-qubit gates.
+    pub per_qubit: BTreeMap<usize, NoiseRule>,
+    /// Per-edge overrides for two-qubit gates (key = sorted qubit pair).
+    pub per_edge: BTreeMap<(usize, usize), NoiseRule>,
+    /// Terminal readout error.
+    pub readout: ReadoutModel,
+}
+
+impl NoiseModel {
+    /// A noise-free model.
+    pub fn ideal() -> Self {
+        NoiseModel::default()
+    }
+
+    /// Uniform depolarizing gate noise (`p1` after 1q gates, `p2` after 2q
+    /// gates) with no readout error.
+    pub fn depolarizing(p1: f64, p2: f64) -> Self {
+        NoiseModel {
+            one_qubit: NoiseRule {
+                full: vec![KrausChannel::depolarizing(1, p1)],
+                per_operand: vec![],
+            },
+            two_qubit: NoiseRule {
+                full: vec![KrausChannel::depolarizing(2, p2)],
+                per_operand: vec![],
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Adds a uniform symmetric readout error.
+    pub fn with_readout(mut self, p: f64) -> Self {
+        self.readout = ReadoutModel::uniform(p);
+        self
+    }
+
+    /// Adds a readout model.
+    pub fn with_readout_model(mut self, readout: ReadoutModel) -> Self {
+        self.readout = readout;
+        self
+    }
+
+    /// Replaces every gate channel by its Pauli-twirling approximation
+    /// (readout is unchanged). Speeds up trajectory simulation of models
+    /// with state-dependent channels such as thermal relaxation.
+    pub fn pauli_twirled(&self) -> NoiseModel {
+        let twirl_rule = |r: &NoiseRule| NoiseRule {
+            full: r.full.iter().map(KrausChannel::pauli_twirled).collect(),
+            per_operand: r
+                .per_operand
+                .iter()
+                .map(KrausChannel::pauli_twirled)
+                .collect(),
+        };
+        NoiseModel {
+            one_qubit: twirl_rule(&self.one_qubit),
+            two_qubit: twirl_rule(&self.two_qubit),
+            per_qubit: self
+                .per_qubit
+                .iter()
+                .map(|(&q, r)| (q, twirl_rule(r)))
+                .collect(),
+            per_edge: self
+                .per_edge
+                .iter()
+                .map(|(&e, r)| (e, twirl_rule(r)))
+                .collect(),
+            readout: self.readout.clone(),
+        }
+    }
+
+    /// Whether the model applies no gate noise (readout may still be noisy).
+    pub fn gates_are_ideal(&self) -> bool {
+        self.one_qubit.is_ideal()
+            && self.two_qubit.is_ideal()
+            && self.per_qubit.values().all(NoiseRule::is_ideal)
+            && self.per_edge.values().all(NoiseRule::is_ideal)
+    }
+
+    /// Resolves the channels to apply after an instruction, as
+    /// `(operand qubits, channel)` pairs in application order.
+    pub fn channels_for(&self, instr: &qt_circuit::Instruction) -> Vec<(Vec<usize>, &KrausChannel)> {
+        let arity = instr.qubits.len();
+        let rule: &NoiseRule = match arity {
+            1 => self
+                .per_qubit
+                .get(&instr.qubits[0])
+                .unwrap_or(&self.one_qubit),
+            2 => {
+                let mut key = (instr.qubits[0], instr.qubits[1]);
+                if key.0 > key.1 {
+                    key = (key.1, key.0);
+                }
+                self.per_edge.get(&key).unwrap_or(&self.two_qubit)
+            }
+            // Wider gates: fall back to per-operand single-qubit noise of the
+            // two-qubit rule (device flows decompose to 2q first).
+            _ => &self.two_qubit,
+        };
+        let mut out = Vec::new();
+        if arity <= 2 {
+            for ch in &rule.full {
+                assert_eq!(
+                    ch.n_qubits(),
+                    arity,
+                    "full-channel arity mismatch for gate {}",
+                    instr.gate.name()
+                );
+                out.push((instr.qubits.clone(), ch));
+            }
+        }
+        for ch in &rule.per_operand {
+            assert_eq!(ch.n_qubits(), 1);
+            for &q in &instr.qubits {
+                out.push((vec![q], ch));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_circuit::{Gate, Instruction};
+
+    #[test]
+    fn depolarizing_is_trace_preserving_and_mixed_unitary() {
+        for p in [0.0, 0.01, 0.3, 1.0] {
+            let ch = KrausChannel::depolarizing(1, p);
+            assert!(ch.mixture_probs().is_some());
+            let ch2 = KrausChannel::depolarizing(2, p);
+            assert!(ch2.mixture_probs().is_some());
+            if p > 0.0 {
+                let probs = ch2.mixture_probs().unwrap();
+                assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn thermal_relaxation_is_valid_channel() {
+        let ch = KrausChannel::thermal_relaxation(125.94e3, 188.75e3, 426.667);
+        // Completeness is checked in the constructor; also not mixed-unitary.
+        assert!(ch.mixture_probs().is_none());
+        assert_eq!(ch.ops().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness")]
+    fn invalid_kraus_rejected() {
+        KrausChannel::new(vec![qt_math::pauli::x2().scale(Complex::real(0.5))]);
+    }
+
+    #[test]
+    fn readout_confusion_single_qubit() {
+        let ro = ReadoutModel::uniform(0.1);
+        let out = apply_readout(&[1.0, 0.0], &[0], &ro);
+        assert!((out[0] - 0.9).abs() < 1e-12);
+        assert!((out[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_crosstalk_grows_with_measured_count() {
+        let ro = ReadoutModel::with_crosstalk(0.01, 0.02);
+        let (p01_alone, _) = ro.flip_probs(0, 1);
+        let (p01_many, _) = ro.flip_probs(0, 5);
+        assert!((p01_alone - 0.01).abs() < 1e-12);
+        assert!((p01_many - (0.01 + 0.08)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_preserves_total_probability() {
+        let ro = ReadoutModel {
+            default_p01: 0.07,
+            default_p10: 0.12,
+            crosstalk: 0.01,
+            ..Default::default()
+        };
+        let probs = vec![0.5, 0.2, 0.2, 0.1];
+        let out = apply_readout(&probs, &[3, 5], &ro);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channels_resolve_with_overrides() {
+        let mut nm = NoiseModel::depolarizing(0.001, 0.01);
+        nm.per_qubit.insert(
+            7,
+            NoiseRule {
+                full: vec![KrausChannel::depolarizing(1, 0.5)],
+                per_operand: vec![],
+            },
+        );
+        let i1 = Instruction::new(Gate::H, vec![7]);
+        let chans = nm.channels_for(&i1);
+        assert_eq!(chans.len(), 1);
+        // The override applies: p=0.5 depolarizing has I-prob 0.5.
+        assert!((chans[0].1.mixture_probs().unwrap()[0] - 0.5).abs() < 1e-12);
+        let i2 = Instruction::new(Gate::Cz, vec![2, 1]);
+        let chans2 = nm.channels_for(&i2);
+        assert_eq!(chans2.len(), 1);
+        assert_eq!(chans2[0].0, vec![2, 1]);
+    }
+
+    #[test]
+    fn twirled_amplitude_damping_has_textbook_probabilities() {
+        let gamma: f64 = 0.3;
+        let ch = KrausChannel::amplitude_damping(gamma).pauli_twirled();
+        let probs = ch.mixture_probs().expect("twirled channel is a mixture");
+        let s = (1.0 - gamma).sqrt();
+        let expect = [
+            (1.0 + s) * (1.0 + s) / 4.0,
+            gamma / 4.0,
+            gamma / 4.0,
+            (1.0 - s) * (1.0 - s) / 4.0,
+        ];
+        assert_eq!(probs.len(), 4);
+        for (p, e) in probs.iter().zip(expect) {
+            assert!((p - e).abs() < 1e-10, "twirled probs {probs:?}");
+        }
+    }
+
+    #[test]
+    fn twirling_fixes_pauli_channels() {
+        let ch = KrausChannel::depolarizing(1, 0.2);
+        let tw = ch.pauli_twirled();
+        let a = ch.mixture_probs().unwrap();
+        let b = tw.mixture_probs().unwrap();
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let ch = KrausChannel::amplitude_damping(0.3);
+        let mut rho = crate::DensityMatrix::from_matrix(&qt_math::states::PrepState::One.projector());
+        rho.apply_kraus(ch.ops(), &[0]);
+        let d = rho.diagonal();
+        assert!((d[0] - 0.3).abs() < 1e-12);
+        assert!((d[1] - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! The execution IR: circuits plus mid-circuit wire resets.
+//!
+//! QSPC replaces the traced qubit's wire at a cut by a fresh preparation
+//! (Eq. 9 of the paper). In the executable representation this is a
+//! [`Op::Reset`]: trace out the qubits and re-prepare them in a pure state.
+
+use qt_circuit::{Circuit, Instruction};
+use qt_math::states::PrepState;
+use qt_math::Complex;
+
+/// One execution step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A unitary gate (noise channels attach per the noise model).
+    Gate(Instruction),
+    /// A unitary gate executed **noiselessly** regardless of the noise
+    /// model. Used by the *ideal PCS* baseline, whose checking circuit is
+    /// assumed error-free (Sec. VII-A of the paper).
+    IdealGate(Instruction),
+    /// Trace out `qubits` and re-prepare them in the pure state `ket`
+    /// (dimension `2^k`, operand 0 = least-significant bit of the index).
+    Reset {
+        /// The qubits whose wire is replaced.
+        qubits: Vec<usize>,
+        /// The fresh state.
+        ket: Vec<Complex>,
+    },
+}
+
+/// An executable program: a register size and a list of steps.
+///
+/// # Example
+///
+/// ```
+/// use qt_sim::{Program, Op};
+/// use qt_circuit::Circuit;
+/// use qt_math::states::PrepState;
+///
+/// let mut prefix = Circuit::new(2);
+/// prefix.h(0).cx(0, 1);
+/// let mut prog = Program::from_circuit(&prefix);
+/// prog.push_reset_state(&[0], PrepState::Plus);
+/// assert_eq!(prog.ops().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    n_qubits: usize,
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// An empty program on `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        Program {
+            n_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Wraps a plain circuit.
+    pub fn from_circuit(circ: &Circuit) -> Self {
+        let mut p = Program::new(circ.n_qubits());
+        p.push_circuit(circ);
+        p
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The steps.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Whether the program contains any reset.
+    pub fn has_resets(&self) -> bool {
+        self.ops.iter().any(|o| matches!(o, Op::Reset { .. }))
+    }
+
+    /// Appends one gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range.
+    pub fn push_gate(&mut self, instr: Instruction) -> &mut Self {
+        for &q in &instr.qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
+        self.ops.push(Op::Gate(instr));
+        self
+    }
+
+    /// Appends one gate that executes noiselessly (see [`Op::IdealGate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range.
+    pub fn push_ideal_gate(&mut self, instr: Instruction) -> &mut Self {
+        for &q in &instr.qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
+        self.ops.push(Op::IdealGate(instr));
+        self
+    }
+
+    /// Appends every instruction of `circ`.
+    pub fn push_circuit(&mut self, circ: &Circuit) -> &mut Self {
+        assert!(circ.n_qubits() <= self.n_qubits);
+        for instr in circ.instructions() {
+            self.push_gate(instr.clone());
+        }
+        self
+    }
+
+    /// Appends a reset of `qubits` to an arbitrary pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ket dimension does not match or a qubit is out of range.
+    pub fn push_reset(&mut self, qubits: &[usize], ket: Vec<Complex>) -> &mut Self {
+        assert_eq!(ket.len(), 1 << qubits.len(), "ket dimension mismatch");
+        for &q in qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
+        self.ops.push(Op::Reset {
+            qubits: qubits.to_vec(),
+            ket,
+        });
+        self
+    }
+
+    /// Appends a reset of one or more qubits to a product of Pauli
+    /// eigenstates (one [`PrepState`] per qubit — here a single state for a
+    /// single qubit).
+    pub fn push_reset_state(&mut self, qubits: &[usize], state: PrepState) -> &mut Self {
+        assert_eq!(qubits.len(), 1, "push_reset_state is single-qubit");
+        self.push_reset(qubits, state.ket().to_vec())
+    }
+
+    /// Appends a reset of two qubits to the product state `low ⊗ high`
+    /// (`qubits[0]` gets `low`).
+    pub fn push_reset_pair(&mut self, qubits: &[usize; 2], low: PrepState, high: PrepState) -> &mut Self {
+        let l = low.ket();
+        let h = high.ket();
+        let mut ket = vec![Complex::ZERO; 4];
+        for (i, k) in ket.iter_mut().enumerate() {
+            *k = l[i & 1] * h[(i >> 1) & 1];
+        }
+        self.push_reset(&qubits.to_vec(), ket)
+    }
+
+    /// Re-targets every step through `map` (old qubit → new qubit), which
+    /// must be a permutation of `0..n_qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` has the wrong length or maps out of range.
+    pub fn remapped(&self, map: &[usize]) -> Program {
+        assert_eq!(map.len(), self.n_qubits, "permutation length mismatch");
+        let mut out = Program::new(self.n_qubits);
+        for op in &self.ops {
+            match op {
+                Op::Gate(i) => {
+                    let qs = i.qubits.iter().map(|&q| map[q]).collect();
+                    out.push_gate(Instruction::new(i.gate.clone(), qs));
+                }
+                Op::IdealGate(i) => {
+                    let qs = i.qubits.iter().map(|&q| map[q]).collect();
+                    out.push_ideal_gate(Instruction::new(i.gate.clone(), qs));
+                }
+                Op::Reset { qubits, ket } => {
+                    let qs: Vec<usize> = qubits.iter().map(|&q| map[q]).collect();
+                    out.push_reset(&qs, ket.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of gate steps (ignoring resets).
+    pub fn gate_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Gate(_) | Op::IdealGate(_)))
+            .count()
+    }
+
+    /// Number of multi-qubit gate steps.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| {
+                matches!(o, Op::Gate(i) | Op::IdealGate(i) if i.gate.is_multi_qubit())
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_circuit_preserves_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cz(1, 2);
+        let p = Program::from_circuit(&c);
+        assert_eq!(p.gate_count(), 3);
+        assert_eq!(p.two_qubit_gate_count(), 2);
+        assert!(!p.has_resets());
+    }
+
+    #[test]
+    fn reset_pair_builds_product_ket() {
+        let mut p = Program::new(2);
+        p.push_reset_pair(&[0, 1], PrepState::One, PrepState::Plus);
+        let Op::Reset { ket, .. } = &p.ops()[0] else {
+            panic!("expected reset");
+        };
+        // |1⟩ on qubit 0, |+⟩ on qubit 1: amplitude on index 1 (q0=1,q1=0)
+        // and 3 (q0=1,q1=1), each 1/√2.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(ket[0].approx_eq(Complex::ZERO, 1e-12));
+        assert!(ket[1].approx_eq(Complex::real(s), 1e-12));
+        assert!(ket[2].approx_eq(Complex::ZERO, 1e-12));
+        assert!(ket[3].approx_eq(Complex::real(s), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reset_checks_range() {
+        let mut p = Program::new(1);
+        p.push_reset_state(&[1], PrepState::Zero);
+    }
+}

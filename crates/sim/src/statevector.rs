@@ -1,0 +1,371 @@
+//! Pure-state simulation.
+
+use crate::kernel;
+use qt_circuit::{Circuit, Instruction};
+use qt_math::{Complex, Matrix, PauliString};
+use rand::{Rng, RngExt};
+
+/// Maximum register size accepted by the state-vector engine.
+pub const MAX_QUBITS: usize = 26;
+
+/// A normalized pure state of `n` qubits.
+///
+/// # Example
+///
+/// ```
+/// use qt_sim::StateVector;
+/// use qt_circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let sv = StateVector::from_circuit(&bell);
+/// let p = sv.probabilities();
+/// assert!((p[0] - 0.5).abs() < 1e-12 && (p[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_QUBITS`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= MAX_QUBITS, "register too large: {n} qubits");
+        let mut amps = vec![Complex::ZERO; 1 << n];
+        amps[0] = Complex::ONE;
+        StateVector { n, amps }
+    }
+
+    /// Builds a state from raw amplitudes (must have power-of-two length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the norm is not ≈ 1.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two(), "length must be a power of two");
+        let n = len.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!(
+            (norm - 1.0).abs() < 1e-8,
+            "state vector is not normalized (norm² = {norm})"
+        );
+        StateVector { n, amps }
+    }
+
+    /// Runs `circ` (noiselessly) on `|0…0⟩`.
+    pub fn from_circuit(circ: &Circuit) -> Self {
+        let mut sv = StateVector::zero(circ.n_qubits());
+        sv.apply_circuit(circ);
+        sv
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitude array (index bit `q` = qubit `q`).
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Mutable access to the amplitudes.
+    ///
+    /// The caller is responsible for keeping the state normalized.
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
+    }
+
+    /// Applies a raw operator matrix on the given qubits.
+    pub fn apply_op(&mut self, op: &Matrix, qubits: &[usize]) {
+        kernel::apply_op(&mut self.amps, self.n, op, qubits);
+    }
+
+    /// Applies one instruction.
+    pub fn apply_instruction(&mut self, instr: &Instruction) {
+        self.apply_op(&instr.gate.matrix(), &instr.qubits);
+    }
+
+    /// Applies a whole circuit.
+    pub fn apply_circuit(&mut self, circ: &Circuit) {
+        assert!(circ.n_qubits() <= self.n, "circuit does not fit register");
+        for instr in circ.instructions() {
+            self.apply_instruction(instr);
+        }
+    }
+
+    /// The Born-rule probability vector over all `2^n` outcomes.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Marginal probabilities over `subset` (output bit `i` = `subset[i]`).
+    pub fn marginal_probabilities(&self, subset: &[usize]) -> Vec<f64> {
+        kernel::marginal_probabilities(&self.amps, subset)
+    }
+
+    /// Expectation value of a Pauli string.
+    pub fn expectation_pauli(&self, p: &PauliString) -> Complex {
+        assert_eq!(p.len(), self.n, "pauli string length mismatch");
+        let support = p.support();
+        if support.is_empty() {
+            return p.phase();
+        }
+        let mut op = Matrix::identity(1);
+        for &q in support.iter().rev() {
+            op = op.kron(&p.pauli(q).matrix());
+        }
+        kernel::expectation_local(&self.amps, self.n, &op, &support) * p.phase()
+    }
+
+    /// Expectation of a local operator on `qubits`.
+    pub fn expectation_local(&self, op: &Matrix, qubits: &[usize]) -> Complex {
+        kernel::expectation_local(&self.amps, self.n, op, qubits)
+    }
+
+    /// Probability that qubit `q` reads `bit` in the computational basis.
+    pub fn probability_of_bit(&self, q: usize, bit: usize) -> f64 {
+        kernel::probability_of_bit(&self.amps, q, bit)
+    }
+
+    /// Projects qubit `q` onto `bit` and renormalizes. Returns the
+    /// probability of that outcome.
+    ///
+    /// If the outcome has zero probability the state is left unchanged and
+    /// `0.0` is returned.
+    pub fn collapse(&mut self, q: usize, bit: usize) -> f64 {
+        let p = self.probability_of_bit(q, bit);
+        if p <= 0.0 {
+            return 0.0;
+        }
+        let mask = 1usize << q;
+        let want = bit << q;
+        let scale = 1.0 / p.sqrt();
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & mask == want {
+                *a = a.scale(scale);
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+        p
+    }
+
+    /// Measures qubit `q` in the computational basis, collapsing the state.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> usize {
+        let p0 = self.probability_of_bit(q, 0);
+        let bit = if rng.random::<f64>() < p0 { 0 } else { 1 };
+        self.collapse(q, bit);
+        bit
+    }
+
+    /// Resets `qubits` to the pure state `ket` (dimension `2^k`), tracing out
+    /// their previous contents by a projective Z measurement.
+    ///
+    /// This realizes the reset channel exactly in expectation over the
+    /// measurement randomness — the workhorse of QSPC's wire replacement.
+    pub fn reset_to_ket<R: Rng + ?Sized>(&mut self, qubits: &[usize], ket: &[Complex], rng: &mut R) {
+        assert_eq!(ket.len(), 1 << qubits.len(), "ket dimension mismatch");
+        // Collapse each qubit, then map the observed basis state to |0…0⟩.
+        for &q in qubits {
+            let bit = self.measure(q, rng);
+            if bit == 1 {
+                self.apply_op(&qt_math::pauli::x2(), &[q]);
+            }
+        }
+        // Apply a unitary whose first column is `ket`.
+        let u = unitary_with_first_column(ket);
+        self.apply_op(&u, qubits);
+    }
+
+    /// The squared norm (should be 1 up to rounding).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Samples `shots` outcomes over `subset`, returning counts indexed by
+    /// the subset bit pattern.
+    pub fn sample_counts<R: Rng + ?Sized>(
+        &self,
+        subset: &[usize],
+        shots: usize,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let probs = self.marginal_probabilities(subset);
+        sample_from_probs(&probs, shots, rng)
+    }
+}
+
+/// Samples `shots` outcomes from a probability vector.
+pub fn sample_from_probs<R: Rng + ?Sized>(probs: &[f64], shots: usize, rng: &mut R) -> Vec<u64> {
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for &p in probs {
+        acc += p.max(0.0);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut counts = vec![0u64; probs.len()];
+    for _ in 0..shots {
+        let r: f64 = rng.random::<f64>() * total;
+        let idx = cdf.partition_point(|&c| c < r).min(probs.len() - 1);
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Builds a unitary whose first column is `ket` via Gram–Schmidt over the
+/// computational basis.
+///
+/// # Panics
+///
+/// Panics if `ket` is (numerically) zero.
+pub fn unitary_with_first_column(ket: &[Complex]) -> Matrix {
+    let d = ket.len();
+    let mut cols: Vec<Vec<Complex>> = Vec::with_capacity(d);
+    let norm = ket.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    assert!(norm > 1e-12, "cannot build unitary from zero vector");
+    cols.push(ket.iter().map(|a| a.scale(1.0 / norm)).collect());
+    for basis in 0..d {
+        if cols.len() == d {
+            break;
+        }
+        let mut v = vec![Complex::ZERO; d];
+        v[basis] = Complex::ONE;
+        for c in &cols {
+            let overlap: Complex = c.iter().zip(&v).map(|(a, b)| a.conj() * *b).sum();
+            for (vi, ci) in v.iter_mut().zip(c) {
+                *vi -= *ci * overlap;
+            }
+        }
+        let vnorm = v.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        if vnorm > 1e-9 {
+            cols.push(v.iter().map(|a| a.scale(1.0 / vnorm)).collect());
+        }
+    }
+    assert_eq!(cols.len(), d, "failed to complete unitary basis");
+    let mut u = Matrix::zeros(d, d);
+    for (j, c) in cols.iter().enumerate() {
+        for (i, &a) in c.iter().enumerate() {
+            u[(i, j)] = a;
+        }
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_math::states::PrepState;
+    use qt_math::Pauli;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ghz_probabilities() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let sv = StateVector::from_circuit(&c);
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[7] - 0.5).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_expectations_on_ghz() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let sv = StateVector::from_circuit(&c);
+        let xxx = PauliString::from_paulis(vec![Pauli::X; 3]);
+        assert!(sv.expectation_pauli(&xxx).approx_eq(Complex::ONE, 1e-12));
+        let zzi = PauliString::from_paulis(vec![Pauli::Z, Pauli::Z, Pauli::I]);
+        assert!(sv.expectation_pauli(&zzi).approx_eq(Complex::ONE, 1e-12));
+        let z = PauliString::single(3, 0, Pauli::Z);
+        assert!(sv.expectation_pauli(&z).approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn collapse_renormalizes() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut sv = StateVector::from_circuit(&c);
+        let p = sv.collapse(0, 1);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+        // After collapsing qubit 0 to 1 the Bell state is |11⟩.
+        assert!(sv.probabilities()[3] > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn reset_prepares_requested_state() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        for s in PrepState::ALL {
+            let mut sv = StateVector::from_circuit(&c);
+            sv.reset_to_ket(&[0], &s.ket(), &mut rng);
+            // Qubit 0 must now be exactly in state s (pure).
+            let rho = [
+                sv.expectation_pauli(&PauliString::single(2, 0, Pauli::X)),
+                sv.expectation_pauli(&PauliString::single(2, 0, Pauli::Y)),
+                sv.expectation_pauli(&PauliString::single(2, 0, Pauli::Z)),
+            ];
+            let want = qt_math::states::bloch_vector(&s.projector());
+            for (got, want) in rho.iter().zip(want) {
+                assert!(
+                    got.approx_eq(Complex::real(want), 1e-10),
+                    "reset to {s} wrong"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unitary_first_column_is_unitary() {
+        for s in PrepState::ALL {
+            let u = unitary_with_first_column(&s.ket());
+            assert!(u.is_unitary(1e-10));
+            assert!(u[(0, 0)].approx_eq(s.ket()[0], 1e-12));
+            assert!(u[(1, 0)].approx_eq(s.ket()[1], 1e-12));
+        }
+        // Also a 2-qubit (4-dim) example.
+        let bell = vec![
+            Complex::real(std::f64::consts::FRAC_1_SQRT_2),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real(std::f64::consts::FRAC_1_SQRT_2),
+        ];
+        let u = unitary_with_first_column(&bell);
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn sampling_concentrates_on_support() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let sv = StateVector::from_circuit(&c);
+        let counts = sv.sample_counts(&[0, 1], 100, &mut rng);
+        assert_eq!(counts[2], 100); // |q1 q0⟩ = |10⟩ → subset pattern 0b10
+    }
+
+    #[test]
+    fn measure_statistics_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ones = 0;
+        for _ in 0..2000 {
+            let mut sv = StateVector::zero(1);
+            sv.apply_op(&qt_circuit::Gate::H.matrix(), &[0]);
+            ones += sv.measure(0, &mut rng);
+        }
+        let f = ones as f64 / 2000.0;
+        assert!((f - 0.5).abs() < 0.05, "measured frequency {f}");
+    }
+}

@@ -1,0 +1,16 @@
+//! QuTracer — facade crate re-exporting the whole workspace.
+//!
+//! Reproduction of "QuTracer: Mitigating Quantum Gate and Measurement Errors
+//! by Tracing Subsets of Qubits" (ISCA 2024). See the README for the
+//! architecture overview and `DESIGN.md` for the experiment index.
+
+pub use qt_algos as algos;
+pub use qt_baselines as baselines;
+pub use qt_circuit as circuit;
+pub use qt_core as core;
+pub use qt_cut as cut;
+pub use qt_device as device;
+pub use qt_dist as dist;
+pub use qt_math as math;
+pub use qt_pcs as pcs;
+pub use qt_sim as sim;

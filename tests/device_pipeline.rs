@@ -1,0 +1,86 @@
+//! Integration tests for the device path: transpilation semantics,
+//! remapping benefits and the full framework on a synthesized backend.
+
+use qutracer::algos::vqe_ansatz;
+use qutracer::core::{run_qutracer, QuTracerConfig};
+use qutracer::device::{Device, DeviceExecutor};
+use qutracer::dist::{hellinger_fidelity, Distribution};
+use qutracer::sim::{ideal_distribution, Program, Runner};
+
+#[test]
+fn framework_runs_end_to_end_on_device_model() {
+    let n = 8;
+    let circ = vqe_ansatz(n, 1, 21);
+    let measured: Vec<usize> = (0..n).collect();
+    let exec = DeviceExecutor::new(Device::fake_hanoi());
+    let report = run_qutracer(&exec, &circ, &measured, &QuTracerConfig::single());
+    let ideal = Distribution::from_probs(
+        n,
+        ideal_distribution(&Program::from_circuit(&circ), &measured),
+    );
+    let before = hellinger_fidelity(&report.global, &ideal);
+    let after = hellinger_fidelity(&report.distribution, &ideal);
+    assert!(
+        after > before,
+        "device-model mitigation failed: {before} -> {after}"
+    );
+    // QuTracer's circuits must be much smaller than the global one.
+    assert!(
+        report.stats.avg_two_qubit_gates < report.stats.global_two_qubit_gates as f64 / 2.0,
+        "avg {} vs global {}",
+        report.stats.avg_two_qubit_gates,
+        report.stats.global_two_qubit_gates
+    );
+}
+
+#[test]
+fn subset_runs_use_better_qubits_than_forced_bad_ones() {
+    // Qubit remapping: a small circuit must land on low-error qubits, so
+    // its readout must beat the device's *worst* qubit.
+    let device = Device::fake_hanoi();
+    let worst = (0..device.n_qubits())
+        .map(|q| device.readout_error(q))
+        .fold(0.0f64, f64::max);
+    let best = (0..device.n_qubits())
+        .map(|q| device.readout_error(q))
+        .fold(1.0f64, f64::min);
+    assert!(worst > best * 1.5, "calibration spread expected");
+
+    let exec = DeviceExecutor::new(device);
+    let mut c = qutracer::circuit::Circuit::new(1);
+    c.x(0);
+    let out = exec.run(&Program::from_circuit(&c), &[0]);
+    // p(correct) = 1 − p10 of the chosen physical qubit ≥ 1 − 2·best-ish.
+    assert!(
+        out.dist[1] > 1.0 - 3.0 * best - 0.01,
+        "remapping should pick a good qubit: p1 = {}",
+        out.dist[1]
+    );
+}
+
+#[test]
+fn transpile_counts_are_stable_across_calls() {
+    let exec = DeviceExecutor::new(Device::fake_hanoi());
+    let circ = vqe_ansatz(10, 1, 5);
+    let measured: Vec<usize> = (0..10).collect();
+    let p = Program::from_circuit(&circ);
+    let (a, _, _) = exec.transpile(&p, &measured);
+    let (b, _, _) = exec.transpile(&p, &measured);
+    assert_eq!(a.two_qubit_gate_count(), b.two_qubit_gate_count());
+}
+
+#[test]
+fn eagle_device_hosts_ring_workloads() {
+    let exec = DeviceExecutor::new(Device::fake_kyoto());
+    let circ = qutracer::algos::qaoa_maxcut(
+        8,
+        &qutracer::algos::ring_graph(8),
+        &qutracer::algos::QaoaParams::seeded(1, 2),
+    );
+    let measured: Vec<usize> = (0..8).collect();
+    let out = exec.run(&Program::from_circuit(&circ), &measured);
+    assert!((out.dist.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    // 8 edges × 2 CX plus limited swap overhead.
+    assert!(out.two_qubit_gates >= 16 && out.two_qubit_gates <= 34,
+        "2q count {}", out.two_qubit_gates);
+}
