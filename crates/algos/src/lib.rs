@@ -82,7 +82,7 @@ mod tests {
         assert_eq!(suite.len(), 8);
         for wl in &suite {
             assert!(!wl.measured.is_empty());
-            assert!(wl.circuit.len() > 0, "{} is empty", wl.name);
+            assert!(!wl.circuit.is_empty(), "{} is empty", wl.name);
             for &m in &wl.measured {
                 assert!(m < wl.circuit.n_qubits());
             }

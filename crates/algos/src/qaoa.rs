@@ -100,7 +100,12 @@ pub fn expected_cut(probs: &[f64], edges: &[(usize, usize)]) -> f64 {
 /// extension (each new layer optimized with earlier layers fixed).
 ///
 /// Intended for the small instances of the paper's evaluation (n ≤ 12).
-pub fn optimize_angles(n: usize, edges: &[(usize, usize)], layers: usize, grid: usize) -> QaoaParams {
+pub fn optimize_angles(
+    n: usize,
+    edges: &[(usize, usize)],
+    layers: usize,
+    grid: usize,
+) -> QaoaParams {
     use qt_sim::StateVector;
     let mut params = QaoaParams {
         gammas: Vec::new(),

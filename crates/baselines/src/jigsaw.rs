@@ -10,7 +10,7 @@
 use crate::OverheadStats;
 use qt_circuit::Circuit;
 use qt_dist::{recombine, Distribution};
-use qt_sim::{Program, Runner};
+use qt_sim::{BatchJob, Program, Runner};
 
 /// Result of a Jigsaw run.
 #[derive(Debug, Clone)]
@@ -46,8 +46,6 @@ pub fn run_jigsaw<R: Runner>(
         "subset larger than the measured register"
     );
     let program = Program::from_circuit(circuit);
-    let global_out = runner.run(&program, measured);
-    let global = Distribution::from_probs(measured.len(), global_out.dist);
 
     // Partition the measured qubits into subsets.
     let mut subsets: Vec<Vec<usize>> = Vec::new();
@@ -59,14 +57,23 @@ pub fn run_jigsaw<R: Runner>(
         start = end;
     }
 
-    let mut locals = Vec::new();
-    let mut n_circuits = 1;
+    // Global mode plus every subset mode, executed as one parallel batch
+    // (the modes are independent circuit copies in the protocol).
+    let mut jobs = vec![BatchJob::new(program.clone(), measured.to_vec())];
     for positions in &subsets {
         let qubits: Vec<usize> = positions.iter().map(|&p| measured[p]).collect();
-        let out = runner.run(&program, &qubits);
+        jobs.push(BatchJob::new(program.clone(), qubits));
+    }
+    let mut outs = runner.run_batch(&jobs).into_iter();
+    let global_out = outs.next().expect("global job present");
+    let global = Distribution::from_probs(measured.len(), global_out.dist);
+
+    let mut locals = Vec::new();
+    let mut n_circuits = 1;
+    for (positions, out) in subsets.iter().zip(outs) {
         n_circuits += 1;
         locals.push((
-            Distribution::from_probs(qubits.len(), out.dist),
+            Distribution::from_probs(positions.len(), out.dist),
             positions.clone(),
         ));
     }
@@ -102,8 +109,8 @@ mod tests {
             6,
             ideal_distribution(&Program::from_circuit(&circ), &measured),
         );
-        let noise = NoiseModel::ideal()
-            .with_readout_model(ReadoutModel::with_crosstalk(0.01, 0.02));
+        let noise =
+            NoiseModel::ideal().with_readout_model(ReadoutModel::with_crosstalk(0.01, 0.02));
         let exec = Executor::with_backend(noise, Backend::DensityMatrix);
         let report = run_jigsaw(&exec, &circ, &measured, 2);
         let f_before = hellinger_fidelity(&report.global, &ideal);
@@ -139,10 +146,7 @@ mod tests {
     fn subsets_cover_all_measured_bits() {
         let circ = vqe_ansatz(5, 1, 2);
         let measured: Vec<usize> = (0..5).collect();
-        let exec = Executor::with_backend(
-            NoiseModel::ideal(),
-            Backend::DensityMatrix,
-        );
+        let exec = Executor::with_backend(NoiseModel::ideal(), Backend::DensityMatrix);
         let report = run_jigsaw(&exec, &circ, &measured, 2);
         let mut covered: Vec<usize> = report
             .locals

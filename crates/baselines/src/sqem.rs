@@ -72,9 +72,8 @@ pub fn run_sqem<R: Runner>(
     let mut mitig_circuits = 0usize;
 
     for (pos, &qubit) in measured.iter().enumerate() {
-        let segments = passes::split_into_segments(circuit, &[qubit]).map_err(|_| {
-            SqemUnsupported { qubit, layers: 0 }
-        })?;
+        let segments = passes::split_into_segments(circuit, &[qubit])
+            .map_err(|_| SqemUnsupported { qubit, layers: 0 })?;
         let checking: Vec<usize> = segments
             .iter()
             .enumerate()

@@ -102,6 +102,36 @@ fn bench_trajectories(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs multi-threaded batched shot execution on a 16-qubit
+/// trajectory workload — the scaling headline of the parallel `Backend`
+/// engine (compare the `1thread` and `allthreads` rows).
+fn bench_parallel_trajectories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_trajectories");
+    group.sample_size(10);
+    let circ = qt_algos::vqe_ansatz(16, 1, 5);
+    let program = Program::from_circuit(&circ);
+    let measured: Vec<usize> = (0..16).collect();
+    let cores = qt_sim::backend::available_threads();
+    for (label, threads) in [
+        ("vqe16_256traj_1thread", 1),
+        ("vqe16_256traj_allthreads", cores),
+    ] {
+        group.bench_function(label, |b| {
+            let exec = Executor::with_backend(
+                // Strong enough that stratification cannot skip the work.
+                NoiseModel::depolarizing(0.02, 0.08),
+                qt_sim::Backend::Trajectory(TrajectoryConfig {
+                    n_trajectories: 256,
+                    seed: 1,
+                    n_threads: Some(threads),
+                }),
+            );
+            b.iter(|| black_box(exec.noisy_distribution(&program, &measured)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_circuit_passes(c: &mut Criterion) {
     let mut group = c.benchmark_group("passes");
     let circ = qt_algos::vqe_ansatz(15, 3, 9);
@@ -114,7 +144,12 @@ fn bench_circuit_passes(c: &mut Criterion) {
         })
     });
     group.bench_function("split_into_segments_15q", |b| {
-        b.iter(|| black_box(qt_circuit::passes::split_into_segments(black_box(&circ), &[7])))
+        b.iter(|| {
+            black_box(qt_circuit::passes::split_into_segments(
+                black_box(&circ),
+                &[7],
+            ))
+        })
     });
     group.bench_function("unitary_embedding_8q", |b| {
         let small = qt_algos::iqft(8);
@@ -128,6 +163,7 @@ criterion_group!(
     bench_statevector_gates,
     bench_density_matrix,
     bench_trajectories,
+    bench_parallel_trajectories,
     bench_circuit_passes
 );
 criterion_main!(benches);

@@ -102,8 +102,14 @@ fn main() {
     println!("{:<28} {:>8}  (paper)", "method", "fidelity");
     println!("{:<28} {:>8.2}  (0.39)", "original", f_orig);
     println!("{:<28} {:>8.2}  (0.57)", "jigsaw (subset 1)", f_jig);
-    println!("{:<28} {:>8.2}  (0.71)", "optimized copies, no checks", f_opt);
-    println!("{:<28} {:>8.2}  (0.68)", "ancilla PCS (noisy checks)", f_pcs);
+    println!(
+        "{:<28} {:>8.2}  (0.71)",
+        "optimized copies, no checks", f_opt
+    );
+    println!(
+        "{:<28} {:>8.2}  (0.68)",
+        "ancilla PCS (noisy checks)", f_pcs
+    );
     println!("{:<28} {:>8.2}  (0.87)", "QuTracer (QSPC)", f_qt);
 
     println!("\nbitwise local distributions (QuTracer):");

@@ -54,9 +54,7 @@ fn main() {
         }
         let f_pcs = ideal_pcs_trailing(exec.inner(), &circ, &measured, &report.global, k);
         let improvement = 100.0 * (f_qt - f_orig) / f_orig.max(1e-9);
-        println!(
-            "{k:>8}  {f_qt:>9.3} {f_pcs:>10.3} {f_orig:>9.3}  {improvement:>+11.2}%"
-        );
+        println!("{k:>8}  {f_qt:>9.3} {f_pcs:>10.3} {f_orig:>9.3}  {improvement:>+11.2}%");
     }
     println!("\npaper: checking 1..4 trailing layers improves fidelity by");
     println!("       +3.96% / +5.74% / +7.68% / +9.42% over the unmitigated run,");

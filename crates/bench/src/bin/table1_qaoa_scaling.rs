@@ -32,7 +32,17 @@ fn main() {
 
     println!(
         "{:<22} {:>5} {:>5} {:>7} | {:>5} {:>5} {:>5} | {:>6} {:>6} {:>6} | {:>8}",
-        "workload", "sh:or", "sh:ji", "sh:qt", "2q:or", "2q:ji", "2q:qt", "f:or", "f:ji", "f:qt", "improve"
+        "workload",
+        "sh:or",
+        "sh:ji",
+        "sh:qt",
+        "2q:or",
+        "2q:ji",
+        "2q:qt",
+        "f:or",
+        "f:ji",
+        "f:qt",
+        "improve"
     );
     for layers in 1..=max_layers {
         let params = optimize_angles(6, &ring_graph(6), layers, 5);

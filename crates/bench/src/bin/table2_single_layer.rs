@@ -10,8 +10,8 @@
 //!   15q VQE 0.36/0.50/0.65/0.87          | 10q QAOA 0.57/0.57/N/A/0.86
 
 use qt_algos::{
-    bernstein_vazirani, qaoa::optimize_angles, qaoa_maxcut, qft_adder_sized, qft_multiplier,
-    qpe, ring_graph, vqe_ansatz, Workload,
+    bernstein_vazirani, qaoa::optimize_angles, qaoa_maxcut, qft_adder_sized, qft_multiplier, qpe,
+    ring_graph, vqe_ansatz, Workload,
 };
 use qt_baselines::{run_jigsaw, run_sqem};
 use qt_bench::{fidelity_vs_ideal, header, quick_mode, AdaptiveRunner, CachedRunner};
@@ -28,7 +28,11 @@ fn main() {
 
     let workloads: Vec<(Workload, bool, &str)> = vec![
         (
-            Workload::new("4-q QFTMultiplier", qft_multiplier(1, 1, 2, 1, 1), vec![2, 3]),
+            Workload::new(
+                "4-q QFTMultiplier",
+                qft_multiplier(1, 1, 2, 1, 1),
+                vec![2, 3],
+            ),
             false,
             "hanoi",
         ),
@@ -43,12 +47,20 @@ fn main() {
             "hanoi",
         ),
         (
-            Workload::new("7-q QFTAdder", qft_adder_sized(3, 4, 5, 6), (3..7).collect()),
+            Workload::new(
+                "7-q QFTAdder",
+                qft_adder_sized(3, 4, 5, 6),
+                (3..7).collect(),
+            ),
             false,
             "hanoi",
         ),
         (
-            Workload::new("9-q BV", bernstein_vazirani(8, 0b1011_0110), (0..8).collect()),
+            Workload::new(
+                "9-q BV",
+                bernstein_vazirani(8, 0b1011_0110),
+                (0..8).collect(),
+            ),
             true,
             "hanoi",
         ),
@@ -65,7 +77,11 @@ fn main() {
         (
             Workload::new(
                 "10-q QAOA 1 layer",
-                qaoa_maxcut(10, &ring_graph(10), &optimize_angles(6, &ring_graph(6), 1, 6)),
+                qaoa_maxcut(
+                    10,
+                    &ring_graph(10),
+                    &optimize_angles(6, &ring_graph(6), 1, 6),
+                ),
                 (0..10).collect(),
             ),
             false,
@@ -111,7 +127,10 @@ fn main() {
         let f_jig = fidelity_vs_ideal(&jig.distribution, &wl.circuit, &wl.measured);
         let f_sqem = if *sqem_ok {
             match run_sqem(&exec, &wl.circuit, &wl.measured) {
-                Ok(r) => format!("{:6.2}", fidelity_vs_ideal(&r.distribution, &wl.circuit, &wl.measured)),
+                Ok(r) => format!(
+                    "{:6.2}",
+                    fidelity_vs_ideal(&r.distribution, &wl.circuit, &wl.measured)
+                ),
                 Err(_) => "   N/A".to_string(),
             }
         } else {

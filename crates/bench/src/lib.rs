@@ -2,10 +2,10 @@
 //! every table and figure of the paper's evaluation (see `DESIGN.md` for
 //! the experiment index).
 
-use parking_lot::Mutex;
 use qt_dist::{hellinger_fidelity, Distribution};
-use qt_sim::{ideal_distribution, Program, RunOutput, Runner};
+use qt_sim::{ideal_distribution, BatchJob, Program, RunOutput, Runner};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// A memoizing wrapper around any [`Runner`]: identical (program, measured)
 /// pairs are executed once. The evaluation flows re-run the same global
@@ -32,19 +32,54 @@ impl<R: Runner> CachedRunner<R> {
 
     /// Number of distinct executions performed.
     pub fn distinct_runs(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().expect("cache poisoned").len()
     }
 }
 
 impl<R: Runner> Runner for CachedRunner<R> {
     fn run(&self, program: &Program, measured: &[usize]) -> RunOutput {
         let key = format!("{measured:?}|{program:?}");
-        if let Some(hit) = self.cache.lock().get(&key) {
+        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
             return hit.clone();
         }
         let out = self.inner.run(program, measured);
-        self.cache.lock().insert(key, out.clone());
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, out.clone());
         out
+    }
+
+    /// Serves cache hits directly and forwards only the distinct misses to
+    /// the wrapped runner's (possibly parallel) batch path.
+    fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
+        let keys: Vec<String> = jobs
+            .iter()
+            .map(|j| format!("{:?}|{:?}", j.measured, j.program))
+            .collect();
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache poisoned");
+            let mut seen: Vec<&str> = Vec::new();
+            for (i, key) in keys.iter().enumerate() {
+                if !cache.contains_key(key.as_str()) && !seen.contains(&key.as_str()) {
+                    misses.push(i);
+                    seen.push(key);
+                }
+            }
+        }
+        let fresh_jobs: Vec<BatchJob> = misses.iter().map(|&i| jobs[i].clone()).collect();
+        let fresh = self.inner.run_batch(&fresh_jobs);
+        {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (&i, out) in misses.iter().zip(fresh) {
+                cache.insert(keys[i].clone(), out);
+            }
+        }
+        let cache = self.cache.lock().expect("cache poisoned");
+        keys.iter()
+            .map(|k| cache.get(k).expect("just inserted").clone())
+            .collect()
     }
 }
 
@@ -141,13 +176,15 @@ impl<R: Runner> BestReadoutRunner<R> {
     }
 }
 
-impl<R: Runner> Runner for BestReadoutRunner<R> {
-    fn run(&self, program: &Program, measured: &[usize]) -> RunOutput {
+impl<R: Runner> BestReadoutRunner<R> {
+    /// The remapped `(program, measured)` this runner would execute, or
+    /// `None` when the job runs unmodified.
+    fn remapped_job(&self, program: &Program, measured: &[usize]) -> Option<(Program, Vec<usize>)> {
         if measured.len() > self.max_measured
             || measured.len() > self.ranked.len()
             || self.ranked.is_empty()
         {
-            return self.inner.run(program, measured);
+            return None;
         }
         // Swap each measured qubit onto the next-best readout slot.
         let n = program.n_qubits();
@@ -155,13 +192,35 @@ impl<R: Runner> Runner for BestReadoutRunner<R> {
         for (rank, &m) in measured.iter().enumerate() {
             let target = self.ranked[rank];
             if target >= n {
-                return self.inner.run(program, measured);
+                return None;
             }
             let w = (0..n).find(|&x| map[x] == target).expect("permutation");
             map.swap(m, w);
         }
         let new_measured: Vec<usize> = measured.iter().map(|&q| map[q]).collect();
-        self.inner.run(&program.remapped(&map), &new_measured)
+        Some((program.remapped(&map), new_measured))
+    }
+}
+
+impl<R: Runner> Runner for BestReadoutRunner<R> {
+    fn run(&self, program: &Program, measured: &[usize]) -> RunOutput {
+        match self.remapped_job(program, measured) {
+            Some((p, m)) => self.inner.run(&p, &m),
+            None => self.inner.run(program, measured),
+        }
+    }
+
+    /// Remaps each job, then forwards the whole batch to the wrapped
+    /// runner's (possibly parallel) batch path.
+    fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
+        let remapped: Vec<BatchJob> = jobs
+            .iter()
+            .map(|j| match self.remapped_job(&j.program, &j.measured) {
+                Some((p, m)) => BatchJob::new(p, m),
+                None => j.clone(),
+            })
+            .collect();
+        self.inner.run_batch(&remapped)
     }
 }
 
@@ -187,6 +246,31 @@ impl<R: Runner, S: Runner> Runner for AdaptiveRunner<R, S> {
         } else {
             self.local.run(program, measured)
         }
+    }
+
+    /// Partitions the batch by threshold and forwards each part to the
+    /// owning runner's (possibly parallel) batch path, preserving order.
+    fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
+        let (mut big, mut small) = (Vec::new(), Vec::new());
+        for (i, job) in jobs.iter().enumerate() {
+            if job.measured.len() > self.threshold {
+                big.push(i);
+            } else {
+                small.push(i);
+            }
+        }
+        let big_jobs: Vec<BatchJob> = big.iter().map(|&i| jobs[i].clone()).collect();
+        let small_jobs: Vec<BatchJob> = small.iter().map(|&i| jobs[i].clone()).collect();
+        let mut out: Vec<Option<RunOutput>> = vec![None; jobs.len()];
+        for (&i, o) in big.iter().zip(self.global.run_batch(&big_jobs)) {
+            out[i] = Some(o);
+        }
+        for (&i, o) in small.iter().zip(self.local.run_batch(&small_jobs)) {
+            out[i] = Some(o);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every job dispatched"))
+            .collect()
     }
 }
 
@@ -217,5 +301,58 @@ mod tests {
     fn row_formats_right_aligned() {
         let r = row(&["a".into(), "bb".into()], &[3, 4]);
         assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn adaptive_run_batch_routes_and_preserves_order() {
+        // Distinguishable runners: global adds readout error, local is
+        // ideal. Batched results must match per-job routing exactly.
+        let global = Executor::with_backend(
+            NoiseModel::ideal().with_readout(0.2),
+            Backend::DensityMatrix,
+        );
+        let local = Executor::with_backend(NoiseModel::ideal(), Backend::DensityMatrix);
+        let runner = AdaptiveRunner {
+            global,
+            local,
+            threshold: 1,
+        };
+        let mut c = Circuit::new(2);
+        c.x(0).x(1);
+        let p = Program::from_circuit(&c);
+        let jobs = vec![
+            BatchJob::new(p.clone(), vec![0, 1]), // global (2 > threshold)
+            BatchJob::new(p.clone(), vec![0]),    // local
+            BatchJob::new(p.clone(), vec![1]),    // local
+            BatchJob::new(p.clone(), vec![1, 0]), // global
+        ];
+        let batched = runner.run_batch(&jobs);
+        for (job, out) in jobs.iter().zip(&batched) {
+            let want = runner.run(&job.program, &job.measured);
+            assert_eq!(out, &want);
+        }
+        // Local jobs really took the ideal path (no readout error).
+        assert!((batched[1].dist[1] - 1.0).abs() < 1e-12);
+        // Global jobs really saw readout error.
+        assert!(batched[0].dist[3] < 0.7);
+    }
+
+    #[test]
+    fn best_readout_run_batch_matches_serial() {
+        let noise = NoiseModel::ideal().with_readout(0.1);
+        let exec = Executor::with_backend(noise.clone(), Backend::DensityMatrix);
+        let runner = BestReadoutRunner::new(exec, &noise, 3);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).x(2);
+        let p = Program::from_circuit(&c);
+        let jobs = vec![
+            BatchJob::new(p.clone(), vec![0]), // remapped (≤ max_measured)
+            BatchJob::new(p.clone(), vec![0, 1, 2]), // passthrough
+            BatchJob::new(p.clone(), vec![2, 1]), // remapped
+        ];
+        let batched = runner.run_batch(&jobs);
+        for (job, out) in jobs.iter().zip(&batched) {
+            assert_eq!(out, &runner.run(&job.program, &job.measured));
+        }
     }
 }

@@ -325,13 +325,7 @@ impl Circuit {
         let mut frontier = vec![0usize; self.n_qubits];
         let mut depth = 0;
         for instr in &self.instrs {
-            let level = instr
-                .qubits
-                .iter()
-                .map(|&q| frontier[q])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let level = instr.qubits.iter().map(|&q| frontier[q]).max().unwrap_or(0) + 1;
             for &q in &instr.qubits {
                 frontier[q] = level;
             }

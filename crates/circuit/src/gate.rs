@@ -67,8 +67,7 @@ impl Gate {
     pub fn n_qubits(&self) -> usize {
         use Gate::*;
         match self {
-            H | X | Y | Z | S | Sdg | T | Tdg | Sx | Rx(_) | Ry(_) | Rz(_) | Phase(_)
-            | U(..) => 1,
+            H | X | Y | Z | S | Sdg | T | Tdg | Sx | Rx(_) | Ry(_) | Rz(_) | Phase(_) | U(..) => 1,
             Cx | Cy | Cz | Cp(_) | Crz(_) | Crx(_) | Cry(_) | Swap => 2,
             Ccp(_) => 3,
         }
@@ -294,7 +293,8 @@ mod tests {
             let mi = g.inverse().matrix();
             let n = m.rows();
             assert!(
-                mi.mul(&m).approx_eq_up_to_phase(&Matrix::identity(n), 1e-10),
+                mi.mul(&m)
+                    .approx_eq_up_to_phase(&Matrix::identity(n), 1e-10),
                 "inverse of {} is wrong",
                 g.name()
             );
@@ -313,7 +313,12 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(diag, g.is_diagonal(), "diagonal flag wrong for {}", g.name());
+            assert_eq!(
+                diag,
+                g.is_diagonal(),
+                "diagonal flag wrong for {}",
+                g.name()
+            );
         }
     }
 
@@ -330,9 +335,7 @@ mod tests {
     #[test]
     fn sx_squared_is_x() {
         let sx = Gate::Sx.matrix();
-        assert!(sx
-            .mul(&sx)
-            .approx_eq_up_to_phase(&Gate::X.matrix(), 1e-12));
+        assert!(sx.mul(&sx).approx_eq_up_to_phase(&Gate::X.matrix(), 1e-12));
     }
 
     #[test]

@@ -72,10 +72,7 @@ pub fn reduce_for_z_measurement(circ: &Circuit, targets: &[usize]) -> ReducedCir
         if touched_active.is_empty() {
             continue;
         }
-        let touches_nondiag = instr
-            .qubits
-            .iter()
-            .any(|&q| active[q] && !diagonal[q]);
+        let touches_nondiag = instr.qubits.iter().any(|&q| active[q] && !diagonal[q]);
         let touched_diag: Vec<usize> = instr
             .qubits
             .iter()
@@ -103,15 +100,10 @@ pub fn reduce_for_z_measurement(circ: &Circuit, targets: &[usize]) -> ReducedCir
         }
         // Rule 4: keep.
         kept_rev.push(idx);
-        let permutation =
-            !touches_nondiag && is_generalized_permutation(&instr.gate.matrix());
+        let permutation = !touches_nondiag && is_generalized_permutation(&instr.gate.matrix());
         for &q in &instr.qubits {
             active[q] = true;
-            if permutation {
-                diagonal[q] = true;
-            } else {
-                diagonal[q] = false;
-            }
+            diagonal[q] = permutation;
         }
     }
     kept_rev.reverse();
@@ -382,7 +374,7 @@ mod tests {
         assert!(segs[0].check.len() >= 2);
         // Segment 1: local Ry(0) (final rotation), trailing Rys on others in check.
         assert_eq!(segs[1].local.len(), 1);
-        assert!(segs[1].check_touches(&[0]) == false);
+        assert!(!segs[1].check_touches(&[0]));
     }
 
     #[test]

@@ -125,8 +125,7 @@ pub fn run_qutracer<R: Runner>(
         let qubits: Vec<usize> = positions.iter().map(|&p| measured[p]).collect();
         let outcome = if config.symmetric_subsets && config.subset_size == 2 {
             if shared.is_none() {
-                shared = match trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace)
-                {
+                shared = match trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace) {
                     Ok(o) => Some(o),
                     Err(_) => {
                         skipped.push(qubits.clone());
@@ -136,19 +135,13 @@ pub fn run_qutracer<R: Runner>(
             }
             Some(shared.clone().expect("set above"))
         } else if config.subset_size == 1 {
-            match trace_single(runner, circuit, qubits[0], &config.trace) {
-                Ok(o) => Some(o),
-                Err(_) => None,
-            }
+            trace_single(runner, circuit, qubits[0], &config.trace).ok()
         } else {
-            match trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace) {
-                Ok(o) => Some(o),
-                Err(_) => None,
-            }
+            trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace).ok()
         };
         match outcome {
             Some(o) => {
-                if !(config.symmetric_subsets && locals.len() > 0 && config.subset_size == 2) {
+                if !(config.symmetric_subsets && !locals.is_empty() && config.subset_size == 2) {
                     subset_stats.push(o.stats);
                 }
                 locals.push((o.local, positions.clone()));
@@ -339,6 +332,9 @@ mod tests {
         );
         let f1 = fidelity_of(&r1.distribution, &circ, &measured);
         let f2 = fidelity_of(&r2.distribution, &circ, &measured);
-        assert!((f1 - f2).abs() < 0.05, "traceback changed results: {f1} vs {f2}");
+        assert!(
+            (f1 - f2).abs() < 0.05,
+            "traceback changed results: {f1} vs {f2}"
+        );
     }
 }

@@ -25,7 +25,7 @@ use qt_circuit::{basis, embed, passes, Circuit, Instruction};
 use qt_dist::Distribution;
 use qt_math::{Complex, Matrix, Pauli};
 use qt_pcs::{project_to_physical, QspcConfig, QspcPair, QspcSingle, QspcStats};
-use qt_sim::{Program, Runner};
+use qt_sim::{BatchJob, Program, Runner};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Options of a subset trace.
@@ -152,7 +152,7 @@ pub fn trace_single<R: Runner>(
         // paper's QPE/BV regime. At entangled cuts only the severing-immune
         // diagonal is mitigated; off-diagonals come from a true-marginal
         // measurement at the post-check cut.
-        let downstream: Vec<Pauli> = needed_at[i].iter().copied().collect();
+        let downstream: Vec<Pauli> = needed_at[i].to_vec();
         let outputs: Vec<Pauli> = if offdiag_exact {
             downstream.clone()
         } else {
@@ -191,9 +191,8 @@ pub fn trace_single<R: Runner>(
                 .filter(|&p| p == Pauli::X || p == Pauli::Y)
                 .collect();
             if !need_off.is_empty() {
-                let measured = measure_marginal_single(
-                    runner, &prefix, qubit, &need_off, config, &mut stats,
-                );
+                let measured =
+                    measure_marginal_single(runner, &prefix, qubit, &need_off, config, &mut stats);
                 rho = overwrite_bloch(&rho, &measured);
             }
         }
@@ -282,7 +281,7 @@ pub fn trace_pair<R: Runner>(
             continue;
         }
 
-        let downstream: Vec<(Pauli, Pauli)> = needed_at[i].iter().copied().collect();
+        let downstream: Vec<(Pauli, Pauli)> = needed_at[i].to_vec();
 
         // ---- refresh stale inputs from the true marginal ----
         let inputs = expand_pair_inputs(&downstream);
@@ -335,9 +334,8 @@ pub fn trace_pair<R: Runner>(
                 .filter(|&(pl, ph)| !is_diag_pair(pl, ph))
                 .collect();
             if !need_off.is_empty() {
-                let measured = measure_marginal_pair(
-                    runner, &prefix, pair, &need_off, config, &mut stats,
-                );
+                let measured =
+                    measure_marginal_pair(runner, &prefix, pair, &need_off, config, &mut stats);
                 rho = overwrite_pair_components(&rho, &measured);
             }
         }
@@ -442,10 +440,7 @@ fn apply_local_block(rho: &Matrix, instrs: &[Instruction], subset: &[usize]) -> 
 
 /// Overwrites Pauli-pair coefficients of a two-qubit state with measured
 /// values and re-projects to a physical state.
-fn overwrite_pair_components(
-    rho: &Matrix,
-    measured: &BTreeMap<(Pauli, Pauli), f64>,
-) -> Matrix {
+fn overwrite_pair_components(rho: &Matrix, measured: &BTreeMap<(Pauli, Pauli), f64>) -> Matrix {
     let mut m = Matrix::identity(4).scale(Complex::real(0.25));
     for pl in Pauli::ALL {
         for ph in Pauli::ALL {
@@ -473,19 +468,25 @@ fn measure_marginal_single<R: Runner>(
     config: &TraceConfig,
     stats: &mut QspcStats,
 ) -> BTreeMap<Pauli, f64> {
+    // One reduced circuit per basis, executed as a single parallel batch.
+    let jobs: Vec<BatchJob> = bases
+        .iter()
+        .map(|&b| {
+            let mut c = Circuit::new(prefix.n_qubits());
+            c.append(prefix);
+            for i in basis::measure_rotation(b, qubit) {
+                c.push_instruction(i);
+            }
+            let reduced = if config.optimize_circuits {
+                passes::reduce_for_z_measurement(&c, &[qubit]).circuit
+            } else {
+                c
+            };
+            BatchJob::new(Program::from_circuit(&reduced), vec![qubit])
+        })
+        .collect();
     let mut out = BTreeMap::new();
-    for &b in bases {
-        let mut c = Circuit::new(prefix.n_qubits());
-        c.append(prefix);
-        for i in basis::measure_rotation(b, qubit) {
-            c.push_instruction(i);
-        }
-        let reduced = if config.optimize_circuits {
-            passes::reduce_for_z_measurement(&c, &[qubit]).circuit
-        } else {
-            c
-        };
-        let run = runner.run(&Program::from_circuit(&reduced), &[qubit]);
+    for (&b, run) in bases.iter().zip(runner.run_batch(&jobs)) {
         stats.n_circuits += 1;
         stats.total_gates += run.gates;
         stats.total_two_qubit_gates += run.two_qubit_gates;
@@ -515,22 +516,28 @@ fn measure_marginal_pair<R: Runner>(
             settings.push((bl, bh));
         }
     }
+    // One reduced circuit per basis setting, executed as a parallel batch.
+    let jobs: Vec<BatchJob> = settings
+        .iter()
+        .map(|&(bl, bh)| {
+            let mut c = Circuit::new(prefix.n_qubits());
+            c.append(prefix);
+            for i in basis::measure_rotation(bl, pair[0]) {
+                c.push_instruction(i);
+            }
+            for i in basis::measure_rotation(bh, pair[1]) {
+                c.push_instruction(i);
+            }
+            let reduced = if config.optimize_circuits {
+                passes::reduce_for_z_measurement(&c, &[pair[0], pair[1]]).circuit
+            } else {
+                c
+            };
+            BatchJob::new(Program::from_circuit(&reduced), vec![pair[0], pair[1]])
+        })
+        .collect();
     let mut out = BTreeMap::new();
-    for &(bl, bh) in &settings {
-        let mut c = Circuit::new(prefix.n_qubits());
-        c.append(prefix);
-        for i in basis::measure_rotation(bl, pair[0]) {
-            c.push_instruction(i);
-        }
-        for i in basis::measure_rotation(bh, pair[1]) {
-            c.push_instruction(i);
-        }
-        let reduced = if config.optimize_circuits {
-            passes::reduce_for_z_measurement(&c, &[pair[0], pair[1]]).circuit
-        } else {
-            c
-        };
-        let run = runner.run(&Program::from_circuit(&reduced), &[pair[0], pair[1]]);
+    for (&(bl, bh), run) in settings.iter().zip(runner.run_batch(&jobs)) {
         stats.n_circuits += 1;
         stats.total_gates += run.gates;
         stats.total_two_qubit_gates += run.two_qubit_gates;
@@ -540,7 +547,7 @@ fn measure_marginal_pair<R: Runner>(
             dist.iter()
                 .enumerate()
                 .map(|(i, &p)| {
-                    if (i & mask).count_ones() % 2 == 0 {
+                    if (i & mask).count_ones().is_multiple_of(2) {
                         p
                     } else {
                         -p
@@ -604,11 +611,7 @@ fn expand_pair_inputs(outputs: &[(Pauli, Pauli)]) -> Vec<(Pauli, Pauli)> {
 /// Backward traceback for subset size 1: the set of output Paulis needed
 /// per segment. Needed outputs at a check are those the final Z measurement
 /// can depend on, pulled through the downstream local blocks.
-fn compute_needed_single(
-    segments: &[Segment],
-    qubit: usize,
-    traceback: bool,
-) -> Vec<Vec<Pauli>> {
+fn compute_needed_single(segments: &[Segment], qubit: usize, traceback: bool) -> Vec<Vec<Pauli>> {
     let all = vec![Pauli::X, Pauli::Y, Pauli::Z];
     if !traceback {
         return vec![all; segments.len()];

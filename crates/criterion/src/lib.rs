@@ -1,0 +1,208 @@
+//! Vendored micro-benchmark harness with the slice of the `criterion` API
+//! this workspace uses: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! shim reimplements the surface in-tree. It reports a mean wall-clock time
+//! per iteration (no statistical analysis, outlier detection or HTML
+//! reports). Under `cargo test` (which passes `--test` to bench
+//! executables) every benchmark body runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim treats every variant
+/// the same: setup runs outside the timed section for each batch of one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-setup on every iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--test` under `cargo test`;
+        // honor it (and `--quick`) by running each body once.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test" || a == "--quick");
+        Criterion {
+            test_mode,
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            crit: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut b);
+        b.print(&id);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall clock,
+    /// not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.crit.measurement = d;
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            test_mode: self.crit.test_mode,
+            measurement: self.crit.measurement,
+            report: None,
+        };
+        f(&mut b);
+        b.print(&id);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body to drive the timed routine.
+pub struct Bencher {
+    test_mode: bool,
+    measurement: Duration,
+    report: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly until the measurement window is
+    /// filled (once in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.report = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm-up and per-iteration cost estimate.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measurement.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.report = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            self.report = Some((Duration::ZERO, 1));
+            return;
+        }
+        let input = setup();
+        let warm = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measurement.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.report = Some((total, iters));
+    }
+
+    fn print(&self, id: &str) {
+        match self.report {
+            Some((elapsed, iters)) if !self.test_mode => {
+                let per = elapsed.as_nanos() as f64 / iters as f64;
+                let (value, unit) = if per >= 1e9 {
+                    (per / 1e9, "s")
+                } else if per >= 1e6 {
+                    (per / 1e6, "ms")
+                } else if per >= 1e3 {
+                    (per / 1e3, "µs")
+                } else {
+                    (per, "ns")
+                };
+                println!("{id:<48} {value:>10.2} {unit}/iter ({iters} iters)");
+            }
+            Some(_) => println!("{id:<48}        ok (test mode)"),
+            None => println!("{id:<48}        no measurement recorded"),
+        }
+    }
+}
+
+/// Groups benchmark functions into a single callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

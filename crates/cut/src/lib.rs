@@ -47,17 +47,57 @@ pub fn full_cut_terms() -> Vec<CutTerm> {
     let u = [1.0, 1.0];
     vec![
         // I-component: measure anything (Z), weight +1, prepare |0⟩ and |1⟩.
-        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: u, prep: PrepState::Zero },
-        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: u, prep: PrepState::One },
+        CutTerm {
+            coeff: 0.5,
+            basis: Pauli::Z,
+            outcome_weights: u,
+            prep: PrepState::Zero,
+        },
+        CutTerm {
+            coeff: 0.5,
+            basis: Pauli::Z,
+            outcome_weights: u,
+            prep: PrepState::One,
+        },
         // X-component.
-        CutTerm { coeff: 0.5, basis: Pauli::X, outcome_weights: e, prep: PrepState::Plus },
-        CutTerm { coeff: -0.5, basis: Pauli::X, outcome_weights: e, prep: PrepState::Minus },
+        CutTerm {
+            coeff: 0.5,
+            basis: Pauli::X,
+            outcome_weights: e,
+            prep: PrepState::Plus,
+        },
+        CutTerm {
+            coeff: -0.5,
+            basis: Pauli::X,
+            outcome_weights: e,
+            prep: PrepState::Minus,
+        },
         // Y-component.
-        CutTerm { coeff: 0.5, basis: Pauli::Y, outcome_weights: e, prep: PrepState::PlusI },
-        CutTerm { coeff: -0.5, basis: Pauli::Y, outcome_weights: e, prep: PrepState::MinusI },
+        CutTerm {
+            coeff: 0.5,
+            basis: Pauli::Y,
+            outcome_weights: e,
+            prep: PrepState::PlusI,
+        },
+        CutTerm {
+            coeff: -0.5,
+            basis: Pauli::Y,
+            outcome_weights: e,
+            prep: PrepState::MinusI,
+        },
         // Z-component.
-        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: e, prep: PrepState::Zero },
-        CutTerm { coeff: -0.5, basis: Pauli::Z, outcome_weights: e, prep: PrepState::One },
+        CutTerm {
+            coeff: 0.5,
+            basis: Pauli::Z,
+            outcome_weights: e,
+            prep: PrepState::Zero,
+        },
+        CutTerm {
+            coeff: -0.5,
+            basis: Pauli::Z,
+            outcome_weights: e,
+            prep: PrepState::One,
+        },
     ]
 }
 
@@ -68,19 +108,69 @@ pub fn reduced_cut_terms() -> Vec<CutTerm> {
     let e = [1.0, -1.0];
     let u = [1.0, 1.0];
     vec![
-        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: u, prep: PrepState::Zero },
-        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: u, prep: PrepState::One },
+        CutTerm {
+            coeff: 0.5,
+            basis: Pauli::Z,
+            outcome_weights: u,
+            prep: PrepState::Zero,
+        },
+        CutTerm {
+            coeff: 0.5,
+            basis: Pauli::Z,
+            outcome_weights: u,
+            prep: PrepState::One,
+        },
         // X: +1·|+⟩ − ½·|0⟩ − ½·|1⟩, all weighted by the X outcome.
-        CutTerm { coeff: 1.0, basis: Pauli::X, outcome_weights: e, prep: PrepState::Plus },
-        CutTerm { coeff: -0.5, basis: Pauli::X, outcome_weights: e, prep: PrepState::Zero },
-        CutTerm { coeff: -0.5, basis: Pauli::X, outcome_weights: e, prep: PrepState::One },
+        CutTerm {
+            coeff: 1.0,
+            basis: Pauli::X,
+            outcome_weights: e,
+            prep: PrepState::Plus,
+        },
+        CutTerm {
+            coeff: -0.5,
+            basis: Pauli::X,
+            outcome_weights: e,
+            prep: PrepState::Zero,
+        },
+        CutTerm {
+            coeff: -0.5,
+            basis: Pauli::X,
+            outcome_weights: e,
+            prep: PrepState::One,
+        },
         // Y: +1·|i⟩ − ½·|0⟩ − ½·|1⟩.
-        CutTerm { coeff: 1.0, basis: Pauli::Y, outcome_weights: e, prep: PrepState::PlusI },
-        CutTerm { coeff: -0.5, basis: Pauli::Y, outcome_weights: e, prep: PrepState::Zero },
-        CutTerm { coeff: -0.5, basis: Pauli::Y, outcome_weights: e, prep: PrepState::One },
+        CutTerm {
+            coeff: 1.0,
+            basis: Pauli::Y,
+            outcome_weights: e,
+            prep: PrepState::PlusI,
+        },
+        CutTerm {
+            coeff: -0.5,
+            basis: Pauli::Y,
+            outcome_weights: e,
+            prep: PrepState::Zero,
+        },
+        CutTerm {
+            coeff: -0.5,
+            basis: Pauli::Y,
+            outcome_weights: e,
+            prep: PrepState::One,
+        },
         // Z.
-        CutTerm { coeff: 0.5, basis: Pauli::Z, outcome_weights: e, prep: PrepState::Zero },
-        CutTerm { coeff: -0.5, basis: Pauli::Z, outcome_weights: e, prep: PrepState::One },
+        CutTerm {
+            coeff: 0.5,
+            basis: Pauli::Z,
+            outcome_weights: e,
+            prep: PrepState::Zero,
+        },
+        CutTerm {
+            coeff: -0.5,
+            basis: Pauli::Z,
+            outcome_weights: e,
+            prep: PrepState::One,
+        },
     ]
 }
 
@@ -251,7 +341,10 @@ mod tests {
         // Compare the reconstructed joint distribution with direct sim.
         let mut circ = Circuit::new(2);
         circ.h(0).cx(0, 1).ry(0, 0.9).cx(0, 1);
-        let cut = CutPoint { qubit: 0, position: 2 };
+        let cut = CutPoint {
+            qubit: 0,
+            position: 2,
+        };
         for terms in [full_cut_terms(), reduced_cut_terms()] {
             let programs = build_cut_programs(&circ, cut, &terms);
             let mut results = Vec::new();
@@ -278,7 +371,10 @@ mod tests {
         // by using a pure upstream (only the downstream is noisy in both).
         let mut circ = Circuit::new(2);
         circ.h(0).cx(0, 1).ry(0, 0.5).cz(0, 1);
-        let cut = CutPoint { qubit: 0, position: 2 };
+        let cut = CutPoint {
+            qubit: 0,
+            position: 2,
+        };
         let noise = NoiseModel::depolarizing(0.05, 0.1);
         let exec = Executor::new(noise);
         let programs = build_cut_programs(&circ, cut, &reduced_cut_terms());

@@ -7,7 +7,6 @@
 
 use qt_circuit::{Circuit, Gate, Instruction};
 
-
 /// Lowers a circuit to CX + single-qubit gates.
 ///
 /// Identities used: `CZ = H·CX·H` (1 CX), `CP/CRZ/CRX/CRY` (2 CX),

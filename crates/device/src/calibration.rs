@@ -229,10 +229,7 @@ impl Device {
                     )],
                 },
             );
-            model
-                .readout
-                .per_qubit
-                .insert(compact, self.readout[p]);
+            model.readout.per_qubit.insert(compact, self.readout[p]);
         }
         for (i, &pi) in physical.iter().enumerate() {
             for (j, &pj) in physical.iter().enumerate().skip(i + 1) {
@@ -288,7 +285,7 @@ mod tests {
         for &e in &a.q1_error {
             assert!(e > m.q1_error / 2.3 && e < m.q1_error * 2.3);
         }
-        for (_, &e) in &a.q2_error {
+        for &e in a.q2_error.values() {
             assert!(e > m.q2_error / 2.3 && e < m.q2_error * 2.3);
         }
         for (q, &t2) in a.t2.iter().enumerate() {

@@ -11,7 +11,9 @@ use crate::calibration::Device;
 use crate::layout::choose_layout;
 use crate::route::{compact_program, lower_program, route_program};
 use qt_circuit::Circuit;
-use qt_sim::{Backend, Executor, Op, Program, RunOutput, Runner};
+use qt_sim::{
+    backend, Backend, BatchJob, Executor, Op, Program, ResolvedEngine, RunOutput, Runner,
+};
 
 /// A device-backed program runner.
 #[derive(Debug, Clone)]
@@ -97,12 +99,9 @@ impl Runner for DeviceExecutor {
         let (compact, physical, compact_measured) = self.transpile(program, measured);
         let mut noise = self.device.noise_model_for(&physical);
         if self.twirl_large_registers {
-            let dm_max = match self.backend {
-                Backend::Auto { dm_max_qubits, .. } => dm_max_qubits,
-                Backend::DensityMatrix => usize::MAX,
-                Backend::Trajectory(_) => 0,
-            };
-            if compact.n_qubits() > dm_max {
+            // Twirl exactly when the backend resolves this register to the
+            // sampling engine (its stratified fast path needs mixtures).
+            if let ResolvedEngine::Trajectory(_) = self.backend.resolve(compact.n_qubits()) {
                 noise = noise.pauli_twirled();
             }
         }
@@ -113,6 +112,26 @@ impl Runner for DeviceExecutor {
             gates: compact.gate_count(),
             two_qubit_gates: compact.two_qubit_gate_count(),
         }
+    }
+
+    /// Fans independent jobs out over scoped threads under the shared
+    /// [`backend::batch_split`] policy: each worker owns the full
+    /// transpile → simulate pipeline for its job (layout trials are
+    /// seeded, so results match serial execution exactly), and each job's
+    /// trajectory engine is clamped to its share of the machine.
+    fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
+        let (workers, inner) = backend::batch_split(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|j| self.run(&j.program, &j.measured))
+                .collect();
+        }
+        let mut per_job = self.clone();
+        per_job.backend = self.backend.with_thread_budget(inner);
+        backend::parallel_indexed(jobs.len(), workers, |i| {
+            per_job.run(&jobs[i].program, &jobs[i].measured)
+        })
     }
 }
 

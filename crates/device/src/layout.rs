@@ -186,7 +186,15 @@ fn embed_path(
         let mut path = vec![start];
         let mut used = vec![false; np];
         used[start] = true;
-        if dfs_path(device, &mut path, &mut used, len, max_close, &dist_from_start, &mut budget) {
+        if dfs_path(
+            device,
+            &mut path,
+            &mut used,
+            len,
+            max_close,
+            &dist_from_start,
+            &mut budget,
+        ) {
             let mut layout = vec![usize::MAX; chain.len()];
             for (i, &logical) in chain.iter().enumerate() {
                 layout[logical] = path[i];
@@ -279,10 +287,7 @@ fn greedy_layout(
             .collect();
         let mut best_p = usize::MAX;
         let mut best_cost = f64::INFINITY;
-        for p in 0..np {
-            if used[p] {
-                continue;
-            }
+        for (p, _) in used.iter().enumerate().take(np).filter(|(_, &u)| !u) {
             let mut cost = device.q1_error[p] * 4.0 + device.readout_error(p);
             // Prefer qubits with good adjacent edges.
             let mut best_edge = f64::INFINITY;
@@ -360,8 +365,7 @@ mod tests {
         let l1 = choose_layout(&circ, &dev, &measured, 7, 1);
         let l16 = choose_layout(&circ, &dev, &measured, 7, 16);
         assert!(
-            layout_cost(&dev, &w, &measured, &l16)
-                <= layout_cost(&dev, &w, &measured, &l1) + 1e-12
+            layout_cost(&dev, &w, &measured, &l16) <= layout_cost(&dev, &w, &measured, &l1) + 1e-12
         );
     }
 }

@@ -26,11 +26,7 @@ pub struct RoutedProgram {
 ///
 /// Panics if a gate has more than two operands (lower to the CX basis
 /// first) or the layout is inconsistent.
-pub fn route_program(
-    program: &Program,
-    layout: &[usize],
-    coupling: &CouplingMap,
-) -> RoutedProgram {
+pub fn route_program(program: &Program, layout: &[usize], coupling: &CouplingMap) -> RoutedProgram {
     let np = coupling.n_qubits();
     let mut l2p = layout.to_vec();
     let mut p2l = vec![usize::MAX; np];
@@ -43,20 +39,21 @@ pub fn route_program(
     let mut out = Program::new(np);
     let mut swaps = 0usize;
 
-    let do_swap = |out: &mut Program, p2l: &mut Vec<usize>, l2p: &mut Vec<usize>, a: usize, b: usize| {
-        // SWAP(a,b) = 3 CX on the physical pair.
-        out.push_gate(Instruction::new(Gate::Cx, vec![a, b]));
-        out.push_gate(Instruction::new(Gate::Cx, vec![b, a]));
-        out.push_gate(Instruction::new(Gate::Cx, vec![a, b]));
-        let (la, lb) = (p2l[a], p2l[b]);
-        if la != usize::MAX {
-            l2p[la] = b;
-        }
-        if lb != usize::MAX {
-            l2p[lb] = a;
-        }
-        p2l.swap(a, b);
-    };
+    let do_swap =
+        |out: &mut Program, p2l: &mut Vec<usize>, l2p: &mut Vec<usize>, a: usize, b: usize| {
+            // SWAP(a,b) = 3 CX on the physical pair.
+            out.push_gate(Instruction::new(Gate::Cx, vec![a, b]));
+            out.push_gate(Instruction::new(Gate::Cx, vec![b, a]));
+            out.push_gate(Instruction::new(Gate::Cx, vec![a, b]));
+            let (la, lb) = (p2l[a], p2l[b]);
+            if la != usize::MAX {
+                l2p[la] = b;
+            }
+            if lb != usize::MAX {
+                l2p[lb] = a;
+            }
+            p2l.swap(a, b);
+        };
 
     for op in program.ops() {
         match op {
@@ -172,7 +169,7 @@ pub fn lower_program(program: &Program) -> Program {
 /// Verifies a device for routing experiments: returns `Err` if disconnected.
 pub fn validate_device(device: &Device) -> Result<(), String> {
     let d = device.coupling.distances_from(0);
-    if d.iter().any(|&x| x == usize::MAX) {
+    if d.contains(&usize::MAX) {
         return Err(format!("{}: coupling map is disconnected", device.name));
     }
     Ok(())
@@ -233,7 +230,13 @@ mod tests {
     fn routing_on_heavy_hex_preserves_semantics() {
         let coupling = CouplingMap::falcon_27();
         let mut c = Circuit::new(5);
-        c.h(0).cx(0, 1).cx(1, 2).cx(0, 3).cz(3, 4).cx(2, 4).ry(2, 0.4);
+        c.h(0)
+            .cx(0, 1)
+            .cx(1, 2)
+            .cx(0, 3)
+            .cz(3, 4)
+            .cx(2, 4)
+            .ry(2, 0.4);
         let lowered_layout = [0usize, 1, 2, 4, 7];
         check_routing_preserves(&c, &coupling, &lowered_layout);
     }

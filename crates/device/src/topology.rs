@@ -49,10 +49,34 @@ impl CouplingMap {
     /// The 27-qubit IBM Falcon heavy-hex map (ibm_hanoi, ibmq_mumbai).
     pub fn falcon_27() -> Self {
         let edges = [
-            (0, 1), (1, 4), (1, 2), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
-            (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
-            (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21),
-            (19, 20), (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+            (0, 1),
+            (1, 4),
+            (1, 2),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+            (14, 16),
+            (15, 18),
+            (16, 19),
+            (17, 18),
+            (18, 21),
+            (19, 20),
+            (19, 22),
+            (21, 23),
+            (22, 25),
+            (23, 24),
+            (24, 25),
+            (25, 26),
         ];
         CouplingMap::new(27, edges)
     }

@@ -1,0 +1,254 @@
+//! Outcome distributions over measured qubits, Hellinger fidelity, and the
+//! Bayesian local/global recombination QuTracer and its baselines share.
+//!
+//! Every mitigation method in this workspace ends the same way: a noisy
+//! *global* distribution over all measured qubits is refined with one or
+//! more high-fidelity *local* distributions over small subsets (Jigsaw's
+//! measurement subsetting, QuTracer's traced subsets, SQEM's virtualized
+//! checks). This crate owns that final, purely classical stage.
+//!
+//! # Example
+//!
+//! ```
+//! use qt_dist::{hellinger_fidelity, recombine, Distribution};
+//!
+//! let global = Distribution::from_probs(2, vec![0.4, 0.1, 0.4, 0.1]);
+//! let local = Distribution::from_probs(1, vec![0.3, 0.7]); // bit 1
+//! let refined = recombine::bayesian_update(&global, &local, &[1]);
+//! assert!((refined.total() - 1.0).abs() < 1e-12);
+//! assert!((refined.marginal(&[1]).prob(1) - 0.7).abs() < 1e-12);
+//! assert!(hellinger_fidelity(&refined, &refined) > 1.0 - 1e-12);
+//! ```
+
+pub mod recombine;
+
+/// A (sub-)normalized probability distribution over `n_bits`-bit outcomes.
+///
+/// Outcome index bit `i` corresponds to measured qubit `i` of whichever
+/// measurement list produced the distribution (the convention used across
+/// the workspace: bit `i` of the index = `measured[i]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    n_bits: usize,
+    probs: Vec<f64>,
+}
+
+impl Distribution {
+    /// Builds a distribution over `n_bits` outcomes from raw probabilities.
+    ///
+    /// `probs` shorter than `2^n_bits` is zero-padded (finite-shot runs may
+    /// omit trailing never-observed outcomes). Values are *not* normalized;
+    /// call [`Distribution::normalized`] for that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is longer than `2^n_bits`.
+    pub fn from_probs(n_bits: usize, mut probs: Vec<f64>) -> Self {
+        let dim = 1usize << n_bits;
+        assert!(
+            probs.len() <= dim,
+            "{} probabilities do not fit {} bits",
+            probs.len(),
+            n_bits
+        );
+        probs.resize(dim, 0.0);
+        Distribution { n_bits, probs }
+    }
+
+    /// The uniform distribution over `n_bits` outcomes.
+    pub fn uniform(n_bits: usize) -> Self {
+        let dim = 1usize << n_bits;
+        Distribution {
+            n_bits,
+            probs: vec![1.0 / dim as f64; dim],
+        }
+    }
+
+    /// Number of outcome bits.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of outcomes (`2^n_bits`).
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the distribution has zero outcomes (never: kept for the
+    /// conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// The raw probability vector, indexed by outcome.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Probability of `outcome`, 0.0 when out of range.
+    pub fn prob(&self, outcome: usize) -> f64 {
+        self.probs.get(outcome).copied().unwrap_or(0.0)
+    }
+
+    /// Total mass (1.0 for a normalized distribution).
+    pub fn total(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Clamps negatives to zero and rescales to unit mass. A distribution
+    /// with no positive mass becomes uniform.
+    pub fn normalized(mut self) -> Self {
+        let mut total = 0.0;
+        for p in &mut self.probs {
+            if *p < 0.0 {
+                *p = 0.0;
+            }
+            total += *p;
+        }
+        if total <= 0.0 {
+            return Distribution::uniform(self.n_bits);
+        }
+        let inv = 1.0 / total;
+        for p in &mut self.probs {
+            *p *= inv;
+        }
+        self
+    }
+
+    /// The marginal distribution over the given bit `positions`: bit `j` of
+    /// the marginal index is bit `positions[j]` of the full index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range.
+    pub fn marginal(&self, positions: &[usize]) -> Distribution {
+        for &p in positions {
+            assert!(
+                p < self.n_bits,
+                "bit position {p} out of {} bits",
+                self.n_bits
+            );
+        }
+        let dim = 1usize << positions.len();
+        let mut out = vec![0.0; dim];
+        for (x, &p) in self.probs.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let mut y = 0usize;
+            for (j, &pos) in positions.iter().enumerate() {
+                y |= ((x >> pos) & 1) << j;
+            }
+            out[y] += p;
+        }
+        Distribution {
+            n_bits: positions.len(),
+            probs: out,
+        }
+    }
+
+    /// Iterates `(outcome, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.probs.iter().copied().enumerate()
+    }
+}
+
+/// The Hellinger fidelity `(Σᵢ √(pᵢ qᵢ))²` between two distributions over
+/// the same outcome space — the metric every table and figure of the paper
+/// reports. Inputs are normalized internally, so sub-normalized
+/// distributions compare by shape.
+///
+/// # Panics
+///
+/// Panics if the distributions have different bit counts.
+pub fn hellinger_fidelity(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(
+        p.n_bits, q.n_bits,
+        "fidelity requires matching outcome spaces"
+    );
+    let (tp, tq) = (p.total(), q.total());
+    if tp <= 0.0 || tq <= 0.0 {
+        return 0.0;
+    }
+    let scale = 1.0 / (tp * tq).sqrt();
+    let bc: f64 = p
+        .probs
+        .iter()
+        .zip(&q.probs)
+        .map(|(&a, &b)| (a.max(0.0) * b.max(0.0)).sqrt())
+        .sum();
+    let f = (bc * scale).powi(2);
+    f.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_probs_pads_and_rejects_overflow() {
+        let d = Distribution::from_probs(2, vec![0.5, 0.5]);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.prob(2), 0.0);
+        assert_eq!(d.prob(99), 0.0);
+        assert_eq!(d.n_bits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn from_probs_rejects_too_many_entries() {
+        let _ = Distribution::from_probs(1, vec![0.2; 3]);
+    }
+
+    #[test]
+    fn normalized_is_a_probability_vector() {
+        let d = Distribution::from_probs(2, vec![3.0, -1.0, 1.0, 0.0]).normalized();
+        assert!((d.total() - 1.0).abs() < 1e-12);
+        assert!(d.probs().iter().all(|&p| p >= 0.0));
+        assert!((d.prob(0) - 0.75).abs() < 1e-12, "negatives clamp to zero");
+    }
+
+    #[test]
+    fn normalized_of_zero_mass_is_uniform() {
+        let d = Distribution::from_probs(1, vec![0.0, 0.0]).normalized();
+        assert!((d.prob(0) - 0.5).abs() < 1e-12);
+        assert!((d.prob(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_reorders_bits() {
+        // p(bit0=1) = 0.3, p(bit1=1) = 0.6, independent.
+        let probs = vec![0.28, 0.12, 0.42, 0.18];
+        let d = Distribution::from_probs(2, probs);
+        let m0 = d.marginal(&[0]);
+        assert!((m0.prob(1) - 0.3).abs() < 1e-12);
+        let m1 = d.marginal(&[1]);
+        assert!((m1.prob(1) - 0.6).abs() < 1e-12);
+        // Swapped pair marginal: bit 0 of the result is original bit 1.
+        let swapped = d.marginal(&[1, 0]);
+        assert!((swapped.prob(0b01) - d.prob(0b10)).abs() < 1e-12);
+        assert!((swapped.prob(0b10) - d.prob(0b01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_bounds_identity_and_symmetry() {
+        let p = Distribution::from_probs(3, (0..8).map(|i| (i + 1) as f64).collect()).normalized();
+        let q = Distribution::from_probs(3, (0..8).map(|i| ((i * 3) % 7) as f64).collect())
+            .normalized();
+        let f = hellinger_fidelity(&p, &q);
+        assert!((0.0..=1.0).contains(&f));
+        assert!((hellinger_fidelity(&p, &p) - 1.0).abs() < 1e-12);
+        assert!((f - hellinger_fidelity(&q, &p)).abs() < 1e-15);
+        // Disjoint supports → 0.
+        let a = Distribution::from_probs(1, vec![1.0, 0.0]);
+        let b = Distribution::from_probs(1, vec![0.0, 1.0]);
+        assert_eq!(hellinger_fidelity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn hellinger_ignores_scale() {
+        let p = Distribution::from_probs(2, vec![0.1, 0.2, 0.3, 0.4]);
+        let scaled = Distribution::from_probs(2, vec![0.2, 0.4, 0.6, 0.8]);
+        assert!((hellinger_fidelity(&p, &scaled) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! Bayesian local/global recombination (Jigsaw's update rule, reused by
+//! QuTracer and SQEM).
+//!
+//! Given a noisy global distribution `G` and a higher-fidelity local
+//! distribution `L` over a subset `S` of its bits, each global outcome is
+//! reweighted by how much more (or less) likely its `S`-pattern is under
+//! `L` than under `G`'s own marginal:
+//!
+//! ```text
+//! G'(x) ∝ G(x) · L(x|S) / G_S(x|S)
+//! ```
+//!
+//! The update leaves conditional correlations *within* the rest of the
+//! register untouched while pinning the subset marginal to the trusted
+//! local distribution; applying it for every subset folds all local
+//! information into the global picture (Fig. 4, stage ❸ of the paper).
+
+use crate::Distribution;
+
+/// Bin-mass floor below which a marginal bin is considered unobserved and
+/// its ratio skipped (no information to redistribute).
+const MARGINAL_FLOOR: f64 = 1e-15;
+
+/// One Bayesian update of `global` with `local` over the bit `positions`
+/// (positions index bits of `global`; bit `j` of `local`'s outcome space is
+/// `positions[j]`). Returns a normalized distribution whose marginal over
+/// `positions` equals `local` (up to bins `global` assigns zero mass).
+///
+/// # Panics
+///
+/// Panics if `local`'s bit count does not match `positions.len()` or any
+/// position is out of range.
+pub fn bayesian_update(
+    global: &Distribution,
+    local: &Distribution,
+    positions: &[usize],
+) -> Distribution {
+    assert_eq!(
+        local.n_bits(),
+        positions.len(),
+        "local distribution does not match subset size"
+    );
+    let local = local.clone().normalized();
+    let marginal = global.marginal(positions).normalized();
+    let g_total = global.total();
+    if g_total <= 0.0 {
+        return Distribution::uniform(global.n_bits());
+    }
+
+    // Precompute the per-pattern ratio L(s)/G_S(s).
+    let ratios: Vec<f64> = (0..local.len())
+        .map(|s| {
+            let m = marginal.prob(s);
+            if m < MARGINAL_FLOOR {
+                // The global run never saw this pattern: keep its (zero)
+                // mass instead of inventing probability from nothing.
+                1.0
+            } else {
+                local.prob(s) / m
+            }
+        })
+        .collect();
+
+    let probs = global
+        .iter()
+        .map(|(x, p)| {
+            let mut s = 0usize;
+            for (j, &pos) in positions.iter().enumerate() {
+                s |= ((x >> pos) & 1) << j;
+            }
+            p.max(0.0) * ratios[s]
+        })
+        .collect();
+    Distribution::from_probs(global.n_bits(), probs).normalized()
+}
+
+/// Folds every `(local, positions)` pair into `global` by sequential
+/// Bayesian updates, then normalizes — the full recombination stage shared
+/// by QuTracer, Jigsaw and SQEM.
+///
+/// Updates are applied in the given order; with overlapping subsets later
+/// updates take precedence on the shared bits (the workloads here use
+/// disjoint or symmetric subsets, where order is immaterial).
+pub fn bayesian_update_all(
+    global: &Distribution,
+    locals: &[(Distribution, Vec<usize>)],
+) -> Distribution {
+    let mut acc = global.clone().normalized();
+    for (local, positions) in locals {
+        acc = bayesian_update(&acc, local, positions);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product_2q(p0: f64, p1: f64) -> Distribution {
+        // Independent bits: P(bit0 = 1) = p0, P(bit1 = 1) = p1.
+        Distribution::from_probs(
+            2,
+            vec![
+                (1.0 - p0) * (1.0 - p1),
+                p0 * (1.0 - p1),
+                (1.0 - p0) * p1,
+                p0 * p1,
+            ],
+        )
+    }
+
+    #[test]
+    fn update_pins_the_subset_marginal() {
+        let global = Distribution::from_probs(3, (1..=8).map(f64::from).collect()).normalized();
+        let local = Distribution::from_probs(1, vec![0.9, 0.1]);
+        let updated = bayesian_update(&global, &local, &[2]);
+        assert!((updated.total() - 1.0).abs() < 1e-12);
+        let m = updated.marginal(&[2]);
+        assert!((m.prob(0) - 0.9).abs() < 1e-12);
+        assert!((m.prob(1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_preserves_conditionals_elsewhere() {
+        let global = product_2q(0.3, 0.6);
+        let local = Distribution::from_probs(1, vec![0.5, 0.5]);
+        let updated = bayesian_update(&global, &local, &[0]);
+        // Bit 1 was independent of bit 0, so its marginal must not move.
+        let m1 = updated.marginal(&[1]);
+        assert!((m1.prob(1) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neutral_local_is_a_no_op() {
+        let global = Distribution::from_probs(2, vec![0.4, 0.1, 0.3, 0.2]);
+        let local = global.marginal(&[1]);
+        let updated = bayesian_update(&global, &local, &[1]);
+        for (x, p) in global.clone().normalized().iter() {
+            assert!((updated.prob(x) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_mass_patterns_stay_zero() {
+        // Global has no mass on bit0 = 1; the local cannot resurrect it.
+        let global = Distribution::from_probs(2, vec![0.7, 0.0, 0.3, 0.0]);
+        let local = Distribution::from_probs(1, vec![0.5, 0.5]);
+        let updated = bayesian_update(&global, &local, &[0]);
+        assert_eq!(updated.prob(0b01), 0.0);
+        assert_eq!(updated.prob(0b11), 0.0);
+        assert!((updated.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_all_round_trips_known_two_qubit_marginal() {
+        // A correlated 3-bit global; feed back its own exact pair marginal
+        // over bits (0, 2) plus a single-bit marginal over bit 1: the
+        // distribution must be unchanged (round trip).
+        let global =
+            Distribution::from_probs(3, vec![0.22, 0.03, 0.07, 0.18, 0.05, 0.15, 0.2, 0.1]);
+        let locals = vec![
+            (global.marginal(&[0, 2]), vec![0, 2]),
+            (global.marginal(&[1]), vec![1]),
+        ];
+        let updated = bayesian_update_all(&global, &locals);
+        for (x, p) in global.iter() {
+            assert!(
+                (updated.prob(x) - p).abs() < 1e-12,
+                "outcome {x}: {} vs {p}",
+                updated.prob(x)
+            );
+        }
+    }
+
+    #[test]
+    fn update_all_moves_toward_trusted_locals() {
+        // Noisy global says uniform; trusted locals say both bits are 0.
+        let global = Distribution::uniform(2);
+        let locals = vec![
+            (Distribution::from_probs(1, vec![0.95, 0.05]), vec![0]),
+            (Distribution::from_probs(1, vec![0.95, 0.05]), vec![1]),
+        ];
+        let updated = bayesian_update_all(&global, &locals);
+        assert!((updated.prob(0) - 0.95 * 0.95).abs() < 1e-12);
+        assert!((updated.total() - 1.0).abs() < 1e-12);
+    }
+}

@@ -37,6 +37,7 @@ impl Pauli {
     /// Product `self · other = phase · pauli`.
     ///
     /// Returns the resulting Pauli together with the phase in `{±1, ±i}`.
+    #[allow(clippy::should_implement_trait)] // returns (phase, Pauli), not Self
     pub fn mul(self, other: Pauli) -> (Complex, Pauli) {
         use Pauli::*;
         match (self, other) {
@@ -310,10 +311,7 @@ mod tests {
                 let (ph, p) = a.mul(b);
                 let direct = a.matrix().mul(&b.matrix());
                 let symbolic = p.matrix().scale(ph);
-                assert!(
-                    direct.approx_eq(&symbolic, 1e-12),
-                    "mismatch for {a}·{b}"
-                );
+                assert!(direct.approx_eq(&symbolic, 1e-12), "mismatch for {a}·{b}");
             }
         }
     }
@@ -352,7 +350,7 @@ mod tests {
         let iz = PauliString::single(2, 0, Pauli::Z);
         let xz = PauliString::from_paulis(vec![Pauli::Z, Pauli::X]);
         assert!(zi.commutes_with(&iz));
-        assert!(!zi.mul(&xz).commutes_with(&xz) || zi.commutes_with(&xz) == false);
+        assert!(!zi.mul(&xz).commutes_with(&xz) || !zi.commutes_with(&xz));
         // Z on qubit 1 anti-commutes with X on qubit 1.
         let x1 = PauliString::single(2, 1, Pauli::X);
         assert!(!zi.commutes_with(&x1));

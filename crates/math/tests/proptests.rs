@@ -12,8 +12,7 @@ fn arb_complex() -> impl Strategy<Value = Complex> {
 }
 
 fn arb_matrix2() -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(arb_complex(), 4)
-        .prop_map(|v| Matrix::from_rows(2, 2, v))
+    prop::collection::vec(arb_complex(), 4).prop_map(|v| Matrix::from_rows(2, 2, v))
 }
 
 fn arb_hermitian(dim: usize) -> impl Strategy<Value = Matrix> {

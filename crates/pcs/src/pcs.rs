@@ -163,8 +163,7 @@ mod tests {
         let exec = Executor::new(NoiseModel::ideal());
         let (dist, acc) = postselected_distribution(&exec, &pcs, &[0, 1]);
         assert!((acc - 1.0).abs() < 1e-9, "acceptance {acc}");
-        let direct =
-            ideal_distribution(&Program::from_circuit(&whole(&pre, &payload)), &[0, 1]);
+        let direct = ideal_distribution(&Program::from_circuit(&whole(&pre, &payload)), &[0, 1]);
         for (a, b) in dist.iter().zip(&direct) {
             assert!((a - b).abs() < 1e-9);
         }

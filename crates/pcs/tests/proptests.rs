@@ -13,12 +13,12 @@ use qt_sim::{Backend, Executor, NoiseModel, Program};
 fn arb_segment() -> impl Strategy<Value = Circuit> {
     prop::collection::vec(
         prop_oneof![
-            (-2.0..2.0f64).prop_map(|t| (0usize, t)),  // cp(0,1,t)
-            (-2.0..2.0f64).prop_map(|t| (1usize, t)),  // cp(0,2,t)
-            (-2.0..2.0f64).prop_map(|t| (2usize, t)),  // ry(1,t)
-            (-2.0..2.0f64).prop_map(|t| (3usize, t)),  // ry(2,t)
-            (-2.0..2.0f64).prop_map(|t| (4usize, t)),  // cz(1,2) ignore t
-            (-2.0..2.0f64).prop_map(|t| (5usize, t)),  // rz(0,t)
+            (-2.0..2.0f64).prop_map(|t| (0usize, t)), // cp(0,1,t)
+            (-2.0..2.0f64).prop_map(|t| (1usize, t)), // cp(0,2,t)
+            (-2.0..2.0f64).prop_map(|t| (2usize, t)), // ry(1,t)
+            (-2.0..2.0f64).prop_map(|t| (3usize, t)), // ry(2,t)
+            (-2.0..2.0f64).prop_map(|t| (4usize, t)), // cz(1,2) ignore t
+            (-2.0..2.0f64).prop_map(|t| (5usize, t)), // rz(0,t)
         ],
         1..8,
     )
@@ -39,7 +39,7 @@ fn arb_segment() -> impl Strategy<Value = Circuit> {
 }
 
 fn arb_prefix() -> impl Strategy<Value = Circuit> {
-    (( -2.0..2.0f64), (-2.0..2.0f64)).prop_map(|(a, b)| {
+    ((-2.0..2.0f64), (-2.0..2.0f64)).prop_map(|(a, b)| {
         let mut c = Circuit::new(3);
         c.ry(1, a).ry(2, b);
         c

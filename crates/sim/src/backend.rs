@@ -1,0 +1,334 @@
+//! First-class simulation backends and the scoped-thread helpers behind
+//! every parallel execution path in the workspace.
+//!
+//! The [`Backend`] value a caller configures (exact density matrix,
+//! trajectories, or automatic selection by register size) resolves per
+//! program to a concrete [`BackendEngine`] — the object that turns a noisy
+//! program into an outcome distribution. Everything above this module
+//! (executors, QSPC checks, the tracing framework, baselines, benches)
+//! speaks [`crate::Runner`]; everything below it is an engine.
+//!
+//! ```text
+//! Runner::run / run_batch
+//!         │
+//!         ▼
+//! Backend::resolve(n_qubits) ──► DensityMatrixEngine   (exact, small n)
+//!                            └─► TrajectoryEngine      (sampled, large n)
+//! ```
+
+use crate::density::DensityMatrix;
+use crate::noise::NoiseModel;
+use crate::program::{Op, Program};
+use crate::trajectory::{self, TrajectoryConfig};
+use qt_math::Matrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A simulation engine: anything that can turn a noisy [`Program`] into a
+/// gate-noisy outcome distribution (readout error is applied above, by the
+/// executor, because it needs original qubit identities).
+pub trait BackendEngine: Send + Sync + std::fmt::Debug {
+    /// Engine name for diagnostics and reports.
+    fn name(&self) -> &'static str;
+
+    /// The gate-noisy distribution over `measured` (bit `i` of the outcome
+    /// index = `measured[i]`), **before** readout error.
+    fn raw_distribution(
+        &self,
+        program: &Program,
+        noise: &NoiseModel,
+        measured: &[usize],
+    ) -> Vec<f64>;
+}
+
+/// Exact mixed-state evolution: every Kraus channel applied in full.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DensityMatrixEngine;
+
+impl BackendEngine for DensityMatrixEngine {
+    fn name(&self) -> &'static str {
+        "density-matrix"
+    }
+
+    fn raw_distribution(
+        &self,
+        program: &Program,
+        noise: &NoiseModel,
+        measured: &[usize],
+    ) -> Vec<f64> {
+        density_evolution(program, noise).marginal_probabilities(measured)
+    }
+}
+
+/// Monte-Carlo wave-function sampling, fanned out over scoped threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrajectoryEngine {
+    /// Trajectory count, seed and worker budget.
+    pub config: TrajectoryConfig,
+}
+
+impl BackendEngine for TrajectoryEngine {
+    fn name(&self) -> &'static str {
+        "trajectory"
+    }
+
+    fn raw_distribution(
+        &self,
+        program: &Program,
+        noise: &NoiseModel,
+        measured: &[usize],
+    ) -> Vec<f64> {
+        trajectory::run_distribution(program, noise, measured, &self.config)
+    }
+}
+
+/// Simulation backend choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backend {
+    /// Exact density-matrix simulation up to the given register size, then
+    /// fall back to trajectories.
+    Auto {
+        /// Largest register simulated exactly.
+        dm_max_qubits: usize,
+        /// Trajectory settings for larger registers.
+        trajectories: TrajectoryConfig,
+    },
+    /// Always use the density-matrix engine.
+    DensityMatrix,
+    /// Always use the trajectory engine.
+    Trajectory(TrajectoryConfig),
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Auto {
+            dm_max_qubits: 10,
+            trajectories: TrajectoryConfig::default(),
+        }
+    }
+}
+
+impl Backend {
+    /// Resolves the engine that will simulate a register of `n_qubits`.
+    pub fn resolve(&self, n_qubits: usize) -> ResolvedEngine {
+        match *self {
+            Backend::DensityMatrix => ResolvedEngine::DensityMatrix(DensityMatrixEngine),
+            Backend::Trajectory(config) => ResolvedEngine::Trajectory(TrajectoryEngine { config }),
+            Backend::Auto {
+                dm_max_qubits,
+                trajectories,
+            } => {
+                if n_qubits <= dm_max_qubits {
+                    ResolvedEngine::DensityMatrix(DensityMatrixEngine)
+                } else {
+                    ResolvedEngine::Trajectory(TrajectoryEngine {
+                        config: trajectories,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Caps the *internal* worker-thread budget of any trajectory engine.
+    /// Batch executors use this to hand each concurrent job a slice of the
+    /// machine instead of oversubscribing it.
+    pub fn with_thread_budget(self, threads: usize) -> Backend {
+        let cap = threads.max(1);
+        let clamp = |mut cfg: TrajectoryConfig| {
+            cfg.n_threads = Some(cfg.n_threads.unwrap_or(usize::MAX).min(cap));
+            cfg
+        };
+        match self {
+            Backend::Auto {
+                dm_max_qubits,
+                trajectories,
+            } => Backend::Auto {
+                dm_max_qubits,
+                trajectories: clamp(trajectories),
+            },
+            Backend::DensityMatrix => Backend::DensityMatrix,
+            Backend::Trajectory(cfg) => Backend::Trajectory(clamp(cfg)),
+        }
+    }
+}
+
+/// A [`Backend`] resolved against a concrete register size.
+#[derive(Debug, Clone, Copy)]
+pub enum ResolvedEngine {
+    /// The exact engine.
+    DensityMatrix(DensityMatrixEngine),
+    /// The sampling engine.
+    Trajectory(TrajectoryEngine),
+}
+
+impl BackendEngine for ResolvedEngine {
+    fn name(&self) -> &'static str {
+        match self {
+            ResolvedEngine::DensityMatrix(e) => e.name(),
+            ResolvedEngine::Trajectory(e) => e.name(),
+        }
+    }
+
+    fn raw_distribution(
+        &self,
+        program: &Program,
+        noise: &NoiseModel,
+        measured: &[usize],
+    ) -> Vec<f64> {
+        match self {
+            ResolvedEngine::DensityMatrix(e) => e.raw_distribution(program, noise, measured),
+            ResolvedEngine::Trajectory(e) => e.raw_distribution(program, noise, measured),
+        }
+    }
+}
+
+/// Evolves `program` under `noise` on the exact density-matrix engine.
+///
+/// # Panics
+///
+/// Panics if the register exceeds [`crate::density::MAX_QUBITS`].
+pub fn density_evolution(program: &Program, noise: &NoiseModel) -> DensityMatrix {
+    let mut rho = DensityMatrix::zero(program.n_qubits());
+    for op in program.ops() {
+        match op {
+            Op::Gate(instr) => {
+                rho.apply_instruction(instr);
+                for (qs, ch) in noise.channels_for(instr) {
+                    rho.apply_channel(ch, &qs);
+                }
+            }
+            Op::IdealGate(instr) => rho.apply_instruction(instr),
+            Op::Reset { qubits, ket } => {
+                let rho_small = ket_to_density(ket);
+                rho.reset_qubits(qubits, &rho_small);
+            }
+        }
+    }
+    rho
+}
+
+fn ket_to_density(ket: &[qt_math::Complex]) -> Matrix {
+    let d = ket.len();
+    let mut m = Matrix::zeros(d, d);
+    for r in 0..d {
+        for c in 0..d {
+            m[(r, c)] = ket[r] * ket[c].conj();
+        }
+    }
+    m
+}
+
+/// The machine's available parallelism (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// The one batch-scheduling policy every batch executor shares: splits the
+/// machine between `n_jobs` concurrent jobs, returning `(workers,
+/// inner_budget)` — how many jobs run at once and the worker-thread budget
+/// each job's own engine may use. `workers <= 1` means "run serially".
+pub fn batch_split(n_jobs: usize) -> (usize, usize) {
+    let cores = available_threads();
+    (cores.min(n_jobs), (cores / n_jobs.max(1)).max(1))
+}
+
+/// Runs `f(0..n)` on up to `threads` scoped worker threads (work-stealing
+/// by atomic index) and returns the results in index order. Falls back to
+/// a serial loop for a single thread or item.
+pub fn parallel_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index computed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_indexed_preserves_order() {
+        let squares = parallel_indexed(100, 4, |i| i * i);
+        assert_eq!(squares, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_indexed_serial_fallback() {
+        assert_eq!(parallel_indexed(3, 1, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(parallel_indexed(0, 8, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn auto_backend_resolves_by_register_size() {
+        let b = Backend::Auto {
+            dm_max_qubits: 5,
+            trajectories: TrajectoryConfig::default(),
+        };
+        assert!(matches!(b.resolve(5), ResolvedEngine::DensityMatrix(_)));
+        assert!(matches!(b.resolve(6), ResolvedEngine::Trajectory(_)));
+        assert_eq!(b.resolve(5).name(), "density-matrix");
+        assert_eq!(b.resolve(6).name(), "trajectory");
+    }
+
+    #[test]
+    fn thread_budget_clamps_only_trajectories() {
+        let cfg = TrajectoryConfig {
+            n_trajectories: 100,
+            seed: 1,
+            n_threads: None,
+        };
+        match Backend::Trajectory(cfg).with_thread_budget(2) {
+            Backend::Trajectory(c) => assert_eq!(c.n_threads, Some(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match Backend::Trajectory(TrajectoryConfig {
+            n_threads: Some(1),
+            ..cfg
+        })
+        .with_thread_budget(4)
+        {
+            Backend::Trajectory(c) => assert_eq!(c.n_threads, Some(1), "never raises"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            Backend::DensityMatrix.with_thread_budget(1),
+            Backend::DensityMatrix
+        );
+    }
+}

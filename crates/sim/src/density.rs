@@ -41,7 +41,10 @@ impl DensityMatrix {
     ///
     /// Panics if `n > MAX_QUBITS`.
     pub fn zero(n: usize) -> Self {
-        assert!(n <= MAX_QUBITS, "register too large for exact DM: {n} qubits");
+        assert!(
+            n <= MAX_QUBITS,
+            "register too large for exact DM: {n} qubits"
+        );
         let mut amps = vec![Complex::ZERO; 1 << (2 * n)];
         amps[0] = Complex::ONE;
         DensityMatrix { n, amps }
@@ -150,8 +153,7 @@ impl DensityMatrix {
         let dim_local = 1usize << k;
         let lambda = (dim_local * dim_local) as f64 * p / ((dim_local * dim_local - 1) as f64);
         let mut mixed = self.clone();
-        let mixed_small = Matrix::identity(dim_local)
-            .scale(Complex::real(1.0 / dim_local as f64));
+        let mixed_small = Matrix::identity(dim_local).scale(Complex::real(1.0 / dim_local as f64));
         mixed.reset_qubits(qubits, &mixed_small);
         for (a, b) in self.amps.iter_mut().zip(&mixed.amps) {
             *a = a.scale(1.0 - lambda) + b.scale(lambda);
@@ -338,7 +340,7 @@ impl DensityMatrix {
     /// Scales the density matrix (used for unnormalized QSPC branches).
     pub fn scale(&mut self, c: Complex) {
         for a in &mut self.amps {
-            *a = *a * c;
+            *a *= c;
         }
     }
 

@@ -1,17 +1,26 @@
-//! High-level execution: backend selection, noisy distributions and readout.
+//! High-level execution: the [`Runner`] abstraction, noisy distributions,
+//! readout and parallel batched execution.
 //!
 //! The [`Executor`] mirrors the role of Qiskit's `AerSimulator` in the
-//! paper's artifact: callers hand it programs, it picks the exact
-//! density-matrix engine for small registers and the trajectory engine for
-//! large ones, applies the gate noise and terminal readout error, and
-//! returns outcome distributions.
+//! paper's artifact: callers hand it programs, it resolves a
+//! [`crate::backend::BackendEngine`] per program (exact density matrix for
+//! small registers, trajectories for large ones), applies the gate noise
+//! and terminal readout error, and returns outcome distributions.
+//!
+//! Mitigation workloads are ensembles: one QSPC check alone runs
+//! `preps × bases` independent circuits. [`Runner::run_batch`] is the
+//! throughput path for those — the default implementation is a serial
+//! loop, and [`Executor`] overrides it to fan the jobs out over scoped
+//! threads with the machine's parallelism split between the jobs and each
+//! job's internal trajectory workers.
 
+use crate::backend::{self, BackendEngine};
 use crate::density::DensityMatrix;
 use crate::noise::{apply_readout, NoiseModel};
 use crate::program::{Op, Program};
 use crate::statevector::StateVector;
-use crate::trajectory::{self, TrajectoryConfig};
-use qt_math::Matrix;
+
+pub use crate::backend::Backend;
 
 /// The result of one program execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +33,25 @@ pub struct RunOutput {
     pub two_qubit_gates: usize,
 }
 
+/// One independent unit of work for [`Runner::run_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The program to execute.
+    pub program: Program,
+    /// The measured qubits (bit `i` of the outcome index = `measured[i]`).
+    pub measured: Vec<usize>,
+}
+
+impl BatchJob {
+    /// Creates a job.
+    pub fn new(program: Program, measured: impl Into<Vec<usize>>) -> Self {
+        BatchJob {
+            program,
+            measured: measured.into(),
+        }
+    }
+}
+
 /// Anything that can execute a [`Program`] and return a noisy outcome
 /// distribution: the plain [`Executor`] here, or a transpiling device
 /// executor (`qt-device`) that first maps the program onto a physical
@@ -32,6 +60,17 @@ pub trait Runner {
     /// Executes `program`, returning the noisy distribution over `measured`
     /// (bit `i` of the outcome index = `measured[i]`) plus gate statistics.
     fn run(&self, program: &Program, measured: &[usize]) -> RunOutput;
+
+    /// Executes a batch of independent jobs, returning outputs in job
+    /// order. The default implementation is a serial loop; concurrent
+    /// implementations must preserve per-job results exactly (every engine
+    /// here is deterministic given its seed, so batched and serial
+    /// execution agree bit-for-bit).
+    fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
+        jobs.iter()
+            .map(|j| self.run(&j.program, &j.measured))
+            .collect()
+    }
 }
 
 impl Runner for Executor {
@@ -42,31 +81,25 @@ impl Runner for Executor {
             two_qubit_gates: program.two_qubit_gate_count(),
         }
     }
-}
 
-/// Simulation backend choice.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Backend {
-    /// Exact density-matrix simulation up to the given register size, then
-    /// fall back to trajectories.
-    Auto {
-        /// Largest register simulated exactly.
-        dm_max_qubits: usize,
-        /// Trajectory settings for larger registers.
-        trajectories: TrajectoryConfig,
-    },
-    /// Always use the density-matrix engine.
-    DensityMatrix,
-    /// Always use the trajectory engine.
-    Trajectory(TrajectoryConfig),
-}
-
-impl Default for Backend {
-    fn default() -> Self {
-        Backend::Auto {
-            dm_max_qubits: 10,
-            trajectories: TrajectoryConfig::default(),
+    /// Fans the jobs out over scoped threads under the shared
+    /// [`backend::batch_split`] policy, so a batch never oversubscribes
+    /// the machine.
+    fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
+        let (workers, inner) = backend::batch_split(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|j| self.run(&j.program, &j.measured))
+                .collect();
         }
+        let per_job = Executor {
+            noise: self.noise.clone(),
+            backend: self.backend.with_thread_budget(inner),
+        };
+        backend::parallel_indexed(jobs.len(), workers, |i| {
+            per_job.run(&jobs[i].program, &jobs[i].measured)
+        })
     }
 }
 
@@ -118,7 +151,8 @@ impl Executor {
     /// readout error (bit `i` of the index = `measured[i]`).
     ///
     /// The program is first compacted onto its used qubits (plus `measured`)
-    /// so that reduced ensemble circuits do not pay for idle wires.
+    /// so that reduced ensemble circuits do not pay for idle wires, then
+    /// handed to the engine the backend resolves for the compacted size.
     pub fn raw_distribution(&self, program: &Program, measured: &[usize]) -> Vec<f64> {
         // Compaction renames qubits, so it is only sound when the noise
         // model is uniform (no per-qubit/per-edge calibration).
@@ -135,22 +169,9 @@ impl Executor {
             None => (program.clone(), measured.to_vec()),
         };
         let measured: &[usize] = measured;
-        match self.backend {
-            Backend::DensityMatrix => self.run_dm(program).marginal_probabilities(measured),
-            Backend::Trajectory(cfg) => {
-                trajectory::run_distribution(program, &self.noise, measured, &cfg)
-            }
-            Backend::Auto {
-                dm_max_qubits,
-                trajectories,
-            } => {
-                if program.n_qubits() <= dm_max_qubits {
-                    self.run_dm(program).marginal_probabilities(measured)
-                } else {
-                    trajectory::run_distribution(program, &self.noise, measured, &trajectories)
-                }
-            }
-        }
+        self.backend
+            .resolve(program.n_qubits())
+            .raw_distribution(program, &self.noise, measured)
     }
 
     /// The full noisy outcome distribution over `measured`: gate noise plus
@@ -167,6 +188,10 @@ impl Executor {
     /// Samples `shots` measurement outcomes from the noisy distribution —
     /// the finite-shot pipeline the paper's hardware runs use (100 000
     /// shots per circuit). Returns per-outcome counts over `measured`.
+    ///
+    /// Large shot counts are drawn in a fixed number of independent streams
+    /// executed across threads; the counts depend only on `seed` (never on
+    /// the machine's core count).
     pub fn sampled_counts(
         &self,
         program: &Program,
@@ -176,8 +201,26 @@ impl Executor {
     ) -> Vec<u64> {
         use rand::SeedableRng;
         let dist = self.noisy_distribution(program, measured);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        crate::statevector::sample_from_probs(&dist, shots, &mut rng)
+        // Stream layout is a function of the shot count alone, so results
+        // are reproducible everywhere.
+        let streams = if shots >= 1 << 14 { 8 } else { 1 };
+        let chunk = shots.div_ceil(streams);
+        let partials =
+            backend::parallel_indexed(streams, backend::available_threads().min(streams), |s| {
+                let lo = s * chunk;
+                let hi = ((s + 1) * chunk).min(shots);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    seed.wrapping_add((s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                );
+                crate::statevector::sample_from_probs(&dist, hi.saturating_sub(lo), &mut rng)
+            });
+        let mut counts = vec![0u64; dist.len()];
+        for part in partials {
+            for (c, p) in counts.iter_mut().zip(part) {
+                *c += p;
+            }
+        }
+        counts
     }
 
     /// Runs the program on the exact density-matrix engine.
@@ -186,23 +229,7 @@ impl Executor {
     ///
     /// Panics if the register exceeds [`crate::density::MAX_QUBITS`].
     pub fn run_dm(&self, program: &Program) -> DensityMatrix {
-        let mut rho = DensityMatrix::zero(program.n_qubits());
-        for op in program.ops() {
-            match op {
-                Op::Gate(instr) => {
-                    rho.apply_instruction(instr);
-                    for (qs, ch) in self.noise.channels_for(instr) {
-                        rho.apply_channel(ch, &qs);
-                    }
-                }
-                Op::IdealGate(instr) => rho.apply_instruction(instr),
-                Op::Reset { qubits, ket } => {
-                    let rho_small = ket_to_density(ket);
-                    rho.reset_qubits(qubits, &rho_small);
-                }
-            }
-        }
-        rho
+        backend::density_evolution(program, &self.noise)
     }
 }
 
@@ -284,20 +311,10 @@ fn compact(program: &Program, measured: &[usize]) -> Option<(Program, Vec<usize>
     Some((out, m))
 }
 
-fn ket_to_density(ket: &[qt_math::Complex]) -> Matrix {
-    let d = ket.len();
-    let mut m = Matrix::zeros(d, d);
-    for r in 0..d {
-        for c in 0..d {
-            m[(r, c)] = ket[r] * ket[c].conj();
-        }
-    }
-    m
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trajectory::TrajectoryConfig;
     use qt_circuit::Circuit;
 
     #[test]
@@ -374,5 +391,77 @@ mod tests {
             .map(|(_, p)| p)
             .sum();
         assert!(sub[1] > p_joint_correct + 0.02);
+    }
+
+    #[test]
+    fn run_batch_matches_serial_execution_exactly() {
+        let noise = NoiseModel::depolarizing(0.005, 0.02).with_readout(0.03);
+        let exec = Executor::with_backend(noise, Backend::default());
+        let mut jobs = Vec::new();
+        for k in 0..12 {
+            let mut c = Circuit::new(3);
+            c.h(0).ry(1, 0.1 * k as f64).cx(0, 1).cz(1, 2);
+            jobs.push(BatchJob::new(Program::from_circuit(&c), vec![0, 1, 2]));
+        }
+        let batched = exec.run_batch(&jobs);
+        let serial: Vec<RunOutput> = jobs
+            .iter()
+            .map(|j| exec.run(&j.program, &j.measured))
+            .collect();
+        assert_eq!(batched.len(), serial.len());
+        for (b, s) in batched.iter().zip(&serial) {
+            assert_eq!(b.gates, s.gates);
+            assert_eq!(b.two_qubit_gates, s.two_qubit_gates);
+            for (x, y) in b.dist.iter().zip(&s.dist) {
+                assert!((x - y).abs() < 1e-12, "batch {x} vs serial {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_serial_on_trajectory_backend() {
+        // Trajectory results are seed-deterministic and thread-invariant,
+        // so the batch fan-out must agree bit-for-bit with serial runs.
+        let noise = NoiseModel::depolarizing(0.01, 0.05);
+        let cfg = TrajectoryConfig {
+            n_trajectories: 2_000,
+            seed: 7,
+            n_threads: None,
+        };
+        let exec = Executor::with_backend(noise, Backend::Trajectory(cfg));
+        let mut jobs = Vec::new();
+        for k in 0..4 {
+            let mut c = Circuit::new(2);
+            c.h(0).ry(1, 0.3 + 0.2 * k as f64).cx(0, 1);
+            jobs.push(BatchJob::new(Program::from_circuit(&c), vec![0, 1]));
+        }
+        let batched = exec.run_batch(&jobs);
+        let serial: Vec<RunOutput> = jobs
+            .iter()
+            .map(|j| exec.run(&j.program, &j.measured))
+            .collect();
+        for (b, s) in batched.iter().zip(&serial) {
+            for (x, y) in b.dist.iter().zip(&s.dist) {
+                assert!((x - y).abs() < 1e-12, "batch {x} vs serial {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_counts_are_seed_stable_and_total_shots() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let prog = Program::from_circuit(&c);
+        let exec = Executor::with_backend(
+            NoiseModel::ideal().with_readout(0.05),
+            Backend::DensityMatrix,
+        );
+        let shots = 40_000; // exercises the multi-stream path
+        let a = exec.sampled_counts(&prog, &[0, 1], shots, 11);
+        let b = exec.sampled_counts(&prog, &[0, 1], shots, 11);
+        assert_eq!(a, b, "same seed must reproduce counts");
+        assert_eq!(a.iter().sum::<u64>(), shots as u64);
+        let c2 = exec.sampled_counts(&prog, &[0, 1], shots, 12);
+        assert_ne!(a, c2, "different seeds should differ");
     }
 }

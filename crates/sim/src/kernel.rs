@@ -19,7 +19,11 @@ use qt_math::{Complex, Matrix};
 pub fn apply_op(amps: &mut [Complex], n: usize, u: &Matrix, qs: &[usize]) {
     let k = qs.len();
     assert_eq!(u.rows(), 1 << k, "operator does not match operand count");
-    assert_eq!(amps.len(), 1 << n, "amplitude array does not match register");
+    assert_eq!(
+        amps.len(),
+        1 << n,
+        "amplitude array does not match register"
+    );
     debug_assert!(qs.iter().all(|&q| q < n));
 
     let dim_local = 1usize << k;

@@ -7,8 +7,11 @@
 //! * [`NoiseModel`]/[`KrausChannel`]/[`ReadoutModel`] — gate and readout
 //!   noise, including the measurement crosstalk Jigsaw exploits;
 //! * [`Program`] — circuits plus the mid-circuit wire resets QSPC needs;
-//! * [`Executor`] — backend selection (exact DM vs. trajectories), noisy
-//!   distribution extraction, readout application.
+//! * [`backend`] — the [`BackendEngine`] abstraction every execution path
+//!   resolves to (exact DM vs. trajectories) plus the scoped-thread
+//!   helpers behind all parallel paths;
+//! * [`Executor`] — noisy distribution extraction, readout application and
+//!   parallel batched execution ([`Runner::run_batch`]).
 //!
 //! # Example
 //!
@@ -23,6 +26,7 @@
 //! assert!(dist[0] > 0.45 && dist[3] > 0.45);
 //! ```
 
+pub mod backend;
 pub mod density;
 pub mod executor;
 pub mod kernel;
@@ -31,8 +35,9 @@ pub mod program;
 pub mod statevector;
 pub mod trajectory;
 
+pub use backend::{Backend, BackendEngine, DensityMatrixEngine, ResolvedEngine, TrajectoryEngine};
 pub use density::DensityMatrix;
-pub use executor::{ideal_distribution, Backend, Executor, RunOutput, Runner};
+pub use executor::{ideal_distribution, BatchJob, Executor, RunOutput, Runner};
 pub use noise::{apply_readout, KrausChannel, NoiseModel, NoiseRule, ReadoutModel};
 pub use program::{Op, Program};
 pub use statevector::StateVector;

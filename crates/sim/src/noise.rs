@@ -352,11 +352,7 @@ impl ReadoutModel {
 /// qubits (distribution bit `i` = `measured[i]`).
 ///
 /// The returned vector is a proper distribution (sums to the input's sum).
-pub fn apply_readout(
-    probs: &[f64],
-    measured: &[usize],
-    readout: &ReadoutModel,
-) -> Vec<f64> {
+pub fn apply_readout(probs: &[f64], measured: &[usize], readout: &ReadoutModel) -> Vec<f64> {
     assert_eq!(probs.len(), 1 << measured.len());
     if readout.is_ideal() {
         return probs.to_vec();
@@ -497,7 +493,10 @@ impl NoiseModel {
 
     /// Resolves the channels to apply after an instruction, as
     /// `(operand qubits, channel)` pairs in application order.
-    pub fn channels_for(&self, instr: &qt_circuit::Instruction) -> Vec<(Vec<usize>, &KrausChannel)> {
+    pub fn channels_for(
+        &self,
+        instr: &qt_circuit::Instruction,
+    ) -> Vec<(Vec<usize>, &KrausChannel)> {
         let arity = instr.qubits.len();
         let rule: &NoiseRule = match arity {
             1 => self
@@ -653,7 +652,8 @@ mod tests {
     #[test]
     fn amplitude_damping_decays_excited_state() {
         let ch = KrausChannel::amplitude_damping(0.3);
-        let mut rho = crate::DensityMatrix::from_matrix(&qt_math::states::PrepState::One.projector());
+        let mut rho =
+            crate::DensityMatrix::from_matrix(&qt_math::states::PrepState::One.projector());
         rho.apply_kraus(ch.ops(), &[0]);
         let d = rho.diagonal();
         assert!((d[0] - 0.3).abs() < 1e-12);

@@ -141,14 +141,19 @@ impl Program {
 
     /// Appends a reset of two qubits to the product state `low ⊗ high`
     /// (`qubits[0]` gets `low`).
-    pub fn push_reset_pair(&mut self, qubits: &[usize; 2], low: PrepState, high: PrepState) -> &mut Self {
+    pub fn push_reset_pair(
+        &mut self,
+        qubits: &[usize; 2],
+        low: PrepState,
+        high: PrepState,
+    ) -> &mut Self {
         let l = low.ket();
         let h = high.ket();
         let mut ket = vec![Complex::ZERO; 4];
         for (i, k) in ket.iter_mut().enumerate() {
             *k = l[i & 1] * h[(i >> 1) & 1];
         }
-        self.push_reset(&qubits.to_vec(), ket)
+        self.push_reset(qubits.as_ref(), ket)
     }
 
     /// Re-targets every step through `map` (old qubit → new qubit), which
@@ -191,9 +196,7 @@ impl Program {
     pub fn two_qubit_gate_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|o| {
-                matches!(o, Op::Gate(i) | Op::IdealGate(i) if i.gate.is_multi_qubit())
-            })
+            .filter(|o| matches!(o, Op::Gate(i) | Op::IdealGate(i) if i.gate.is_multi_qubit()))
             .count()
     }
 }

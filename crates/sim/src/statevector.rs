@@ -170,7 +170,12 @@ impl StateVector {
     ///
     /// This realizes the reset channel exactly in expectation over the
     /// measurement randomness — the workhorse of QSPC's wire replacement.
-    pub fn reset_to_ket<R: Rng + ?Sized>(&mut self, qubits: &[usize], ket: &[Complex], rng: &mut R) {
+    pub fn reset_to_ket<R: Rng + ?Sized>(
+        &mut self,
+        qubits: &[usize],
+        ket: &[Complex],
+        rng: &mut R,
+    ) {
         assert_eq!(ket.len(), 1 << qubits.len(), "ket dimension mismatch");
         // Collapse each qubit, then map the observed basis state to |0…0⟩.
         for &q in qubits {

@@ -13,14 +13,22 @@
 //!   sampled *before* touching the state. All-identity patterns contribute
 //!   the (precomputed) ideal distribution without simulating.
 //! * **Thread fan-out** — trajectories are embarrassingly parallel and are
-//!   distributed over threads with `crossbeam`.
+//!   distributed over scoped `std::thread` workers. Trajectories are dealt
+//!   into a fixed number of independently seeded *streams* which the
+//!   workers drain, so the result depends only on the configured seed,
+//!   never on the machine's core count.
 
+use crate::backend::{available_threads, parallel_indexed};
 use crate::noise::NoiseModel;
 use crate::program::{Op, Program};
 use crate::statevector::StateVector;
 use qt_math::Matrix;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Number of independently seeded trajectory streams. A fixed count keeps
+/// results machine-independent while still saturating common core counts.
+const STREAMS: usize = 64;
 
 /// Configuration for the trajectory engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,14 +77,7 @@ pub fn run_distribution(
     cfg: &TrajectoryConfig,
 ) -> Vec<f64> {
     let dim = 1usize << measured.len();
-    let n_threads = cfg
-        .n_threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|v| v.get())
-                .unwrap_or(1)
-        })
-        .max(1);
+    let n_threads = cfg.n_threads.unwrap_or_else(available_threads).max(1);
 
     // Resolve channel applications once per op.
     let resolved: Vec<Vec<(Vec<usize>, crate::noise::KrausChannel)>> = program
@@ -106,36 +107,31 @@ pub fn run_distribution(
         None
     };
 
-
-    let chunk = cfg.n_trajectories.div_ceil(n_threads);
-    let mut partials: Vec<(Vec<f64>, u64)> = Vec::with_capacity(n_threads);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..n_threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(cfg.n_trajectories);
-            if lo >= hi {
-                break;
+    // Deal trajectories into seed-stable streams and drain the streams
+    // with up to `n_threads` scoped workers.
+    let streams = STREAMS.min(cfg.n_trajectories).max(1);
+    let chunk = cfg.n_trajectories.div_ceil(streams);
+    let ideal = ideal_dist.as_deref();
+    let partials = parallel_indexed(streams, n_threads, |s| {
+        let lo = s * chunk;
+        let hi = ((s + 1) * chunk).min(cfg.n_trajectories);
+        let mut acc = vec![0.0f64; dim];
+        let mut n_ideal = 0u64;
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(s as u64 * 0x51ab_de37));
+        for _ in lo..hi {
+            if run_one(
+                program,
+                &resolved,
+                measured,
+                ideal.is_some(),
+                &mut acc,
+                &mut rng,
+            ) {
+                n_ideal += 1;
             }
-            let resolved = &resolved;
-            let ideal = ideal_dist.as_deref();
-            handles.push(scope.spawn(move |_| {
-                let mut acc = vec![0.0f64; dim];
-                let mut n_ideal = 0u64;
-                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(t as u64 * 0x51ab_de37));
-                for _ in lo..hi {
-                    if run_one(program, resolved, measured, ideal.is_some(), &mut acc, &mut rng) {
-                        n_ideal += 1;
-                    }
-                }
-                (acc, n_ideal)
-            }));
         }
-        for h in handles {
-            partials.push(h.join().expect("trajectory worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+        (acc, n_ideal)
+    });
 
     let mut dist = vec![0.0f64; dim];
     let mut n_ideal_total = 0u64;
@@ -231,7 +227,12 @@ fn run_one(
 }
 
 /// Samples one Kraus branch of `ch` on `qs` and applies it to `sv`.
-fn sample_channel(sv: &mut StateVector, ch: &crate::noise::KrausChannel, qs: &[usize], rng: &mut StdRng) {
+fn sample_channel(
+    sv: &mut StateVector,
+    ch: &crate::noise::KrausChannel,
+    qs: &[usize],
+    rng: &mut StdRng,
+) {
     if let (Some(probs), Some(units)) = (ch.mixture_probs(), ch.mixture_unitaries()) {
         let r: f64 = rng.random();
         let mut cum = 0.0;
@@ -405,6 +406,30 @@ mod tests {
         let dist = run_distribution(&prog, &NoiseModel::ideal(), &[0, 1], &cfg);
         assert!((dist[0] - 0.5).abs() < 1e-12);
         assert!((dist[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_are_invariant_to_thread_count() {
+        // Stream-based seeding: the distribution is a function of the seed
+        // alone, so any worker count reproduces it bit-for-bit.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.7).cz(1, 2);
+        let prog = Program::from_circuit(&c);
+        let noise = NoiseModel::depolarizing(0.02, 0.08);
+        let base = TrajectoryConfig {
+            n_trajectories: 3_000,
+            seed: 123,
+            n_threads: Some(1),
+        };
+        let serial = run_distribution(&prog, &noise, &[0, 1, 2], &base);
+        for threads in [2, 3, 8] {
+            let cfg = TrajectoryConfig {
+                n_threads: Some(threads),
+                ..base
+            };
+            let parallel = run_distribution(&prog, &noise, &[0, 1, 2], &cfg);
+            assert_eq!(serial, parallel, "{threads} threads diverged");
+        }
     }
 
     #[test]

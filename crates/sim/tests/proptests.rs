@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use qt_circuit::{Circuit, Gate};
-use qt_sim::{
-    Backend, DensityMatrix, Executor, KrausChannel, NoiseModel, Program, StateVector,
-};
+use qt_sim::{Backend, DensityMatrix, Executor, KrausChannel, NoiseModel, Program, StateVector};
 
 fn arb_gate(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
     let q = 0..n;

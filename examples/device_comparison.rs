@@ -30,7 +30,7 @@ fn main() {
     let jig = run_jigsaw(&executor, &circuit, &measured, 2);
     let sqem = run_sqem(&executor, &circuit, &measured).expect("single check layer");
 
-    println!("Bernstein–Vazirani, secret {secret:#b}, on {}:", "fake_hanoi");
+    println!("Bernstein–Vazirani, secret {secret:#b}, on fake_hanoi:");
     println!("  original fidelity: {:.3}", fid(&qt.global));
     println!("  jigsaw   fidelity: {:.3}", fid(&jig.distribution));
     println!("  sqem     fidelity: {:.3}", fid(&sqem.distribution));

@@ -81,6 +81,9 @@ fn eagle_device_hosts_ring_workloads() {
     let out = exec.run(&Program::from_circuit(&circ), &measured);
     assert!((out.dist.iter().sum::<f64>() - 1.0).abs() < 1e-6);
     // 8 edges × 2 CX plus limited swap overhead.
-    assert!(out.two_qubit_gates >= 16 && out.two_qubit_gates <= 34,
-        "2q count {}", out.two_qubit_gates);
+    assert!(
+        out.two_qubit_gates >= 16 && out.two_qubit_gates <= 34,
+        "2q count {}",
+        out.two_qubit_gates
+    );
 }

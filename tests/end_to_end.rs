@@ -7,9 +7,7 @@ use qutracer::algos::{
 use qutracer::baselines::{run_jigsaw, run_sqem};
 use qutracer::core::{run_qutracer, QuTracerConfig};
 use qutracer::dist::{hellinger_fidelity, Distribution};
-use qutracer::sim::{
-    ideal_distribution, Backend, Executor, NoiseModel, Program, ReadoutModel,
-};
+use qutracer::sim::{ideal_distribution, Backend, Executor, NoiseModel, Program, ReadoutModel};
 
 fn fid(d: &Distribution, circ: &qutracer::circuit::Circuit, measured: &[usize]) -> f64 {
     let ideal = Distribution::from_probs(
