@@ -4,9 +4,74 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use qt_circuit::{Gate, Instruction};
 use qt_sim::{
-    DensityMatrix, Executor, KrausChannel, NoiseModel, Program, StateVector, TrajectoryConfig,
+    kernel, DensityMatrix, Executor, KrausChannel, NoiseModel, Program, StateVector,
+    TrajectoryConfig,
 };
 use std::hint::black_box;
+
+/// Generic `apply_op` vs the classified specialized kernels, per gate class
+/// and register size — the headline rows of `BENCH_kernels.json`. Each
+/// iteration applies a full layer of the gate (every qubit, or every
+/// adjacent pair) so the ratio reflects steady-state kernel throughput.
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for &n in &[12usize, 16] {
+        let one_q: Vec<(&str, Gate)> = vec![
+            ("h", Gate::H),         // SingleQubitDense: stride butterfly
+            ("rz", Gate::Rz(0.37)), // Diagonal: in-place factors
+            ("x", Gate::X),         // Permutation: amplitude swap
+            ("s", Gate::S),         // ControlledPhase (k=1)
+        ];
+        for (label, gate) in one_q {
+            let m = gate.matrix();
+            group.bench_function(format!("{label}_generic_{n}q"), |b| {
+                let mut sv = StateVector::zero(n);
+                b.iter(|| {
+                    for q in 0..n {
+                        kernel::apply_op_generic(sv.amplitudes_mut(), n, &m, &[q]);
+                    }
+                    sv.amplitudes()[0]
+                })
+            });
+            group.bench_function(format!("{label}_specialized_{n}q"), |b| {
+                let mut sv = StateVector::zero(n);
+                b.iter(|| {
+                    for q in 0..n {
+                        kernel::apply_op(sv.amplitudes_mut(), n, &m, &[q]);
+                    }
+                    sv.amplitudes()[0]
+                })
+            });
+        }
+        let two_q: Vec<(&str, Gate)> = vec![
+            ("cp", Gate::Cp(0.9)),   // ControlledPhase (k=2)
+            ("cx", Gate::Cx),        // Permutation (two-qubit)
+            ("crx", Gate::Crx(0.5)), // TwoQubitDense, control=1 subspace
+        ];
+        for (label, gate) in two_q {
+            let m = gate.matrix();
+            group.bench_function(format!("{label}_generic_{n}q"), |b| {
+                let mut sv = StateVector::zero(n);
+                b.iter(|| {
+                    for q in 0..n - 1 {
+                        kernel::apply_op_generic(sv.amplitudes_mut(), n, &m, &[q, q + 1]);
+                    }
+                    sv.amplitudes()[0]
+                })
+            });
+            group.bench_function(format!("{label}_specialized_{n}q"), |b| {
+                let mut sv = StateVector::zero(n);
+                b.iter(|| {
+                    for q in 0..n - 1 {
+                        kernel::apply_op(sv.amplitudes_mut(), n, &m, &[q, q + 1]);
+                    }
+                    sv.amplitudes()[0]
+                })
+            });
+        }
+    }
+    group.finish();
+}
 
 fn bench_statevector_gates(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevector");
@@ -160,6 +225,7 @@ fn bench_circuit_passes(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_kernel_dispatch,
     bench_statevector_gates,
     bench_density_matrix,
     bench_trajectories,

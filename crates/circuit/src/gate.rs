@@ -2,6 +2,34 @@
 
 use qt_math::{Complex, Matrix};
 
+/// Structural class of a gate's matrix, used by simulator kernels to pick a
+/// specialized application routine without inspecting matrix entries.
+///
+/// The variants order from most to least structured; a gate's
+/// [`Gate::structure`] is the *static* class of its matrix shape. Degenerate
+/// parameter values (e.g. `Rz(0.0)`) may admit an even more specialized
+/// runtime classification, so consumers should treat this as "at least this
+/// structured".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStructure {
+    /// Identity except for a phase on the all-ones basis state
+    /// (`Z`, `S`, `T`, `Phase`, `Cz`, `Cp`, `Ccp`).
+    ControlledPhase,
+    /// Diagonal in the computational basis but not a controlled phase
+    /// (`Rz`, `Crz`).
+    Diagonal,
+    /// Exactly one nonzero entry per row and column
+    /// (`X`, `Y`, `Cx`, `Cy`, `Swap`).
+    Permutation,
+    /// Dense single-qubit matrix (`H`, `Sx`, `Rx`, `Ry`, `U`).
+    SingleQubitDense,
+    /// Identity on the control=0 subspace, dense on the control=1 subspace
+    /// (`Crx`, `Cry`).
+    ControlledDense,
+    /// No exploitable structure.
+    Dense,
+}
+
 /// A quantum gate.
 ///
 /// The gate set covers everything the paper's benchmarks need: the Clifford
@@ -226,6 +254,24 @@ impl Gate {
         )
     }
 
+    /// The structural class of the gate's matrix (see [`GateStructure`]).
+    ///
+    /// Simulator kernels use this to dispatch to specialized application
+    /// routines (phase multiplication, permutation, butterfly) instead of a
+    /// generic dense matrix product.
+    pub fn structure(&self) -> GateStructure {
+        use Gate::*;
+        match self {
+            Z | S | Sdg | T | Tdg | Phase(_) | Cz | Cp(_) | Ccp(_) => {
+                GateStructure::ControlledPhase
+            }
+            Rz(_) | Crz(_) => GateStructure::Diagonal,
+            X | Y | Cx | Cy | Swap => GateStructure::Permutation,
+            H | Sx | Rx(_) | Ry(_) | U(..) => GateStructure::SingleQubitDense,
+            Crx(_) | Cry(_) => GateStructure::ControlledDense,
+        }
+    }
+
     /// Whether this is a two-qubit (or larger) entangling gate for the
     /// purposes of 2-qubit basis gate counting.
     pub fn is_multi_qubit(&self) -> bool {
@@ -319,6 +365,62 @@ mod tests {
                 "diagonal flag wrong for {}",
                 g.name()
             );
+        }
+    }
+
+    #[test]
+    fn structure_matches_matrix_shape() {
+        for g in all_test_gates() {
+            let m = g.matrix();
+            let d = m.rows();
+            let nonzero = |r: usize, c: usize| m[(r, c)].norm() > 1e-12;
+            match g.structure() {
+                GateStructure::ControlledPhase => {
+                    for r in 0..d {
+                        for c in 0..d {
+                            if r != c {
+                                assert!(!nonzero(r, c), "{} not diagonal", g.name());
+                            } else if r < d - 1 {
+                                assert!(
+                                    m[(r, r)].approx_eq(Complex::ONE, 1e-12),
+                                    "{} leading diagonal not 1",
+                                    g.name()
+                                );
+                            }
+                        }
+                    }
+                }
+                GateStructure::Diagonal => {
+                    for r in 0..d {
+                        for c in 0..d {
+                            if r != c {
+                                assert!(!nonzero(r, c), "{} not diagonal", g.name());
+                            }
+                        }
+                    }
+                }
+                GateStructure::Permutation => {
+                    for c in 0..d {
+                        let hits = (0..d).filter(|&r| nonzero(r, c)).count();
+                        assert_eq!(hits, 1, "{} column {c} not monomial", g.name());
+                    }
+                    for r in 0..d {
+                        let hits = (0..d).filter(|&c| nonzero(r, c)).count();
+                        assert_eq!(hits, 1, "{} row {r} not monomial", g.name());
+                    }
+                }
+                GateStructure::SingleQubitDense => assert_eq!(d, 2),
+                GateStructure::ControlledDense => {
+                    assert_eq!(d, 4);
+                    // Identity on control=0 (local indices 0 and 2).
+                    assert!(m[(0, 0)].approx_eq(Complex::ONE, 1e-12));
+                    assert!(m[(2, 2)].approx_eq(Complex::ONE, 1e-12));
+                    for &(r, c) in &[(0, 1), (0, 2), (0, 3), (2, 0), (2, 1), (2, 3)] {
+                        assert!(!nonzero(r, c), "{} couples control=0", g.name());
+                    }
+                }
+                GateStructure::Dense => {}
+            }
         }
     }
 

@@ -28,4 +28,4 @@ pub mod gate;
 pub mod passes;
 
 pub use circuit::{embed, Circuit, Instruction};
-pub use gate::Gate;
+pub use gate::{Gate, GateStructure};

@@ -7,8 +7,19 @@
 //! shim reimplements the surface in-tree. It reports a mean wall-clock time
 //! per iteration (no statistical analysis, outlier detection or HTML
 //! reports). Under `cargo test` (which passes `--test` to bench
-//! executables) every benchmark body runs exactly once as a smoke test.
+//! executables) every benchmark body runs exactly once as a smoke test;
+//! `--quick` also runs each body once but records its real wall-clock time,
+//! which CI uses for fast machine-readable smoke runs.
+//!
+//! # Machine-readable output
+//!
+//! When the `BENCH_JSON` environment variable names a file, every benchmark
+//! result recorded by the process is written there as JSON (schema
+//! documented in the repository's `DESIGN.md` under "BENCH_kernels.json").
+//! Results accumulate across benchmark groups; the file is rewritten as
+//! each group finishes so a crash mid-suite still leaves valid output.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How `iter_batched` amortizes setup cost. The shim treats every variant
@@ -23,12 +34,46 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Execution mode of the harness, reflected in the JSON report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (default under `cargo bench`).
+    Full,
+    /// One timed iteration per benchmark (`--quick`).
+    Quick,
+    /// One untimed iteration per benchmark (`--test`, i.e. `cargo test`).
+    Test,
+}
+
+impl Mode {
+    fn as_str(self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Quick => "quick",
+            Mode::Test => "test",
+        }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+struct Record {
+    id: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Results from every `Criterion` instance in the process (one per
+/// `criterion_group!`), merged into a single JSON report.
+static ALL_RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
 /// Top-level benchmark driver.
 #[derive(Debug)]
 pub struct Criterion {
-    test_mode: bool,
+    mode: Mode,
     /// Target measurement time per benchmark.
     measurement: Duration,
+    records: Vec<Record>,
 }
 
 impl Default for Criterion {
@@ -36,10 +81,17 @@ impl Default for Criterion {
         // Cargo invokes bench targets with `--test` under `cargo test`;
         // honor it (and `--quick`) by running each body once.
         let args: Vec<String> = std::env::args().collect();
-        let test_mode = args.iter().any(|a| a == "--test" || a == "--quick");
+        let mode = if args.iter().any(|a| a == "--test") {
+            Mode::Test
+        } else if args.iter().any(|a| a == "--quick") {
+            Mode::Quick
+        } else {
+            Mode::Full
+        };
         Criterion {
-            test_mode,
+            mode,
             measurement: Duration::from_millis(300),
+            records: Vec::new(),
         }
     }
 }
@@ -60,14 +112,104 @@ impl Criterion {
     {
         let id = id.into();
         let mut b = Bencher {
-            test_mode: self.test_mode,
+            mode: self.mode,
             measurement: self.measurement,
             report: None,
         };
         f(&mut b);
         b.print(&id);
+        self.record(&id, &b);
         self
     }
+
+    fn record(&mut self, id: &str, b: &Bencher) {
+        if let Some((elapsed, iters)) = b.report {
+            let ns = if iters == 0 {
+                0.0
+            } else {
+                elapsed.as_nanos() as f64 / iters as f64
+            };
+            self.records.push(Record {
+                id: id.to_string(),
+                ns_per_iter: if ns.is_finite() { ns } else { 0.0 },
+                iters,
+            });
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut all = ALL_RECORDS.lock().expect("bench record registry poisoned");
+        all.append(&mut self.records);
+        let json = render_json(&all, self.mode);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("BENCH_JSON: failed to write {path}: {e}");
+        }
+    }
+}
+
+/// Renders the accumulated records as the BENCH_*.json document.
+fn render_json(records: &[Record], mode: Mode) -> String {
+    let suite = suite_name();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"suite\": \"{}\",\n", escape(&suite)));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", mode.as_str()));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let (group, name) = match r.id.split_once('/') {
+            Some((g, n)) => (g, n),
+            None => ("", r.id.as_str()),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"group\": \"{}\", \"name\": \"{}\", \
+             \"ns_per_iter\": {:.3}, \"iters\": {}}}{}\n",
+            escape(&r.id),
+            escape(group),
+            escape(name),
+            r.ns_per_iter,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The benchmark suite name: the executable stem with cargo's trailing
+/// `-<hash>` stripped.
+fn suite_name() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((prefix, hash)) if hash.len() >= 8 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            prefix.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal (benchmark ids are
+/// plain ASCII; quotes and backslashes are the only realistic offenders).
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// A named collection of benchmarks sharing configuration.
@@ -96,12 +238,13 @@ impl BenchmarkGroup<'_> {
     {
         let id = format!("{}/{}", self.name, id.into());
         let mut b = Bencher {
-            test_mode: self.crit.test_mode,
+            mode: self.crit.mode,
             measurement: self.crit.measurement,
             report: None,
         };
         f(&mut b);
         b.print(&id);
+        self.crit.record(&id, &b);
         self
     }
 
@@ -111,19 +254,28 @@ impl BenchmarkGroup<'_> {
 
 /// Passed to each benchmark body to drive the timed routine.
 pub struct Bencher {
-    test_mode: bool,
+    mode: Mode,
     measurement: Duration,
     report: Option<(Duration, u64)>,
 }
 
 impl Bencher {
     /// Times `routine`, called repeatedly until the measurement window is
-    /// filled (once in test mode).
+    /// filled (once in test/quick mode).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        if self.test_mode {
-            std::hint::black_box(routine());
-            self.report = Some((Duration::ZERO, 1));
-            return;
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(routine());
+                self.report = Some((Duration::ZERO, 1));
+                return;
+            }
+            Mode::Quick => {
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                self.report = Some((start.elapsed(), 1));
+                return;
+            }
+            Mode::Full => {}
         }
         // Warm-up and per-iteration cost estimate.
         let warm = Instant::now();
@@ -144,11 +296,21 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        if self.test_mode {
-            let input = setup();
-            std::hint::black_box(routine(input));
-            self.report = Some((Duration::ZERO, 1));
-            return;
+        match self.mode {
+            Mode::Test => {
+                let input = setup();
+                std::hint::black_box(routine(input));
+                self.report = Some((Duration::ZERO, 1));
+                return;
+            }
+            Mode::Quick => {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                self.report = Some((start.elapsed(), 1));
+                return;
+            }
+            Mode::Full => {}
         }
         let input = setup();
         let warm = Instant::now();
@@ -167,7 +329,7 @@ impl Bencher {
 
     fn print(&self, id: &str) {
         match self.report {
-            Some((elapsed, iters)) if !self.test_mode => {
+            Some((elapsed, iters)) if self.mode != Mode::Test => {
                 let per = elapsed.as_nanos() as f64 / iters as f64;
                 let (value, unit) = if per >= 1e9 {
                     (per / 1e9, "s")
@@ -205,4 +367,39 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let records = vec![
+            Record {
+                id: "kernels/h_specialized_16q".into(),
+                ns_per_iter: 1234.5,
+                iters: 100,
+            },
+            Record {
+                id: "ungrouped".into(),
+                ns_per_iter: 7.0,
+                iters: 1,
+            },
+        ];
+        let json = render_json(&records, Mode::Quick);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"group\": \"kernels\""));
+        assert!(json.contains("\"name\": \"h_specialized_16q\""));
+        assert!(json.contains("\"ns_per_iter\": 1234.500"));
+        // Exactly one comma between the two entries, none trailing.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
 }

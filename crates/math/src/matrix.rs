@@ -200,6 +200,26 @@ impl Matrix {
         out
     }
 
+    /// Element-wise complex conjugate (no transposition).
+    ///
+    /// This is the operator the column side of a vectorized density matrix
+    /// evolves under: `ρ → U ρ U†` becomes `U` on the row bits and
+    /// `conj(U)` on the column bits.
+    pub fn conj(&self) -> Matrix {
+        let data = self.data.iter().map(|a| a.conj()).collect();
+        Matrix::from_rows(self.rows, self.cols, data)
+    }
+
+    /// The main diagonal (square matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn diagonal(&self) -> Vec<Complex> {
+        assert!(self.is_square(), "diagonal of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).collect()
+    }
+
     /// Transpose (no conjugation).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -447,6 +467,19 @@ mod tests {
         assert_eq!(ab[(0, 1)], Complex::ONE);
         assert_eq!(ab[(2, 3)], Complex::ONE);
         assert_eq!(ab[(0, 0)], Complex::ZERO);
+    }
+
+    #[test]
+    fn conj_is_dagger_of_transpose() {
+        let a = pauli::y2().mul(&Matrix::hadamard());
+        assert!(a.conj().approx_eq(&a.transpose().dagger(), 1e-12));
+        assert_eq!(a.conj().rows(), a.rows());
+    }
+
+    #[test]
+    fn diagonal_extracts_main_diagonal() {
+        let s = Matrix::mat2(Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::I);
+        assert_eq!(s.diagonal(), vec![Complex::ONE, Complex::I]);
     }
 
     #[test]

@@ -233,6 +233,20 @@ pub fn batch_split(n_jobs: usize) -> (usize, usize) {
     (cores.min(n_jobs), (cores / n_jobs.max(1)).max(1))
 }
 
+std::thread_local! {
+    /// Whether the current thread is a `parallel_indexed` worker. Nested
+    /// parallel regions (e.g. a per-gate kernel fan-out inside a trajectory
+    /// worker) would oversubscribe the machine, so helpers consult this to
+    /// stay serial inside an already-parallel context.
+    static IN_PARALLEL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the calling thread is already inside a [`parallel_indexed`]
+/// worker (in which case further fan-out should stay serial).
+pub fn in_parallel_worker() -> bool {
+    IN_PARALLEL_WORKER.with(|c| c.get())
+}
+
 /// Runs `f(0..n)` on up to `threads` scoped worker threads (work-stealing
 /// by atomic index) and returns the results in index order. Falls back to
 /// a serial loop for a single thread or item.
@@ -253,6 +267,7 @@ where
                 let next = &next;
                 let f = &f;
                 scope.spawn(move || {
+                    IN_PARALLEL_WORKER.with(|c| c.set(true));
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -278,6 +293,43 @@ where
         .collect()
 }
 
+/// Runs `f(chunk_index, chunk)` over `data` split into chunks of
+/// `chunk_len`, distributing the chunks over up to `threads` workers via
+/// [`parallel_indexed`]. Falls back to a serial loop for a single thread or
+/// chunk. Each chunk is visited exactly once, so in-place transformations
+/// are bit-identical to the serial order for any worker count.
+///
+/// The simulation kernels route large-register gate applications through
+/// this helper (see [`crate::kernel`]).
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if threads <= 1 || data.len() <= chunk_len {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Wrap each chunk in a Mutex so the work-stealing index loop of
+    // `parallel_indexed` can hand out mutable slices; every lock is taken
+    // exactly once, so there is no contention.
+    let chunks: Vec<std::sync::Mutex<&mut [T]>> = data
+        .chunks_mut(chunk_len)
+        .map(std::sync::Mutex::new)
+        .collect();
+    parallel_indexed(chunks.len(), threads, |i| {
+        let mut chunk = chunks[i].lock().expect("chunk lock poisoned");
+        f(i, &mut chunk);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +344,21 @@ mod tests {
     fn parallel_indexed_serial_fallback() {
         assert_eq!(parallel_indexed(3, 1, |i| i + 1), vec![1, 2, 3]);
         assert_eq!(parallel_indexed(0, 8, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parallel_chunks_mut_visits_every_chunk_once() {
+        for threads in [1, 2, 4] {
+            let mut data: Vec<usize> = (0..103).collect();
+            parallel_chunks_mut(&mut data, 10, threads, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += i * 1000;
+                }
+            });
+            for (j, v) in data.iter().enumerate() {
+                assert_eq!(*v, j + (j / 10) * 1000, "{threads} threads");
+            }
+        }
     }
 
     #[test]

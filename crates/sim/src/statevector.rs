@@ -82,14 +82,24 @@ impl StateVector {
         &mut self.amps
     }
 
-    /// Applies a raw operator matrix on the given qubits.
+    /// Applies a raw operator matrix on the given qubits, dispatching to the
+    /// specialized kernel matching the matrix's structure.
     pub fn apply_op(&mut self, op: &Matrix, qubits: &[usize]) {
         kernel::apply_op(&mut self.amps, self.n, op, qubits);
     }
 
-    /// Applies one instruction.
+    /// Applies a pre-classified operator (see [`kernel::KernelClass`]);
+    /// callers that apply the same gate many times classify once and reuse
+    /// the class.
+    pub fn apply_class(&mut self, class: &kernel::KernelClass, qubits: &[usize]) {
+        kernel::apply_classified(&mut self.amps, self.n, class, qubits);
+    }
+
+    /// Applies one instruction via the gate's kernel class (no matrix
+    /// allocation for diagonal, permutation and controlled-phase gates).
     pub fn apply_instruction(&mut self, instr: &Instruction) {
-        self.apply_op(&instr.gate.matrix(), &instr.qubits);
+        let class = kernel::KernelClass::for_gate(&instr.gate);
+        kernel::apply_classified(&mut self.amps, self.n, &class, &instr.qubits);
     }
 
     /// Applies a whole circuit.

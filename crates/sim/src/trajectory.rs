@@ -19,6 +19,7 @@
 //!   never on the machine's core count.
 
 use crate::backend::{available_threads, parallel_indexed};
+use crate::kernel::KernelClass;
 use crate::noise::NoiseModel;
 use crate::program::{Op, Program};
 use crate::statevector::StateVector;
@@ -93,6 +94,20 @@ pub fn run_distribution(
         })
         .collect();
 
+    // Classify every gate once; each of the (potentially thousands of)
+    // trajectories replays the pre-classified kernels without re-inspecting
+    // gate matrices.
+    let gate_classes: Vec<Option<(KernelClass, &[usize])>> = program
+        .ops()
+        .iter()
+        .map(|op| match op {
+            Op::Gate(i) | Op::IdealGate(i) => {
+                Some((KernelClass::for_gate(&i.gate), i.qubits.as_slice()))
+            }
+            Op::Reset { .. } => None,
+        })
+        .collect();
+
     let all_mixtures = resolved
         .iter()
         .flatten()
@@ -122,6 +137,7 @@ pub fn run_distribution(
             if run_one(
                 program,
                 &resolved,
+                &gate_classes,
                 measured,
                 ideal.is_some(),
                 &mut acc,
@@ -158,6 +174,7 @@ pub fn run_distribution(
 fn run_one(
     program: &Program,
     resolved: &[Vec<(Vec<usize>, crate::noise::KrausChannel)>],
+    gate_classes: &[Option<(KernelClass, &[usize])>],
     measured: &[usize],
     stratify: bool,
     acc: &mut [f64],
@@ -191,9 +208,10 @@ fn run_one(
         let mut sv = StateVector::zero(program.n_qubits());
         let mut cursor = 0usize;
         for (op_idx, op) in program.ops().iter().enumerate() {
-            match op {
-                Op::Gate(i) | Op::IdealGate(i) => sv.apply_instruction(i),
-                Op::Reset { qubits, ket } => sv.reset_to_ket(qubits, ket, rng),
+            match (op, &gate_classes[op_idx]) {
+                (_, Some((class, qs))) => sv.apply_class(class, qs),
+                (Op::Reset { qubits, ket }, None) => sv.reset_to_ket(qubits, ket, rng),
+                _ => unreachable!("gate ops always classify"),
             }
             for (ch_idx, (qs, ch)) in resolved[op_idx].iter().enumerate() {
                 let key = op_idx * 1024 + ch_idx;
@@ -212,9 +230,10 @@ fn run_one(
 
     let mut sv = StateVector::zero(program.n_qubits());
     for (op_idx, op) in program.ops().iter().enumerate() {
-        match op {
-            Op::Gate(i) | Op::IdealGate(i) => sv.apply_instruction(i),
-            Op::Reset { qubits, ket } => sv.reset_to_ket(qubits, ket, rng),
+        match (op, &gate_classes[op_idx]) {
+            (_, Some((class, qs))) => sv.apply_class(class, qs),
+            (Op::Reset { qubits, ket }, None) => sv.reset_to_ket(qubits, ket, rng),
+            _ => unreachable!("gate ops always classify"),
         }
         for (qs, ch) in &resolved[op_idx] {
             sample_channel(&mut sv, ch, qs, rng);

@@ -1,0 +1,279 @@
+//! Property tests pinning every specialized kernel to the generic
+//! `apply_op_generic` oracle: random gates, random operand orders, random
+//! register sizes 1–6, random states — for both the state-vector and the
+//! density-matrix path.
+
+use proptest::prelude::*;
+use qt_circuit::Gate;
+use qt_math::{Complex, Matrix};
+use qt_sim::kernel::{apply_classified, apply_op, apply_op_generic, KernelClass};
+use qt_sim::DensityMatrix;
+
+/// A random gate drawn from every kernel class, with a random (distinct)
+/// operand list drawn from an `n`-qubit register.
+fn arb_gate(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
+    let q1 = (0..n).prop_map(|a| vec![a]);
+    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
+    let angle = -3.2..3.2f64;
+    let one_q = prop_oneof![
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::T),
+        Just(Gate::Tdg),
+        Just(Gate::Sx),
+        angle.clone().prop_map(Gate::Rx),
+        angle.clone().prop_map(Gate::Ry),
+        angle.clone().prop_map(Gate::Rz),
+        angle.clone().prop_map(Gate::Phase),
+        (angle.clone(), angle.clone(), angle.clone()).prop_map(|(t, p, l)| Gate::U(t, p, l)),
+    ];
+    let two_q = prop_oneof![
+        Just(Gate::Cx),
+        Just(Gate::Cy),
+        Just(Gate::Cz),
+        Just(Gate::Swap),
+        angle.clone().prop_map(Gate::Cp),
+        angle.clone().prop_map(Gate::Crz),
+        angle.clone().prop_map(Gate::Crx),
+        angle.clone().prop_map(Gate::Cry),
+    ];
+    let arms: Vec<Box<dyn Strategy<Value = (Gate, Vec<usize>)>>> = if n >= 3 {
+        let q3 = (0..n, 0..n, 0..n)
+            .prop_filter("distinct", |(a, b, c)| a != b && a != c && b != c)
+            .prop_map(|(a, b, c)| vec![a, b, c]);
+        let angle3 = -3.2..3.2f64;
+        vec![
+            proptest::strategy::boxed((one_q, q1).prop_map(|(g, qs)| (g, qs))),
+            proptest::strategy::boxed((two_q, q2).prop_map(|(g, (a, b))| (g, vec![a, b]))),
+            proptest::strategy::boxed((angle3.prop_map(Gate::Ccp), q3).prop_map(|(g, qs)| (g, qs))),
+        ]
+    } else if n >= 2 {
+        vec![
+            proptest::strategy::boxed((one_q, q1).prop_map(|(g, qs)| (g, qs))),
+            proptest::strategy::boxed((two_q, q2).prop_map(|(g, (a, b))| (g, vec![a, b]))),
+        ]
+    } else {
+        vec![proptest::strategy::boxed(
+            (one_q, q1).prop_map(|(g, qs)| (g, qs)),
+        )]
+    };
+    proptest::strategy::Union::new(arms)
+}
+
+/// A random (unnormalized) dense state — kernels are linear, so
+/// equivalence on arbitrary vectors is the strongest check.
+fn arb_state(n: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-1.0..1.0f64, -1.0..1.0f64), 1 << n)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+fn assert_amps_close(fast: &[Complex], slow: &[Complex], what: &str) -> TestCaseResult {
+    for (i, (a, b)) in fast.iter().zip(slow).enumerate() {
+        prop_assert!(
+            a.approx_eq(*b, 1e-11),
+            "{what}: amplitude {i} differs ({a:?} vs {b:?})"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dispatched kernels match the generic oracle on the state-vector
+    /// path for every gate, operand order, and register size 1–6.
+    #[test]
+    fn specialized_kernels_match_generic_on_statevector(
+        n in 1usize..7,
+        seed in 0u64..1u64 << 32,
+    ) {
+        // Draw the gate and state against the drawn register size.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (g, qs) = arb_gate(n).generate(&mut rng);
+        let mut fast = arb_state(n).generate(&mut rng);
+        let mut slow = fast.clone();
+        apply_op(&mut fast, n, &g.matrix(), &qs);
+        apply_op_generic(&mut slow, n, &g.matrix(), &qs);
+        assert_amps_close(&fast, &slow, &format!("{} on {qs:?} ({n}q, dispatch)", g.name()))?;
+
+        // The gate-constructed class agrees with the matrix-scanned one.
+        let mut from_gate = slow.clone();
+        let mut reference = slow;
+        apply_classified(&mut from_gate, n, &KernelClass::for_gate(&g), &qs);
+        apply_op_generic(&mut reference, n, &g.matrix(), &qs);
+        assert_amps_close(
+            &from_gate,
+            &reference,
+            &format!("{} on {qs:?} ({n}q, for_gate)", g.name()),
+        )?;
+    }
+
+    /// The classified two-sided density-matrix application matches the
+    /// generic row/column oracle for every gate and register size 1–5.
+    #[test]
+    fn specialized_kernels_match_generic_on_density_matrix(
+        n in 1usize..6,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (g, qs) = arb_gate(n).generate(&mut rng);
+        // A mixed, correlated state: partial average of two random pure-ish
+        // vectors as a 2n-qubit amplitude array.
+        let amps = arb_state(2 * n).generate(&mut rng);
+
+        let mut fast = amps.clone();
+        let mut slow = amps;
+        // Fast: classified dispatch on row and column bits.
+        let class = KernelClass::for_gate(&g);
+        let col_qs: Vec<usize> = qs.iter().map(|&q| q + n).collect();
+        apply_classified(&mut fast, 2 * n, &class, &qs);
+        apply_classified(&mut fast, 2 * n, &class.conj(), &col_qs);
+        // Oracle: generic dense application of u and conj(u).
+        apply_op_generic(&mut slow, 2 * n, &g.matrix(), &qs);
+        apply_op_generic(&mut slow, 2 * n, &g.matrix().conj(), &col_qs);
+        assert_amps_close(&fast, &slow, &format!("{} on {qs:?} ({n}q DM)", g.name()))?;
+    }
+
+    /// `apply_kraus` (classified, scratch-buffer) equals the naive
+    /// per-term clone-and-sum reference.
+    #[test]
+    fn kraus_scratch_path_matches_naive_sum(
+        n in 1usize..4,
+        seed in 0u64..1u64 << 32,
+        gamma in 0.05..0.95f64,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let q = (0..n).generate(&mut rng);
+        // Amplitude damping: one diagonal and one strictly-triangular op —
+        // two different kernel classes in a single channel.
+        let kraus = vec![
+            Matrix::mat2(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::real((1.0 - gamma).sqrt()),
+            ),
+            Matrix::mat2(
+                Complex::ZERO,
+                Complex::real(gamma.sqrt()),
+                Complex::ZERO,
+                Complex::ZERO,
+            ),
+        ];
+        let amps = arb_state(2 * n).generate(&mut rng);
+        let mut rho_fast = dm_from_amps(n, amps.clone());
+        rho_fast.apply_kraus(&kraus, &[q]);
+
+        // Naive reference: clone per term, generic kernels, summed.
+        let col_qs = [q + n];
+        let mut acc = vec![Complex::ZERO; amps.len()];
+        for k in &kraus {
+            let mut term = amps.clone();
+            apply_op_generic(&mut term, 2 * n, k, &[q]);
+            apply_op_generic(&mut term, 2 * n, &k.conj(), &col_qs);
+            for (a, t) in acc.iter_mut().zip(term) {
+                *a += t;
+            }
+        }
+        let rho_slow = dm_from_amps(n, acc);
+        prop_assert!(
+            rho_fast.to_matrix().approx_eq(&rho_slow.to_matrix(), 1e-11),
+            "kraus on qubit {q} of {n} differs"
+        );
+    }
+
+    /// The in-place depolarizing fast path equals `apply_kraus` with the
+    /// explicit Pauli Kraus decomposition (1-qubit subsets).
+    #[test]
+    fn depolarizing_matches_pauli_kraus_1q(
+        n in 1usize..4,
+        seed in 0u64..1u64 << 32,
+        p in 0.0..0.74f64,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let q = (0..n).generate(&mut rng);
+        let amps = hermitian_amps(n, &mut rng);
+        let kraus = vec![
+            Matrix::identity(2).scale(Complex::real((1.0 - p).sqrt())),
+            qt_math::pauli::x2().scale(Complex::real((p / 3.0).sqrt())),
+            qt_math::pauli::y2().scale(Complex::real((p / 3.0).sqrt())),
+            qt_math::pauli::z2().scale(Complex::real((p / 3.0).sqrt())),
+        ];
+        let mut fast = dm_from_amps(n, amps.clone());
+        let mut slow = fast.clone();
+        fast.apply_depolarizing(&[q], p);
+        slow.apply_kraus(&kraus, &[q]);
+        prop_assert!(
+            fast.to_matrix().approx_eq(&slow.to_matrix(), 1e-10),
+            "depolarizing({p}) on qubit {q} of {n} differs"
+        );
+    }
+
+    /// The in-place depolarizing fast path equals `apply_kraus` with the
+    /// explicit 16-term Pauli Kraus decomposition (2-qubit subsets).
+    #[test]
+    fn depolarizing_matches_pauli_kraus_2q(
+        n in 2usize..4,
+        seed in 0u64..1u64 << 32,
+        p in 0.0..0.9f64,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (a, b) = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b).generate(&mut rng);
+        let amps = hermitian_amps(n, &mut rng);
+        let paulis = [
+            Matrix::identity(2),
+            qt_math::pauli::x2(),
+            qt_math::pauli::y2(),
+            qt_math::pauli::z2(),
+        ];
+        let mut kraus = Vec::new();
+        for (i, pa) in paulis.iter().enumerate() {
+            for (j, pb) in paulis.iter().enumerate() {
+                let w = if i == 0 && j == 0 { 1.0 - p } else { p / 15.0 };
+                kraus.push(pb.kron(pa).scale(Complex::real(w.sqrt())));
+            }
+        }
+        let mut fast = dm_from_amps(n, amps.clone());
+        let mut slow = fast.clone();
+        fast.apply_depolarizing(&[a, b], p);
+        slow.apply_kraus(&kraus, &[a, b]);
+        prop_assert!(
+            fast.to_matrix().approx_eq(&slow.to_matrix(), 1e-10),
+            "depolarizing({p}) on qubits [{a},{b}] of {n} differs"
+        );
+    }
+}
+
+/// Builds a `DensityMatrix` from a raw `4^n` amplitude array.
+fn dm_from_amps(n: usize, amps: Vec<Complex>) -> DensityMatrix {
+    let dim = 1usize << n;
+    let mut m = Matrix::zeros(dim, dim);
+    for r in 0..dim {
+        for c in 0..dim {
+            m[(r, c)] = amps[r | (c << n)];
+        }
+    }
+    DensityMatrix::from_matrix(&m)
+}
+
+/// A random Hermitian (not necessarily positive) flat density-matrix
+/// array — Hermiticity is what the depolarizing twirl identity assumes.
+fn hermitian_amps(n: usize, rng: &mut rand::rngs::StdRng) -> Vec<Complex> {
+    let raw = arb_state(2 * n).generate(rng);
+    let dim = 1usize << n;
+    let mut amps = vec![Complex::ZERO; raw.len()];
+    for r in 0..dim {
+        for c in 0..dim {
+            let v = raw[r | (c << n)];
+            let w = raw[c | (r << n)].conj();
+            amps[r | (c << n)] = (v + w).scale(0.5);
+        }
+    }
+    amps
+}
+
+use rand::SeedableRng;
