@@ -26,7 +26,17 @@ pub struct JigsawReport {
     pub stats: OverheadStats,
 }
 
-/// Runs Jigsaw with the given subset size (the paper's recommendation is 2).
+/// Stage-1 output of Jigsaw: the global mode plus one subset mode per
+/// group, as independent circuit copies ready to batch.
+#[derive(Debug, Clone)]
+pub struct JigsawPlan {
+    measured: Vec<usize>,
+    subsets: Vec<Vec<usize>>,
+    jobs: Vec<BatchJob>,
+}
+
+/// Plans a Jigsaw run with the given subset size (the paper's
+/// recommendation is 2).
 ///
 /// Subsets are consecutive non-overlapping groups over the measured qubits
 /// (the last group wraps backwards if the count does not divide evenly).
@@ -34,12 +44,7 @@ pub struct JigsawReport {
 /// # Panics
 ///
 /// Panics if `subset_size` is 0 or exceeds the measured count.
-pub fn run_jigsaw<R: Runner>(
-    runner: &R,
-    circuit: &Circuit,
-    measured: &[usize],
-    subset_size: usize,
-) -> JigsawReport {
+pub fn plan_jigsaw(circuit: &Circuit, measured: &[usize], subset_size: usize) -> JigsawPlan {
     assert!(subset_size >= 1, "subset size must be positive");
     assert!(
         subset_size <= measured.len(),
@@ -57,41 +62,97 @@ pub fn run_jigsaw<R: Runner>(
         start = end;
     }
 
-    // Global mode plus every subset mode, executed as one parallel batch
-    // (the modes are independent circuit copies in the protocol).
+    // Global mode plus every subset mode (independent circuit copies).
     let mut jobs = vec![BatchJob::new(program.clone(), measured.to_vec())];
     for positions in &subsets {
         let qubits: Vec<usize> = positions.iter().map(|&p| measured[p]).collect();
         jobs.push(BatchJob::new(program.clone(), qubits));
     }
-    let mut outs = runner.run_batch(&jobs).into_iter();
-    let global_out = outs.next().expect("global job present");
-    let global = Distribution::from_probs(measured.len(), global_out.dist);
+    JigsawPlan {
+        measured: measured.to_vec(),
+        subsets,
+        jobs,
+    }
+}
 
-    let mut locals = Vec::new();
-    let mut n_circuits = 1;
-    for (positions, out) in subsets.iter().zip(outs) {
-        n_circuits += 1;
-        locals.push((
-            Distribution::from_probs(positions.len(), out.dist),
-            positions.clone(),
-        ));
+impl JigsawPlan {
+    /// Number of circuit copies the batched execution runs.
+    pub fn n_programs(&self) -> usize {
+        self.jobs.len()
     }
 
-    let refined = recombine::bayesian_update_all(&global, &locals);
-    JigsawReport {
-        distribution: refined,
-        global,
-        locals,
-        stats: OverheadStats {
-            n_circuits,
-            // Jigsaw splits the original budget: global mode + subset mode
-            // together cost one original-shot budget.
-            normalized_shots: 1.0,
-            avg_two_qubit_gates: global_out.two_qubit_gates as f64,
-            global_two_qubit_gates: global_out.two_qubit_gates,
-        },
+    /// Stage 2: executes every mode as one parallel batch.
+    pub fn execute<'p, R: Runner>(&'p self, runner: &R) -> JigsawArtifacts<'p> {
+        let outputs = runner.run_batch(&self.jobs);
+        assert_eq!(
+            outputs.len(),
+            self.jobs.len(),
+            "runner violated the run_batch contract"
+        );
+        JigsawArtifacts {
+            plan: self,
+            outputs,
+        }
     }
+}
+
+/// Stage-2 output of Jigsaw.
+#[derive(Debug, Clone)]
+pub struct JigsawArtifacts<'p> {
+    plan: &'p JigsawPlan,
+    outputs: Vec<qt_sim::RunOutput>,
+}
+
+impl JigsawArtifacts<'_> {
+    /// Stage 3: Bayesian recombination of the subset modes into the global
+    /// distribution.
+    pub fn recombine(&self) -> JigsawReport {
+        let plan = self.plan;
+        let mut outs = self.outputs.iter().cloned();
+        let global_out = outs.next().expect("global job present");
+        let global = Distribution::from_probs(plan.measured.len(), global_out.dist);
+
+        let mut locals = Vec::new();
+        let mut n_circuits = 1;
+        for (positions, out) in plan.subsets.iter().zip(outs) {
+            n_circuits += 1;
+            locals.push((
+                Distribution::from_probs(positions.len(), out.dist),
+                positions.clone(),
+            ));
+        }
+
+        let refined = recombine::bayesian_update_all(&global, &locals);
+        JigsawReport {
+            distribution: refined,
+            global,
+            locals,
+            stats: OverheadStats {
+                n_circuits,
+                // Jigsaw splits the original budget: global mode + subset
+                // mode together cost one original-shot budget.
+                normalized_shots: 1.0,
+                avg_two_qubit_gates: global_out.two_qubit_gates as f64,
+                global_two_qubit_gates: global_out.two_qubit_gates,
+            },
+        }
+    }
+}
+
+/// Runs Jigsaw end to end: a wrapper over `plan → execute → recombine`.
+///
+/// # Panics
+///
+/// Panics if `subset_size` is 0 or exceeds the measured count.
+pub fn run_jigsaw<R: Runner>(
+    runner: &R,
+    circuit: &Circuit,
+    measured: &[usize],
+    subset_size: usize,
+) -> JigsawReport {
+    plan_jigsaw(circuit, measured, subset_size)
+        .execute(runner)
+        .recombine()
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@
 pub mod jigsaw;
 pub mod sqem;
 
-pub use jigsaw::{run_jigsaw, JigsawReport};
-pub use sqem::{run_sqem, SqemReport, SqemUnsupported};
+pub use jigsaw::{plan_jigsaw, run_jigsaw, JigsawArtifacts, JigsawPlan, JigsawReport};
+pub use sqem::{plan_sqem, run_sqem, SqemArtifacts, SqemPlan, SqemReport, SqemUnsupported};
 
 /// Execution-cost bookkeeping shared by the result tables.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

@@ -8,13 +8,22 @@
 //! removal, no state-preparation reduction) — and its cost grows
 //! exponentially with the number of check layers, so multi-layer circuits
 //! are unsupported (the paper's `N/A` table entries).
+//!
+//! Like the QuTracer framework itself, SQEM is staged: [`plan_sqem`]
+//! performs the classical analysis and generates every reconstruction
+//! circuit up front, [`SqemPlan::execute`] runs them all as one
+//! deduplicated batch, and [`SqemArtifacts::recombine`] reconstructs the
+//! local states classically. [`run_sqem`] wraps the three stages.
 
 use crate::OverheadStats;
 use qt_circuit::{passes, Circuit, Instruction};
 use qt_dist::{recombine, Distribution};
-use qt_math::Matrix;
-use qt_pcs::{QspcConfig, QspcSingle};
-use qt_sim::{Program, Runner};
+use qt_math::{Matrix, Pauli};
+use qt_pcs::{
+    bloch_state_from_expectations, combine_single_mitigated, tabulate_single, QspcConfig,
+    QspcSingleSpec,
+};
+use qt_sim::{BatchJob, JobInterner, Program, RunOutput, Runner};
 
 /// Result of an SQEM run.
 #[derive(Debug, Clone)]
@@ -50,27 +59,55 @@ impl std::fmt::Display for SqemUnsupported {
 
 impl std::error::Error for SqemUnsupported {}
 
-/// Runs SQEM with subset size 1 over every measured qubit.
+/// The planned reconstruction of one traced qubit.
+#[derive(Debug, Clone)]
+struct SqemQubitPlan {
+    /// Bit position in the measured list.
+    pos: usize,
+    /// Classically tracked state at the check cut (or the final state when
+    /// no check segment touches the qubit).
+    rho_pre: Matrix,
+    /// The single reconstruction ensemble, if a check exists.
+    check: Option<SqemCheckPlan>,
+}
+
+#[derive(Debug, Clone)]
+struct SqemCheckPlan {
+    /// `(prep, basis)` keys aligned with `slots`.
+    keys: Vec<(qt_math::states::PrepState, Pauli)>,
+    /// Indices into the plan's deduplicated program table.
+    slots: Vec<usize>,
+    /// Subset-local instructions applied classically after the check.
+    post_local: Vec<Instruction>,
+}
+
+/// Stage-1 output of SQEM: every reconstruction circuit, deduplicated.
+#[derive(Debug, Clone)]
+pub struct SqemPlan {
+    measured: Vec<usize>,
+    programs: Vec<BatchJob>,
+    global_slot: usize,
+    qubits: Vec<SqemQubitPlan>,
+}
+
+/// Plans an SQEM run: segments every measured qubit's wire and generates
+/// the full 6-state × 3-basis reconstruction ensemble for its (single)
+/// check layer.
 ///
 /// # Errors
 ///
 /// Returns [`SqemUnsupported`] if any traced qubit needs more than one
 /// check layer, or if a qubit cannot be traced at all (non-diagonal
 /// coupling).
-pub fn run_sqem<R: Runner>(
-    runner: &R,
-    circuit: &Circuit,
-    measured: &[usize],
-) -> Result<SqemReport, SqemUnsupported> {
-    let program = Program::from_circuit(circuit);
-    let global_out = runner.run(&program, measured);
-    let global = Distribution::from_probs(measured.len(), global_out.dist);
+pub fn plan_sqem(circuit: &Circuit, measured: &[usize]) -> Result<SqemPlan, SqemUnsupported> {
+    let mut dedup = JobInterner::new();
+    let mut programs: Vec<BatchJob> = Vec::new();
+    let global_slot = dedup.intern(
+        &mut programs,
+        BatchJob::new(Program::from_circuit(circuit), measured.to_vec()),
+    );
 
-    let mut locals = Vec::new();
-    let mut n_circuits = 1usize;
-    let mut mitig_2q_total = 0usize;
-    let mut mitig_circuits = 0usize;
-
+    let mut qubits = Vec::with_capacity(measured.len());
     for (pos, &qubit) in measured.iter().enumerate() {
         let segments = passes::split_into_segments(circuit, &[qubit])
             .map_err(|_| SqemUnsupported { qubit, layers: 0 })?;
@@ -87,12 +124,16 @@ pub fn run_sqem<R: Runner>(
             });
         }
 
-        // Classically track the local state through the segment structure.
+        // Classically track the local state up to the check; record the
+        // local blocks after it for classical post-application.
         let mut rho = qt_math::states::PrepState::Zero.projector();
         let mut prefix = Circuit::new(circuit.n_qubits());
-        let mut local_dist: Option<Distribution> = None;
+        let mut check: Option<SqemCheckPlan> = None;
         for (i, seg) in segments.iter().enumerate() {
-            rho = apply_local(&rho, &seg.local, qubit);
+            match &mut check {
+                None => rho = apply_local(&rho, &seg.local, Some(qubit)),
+                Some(cp) => cp.post_local.extend(seg.local.iter().cloned()),
+            }
             for instr in &seg.local {
                 prefix.push(instr.gate.clone(), instr.qubits.clone());
             }
@@ -101,53 +142,149 @@ pub fn run_sqem<R: Runner>(
                 for instr in &seg.check {
                     segment.push(instr.gate.clone(), instr.qubits.clone());
                 }
-                let q = QspcSingle {
-                    exec: runner,
+                let spec = QspcSingleSpec {
                     qubit,
                     prefix: &prefix,
                     segment: &segment,
                     config: QspcConfig::sqem(),
                 };
-                let (state, _den, stats) = q.mitigated_state(&rho);
-                rho = state;
-                n_circuits += stats.n_circuits;
-                mitig_circuits += stats.n_circuits;
-                mitig_2q_total += stats.total_two_qubit_gates;
+                let ens = spec.ensemble(&spec.mitigated_bases(&[Pauli::X, Pauli::Y, Pauli::Z]));
+                let slots = ens
+                    .jobs
+                    .into_iter()
+                    .map(|job| dedup.intern(&mut programs, job))
+                    .collect();
+                check = Some(SqemCheckPlan {
+                    keys: ens.keys,
+                    slots,
+                    post_local: Vec::new(),
+                });
             }
             for instr in &seg.check {
                 prefix.push(instr.gate.clone(), instr.qubits.clone());
             }
         }
-        let _ = &mut local_dist;
-        let p0 = rho[(0, 0)].re.clamp(0.0, 1.0);
-        locals.push((
-            Distribution::from_probs(1, vec![p0, 1.0 - p0]).normalized(),
-            vec![pos],
-        ));
+        qubits.push(SqemQubitPlan {
+            pos,
+            rho_pre: rho,
+            check,
+        });
     }
 
-    let refined = recombine::bayesian_update_all(&global, &locals);
-    Ok(SqemReport {
-        distribution: refined,
-        global,
-        stats: OverheadStats {
-            n_circuits,
-            normalized_shots: n_circuits as f64,
-            avg_two_qubit_gates: if mitig_circuits > 0 {
-                mitig_2q_total as f64 / mitig_circuits as f64
-            } else {
-                0.0
-            },
-            global_two_qubit_gates: global_out.two_qubit_gates,
-        },
+    Ok(SqemPlan {
+        measured: measured.to_vec(),
+        programs,
+        global_slot,
+        qubits,
     })
 }
 
-/// Applies subset-local single-qubit instructions to a 2×2 state.
-fn apply_local(rho: &Matrix, instrs: &[Instruction], qubit: usize) -> Matrix {
+impl SqemPlan {
+    /// Number of distinct programs the batched execution runs.
+    pub fn n_programs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Stage 2: executes every reconstruction circuit as one batch.
+    pub fn execute<'p, R: Runner>(&'p self, runner: &R) -> SqemArtifacts<'p> {
+        let outputs = runner.run_batch(&self.programs);
+        assert_eq!(
+            outputs.len(),
+            self.programs.len(),
+            "runner violated the run_batch contract"
+        );
+        SqemArtifacts {
+            plan: self,
+            outputs,
+        }
+    }
+}
+
+/// Stage-2 output of SQEM.
+#[derive(Debug, Clone)]
+pub struct SqemArtifacts<'p> {
+    plan: &'p SqemPlan,
+    outputs: Vec<RunOutput>,
+}
+
+impl SqemArtifacts<'_> {
+    /// Stage 3: reconstructs every traced qubit's mitigated state and
+    /// refines the global distribution.
+    pub fn recombine(&self) -> SqemReport {
+        let plan = self.plan;
+        let global_out = &self.outputs[plan.global_slot];
+        let global = Distribution::from_probs(plan.measured.len(), global_out.dist.clone());
+
+        let mut locals = Vec::new();
+        let mut n_circuits = 1usize;
+        let mut mitig_2q_total = 0usize;
+        let mut mitig_circuits = 0usize;
+        for qp in &plan.qubits {
+            let mut rho = qp.rho_pre.clone();
+            if let Some(cp) = &qp.check {
+                let outs: Vec<RunOutput> =
+                    cp.slots.iter().map(|&s| self.outputs[s].clone()).collect();
+                let (e, stats) = tabulate_single(&cp.keys, &outs);
+                let (exps, _den) = combine_single_mitigated(
+                    &QspcConfig::sqem(),
+                    &rho,
+                    &[Pauli::X, Pauli::Y, Pauli::Z],
+                    &e,
+                );
+                rho = bloch_state_from_expectations(&exps);
+                rho = apply_local(&rho, &cp.post_local, None);
+                n_circuits += stats.n_circuits;
+                mitig_circuits += stats.n_circuits;
+                mitig_2q_total += stats.total_two_qubit_gates;
+            }
+            let p0 = rho[(0, 0)].re.clamp(0.0, 1.0);
+            locals.push((
+                Distribution::from_probs(1, vec![p0, 1.0 - p0]).normalized(),
+                vec![qp.pos],
+            ));
+        }
+
+        let refined = recombine::bayesian_update_all(&global, &locals);
+        SqemReport {
+            distribution: refined,
+            global,
+            stats: OverheadStats {
+                n_circuits,
+                normalized_shots: n_circuits as f64,
+                avg_two_qubit_gates: if mitig_circuits > 0 {
+                    mitig_2q_total as f64 / mitig_circuits as f64
+                } else {
+                    0.0
+                },
+                global_two_qubit_gates: global_out.two_qubit_gates,
+            },
+        }
+    }
+}
+
+/// Runs SQEM with subset size 1 over every measured qubit: a wrapper over
+/// `plan → execute → recombine`.
+///
+/// # Errors
+///
+/// Returns [`SqemUnsupported`] if any traced qubit needs more than one
+/// check layer, or if a qubit cannot be traced at all (non-diagonal
+/// coupling).
+pub fn run_sqem<R: Runner>(
+    runner: &R,
+    circuit: &Circuit,
+    measured: &[usize],
+) -> Result<SqemReport, SqemUnsupported> {
+    Ok(plan_sqem(circuit, measured)?.execute(runner).recombine())
+}
+
+/// Applies subset-local single-qubit instructions to a 2×2 state. The
+/// expected operand is a debug aid only (`None` for post-check blocks
+/// whose operand was validated at plan time).
+fn apply_local(rho: &Matrix, instrs: &[Instruction], qubit: Option<usize>) -> Matrix {
     let mut u = Matrix::identity(2);
     for instr in instrs {
-        debug_assert_eq!(instr.qubits, vec![qubit]);
+        debug_assert!(qubit.is_none_or(|q| instr.qubits == vec![q]));
         u = instr.gate.matrix().mul(&u);
     }
     u.mul(rho).mul(&u.dagger())
@@ -212,5 +349,28 @@ mod tests {
         );
         let report = run_sqem(&exec, &circ, &measured).unwrap();
         assert_eq!(report.stats.n_circuits, 1 + 4 * 18);
+    }
+
+    #[test]
+    fn sqem_plan_is_inspectable_and_batches_once() {
+        let circ = vqe_ansatz(4, 1, 8);
+        let measured: Vec<usize> = (0..4).collect();
+        let plan = plan_sqem(&circ, &measured).unwrap();
+        // 1 global + 4 qubits × 18 ensemble members, all distinct programs.
+        assert_eq!(plan.n_programs(), 1 + 4 * 18);
+        let exec = Executor::with_backend(
+            NoiseModel::depolarizing(0.001, 0.01),
+            Backend::DensityMatrix,
+        );
+        let report = plan.execute(&exec).recombine();
+        let direct = run_sqem(&exec, &circ, &measured).unwrap();
+        for (a, b) in report
+            .distribution
+            .probs()
+            .iter()
+            .zip(direct.distribution.probs())
+        {
+            assert!((a - b).abs() < 1e-15);
+        }
     }
 }

@@ -197,6 +197,83 @@ fn bench_parallel_trajectories(c: &mut Criterion) {
     group.finish();
 }
 
+/// Legacy per-subset execution vs the staged pipeline's batched, dedup'd
+/// execution on a 6-qubit symmetric QAOA ring — the headline rows of
+/// `BENCH_pipeline.json`. Row names embed the executed circuit counts
+/// (`..._<K>circ`) so the report is self-describing: batched dedup runs the
+/// 6 symmetric pairs' shared ensemble once instead of six times.
+fn bench_pipeline(c: &mut Criterion) {
+    use qt_core::{run_qutracer_legacy, QuTracer, QuTracerConfig};
+    use qt_dist::Distribution;
+    use qt_sim::Runner;
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let n = 6;
+    let circ = qt_algos::qaoa_maxcut(
+        n,
+        &qt_algos::ring_graph(n),
+        &qt_algos::qaoa::QaoaParams::seeded(1, 5),
+    );
+    let measured: Vec<usize> = (0..n).collect();
+    let cfg = QuTracerConfig::pairs().with_symmetric_subsets();
+    let exec = Executor::with_backend(
+        NoiseModel::depolarizing(0.002, 0.02).with_readout(0.03),
+        qt_sim::Backend::DensityMatrix,
+    );
+
+    // Circuit counts for the row labels, straight from the plan.
+    let plan = QuTracer::plan(&circ, &measured, &cfg).expect("symmetric ring is traceable");
+    let batched_circuits = plan.n_programs();
+    let per_subset_circuits = plan.n_requests();
+
+    // Naive per-subset execution: every cyclic pair traced independently,
+    // one small serial batch at a time (what a runner loop without
+    // plan-level dedup performs).
+    group.bench_function(
+        format!("legacy_per_subset_qaoa{n}_{per_subset_circuits}circ"),
+        |b| {
+            b.iter(|| {
+                let global = exec.run(&Program::from_circuit(&circ), &measured);
+                let mut locals = Vec::new();
+                for p in 0..n {
+                    let pair = [measured[p], measured[(p + 1) % n]];
+                    let o = qt_core::trace_pair(&exec, &circ, pair, &cfg.trace)
+                        .expect("traceable pair");
+                    locals.push((o.local, vec![p, (p + 1) % n]));
+                }
+                let g = Distribution::from_probs(n, global.dist);
+                black_box(qt_dist::recombine::bayesian_update_all(&g, &locals))
+            })
+        },
+    );
+
+    // Staged pipeline: one deduplicated batch for every subset.
+    group.bench_function(
+        format!("batched_dedup_qaoa{n}_{batched_circuits}circ"),
+        |b| {
+            b.iter(|| {
+                let plan =
+                    QuTracer::plan(&circ, &measured, &cfg).expect("symmetric ring is traceable");
+                let report = plan
+                    .execute(&exec)
+                    .expect("batched execution")
+                    .recombine()
+                    .expect("recombination");
+                black_box(report)
+            })
+        },
+    );
+
+    // The symmetric-aware serial reference (shared ensemble, small
+    // batches): isolates the batching win from the symmetry win.
+    group.bench_function(
+        format!("legacy_symmetric_qaoa{n}_{batched_circuits}circ"),
+        |b| b.iter(|| black_box(run_qutracer_legacy(&exec, &circ, &measured, &cfg))),
+    );
+    group.finish();
+}
+
 fn bench_circuit_passes(c: &mut Criterion) {
     let mut group = c.benchmark_group("passes");
     let circ = qt_algos::vqe_ansatz(15, 3, 9);
@@ -230,6 +307,7 @@ criterion_group!(
     bench_density_matrix,
     bench_trajectories,
     bench_parallel_trajectories,
+    bench_pipeline,
     bench_circuit_passes
 );
 criterion_main!(benches);

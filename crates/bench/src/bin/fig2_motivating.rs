@@ -10,7 +10,7 @@ use qt_baselines::run_jigsaw;
 use qt_bench::{fidelity_vs_ideal, header, BestReadoutRunner};
 use qt_circuit::passes::split_into_segments;
 use qt_circuit::Circuit;
-use qt_core::{run_qutracer, QuTracerConfig};
+use qt_core::{QuTracer, QuTracerConfig};
 use qt_dist::Distribution;
 use qt_pcs::{postselected_distribution, z_check_sandwich};
 use qt_sim::{Backend, Executor, NoiseModel, ReadoutModel};
@@ -36,7 +36,12 @@ fn main() {
     let exec = BestReadoutRunner::new(plain.clone(), &noise, 3);
 
     // (a) Original.
-    let report = run_qutracer(&exec, &circ, &measured, &QuTracerConfig::single());
+    let report = QuTracer::plan(&circ, &measured, &QuTracerConfig::single())
+        .expect("plannable workload")
+        .execute(&exec)
+        .expect("batched execution")
+        .recombine()
+        .expect("recombination");
     let f_orig = fidelity_vs_ideal(&report.global, &circ, &measured);
 
     // (b) Jigsaw, subset size 1 as in the figure.
@@ -46,7 +51,12 @@ fn main() {
     // (c) Optimized circuit copies without checks: QuTracer with zero
     // checked layers still removes false dependencies and bypasses gates.
     let cfg_nochecks = QuTracerConfig::single().with_checked_layers(0);
-    let opt = run_qutracer(&exec, &circ, &measured, &cfg_nochecks);
+    let opt = QuTracer::plan(&circ, &measured, &cfg_nochecks)
+        .expect("plannable workload")
+        .execute(&exec)
+        .expect("batched execution")
+        .recombine()
+        .expect("recombination");
     let f_opt = fidelity_vs_ideal(&opt.distribution, &circ, &measured);
 
     // (d) Ancilla-based PCS with *noisy* checks: one Z check per traced

@@ -13,7 +13,7 @@ use qt_baselines::{run_jigsaw, run_sqem};
 use qt_bench::{auto_backend, fidelity_vs_ideal, header, quick_mode, AdaptiveRunner, CachedRunner};
 use qt_circuit::passes::split_into_segments;
 use qt_circuit::Circuit;
-use qt_core::{run_qutracer, QuTracerConfig};
+use qt_core::{QuTracer, QuTracerConfig};
 use qt_dist::Distribution;
 use qt_pcs::{postselected_distribution, z_check_sandwich};
 use qt_sim::{Executor, NoiseModel};
@@ -40,7 +40,12 @@ fn main() {
             threshold: 4,
         });
 
-        let qt = run_qutracer(&exec, &circ, &measured, &QuTracerConfig::single());
+        let qt = QuTracer::plan(&circ, &measured, &QuTracerConfig::single())
+            .expect("plannable workload")
+            .execute(&exec)
+            .expect("batched execution")
+            .recombine()
+            .expect("recombination");
         let f_orig = fidelity_vs_ideal(&qt.global, &circ, &measured);
         let f_qt = fidelity_vs_ideal(&qt.distribution, &circ, &measured);
 

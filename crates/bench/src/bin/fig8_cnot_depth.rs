@@ -10,7 +10,7 @@ use qt_algos::Workload;
 use qt_baselines::{run_jigsaw, run_sqem};
 use qt_bench::{fidelity_vs_ideal, header, quick_mode, CachedRunner};
 use qt_circuit::Circuit;
-use qt_core::{run_qutracer, QuTracerConfig};
+use qt_core::{QuTracer, QuTracerConfig};
 use qt_sim::{Backend, Executor, NoiseModel};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -62,7 +62,12 @@ fn main() {
                 trajectories: qt_sim::TrajectoryConfig::with_trajectories(2048),
             },
         ));
-        let qt = run_qutracer(&exec, &wl.circuit, &wl.measured, &QuTracerConfig::single());
+        let qt = QuTracer::plan(&wl.circuit, &wl.measured, &QuTracerConfig::single())
+            .expect("plannable workload")
+            .execute(&exec)
+            .expect("batched execution")
+            .recombine()
+            .expect("recombination");
         let f_orig = fidelity_vs_ideal(&qt.global, &wl.circuit, &wl.measured);
         let f_qt = fidelity_vs_ideal(&qt.distribution, &wl.circuit, &wl.measured);
         let jig = run_jigsaw(&exec, &wl.circuit, &wl.measured, 2);

@@ -11,7 +11,7 @@ use qt_algos::{qaoa::optimize_angles, qaoa_maxcut, ring_graph};
 use qt_bench::{fidelity_vs_ideal, header, mumbai_uniform_noise, quick_mode, CachedRunner};
 use qt_circuit::passes::split_into_segments;
 use qt_circuit::Circuit;
-use qt_core::{run_qutracer, QuTracerConfig};
+use qt_core::{QuTracer, QuTracerConfig};
 use qt_dist::Distribution;
 use qt_pcs::{postselected_distribution, z_check_sandwich};
 use qt_sim::{Backend, Executor, TrajectoryConfig};
@@ -46,7 +46,12 @@ fn main() {
         let cfg = QuTracerConfig::pairs()
             .with_symmetric_subsets()
             .with_checked_layers(k);
-        let report = run_qutracer(&exec, &circ, &measured, &cfg);
+        let report = QuTracer::plan(&circ, &measured, &cfg)
+            .expect("plannable workload")
+            .execute(&exec)
+            .expect("batched execution")
+            .recombine()
+            .expect("recombination");
         let f_orig = fidelity_vs_ideal(&report.global, &circ, &measured);
         let f_qt = fidelity_vs_ideal(&report.distribution, &circ, &measured);
         if base.is_none() {

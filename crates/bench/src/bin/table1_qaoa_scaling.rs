@@ -13,7 +13,7 @@
 use qt_algos::{qaoa::optimize_angles, qaoa_maxcut, ring_graph};
 use qt_baselines::run_jigsaw;
 use qt_bench::{fidelity_vs_ideal, header, mumbai_uniform_noise, quick_mode, CachedRunner};
-use qt_core::{run_qutracer, QuTracerConfig};
+use qt_core::{QuTracer, QuTracerConfig};
 use qt_device::{Device, DeviceExecutor};
 use qt_sim::{Backend, Executor, Program, TrajectoryConfig};
 
@@ -57,7 +57,12 @@ fn main() {
         ));
 
         let cfg = QuTracerConfig::pairs().with_symmetric_subsets();
-        let qt = run_qutracer(&exec, &circ, &measured, &cfg);
+        let qt = QuTracer::plan(&circ, &measured, &cfg)
+            .expect("plannable workload")
+            .execute(&exec)
+            .expect("batched execution")
+            .recombine()
+            .expect("recombination");
         let f_orig = fidelity_vs_ideal(&qt.global, &circ, &measured);
         let f_qt = fidelity_vs_ideal(&qt.distribution, &circ, &measured);
         let jig = run_jigsaw(&exec, &circ, &measured, 2);

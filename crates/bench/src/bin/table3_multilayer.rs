@@ -10,7 +10,7 @@
 use qt_algos::{qaoa::optimize_angles, qaoa_maxcut, ring_graph, vqe_ansatz, Workload};
 use qt_baselines::run_jigsaw;
 use qt_bench::{fidelity_vs_ideal, header, quick_mode, AdaptiveRunner, CachedRunner};
-use qt_core::{run_qutracer, QuTracerConfig};
+use qt_core::{QuTracer, QuTracerConfig};
 use qt_device::{Device, DeviceExecutor};
 use qt_sim::{Backend, TrajectoryConfig};
 
@@ -90,7 +90,12 @@ fn main() {
         } else {
             QuTracerConfig::single()
         };
-        let qt = run_qutracer(&exec, &wl.circuit, &wl.measured, &cfg);
+        let qt = QuTracer::plan(&wl.circuit, &wl.measured, &cfg)
+            .expect("plannable workload")
+            .execute(&exec)
+            .expect("batched execution")
+            .recombine()
+            .expect("recombination");
         let f_orig = fidelity_vs_ideal(&qt.global, &wl.circuit, &wl.measured);
         let f_qt = fidelity_vs_ideal(&qt.distribution, &wl.circuit, &wl.measured);
         let jig = run_jigsaw(&exec, &wl.circuit, &wl.measured, 2);

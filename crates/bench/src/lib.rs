@@ -38,7 +38,7 @@ impl<R: Runner> CachedRunner<R> {
 
 impl<R: Runner> Runner for CachedRunner<R> {
     fn run(&self, program: &Program, measured: &[usize]) -> RunOutput {
-        let key = format!("{measured:?}|{program:?}");
+        let key = BatchJob::key_of(program, measured);
         if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
             return hit.clone();
         }
@@ -53,10 +53,7 @@ impl<R: Runner> Runner for CachedRunner<R> {
     /// Serves cache hits directly and forwards only the distinct misses to
     /// the wrapped runner's (possibly parallel) batch path.
     fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
-        let keys: Vec<String> = jobs
-            .iter()
-            .map(|j| format!("{:?}|{:?}", j.measured, j.program))
-            .collect();
+        let keys: Vec<String> = jobs.iter().map(|j| j.dedup_key()).collect();
         let mut misses: Vec<usize> = Vec::new();
         {
             let cache = self.cache.lock().expect("cache poisoned");

@@ -1,0 +1,163 @@
+//! Typed errors of the staged pipeline.
+//!
+//! The monolithic entry point used to `assert!` on bad configuration and
+//! silently swallow [`UnsupportedCoupling`] failures into an opaque
+//! `skipped` list. The pipeline instead reports:
+//!
+//! * [`PlanError`] — stage 1 (analysis & circuit preparation) failures.
+//!   Configuration-level errors fail [`crate::QuTracer::plan`] outright;
+//!   per-subset coupling failures are recorded as [`SkippedSubset`] entries
+//!   carrying the typed reason, so the rest of the plan still runs and the
+//!   report keeps the *why* alongside the *what*.
+//! * [`ExecError`] — stage 2/3 failures: a runner returning the wrong
+//!   result count, or artifacts that no longer match the plan they were
+//!   executed from.
+
+use qt_circuit::passes::UnsupportedCoupling;
+
+/// A stage-1 (planning) failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Subset sizes other than 1 or 2 are outside the paper's framework.
+    UnsupportedSubsetSize {
+        /// The requested subset size.
+        size: usize,
+    },
+    /// Pair tracing needs at least two measured qubits.
+    MeasuredTooSmall {
+        /// Qubits the configuration needs.
+        needed: usize,
+        /// Qubits actually measured.
+        got: usize,
+    },
+    /// A gate couples the subset non-diagonally to the rest, so no Z check
+    /// can protect it.
+    UnsupportedCoupling {
+        /// The traced physical qubits of the offending subset.
+        subset: Vec<usize>,
+        /// The underlying segmentation failure.
+        source: UnsupportedCoupling,
+    },
+}
+
+impl PlanError {
+    /// Wraps a segmentation failure with the subset it occurred on.
+    pub fn coupling(subset: Vec<usize>, source: UnsupportedCoupling) -> Self {
+        PlanError::UnsupportedCoupling { subset, source }
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnsupportedSubsetSize { size } => {
+                write!(f, "subset size must be 1 or 2, got {size}")
+            }
+            PlanError::MeasuredTooSmall { needed, got } => {
+                write!(f, "need at least {needed} measured qubits, got {got}")
+            }
+            PlanError::UnsupportedCoupling { subset, source } => {
+                write!(f, "subset {subset:?} cannot be traced: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::UnsupportedCoupling { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A stage-2/3 (execution or recombination) failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The runner returned a different number of results than submitted.
+    ResultCountMismatch {
+        /// Jobs submitted.
+        expected: usize,
+        /// Results returned.
+        got: usize,
+    },
+    /// Recombination consumed more results than the plan recorded — the
+    /// artifacts do not belong to this plan.
+    ArtifactsExhausted,
+    /// Recombination consumed fewer results than the plan recorded, or the
+    /// plan's circuit analysis no longer reproduces — the plan and the
+    /// artifacts diverged.
+    PlanMismatch {
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::ResultCountMismatch { expected, got } => {
+                write!(f, "runner returned {got} results for {expected} jobs")
+            }
+            ExecError::ArtifactsExhausted => {
+                write!(
+                    f,
+                    "execution artifacts exhausted before recombination finished"
+                )
+            }
+            ExecError::PlanMismatch { detail } => write!(f, "plan/artifact mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A subset the planner could not trace, with the typed reason. The final
+/// [`crate::QuTracerReport`] keeps these so callers can tell *why* a subset
+/// was dropped instead of inferring it from absence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedSubset {
+    /// The traced physical qubits.
+    pub qubits: Vec<usize>,
+    /// Bit positions of those qubits in the measured list.
+    pub positions: Vec<usize>,
+    /// Why planning failed for this subset.
+    pub reason: PlanError,
+}
+
+impl SkippedSubset {
+    /// Whether the subset was skipped for non-diagonal coupling.
+    pub fn is_coupling(&self) -> bool {
+        matches!(self.reason, PlanError::UnsupportedCoupling { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_error_display_names_the_subset() {
+        let e = PlanError::coupling(
+            vec![2, 3],
+            UnsupportedCoupling {
+                index: 5,
+                instruction: "cx q2, q4".into(),
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("[2, 3]"), "{s}");
+        assert!(s.contains("cx q2, q4"), "{s}");
+    }
+
+    #[test]
+    fn exec_error_display_reports_counts() {
+        let e = ExecError::ResultCountMismatch {
+            expected: 7,
+            got: 3,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,6 +1,13 @@
 //! The QuTracer framework: analysis & circuit preparation, execution &
 //! error mitigation, and the global distribution update (Fig. 4).
+//!
+//! [`run_qutracer`] is a thin compatibility wrapper over the staged
+//! pipeline ([`crate::QuTracer::plan`] → execute → recombine); the serial
+//! per-subset reference path survives as [`run_qutracer_legacy`] for
+//! equivalence testing and benchmarking.
 
+use crate::error::{PlanError, SkippedSubset};
+use crate::pipeline::QuTracer;
 use crate::trace::{trace_pair, trace_single, TraceConfig, TraceOutcome};
 use qt_baselines::OverheadStats;
 use qt_circuit::Circuit;
@@ -68,12 +75,42 @@ pub struct QuTracerReport {
     pub global: Distribution,
     /// Local distributions and their bit positions in the measured list.
     pub locals: Vec<(Distribution, Vec<usize>)>,
-    /// Subsets that could not be traced (non-diagonal coupling).
-    pub skipped: Vec<Vec<usize>>,
+    /// Subsets that could not be traced, with the typed reason (usually
+    /// non-diagonal coupling).
+    pub skipped: Vec<SkippedSubset>,
     /// Aggregate overheads.
     pub stats: OverheadStats,
-    /// Per-subset execution statistics.
+    /// Per-subset execution statistics (one entry per *distinct* trace:
+    /// symmetric subsets share a single walk and count once).
     pub subset_stats: Vec<QspcStats>,
+}
+
+/// Enumerates traced subsets as position lists into the measured register:
+/// singletons for subset size 1; all cyclically adjacent pairs under the
+/// symmetric-subset optimization; consecutive non-overlapping pairs
+/// otherwise (the last pair backing up when the count is odd).
+pub(crate) fn enumerate_subset_positions(
+    measured_len: usize,
+    config: &QuTracerConfig,
+) -> Vec<Vec<usize>> {
+    if config.subset_size == 1 {
+        (0..measured_len).map(|p| vec![p]).collect()
+    } else if config.symmetric_subsets {
+        // All cyclically adjacent pairs (ring workloads); traced once.
+        (0..measured_len)
+            .map(|p| vec![p, (p + 1) % measured_len])
+            .collect()
+    } else {
+        let mut v = Vec::new();
+        let mut start = 0;
+        while start < measured_len {
+            let end = (start + 2).min(measured_len);
+            let lo = end.saturating_sub(2);
+            v.push((lo..end).collect());
+            start = end;
+        }
+        v
+    }
 }
 
 /// Runs the QuTracer framework end to end:
@@ -82,7 +119,39 @@ pub struct QuTracerReport {
 /// 2. trace every subset of the measured qubits with QSPC → high-fidelity
 ///    local distributions;
 /// 3. refine the global distribution by Bayesian recombination.
+///
+/// This is a thin compatibility wrapper over the staged pipeline: it plans
+/// once, executes every mitigation circuit of every subset as one
+/// deduplicated batch, and recombines — bit-identical to (and faster than)
+/// the serial [`run_qutracer_legacy`] reference.
+///
+/// # Panics
+///
+/// Panics on configuration errors (subset size outside `{1, 2}`, pair
+/// tracing with fewer than two measured qubits) — use
+/// [`QuTracer::plan`] directly for typed [`PlanError`]s.
 pub fn run_qutracer<R: Runner>(
+    runner: &R,
+    circuit: &Circuit,
+    measured: &[usize],
+    config: &QuTracerConfig,
+) -> QuTracerReport {
+    let plan = QuTracer::plan(circuit, measured, config)
+        .unwrap_or_else(|e| panic!("invalid QuTracer configuration: {e}"));
+    plan.execute(runner)
+        .and_then(|artifacts| artifacts.recombine())
+        .unwrap_or_else(|e| panic!("QuTracer pipeline failed: {e}"))
+}
+
+/// The pre-pipeline reference implementation: traces every subset serially
+/// against the runner, one small batch at a time. Retained for equivalence
+/// testing (`tests/pipeline_equivalence.rs` asserts the pipeline reproduces
+/// it bit for bit) and for the `pipeline` benchmark group's baseline arm.
+///
+/// # Panics
+///
+/// Panics if `config.subset_size` is not 1 or 2.
+pub fn run_qutracer_legacy<R: Runner>(
     runner: &R,
     circuit: &Circuit,
     measured: &[usize],
@@ -97,29 +166,22 @@ pub fn run_qutracer<R: Runner>(
     let global = Distribution::from_probs(measured.len(), global_out.dist);
 
     // Enumerate subsets as positions into `measured`.
-    let subsets: Vec<Vec<usize>> = if config.subset_size == 1 {
-        (0..measured.len()).map(|p| vec![p]).collect()
-    } else if config.symmetric_subsets {
-        // All cyclically adjacent pairs (ring workloads); traced once.
-        (0..measured.len())
-            .map(|p| vec![p, (p + 1) % measured.len()])
-            .collect()
-    } else {
-        let mut v = Vec::new();
-        let mut start = 0;
-        while start < measured.len() {
-            let end = (start + 2).min(measured.len());
-            let lo = end.saturating_sub(2);
-            v.push((lo..end).collect());
-            start = end;
-        }
-        v
-    };
+    let subsets = enumerate_subset_positions(measured.len(), config);
 
     let mut locals: Vec<(Distribution, Vec<usize>)> = Vec::new();
-    let mut skipped = Vec::new();
+    let mut skipped: Vec<SkippedSubset> = Vec::new();
     let mut subset_stats = Vec::new();
     let mut shared: Option<TraceOutcome> = None;
+    let skip = |skipped: &mut Vec<SkippedSubset>,
+                qubits: Vec<usize>,
+                positions: &[usize],
+                e: qt_circuit::passes::UnsupportedCoupling| {
+        skipped.push(SkippedSubset {
+            qubits: qubits.clone(),
+            positions: positions.to_vec(),
+            reason: PlanError::coupling(qubits, e),
+        });
+    };
 
     for positions in &subsets {
         let qubits: Vec<usize> = positions.iter().map(|&p| measured[p]).collect();
@@ -127,26 +189,32 @@ pub fn run_qutracer<R: Runner>(
             if shared.is_none() {
                 shared = match trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace) {
                     Ok(o) => Some(o),
-                    Err(_) => {
-                        skipped.push(qubits.clone());
+                    Err(e) => {
+                        skip(&mut skipped, qubits, positions, e);
                         continue;
                     }
                 };
             }
             Some(shared.clone().expect("set above"))
-        } else if config.subset_size == 1 {
-            trace_single(runner, circuit, qubits[0], &config.trace).ok()
         } else {
-            trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace).ok()
-        };
-        match outcome {
-            Some(o) => {
-                if !(config.symmetric_subsets && !locals.is_empty() && config.subset_size == 2) {
-                    subset_stats.push(o.stats);
+            let traced = if config.subset_size == 1 {
+                trace_single(runner, circuit, qubits[0], &config.trace)
+            } else {
+                trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace)
+            };
+            match traced {
+                Ok(o) => Some(o),
+                Err(e) => {
+                    skip(&mut skipped, qubits.clone(), positions, e);
+                    None
                 }
-                locals.push((o.local, positions.clone()));
             }
-            None => skipped.push(qubits),
+        };
+        if let Some(o) = outcome {
+            if !(config.symmetric_subsets && !locals.is_empty() && config.subset_size == 2) {
+                subset_stats.push(o.stats);
+            }
+            locals.push((o.local, positions.clone()));
         }
     }
 

@@ -23,8 +23,29 @@
 //! assert!((report.distribution.total() - 1.0).abs() < 1e-9);
 //! ```
 
+//!
+//! # The staged pipeline
+//!
+//! [`run_qutracer`] is a compatibility wrapper; the first-class API is the
+//! three-stage pipeline mirroring the paper's Fig. 4 — see [`pipeline`]:
+//!
+//! ```
+//! # use qt_core::{QuTracer, QuTracerConfig};
+//! # use qt_sim::{Backend, Executor, NoiseModel};
+//! # let circ = qt_algos::vqe_ansatz(4, 1, 7);
+//! # let exec = Executor::with_backend(NoiseModel::ideal(), Backend::DensityMatrix);
+//! let plan = QuTracer::plan(&circ, &[0, 1, 2, 3], &QuTracerConfig::single())?;
+//! let report = plan.execute(&exec)?.recombine()?;
+//! # assert!(plan.n_programs() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod error;
 pub mod framework;
+pub mod pipeline;
 pub mod trace;
 
-pub use framework::{run_qutracer, QuTracerConfig, QuTracerReport};
-pub use trace::{trace_pair, trace_single, TraceConfig, TraceOutcome};
+pub use error::{ExecError, PlanError, SkippedSubset};
+pub use framework::{run_qutracer, run_qutracer_legacy, QuTracerConfig, QuTracerReport};
+pub use pipeline::{ExecutionArtifacts, MitigationPlan, QuTracer, SubsetPlanSummary};
+pub use trace::{trace_pair, trace_single, JobKind, JobTag, TraceConfig, TraceOutcome};

@@ -1,0 +1,449 @@
+//! The staged pipeline API: `plan → execute → recombine` (Fig. 4).
+//!
+//! The paper's framework is explicitly three-staged:
+//!
+//! 1. **Analysis & circuit preparation** — [`QuTracer::plan`] performs all
+//!    classical work up front (subset enumeration, segmentation, traceback,
+//!    ensemble-circuit generation) and yields an inspectable
+//!    [`MitigationPlan`] holding every [`Program`](qt_sim::Program) the run
+//!    will need, tagged by (subset, segment, preparation, check basis).
+//! 2. **Execution** — [`MitigationPlan::execute`] flattens *all* programs
+//!    across *all* subsets into one deduplicated
+//!    [`run_batch`](Runner::run_batch) submission. Identical programs
+//!    (e.g. the shared ensemble of symmetric subsets) execute once and fan
+//!    back out; the runner's existing thread-budget policy spreads the
+//!    batch over the machine.
+//! 3. **Recombination** — [`ExecutionArtifacts::recombine`] replays the
+//!    walk of every subset against the recorded results, purely
+//!    classically, and performs the Bayesian update.
+//!
+//! Because the programs a trace requests are a static function of the
+//! circuit analysis (results never influence *what* runs, only how it is
+//! combined), the pipeline is bit-identical to the serial
+//! [`run_qutracer`](crate::run_qutracer) path — property-tested in
+//! `tests/pipeline_equivalence.rs`. A [`MitigationPlan`] is thereby a
+//! self-contained, serializable unit of work: the enabling structure for
+//! caching, sharded execution and service-style deployments.
+//!
+//! # Example
+//!
+//! ```
+//! use qt_core::{QuTracer, QuTracerConfig};
+//! use qt_sim::{Backend, Executor, NoiseModel};
+//! use qt_algos::vqe_ansatz;
+//!
+//! let circ = vqe_ansatz(4, 1, 7);
+//! let measured = [0, 1, 2, 3];
+//! let plan = QuTracer::plan(&circ, &measured, &QuTracerConfig::single()).unwrap();
+//! assert!(plan.n_programs() > 1); // inspectable before anything executes
+//!
+//! let exec = Executor::with_backend(
+//!     NoiseModel::depolarizing(0.001, 0.02).with_readout(0.05),
+//!     Backend::DensityMatrix,
+//! );
+//! let report = plan.execute(&exec).unwrap().recombine().unwrap();
+//! assert!((report.distribution.total() - 1.0).abs() < 1e-9);
+//! ```
+
+use crate::error::{ExecError, PlanError, SkippedSubset};
+use crate::framework::{enumerate_subset_positions, QuTracerConfig, QuTracerReport};
+use crate::trace::{
+    trace_pair_with_port, trace_single_with_port, CollectPort, JobKind, JobTag, ReplayPort,
+    TraceError, TraceOutcome,
+};
+use qt_baselines::OverheadStats;
+use qt_circuit::Circuit;
+use qt_dist::{recombine, Distribution};
+use qt_pcs::QspcStats;
+use qt_sim::{BatchJob, JobInterner, Program, RunOutput, Runner};
+
+/// The framework entry point of the staged pipeline.
+pub struct QuTracer;
+
+/// One deduplicated program of a plan, with every logical request mapped
+/// onto it.
+#[derive(Debug, Clone)]
+struct PlannedProgram {
+    job: BatchJob,
+    tags: Vec<JobTag>,
+}
+
+/// The planned walk of one *distinct* traced subset (symmetric subsets
+/// share a single walk).
+#[derive(Debug, Clone)]
+struct TracePlan {
+    qubits: Vec<usize>,
+    /// Indices into the program table, in request order.
+    slots: Vec<usize>,
+    /// Plan-time statistics (exact gate counts, pre-transpilation).
+    static_stats: QspcStats,
+}
+
+/// Maps one enumerated subset onto the distinct walk serving it.
+#[derive(Debug, Clone)]
+struct Assignment {
+    positions: Vec<usize>,
+    qubits: Vec<usize>,
+    trace: usize,
+    shared: bool,
+}
+
+/// Per-subset view of a plan (see [`MitigationPlan::subset_summaries`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsetPlanSummary {
+    /// The traced physical qubits.
+    pub qubits: Vec<usize>,
+    /// Bit positions in the measured list.
+    pub positions: Vec<usize>,
+    /// Programs the subset's walk requests (before cross-subset dedup).
+    pub n_requests: usize,
+    /// Whether this subset reuses another symmetric subset's ensemble.
+    pub shared: bool,
+}
+
+/// Stage-1 output: every program the run needs, deduplicated and tagged,
+/// plus the bookkeeping to recombine results afterwards.
+#[derive(Debug, Clone)]
+pub struct MitigationPlan {
+    circuit: Circuit,
+    measured: Vec<usize>,
+    config: QuTracerConfig,
+    programs: Vec<PlannedProgram>,
+    global_slot: usize,
+    traces: Vec<TracePlan>,
+    assignments: Vec<Assignment>,
+    skipped: Vec<SkippedSubset>,
+}
+
+impl QuTracer {
+    /// Stage 1: performs all classical analysis and builds the full set of
+    /// programs the run will need.
+    ///
+    /// Configuration-level failures return a typed [`PlanError`]; subsets
+    /// that cannot be traced (non-diagonal coupling) are recorded in
+    /// [`MitigationPlan::skipped`] with their reason and do not fail the
+    /// plan — matching the paper's behaviour of mitigating what it can.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::UnsupportedSubsetSize`] for subset sizes outside
+    /// `{1, 2}`; [`PlanError::MeasuredTooSmall`] when pair tracing has
+    /// fewer than two measured qubits.
+    pub fn plan(
+        circuit: &Circuit,
+        measured: &[usize],
+        config: &QuTracerConfig,
+    ) -> Result<MitigationPlan, PlanError> {
+        if config.subset_size != 1 && config.subset_size != 2 {
+            return Err(PlanError::UnsupportedSubsetSize {
+                size: config.subset_size,
+            });
+        }
+        if config.subset_size == 2 && measured.len() < 2 {
+            return Err(PlanError::MeasuredTooSmall {
+                needed: 2,
+                got: measured.len(),
+            });
+        }
+
+        let mut dedup = JobInterner::new();
+        let mut programs: Vec<PlannedProgram> = Vec::new();
+        let mut intern = |programs: &mut Vec<PlannedProgram>, job: BatchJob, tag: JobTag| {
+            let (slot, _) = dedup.intern_with(programs, job, |job| PlannedProgram {
+                job,
+                tags: Vec::new(),
+            });
+            programs[slot].tags.push(tag);
+            slot
+        };
+
+        let global_slot = intern(
+            &mut programs,
+            BatchJob::new(Program::from_circuit(circuit), measured.to_vec()),
+            JobTag {
+                subset: Vec::new(),
+                segment: None,
+                kind: JobKind::Global,
+            },
+        );
+
+        let symmetric_pairs = config.symmetric_subsets && config.subset_size == 2;
+        let mut traces: Vec<TracePlan> = Vec::new();
+        let mut assignments: Vec<Assignment> = Vec::new();
+        let mut skipped: Vec<SkippedSubset> = Vec::new();
+        let mut shared_trace: Option<usize> = None;
+
+        for positions in enumerate_subset_positions(measured.len(), config) {
+            let qubits: Vec<usize> = positions.iter().map(|&p| measured[p]).collect();
+            if symmetric_pairs {
+                if let Some(trace) = shared_trace {
+                    assignments.push(Assignment {
+                        positions,
+                        qubits,
+                        trace,
+                        shared: true,
+                    });
+                    continue;
+                }
+            }
+            let mut sink: Vec<(BatchJob, JobTag)> = Vec::new();
+            let walk = {
+                let mut port = CollectPort { sink: &mut sink };
+                if config.subset_size == 1 {
+                    trace_single_with_port(&mut port, circuit, qubits[0], &config.trace)
+                } else {
+                    trace_pair_with_port(&mut port, circuit, [qubits[0], qubits[1]], &config.trace)
+                }
+            };
+            match walk {
+                Ok(outcome) => {
+                    let slots: Vec<usize> = sink
+                        .into_iter()
+                        .map(|(job, tag)| intern(&mut programs, job, tag))
+                        .collect();
+                    let trace = traces.len();
+                    traces.push(TracePlan {
+                        qubits: qubits.clone(),
+                        slots,
+                        static_stats: outcome.stats,
+                    });
+                    assignments.push(Assignment {
+                        positions,
+                        qubits,
+                        trace,
+                        shared: false,
+                    });
+                    if symmetric_pairs {
+                        shared_trace = Some(trace);
+                    }
+                }
+                Err(TraceError::Coupling(e)) => skipped.push(SkippedSubset {
+                    qubits: qubits.clone(),
+                    positions,
+                    reason: PlanError::coupling(qubits, e),
+                }),
+                Err(TraceError::Exec(_)) => unreachable!("collect port is infallible"),
+            }
+        }
+
+        Ok(MitigationPlan {
+            circuit: circuit.clone(),
+            measured: measured.to_vec(),
+            config: *config,
+            programs,
+            global_slot,
+            traces,
+            assignments,
+            skipped,
+        })
+    }
+}
+
+impl MitigationPlan {
+    /// The circuit the plan was built from.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The measured qubits.
+    pub fn measured(&self) -> &[usize] {
+        &self.measured
+    }
+
+    /// The configuration the plan was built with.
+    pub fn config(&self) -> &QuTracerConfig {
+        &self.config
+    }
+
+    /// Number of *distinct* programs the run executes (after cross-subset
+    /// deduplication) — the batch size of [`MitigationPlan::execute`].
+    pub fn n_programs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Number of *logical* program requests before deduplication: the
+    /// global run plus every enumerated subset's full walk. A naive
+    /// per-subset executor runs this many circuits; `n_requests() -
+    /// n_programs()` is what batched dedup saves.
+    pub fn n_requests(&self) -> usize {
+        1 + self
+            .assignments
+            .iter()
+            .map(|a| self.traces[a.trace].slots.len())
+            .sum::<usize>()
+    }
+
+    /// Number of traced subsets the plan serves (excluding skipped ones).
+    pub fn n_subsets(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The deduplicated programs with every logical request tagged onto
+    /// them, in execution (batch) order.
+    pub fn programs(&self) -> impl Iterator<Item = (&BatchJob, &[JobTag])> {
+        self.programs.iter().map(|p| (&p.job, p.tags.as_slice()))
+    }
+
+    /// Subsets that could not be planned, with typed reasons.
+    pub fn skipped(&self) -> &[SkippedSubset] {
+        &self.skipped
+    }
+
+    /// Per-subset circuit counts — the paper's overhead tables, computable
+    /// without executing anything.
+    pub fn subset_summaries(&self) -> Vec<SubsetPlanSummary> {
+        self.assignments
+            .iter()
+            .map(|a| SubsetPlanSummary {
+                qubits: a.qubits.clone(),
+                positions: a.positions.clone(),
+                n_requests: self.traces[a.trace].slots.len(),
+                shared: a.shared,
+            })
+            .collect()
+    }
+
+    /// Plan-time overhead statistics, derived from the plan structure:
+    /// every distinct walk counts exactly once, so the numbers are
+    /// independent of subset enumeration order. Gate counts are exact for
+    /// plain simulators and pre-transpilation for device executors (the
+    /// executed report's stats use post-transpilation counts).
+    pub fn stats(&self) -> OverheadStats {
+        let n_mitigation: usize = self.traces.iter().map(|t| t.static_stats.n_circuits).sum();
+        let total_2q: usize = self
+            .traces
+            .iter()
+            .map(|t| t.static_stats.total_two_qubit_gates)
+            .sum();
+        OverheadStats {
+            n_circuits: 1 + n_mitigation,
+            normalized_shots: n_mitigation as f64,
+            avg_two_qubit_gates: if n_mitigation > 0 {
+                total_2q as f64 / n_mitigation as f64
+            } else {
+                0.0
+            },
+            global_two_qubit_gates: self.programs[self.global_slot]
+                .job
+                .program
+                .two_qubit_gate_count(),
+        }
+    }
+
+    /// Stage 2: executes every planned program as **one** batched
+    /// submission on `runner`, fanning deduplicated results back out.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::ResultCountMismatch`] if the runner violates the
+    /// [`Runner::run_batch`] contract.
+    pub fn execute<'p, R: Runner>(
+        &'p self,
+        runner: &R,
+    ) -> Result<ExecutionArtifacts<'p>, ExecError> {
+        let jobs: Vec<BatchJob> = self.programs.iter().map(|p| p.job.clone()).collect();
+        let outputs = runner.run_batch(&jobs);
+        if outputs.len() != jobs.len() {
+            return Err(ExecError::ResultCountMismatch {
+                expected: jobs.len(),
+                got: outputs.len(),
+            });
+        }
+        Ok(ExecutionArtifacts {
+            plan: self,
+            outputs,
+        })
+    }
+}
+
+/// Stage-2 output: the raw results of every planned program, still keyed
+/// by the plan that produced them.
+#[derive(Debug, Clone)]
+pub struct ExecutionArtifacts<'p> {
+    plan: &'p MitigationPlan,
+    outputs: Vec<RunOutput>,
+}
+
+impl ExecutionArtifacts<'_> {
+    /// The plan these artifacts were executed from.
+    pub fn plan(&self) -> &MitigationPlan {
+        self.plan
+    }
+
+    /// Raw results, aligned with [`MitigationPlan::programs`].
+    pub fn outputs(&self) -> &[RunOutput] {
+        &self.outputs
+    }
+
+    /// Stage 3: replays every subset's walk against the recorded results
+    /// (purely classical) and performs the Bayesian recombination.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] if the artifacts do not match the plan (wrong count,
+    /// or a walk consuming a different request stream than planned).
+    pub fn recombine(&self) -> Result<QuTracerReport, ExecError> {
+        let plan = self.plan;
+        let global_out = &self.outputs[plan.global_slot];
+        let global = Distribution::from_probs(plan.measured.len(), global_out.dist.clone());
+
+        let mut outcomes: Vec<TraceOutcome> = Vec::with_capacity(plan.traces.len());
+        for t in &plan.traces {
+            let outs: Vec<RunOutput> = t.slots.iter().map(|&s| self.outputs[s].clone()).collect();
+            let mut port = ReplayPort::new(&outs);
+            let walk = if t.qubits.len() == 1 {
+                trace_single_with_port(&mut port, &plan.circuit, t.qubits[0], &plan.config.trace)
+            } else {
+                trace_pair_with_port(
+                    &mut port,
+                    &plan.circuit,
+                    [t.qubits[0], t.qubits[1]],
+                    &plan.config.trace,
+                )
+            };
+            let outcome = walk.map_err(|e| match e {
+                TraceError::Exec(x) => x,
+                TraceError::Coupling(c) => ExecError::PlanMismatch {
+                    detail: format!("subset {:?} no longer traceable: {c}", t.qubits),
+                },
+            })?;
+            if !port.fully_consumed() {
+                return Err(ExecError::PlanMismatch {
+                    detail: format!("subset {:?} consumed fewer results than planned", t.qubits),
+                });
+            }
+            outcomes.push(outcome);
+        }
+
+        let locals: Vec<(Distribution, Vec<usize>)> = plan
+            .assignments
+            .iter()
+            .map(|a| (outcomes[a.trace].local.clone(), a.positions.clone()))
+            .collect();
+        // Stats accounting is derived from the plan: each distinct walk
+        // counts once, independent of enumeration order; values come from
+        // the executed outputs (so transpiling runners report real gate
+        // counts).
+        let subset_stats: Vec<QspcStats> = outcomes.iter().map(|o| o.stats).collect();
+        let refined = recombine::bayesian_update_all(&global, &locals);
+        let n_mitigation_circuits: usize = subset_stats.iter().map(|s| s.n_circuits).sum();
+        let total_2q: usize = subset_stats.iter().map(|s| s.total_two_qubit_gates).sum();
+        Ok(QuTracerReport {
+            distribution: refined,
+            global,
+            locals,
+            skipped: plan.skipped.clone(),
+            stats: OverheadStats {
+                n_circuits: 1 + n_mitigation_circuits,
+                normalized_shots: n_mitigation_circuits as f64,
+                avg_two_qubit_gates: if n_mitigation_circuits > 0 {
+                    total_2q as f64 / n_mitigation_circuits as f64
+                } else {
+                    0.0
+                },
+                global_two_qubit_gates: global_out.two_qubit_gates,
+            },
+            subset_stats,
+        })
+    }
+}

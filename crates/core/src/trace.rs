@@ -19,13 +19,35 @@
 //! *State traceback* restricts which Pauli components are estimated at each
 //! cut to exactly the ones the terminal Z measurement can depend on,
 //! pulled backwards through the local blocks.
+//!
+//! # Execution ports
+//!
+//! The programs a walk requests are a *static* function of the circuit
+//! analysis — measurement results feed only the classical combination, never
+//! the choice of what to run next. The walk is therefore written against a
+//! [`TracePort`] with three interchangeable backends:
+//!
+//! * [`LivePort`] submits each request to a [`Runner`] immediately (the
+//!   classic serial behaviour of [`trace_single`]/[`trace_pair`]);
+//! * [`CollectPort`] records every requested program, tagged by
+//!   (subset, segment, preparation, basis) — stage 1 of the pipeline;
+//! * [`ReplayPort`] feeds previously executed results back through the
+//!   identical walk — stage 3 (recombination).
+//!
+//! All three traverse byte-identical job streams, which is what makes the
+//! batched pipeline bit-identical to the serial path.
 
+use crate::error::ExecError;
 use qt_circuit::passes::{split_into_segments, Segment, UnsupportedCoupling};
 use qt_circuit::{basis, embed, passes, Circuit, Instruction};
 use qt_dist::Distribution;
+use qt_math::states::PrepState;
 use qt_math::{Complex, Matrix, Pauli};
-use qt_pcs::{project_to_physical, QspcConfig, QspcPair, QspcSingle, QspcStats};
-use qt_sim::{BatchJob, Program, Runner};
+use qt_pcs::{
+    combine_pair_mitigated, combine_single_mitigated, project_to_physical, tabulate_pair,
+    tabulate_single, QspcPairSpec, QspcSingleSpec, QspcStats,
+};
+use qt_sim::{BatchJob, Program, RunOutput, Runner};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Options of a subset trace.
@@ -57,8 +79,8 @@ impl Default for TraceConfig {
 }
 
 impl TraceConfig {
-    fn qspc(&self) -> QspcConfig {
-        QspcConfig {
+    fn qspc(&self) -> qt_pcs::QspcConfig {
+        qt_pcs::QspcConfig {
             optimize_circuits: self.optimize_circuits,
             use_reduced_preps: self.use_reduced_preps,
             den_floor: self.den_floor,
@@ -80,7 +102,168 @@ pub struct TraceOutcome {
     pub checks_applied: usize,
 }
 
-/// Traces a single qubit through `circuit` (subset size 1).
+// ---------------------------------------------------------------------
+// Job tagging and execution ports.
+// ---------------------------------------------------------------------
+
+/// The role of one planned program within a mitigation plan (the paper's
+/// Fig. 4 stage-1 artifact, tagged by subset / segment / prep / basis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTag {
+    /// The traced physical qubits (empty for the global run).
+    pub subset: Vec<usize>,
+    /// Segment index within the subset's segmentation, when applicable.
+    pub segment: Option<usize>,
+    /// What the program measures.
+    pub kind: JobKind,
+}
+
+/// What a planned program measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobKind {
+    /// The original circuit over all target qubits.
+    Global,
+    /// A true-marginal measurement at a cut, in the given per-slot bases
+    /// (the high slot is `None` for single-qubit subsets).
+    CutMarginal {
+        /// Basis on subset slot 0.
+        basis_low: Pauli,
+        /// Basis on subset slot 1 (pairs only).
+        basis_high: Option<Pauli>,
+    },
+    /// One member of a QSPC preparation ensemble (Eq. 9).
+    Ensemble {
+        /// Preparation on subset slot 0.
+        prep_low: PrepState,
+        /// Preparation on subset slot 1 (pairs only).
+        prep_high: Option<PrepState>,
+        /// Measurement basis on subset slot 0.
+        basis_low: Pauli,
+        /// Measurement basis on subset slot 1 (pairs only).
+        basis_high: Option<Pauli>,
+    },
+    /// The whole circuit measured on the subset only (Jigsaw-style local
+    /// fallback for trailing unchecked segments).
+    Fallback,
+}
+
+/// Where a trace walk sends its program requests (see module docs).
+pub(crate) trait TracePort {
+    /// Submits a batch of tagged jobs and returns their results in order.
+    fn submit(
+        &mut self,
+        jobs: Vec<BatchJob>,
+        tags: Vec<JobTag>,
+    ) -> Result<Vec<RunOutput>, ExecError>;
+}
+
+/// Executes every request immediately on a [`Runner`].
+pub(crate) struct LivePort<'a, R: Runner> {
+    pub runner: &'a R,
+}
+
+impl<R: Runner> TracePort for LivePort<'_, R> {
+    fn submit(
+        &mut self,
+        jobs: Vec<BatchJob>,
+        _tags: Vec<JobTag>,
+    ) -> Result<Vec<RunOutput>, ExecError> {
+        Ok(self.runner.run_batch(&jobs))
+    }
+}
+
+/// Records every request (stage 1). Returns placeholder uniform outputs
+/// with *exact* static gate counts, so plan-time statistics are real while
+/// the tracked state — which no job generation depends on — is discarded.
+pub(crate) struct CollectPort<'a> {
+    pub sink: &'a mut Vec<(BatchJob, JobTag)>,
+}
+
+impl TracePort for CollectPort<'_> {
+    fn submit(
+        &mut self,
+        jobs: Vec<BatchJob>,
+        tags: Vec<JobTag>,
+    ) -> Result<Vec<RunOutput>, ExecError> {
+        let outs = jobs
+            .iter()
+            .map(|j| {
+                let dim = 1usize << j.measured.len();
+                RunOutput {
+                    dist: vec![1.0 / dim as f64; dim],
+                    gates: j.program.gate_count(),
+                    two_qubit_gates: j.program.two_qubit_gate_count(),
+                }
+            })
+            .collect();
+        for (job, tag) in jobs.into_iter().zip(tags) {
+            self.sink.push((job, tag));
+        }
+        Ok(outs)
+    }
+}
+
+/// Feeds recorded results back through the walk, in request order
+/// (stage 3).
+pub(crate) struct ReplayPort<'a> {
+    outputs: &'a [RunOutput],
+    cursor: usize,
+}
+
+impl<'a> ReplayPort<'a> {
+    pub fn new(outputs: &'a [RunOutput]) -> Self {
+        ReplayPort { outputs, cursor: 0 }
+    }
+
+    /// Whether every recorded result was consumed by the walk.
+    pub fn fully_consumed(&self) -> bool {
+        self.cursor == self.outputs.len()
+    }
+}
+
+impl TracePort for ReplayPort<'_> {
+    fn submit(
+        &mut self,
+        jobs: Vec<BatchJob>,
+        _tags: Vec<JobTag>,
+    ) -> Result<Vec<RunOutput>, ExecError> {
+        let end = self.cursor + jobs.len();
+        if end > self.outputs.len() {
+            return Err(ExecError::ArtifactsExhausted);
+        }
+        let outs = self.outputs[self.cursor..end].to_vec();
+        self.cursor = end;
+        Ok(outs)
+    }
+}
+
+/// Why a ported walk stopped.
+#[derive(Debug)]
+pub(crate) enum TraceError {
+    /// Stage-1 failure: the subset is not Z-checkable.
+    Coupling(UnsupportedCoupling),
+    /// Stage-3 failure: the port could not serve a request.
+    Exec(ExecError),
+}
+
+impl From<UnsupportedCoupling> for TraceError {
+    fn from(e: UnsupportedCoupling) -> Self {
+        TraceError::Coupling(e)
+    }
+}
+
+impl From<ExecError> for TraceError {
+    fn from(e: ExecError) -> Self {
+        TraceError::Exec(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public (live) entry points.
+// ---------------------------------------------------------------------
+
+/// Traces a single qubit through `circuit` (subset size 1), executing each
+/// request immediately on `runner`.
 ///
 /// # Errors
 ///
@@ -92,6 +275,45 @@ pub fn trace_single<R: Runner>(
     qubit: usize,
     config: &TraceConfig,
 ) -> Result<TraceOutcome, UnsupportedCoupling> {
+    let mut port = LivePort { runner };
+    match trace_single_with_port(&mut port, circuit, qubit, config) {
+        Ok(o) => Ok(o),
+        Err(TraceError::Coupling(e)) => Err(e),
+        Err(TraceError::Exec(_)) => unreachable!("live port is infallible"),
+    }
+}
+
+/// Traces a qubit pair through `circuit` (subset size 2), executing each
+/// request immediately on `runner`.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedCoupling`] if a gate couples the pair
+/// non-diagonally to the rest.
+pub fn trace_pair<R: Runner>(
+    runner: &R,
+    circuit: &Circuit,
+    pair: [usize; 2],
+    config: &TraceConfig,
+) -> Result<TraceOutcome, UnsupportedCoupling> {
+    let mut port = LivePort { runner };
+    match trace_pair_with_port(&mut port, circuit, pair, config) {
+        Ok(o) => Ok(o),
+        Err(TraceError::Coupling(e)) => Err(e),
+        Err(TraceError::Exec(_)) => unreachable!("live port is infallible"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ported walks.
+// ---------------------------------------------------------------------
+
+pub(crate) fn trace_single_with_port(
+    port: &mut dyn TracePort,
+    circuit: &Circuit,
+    qubit: usize,
+    config: &TraceConfig,
+) -> Result<TraceOutcome, TraceError> {
     let segments = split_into_segments(circuit, &[qubit])?;
     let n = circuit.n_qubits();
     let checked = checked_set(&segments, &[qubit], config.checked_layers);
@@ -142,7 +364,7 @@ pub fn trace_single<R: Runner>(
         }
         if !bases.is_empty() {
             let measured =
-                measure_marginal_single(runner, &prefix, qubit, &bases, config, &mut stats);
+                measure_marginal_single(port, &prefix, qubit, &bases, config, &mut stats, i)?;
             rho = overwrite_bloch(&rho, &measured);
         }
 
@@ -162,16 +384,36 @@ pub fn trace_single<R: Runner>(
         for instr in &seg.check {
             segment.push(instr.gate.clone(), instr.qubits.clone());
         }
-        let engine = QspcSingle {
-            exec: runner,
-            qubit,
-            prefix: &prefix,
-            segment: &segment,
-            config: config.qspc(),
-        };
         checks_applied += 1;
-        let (exps, _den, st) = engine.mitigated_expectations(&rho, &outputs);
-        stats = add_stats(stats, st);
+        let qspc_config = config.qspc();
+        let exps = {
+            let spec = QspcSingleSpec {
+                qubit,
+                prefix: &prefix,
+                segment: &segment,
+                config: qspc_config,
+            };
+            let ens = spec.ensemble(&spec.mitigated_bases(&outputs));
+            let tags = ens
+                .keys
+                .iter()
+                .map(|&(s, b)| JobTag {
+                    subset: vec![qubit],
+                    segment: Some(i),
+                    kind: JobKind::Ensemble {
+                        prep_low: s,
+                        prep_high: None,
+                        basis_low: b,
+                        basis_high: None,
+                    },
+                })
+                .collect();
+            let outs = port.submit(ens.jobs, tags)?;
+            let (e, st) = tabulate_single(&ens.keys, &outs);
+            stats = add_stats(stats, st);
+            let (exps, _den) = combine_single_mitigated(&qspc_config, &rho, &outputs, &e);
+            exps
+        };
         let mut m = Matrix::identity(2).scale(Complex::real(0.5));
         for (&p, &v) in &exps {
             if p != Pauli::I {
@@ -191,8 +433,9 @@ pub fn trace_single<R: Runner>(
                 .filter(|&p| p == Pauli::X || p == Pauli::Y)
                 .collect();
             if !need_off.is_empty() {
-                let measured =
-                    measure_marginal_single(runner, &prefix, qubit, &need_off, config, &mut stats);
+                let measured = measure_marginal_single(
+                    port, &prefix, qubit, &need_off, config, &mut stats, i,
+                )?;
                 rho = overwrite_bloch(&rho, &measured);
             }
         }
@@ -204,7 +447,13 @@ pub fn trace_single<R: Runner>(
     if !diag_valid {
         // Trailing unchecked segments: fall back to the plain subset
         // measurement of the full circuit (Jigsaw-style local).
-        let out = runner.run(&Program::from_circuit(circuit), &[qubit]);
+        let job = BatchJob::new(Program::from_circuit(circuit), vec![qubit]);
+        let tag = JobTag {
+            subset: vec![qubit],
+            segment: None,
+            kind: JobKind::Fallback,
+        };
+        let out = port.submit(vec![job], vec![tag])?.remove(0);
         stats.n_circuits += 1;
         stats.total_gates += out.gates;
         stats.total_two_qubit_gates += out.two_qubit_gates;
@@ -225,18 +474,12 @@ pub fn trace_single<R: Runner>(
     })
 }
 
-/// Traces a qubit pair through `circuit` (subset size 2).
-///
-/// # Errors
-///
-/// Returns [`UnsupportedCoupling`] if a gate couples the pair
-/// non-diagonally to the rest.
-pub fn trace_pair<R: Runner>(
-    runner: &R,
+pub(crate) fn trace_pair_with_port(
+    port: &mut dyn TracePort,
     circuit: &Circuit,
     pair: [usize; 2],
     config: &TraceConfig,
-) -> Result<TraceOutcome, UnsupportedCoupling> {
+) -> Result<TraceOutcome, TraceError> {
     let segments = split_into_segments(circuit, &pair)?;
     let n = circuit.n_qubits();
     let checked = checked_set(&segments, &pair, config.checked_layers);
@@ -294,7 +537,7 @@ pub fn trace_pair<R: Runner>(
         }
         if !to_measure.is_empty() {
             let measured =
-                measure_marginal_pair(runner, &prefix, pair, &to_measure, config, &mut stats);
+                measure_marginal_pair(port, &prefix, pair, &to_measure, config, &mut stats, i)?;
             rho = overwrite_pair_components(&rho, &measured);
         }
 
@@ -308,16 +551,38 @@ pub fn trace_pair<R: Runner>(
         for instr in &seg.check {
             segment.push(instr.gate.clone(), instr.qubits.clone());
         }
-        let engine = QspcPair {
-            exec: runner,
-            qubits: pair,
-            prefix: &prefix,
-            segment: &segment,
-            config: config.qspc(),
-        };
         checks_applied += 1;
-        let (exps, _den, st) = engine.mitigated_expectations(&rho, &outputs);
-        stats = add_stats(stats, st);
+        let qspc_config = config.qspc();
+        let exps = {
+            let spec = QspcPairSpec {
+                qubits: pair,
+                prefix: &prefix,
+                segment: &segment,
+                config: qspc_config,
+            };
+            let (needed_low, needed_high) = spec.mitigated_settings(&outputs);
+            let ens = spec.ensemble(&needed_low, &needed_high);
+            let tags = ens
+                .keys
+                .iter()
+                .map(|&(sl, sh, bl, bh)| JobTag {
+                    subset: pair.to_vec(),
+                    segment: Some(i),
+                    kind: JobKind::Ensemble {
+                        prep_low: sl,
+                        prep_high: Some(sh),
+                        basis_low: bl,
+                        basis_high: Some(bh),
+                    },
+                })
+                .collect();
+            let outs = port.submit(ens.jobs, tags)?;
+            let (e, st) = tabulate_pair(&ens.keys, &outs);
+            stats = add_stats(stats, st);
+            let (exps, _den) =
+                combine_pair_mitigated(&qspc_config, &rho, &outputs, &needed_low, &needed_high, &e);
+            exps
+        };
         let mut m = Matrix::identity(4).scale(Complex::real(0.25));
         for (&(pl, ph), &v) in &exps {
             let op = ph.matrix().kron(&pl.matrix());
@@ -335,7 +600,7 @@ pub fn trace_pair<R: Runner>(
                 .collect();
             if !need_off.is_empty() {
                 let measured =
-                    measure_marginal_pair(runner, &prefix, pair, &need_off, config, &mut stats);
+                    measure_marginal_pair(port, &prefix, pair, &need_off, config, &mut stats, i)?;
                 rho = overwrite_pair_components(&rho, &measured);
             }
         }
@@ -345,7 +610,13 @@ pub fn trace_pair<R: Runner>(
     }
 
     if !diag_valid {
-        let out = runner.run(&Program::from_circuit(circuit), &[pair[0], pair[1]]);
+        let job = BatchJob::new(Program::from_circuit(circuit), vec![pair[0], pair[1]]);
+        let tag = JobTag {
+            subset: pair.to_vec(),
+            segment: None,
+            kind: JobKind::Fallback,
+        };
+        let out = port.submit(vec![job], vec![tag])?.remove(0);
         stats.n_circuits += 1;
         stats.total_gates += out.gates;
         stats.total_two_qubit_gates += out.two_qubit_gates;
@@ -460,14 +731,16 @@ fn overwrite_pair_components(rho: &Matrix, measured: &BTreeMap<(Pauli, Pauli), f
 
 /// Measures the unmitigated true marginal of one qubit at the current cut
 /// (run the prefix, rotate, read) in each requested basis.
-fn measure_marginal_single<R: Runner>(
-    runner: &R,
+#[allow(clippy::too_many_arguments)]
+fn measure_marginal_single(
+    port: &mut dyn TracePort,
     prefix: &Circuit,
     qubit: usize,
     bases: &[Pauli],
     config: &TraceConfig,
     stats: &mut QspcStats,
-) -> BTreeMap<Pauli, f64> {
+    segment: usize,
+) -> Result<BTreeMap<Pauli, f64>, ExecError> {
     // One reduced circuit per basis, executed as a single parallel batch.
     let jobs: Vec<BatchJob> = bases
         .iter()
@@ -485,27 +758,40 @@ fn measure_marginal_single<R: Runner>(
             BatchJob::new(Program::from_circuit(&reduced), vec![qubit])
         })
         .collect();
+    let tags: Vec<JobTag> = bases
+        .iter()
+        .map(|&b| JobTag {
+            subset: vec![qubit],
+            segment: Some(segment),
+            kind: JobKind::CutMarginal {
+                basis_low: b,
+                basis_high: None,
+            },
+        })
+        .collect();
     let mut out = BTreeMap::new();
-    for (&b, run) in bases.iter().zip(runner.run_batch(&jobs)) {
+    for (&b, run) in bases.iter().zip(port.submit(jobs, tags)?) {
         stats.n_circuits += 1;
         stats.total_gates += run.gates;
         stats.total_two_qubit_gates += run.two_qubit_gates;
         stats.max_two_qubit_gates = stats.max_two_qubit_gates.max(run.two_qubit_gates);
         out.insert(b, run.dist[0] - run.dist[1]);
     }
-    out
+    Ok(out)
 }
 
 /// Measures the unmitigated true marginal of a pair at the current cut for
 /// each requested Pauli pair (batched by basis setting).
-fn measure_marginal_pair<R: Runner>(
-    runner: &R,
+#[allow(clippy::too_many_arguments)]
+fn measure_marginal_pair(
+    port: &mut dyn TracePort,
     prefix: &Circuit,
     pair: [usize; 2],
     components: &[(Pauli, Pauli)],
     config: &TraceConfig,
     stats: &mut QspcStats,
-) -> BTreeMap<(Pauli, Pauli), f64> {
+    segment: usize,
+) -> Result<BTreeMap<(Pauli, Pauli), f64>, ExecError> {
     // Group the requested components by the basis setting that measures
     // them; `I` slots ride along with whatever basis is chosen.
     let mut settings: Vec<(Pauli, Pauli)> = Vec::new();
@@ -536,8 +822,19 @@ fn measure_marginal_pair<R: Runner>(
             BatchJob::new(Program::from_circuit(&reduced), vec![pair[0], pair[1]])
         })
         .collect();
+    let tags: Vec<JobTag> = settings
+        .iter()
+        .map(|&(bl, bh)| JobTag {
+            subset: pair.to_vec(),
+            segment: Some(segment),
+            kind: JobKind::CutMarginal {
+                basis_low: bl,
+                basis_high: Some(bh),
+            },
+        })
+        .collect();
     let mut out = BTreeMap::new();
-    for (&(bl, bh), run) in settings.iter().zip(runner.run_batch(&jobs)) {
+    for (&(bl, bh), run) in settings.iter().zip(port.submit(jobs, tags)?) {
         stats.n_circuits += 1;
         stats.total_gates += run.gates;
         stats.total_two_qubit_gates += run.two_qubit_gates;
@@ -577,7 +874,7 @@ fn measure_marginal_pair<R: Runner>(
             filtered.insert((pl, ph), v);
         }
     }
-    filtered
+    Ok(filtered)
 }
 
 /// The input components a pair check consumes for the given outputs

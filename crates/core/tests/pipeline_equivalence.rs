@@ -1,0 +1,304 @@
+//! The staged pipeline must be indistinguishable from the serial reference:
+//! `plan → execute → recombine` reproduces `run_qutracer_legacy` **bit for
+//! bit** (distribution, locals, stats) across random workloads, subset
+//! sizes, and noise models — plus unit tests for plan-level deduplication,
+//! order-independent stats accounting, and the typed error surface.
+
+use proptest::prelude::*;
+use qt_algos::{bernstein_vazirani, qaoa::QaoaParams, qaoa_maxcut, ring_graph, vqe_ansatz};
+use qt_circuit::Circuit;
+use qt_core::{
+    run_qutracer, run_qutracer_legacy, PlanError, QuTracer, QuTracerConfig, QuTracerReport,
+};
+use qt_sim::{Backend, Executor, NoiseModel, ReadoutModel};
+
+fn assert_bits(a: f64, b: f64, what: &str) {
+    assert!(
+        a.to_bits() == b.to_bits(),
+        "{what}: {a:?} != {b:?} (bitwise)"
+    );
+}
+
+/// Bit-for-bit equality of two framework reports.
+fn assert_reports_identical(pipeline: &QuTracerReport, legacy: &QuTracerReport) {
+    for (i, (x, y)) in pipeline
+        .distribution
+        .probs()
+        .iter()
+        .zip(legacy.distribution.probs())
+        .enumerate()
+    {
+        assert_bits(*x, *y, &format!("distribution[{i}]"));
+    }
+    for (i, (x, y)) in pipeline
+        .global
+        .probs()
+        .iter()
+        .zip(legacy.global.probs())
+        .enumerate()
+    {
+        assert_bits(*x, *y, &format!("global[{i}]"));
+    }
+    assert_eq!(pipeline.locals.len(), legacy.locals.len(), "locals count");
+    for (i, ((dp, pp), (dl, pl))) in pipeline.locals.iter().zip(&legacy.locals).enumerate() {
+        assert_eq!(pp, pl, "locals[{i}] positions");
+        for (x, y) in dp.probs().iter().zip(dl.probs()) {
+            assert_bits(*x, *y, &format!("locals[{i}]"));
+        }
+    }
+    assert_eq!(pipeline.subset_stats, legacy.subset_stats, "subset stats");
+    assert_eq!(pipeline.stats.n_circuits, legacy.stats.n_circuits);
+    assert_bits(
+        pipeline.stats.normalized_shots,
+        legacy.stats.normalized_shots,
+        "normalized_shots",
+    );
+    assert_bits(
+        pipeline.stats.avg_two_qubit_gates,
+        legacy.stats.avg_two_qubit_gates,
+        "avg_two_qubit_gates",
+    );
+    assert_eq!(
+        pipeline.stats.global_two_qubit_gates,
+        legacy.stats.global_two_qubit_gates
+    );
+    assert_eq!(pipeline.skipped.len(), legacy.skipped.len(), "skipped");
+    for (a, b) in pipeline.skipped.iter().zip(&legacy.skipped) {
+        assert_eq!(a.qubits, b.qubits);
+    }
+}
+
+/// A random paper workload with its measured register.
+fn arb_workload() -> impl Strategy<Value = (Circuit, Vec<usize>)> {
+    prop_oneof![
+        // VQE ansatz: n, layers, seed.
+        (4usize..6, 1usize..3, 0u64..100)
+            .prop_map(|(n, layers, seed)| { (vqe_ansatz(n, layers, seed), (0..n).collect()) }),
+        // QAOA on a ring: n, p, seed.
+        (4usize..6, 1usize..3, 0u64..100).prop_map(|(n, p, seed)| {
+            (
+                qaoa_maxcut(n, &ring_graph(n), &QaoaParams::seeded(p, seed)),
+                (0..n).collect(),
+            )
+        }),
+        // Bernstein–Vazirani: n, secret.
+        (4usize..6, 0u64..32).prop_map(|(n, secret)| {
+            (
+                bernstein_vazirani(n, secret & ((1 << n) - 1)),
+                (0..n).collect(),
+            )
+        }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = QuTracerConfig> {
+    (
+        1usize..3,
+        prop_oneof![Just(false), Just(true)],
+        prop_oneof![Just(false), Just(true)],
+        prop_oneof![Just(None), (0usize..3).prop_map(Some)],
+    )
+        .prop_map(|(size, symmetric, traceback, checked)| {
+            let mut cfg = if size == 1 {
+                QuTracerConfig::single()
+            } else {
+                QuTracerConfig::pairs()
+            };
+            if symmetric {
+                cfg = cfg.with_symmetric_subsets();
+            }
+            cfg.trace.state_traceback = traceback;
+            cfg.trace.checked_layers = checked;
+            cfg
+        })
+}
+
+fn arb_noise() -> impl Strategy<Value = NoiseModel> {
+    prop_oneof![
+        Just(NoiseModel::ideal()),
+        (0.0005f64..0.004, 0.005f64..0.04, 0.01f64..0.06)
+            .prop_map(|(p1, p2, ro)| { NoiseModel::depolarizing(p1, p2).with_readout(ro) }),
+        (
+            0.001f64..0.003,
+            0.01f64..0.03,
+            0.01f64..0.04,
+            0.005f64..0.03
+        )
+            .prop_map(|(p1, p2, ro, xt)| {
+                NoiseModel::depolarizing(p1, p2)
+                    .with_readout_model(ReadoutModel::with_crosstalk(ro, xt))
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline acceptance property: batched-dedup pipeline ==
+    /// serial legacy path, bit for bit.
+    #[test]
+    fn pipeline_reproduces_legacy_bit_for_bit(
+        (circ, measured) in arb_workload(),
+        cfg in arb_config(),
+        noise in arb_noise(),
+    ) {
+        let exec = Executor::with_backend(noise, Backend::DensityMatrix);
+        let legacy = run_qutracer_legacy(&exec, &circ, &measured, &cfg);
+        let report = run_qutracer(&exec, &circ, &measured, &cfg);
+        assert_reports_identical(&report, &legacy);
+    }
+}
+
+#[test]
+fn symmetric_subsets_dedup_to_one_executed_ensemble() {
+    // 6 cyclic pairs on a symmetric QAOA ring must share a single walk:
+    // the batch contains the representative's programs exactly once.
+    let n = 6;
+    let circ = qaoa_maxcut(n, &ring_graph(n), &QaoaParams::seeded(1, 5));
+    let measured: Vec<usize> = (0..n).collect();
+    let cfg = QuTracerConfig::pairs().with_symmetric_subsets();
+    let plan = QuTracer::plan(&circ, &measured, &cfg).unwrap();
+
+    let summaries = plan.subset_summaries();
+    assert_eq!(summaries.len(), n, "all cyclic pairs planned");
+    let distinct: Vec<_> = summaries.iter().filter(|s| !s.shared).collect();
+    assert_eq!(distinct.len(), 1, "one distinct (representative) walk");
+    let k = distinct[0].n_requests;
+    assert!(k > 0);
+    // Every pair logically requests the representative's k programs…
+    assert_eq!(plan.n_requests(), 1 + n * k);
+    // …but the executed batch holds them once.
+    assert_eq!(plan.n_programs(), 1 + k);
+
+    // And the fan-out reproduces the legacy symmetric path exactly.
+    let exec = Executor::with_backend(
+        NoiseModel::depolarizing(0.002, 0.02).with_readout(0.03),
+        Backend::DensityMatrix,
+    );
+    let report = plan.execute(&exec).unwrap().recombine().unwrap();
+    let legacy = run_qutracer_legacy(&exec, &circ, &measured, &cfg);
+    assert_reports_identical(&report, &legacy);
+}
+
+#[test]
+fn stats_derive_from_plan_and_count_shared_ensembles_once() {
+    // Regression for the symmetric-subsets stats accounting: the old
+    // `!(symmetric && !locals.is_empty() && subset_size == 2)` guard made
+    // `OverheadStats` an artifact of iteration order. Plan-derived stats
+    // count every distinct walk exactly once.
+    let n = 6;
+    let circ = qaoa_maxcut(n, &ring_graph(n), &QaoaParams::seeded(1, 9));
+    let measured: Vec<usize> = (0..n).collect();
+    let cfg = QuTracerConfig::pairs().with_symmetric_subsets();
+    let exec = Executor::with_backend(
+        NoiseModel::depolarizing(0.002, 0.02),
+        Backend::DensityMatrix,
+    );
+
+    let plan = QuTracer::plan(&circ, &measured, &cfg).unwrap();
+    let report = plan.execute(&exec).unwrap().recombine().unwrap();
+
+    // One shared walk → one subset_stats entry, not six.
+    assert_eq!(report.subset_stats.len(), 1);
+    assert_eq!(
+        report.stats.n_circuits,
+        1 + report.subset_stats[0].n_circuits,
+        "n_circuits counts the shared ensemble once"
+    );
+    // The plan preview agrees with the executed accounting on a plain
+    // (non-transpiling) executor.
+    let preview = plan.stats();
+    assert_eq!(preview.n_circuits, report.stats.n_circuits);
+    assert_eq!(
+        preview.global_two_qubit_gates,
+        report.stats.global_two_qubit_gates
+    );
+    assert!((preview.avg_two_qubit_gates - report.stats.avg_two_qubit_gates).abs() < 1e-12);
+
+    // Non-symmetric pairs: one stats entry per disjoint pair.
+    let plain = QuTracer::plan(&circ, &measured, &QuTracerConfig::pairs()).unwrap();
+    let plain_report = plain.execute(&exec).unwrap().recombine().unwrap();
+    assert_eq!(plain_report.subset_stats.len(), n / 2);
+}
+
+#[test]
+fn plan_rejects_bad_subset_size_with_typed_error() {
+    let circ = vqe_ansatz(4, 1, 1);
+    let mut cfg = QuTracerConfig::single();
+    cfg.subset_size = 3;
+    let err = QuTracer::plan(&circ, &[0, 1, 2, 3], &cfg).unwrap_err();
+    assert_eq!(err, PlanError::UnsupportedSubsetSize { size: 3 });
+
+    let err = QuTracer::plan(&circ, &[0], &QuTracerConfig::pairs()).unwrap_err();
+    assert_eq!(err, PlanError::MeasuredTooSmall { needed: 2, got: 1 });
+}
+
+#[test]
+fn skipped_subsets_keep_their_typed_reason() {
+    // A CX *target* inside the subset has no Z check: qubit 1 must be
+    // skipped with an UnsupportedCoupling reason naming it, while qubit 0
+    // (the control) stays traceable.
+    let mut circ = Circuit::new(2);
+    circ.h(0).cx(0, 1);
+    let plan = QuTracer::plan(&circ, &[0, 1], &QuTracerConfig::single()).unwrap();
+    assert_eq!(plan.n_subsets(), 1);
+    assert_eq!(plan.skipped().len(), 1);
+    let skip = &plan.skipped()[0];
+    assert_eq!(skip.qubits, vec![1]);
+    assert!(skip.is_coupling(), "reason: {:?}", skip.reason);
+    match &skip.reason {
+        PlanError::UnsupportedCoupling { subset, .. } => assert_eq!(subset, &vec![1]),
+        other => panic!("wrong reason: {other:?}"),
+    }
+
+    // The reason survives into the executed report.
+    let exec = Executor::with_backend(NoiseModel::ideal(), Backend::DensityMatrix);
+    let report = plan.execute(&exec).unwrap().recombine().unwrap();
+    assert_eq!(report.skipped.len(), 1);
+    assert!(report.skipped[0].is_coupling());
+}
+
+#[test]
+fn artifacts_from_wrong_plan_are_rejected() {
+    use qt_core::ExecError;
+    let circ = vqe_ansatz(4, 1, 3);
+    let measured = [0usize, 1, 2, 3];
+    let plan = QuTracer::plan(&circ, &measured, &QuTracerConfig::single()).unwrap();
+
+    // A runner that silently drops results violates the contract and is
+    // caught instead of panicking or mis-zipping.
+    struct Truncating(Executor);
+    impl qt_sim::Runner for Truncating {
+        fn run(&self, p: &qt_sim::Program, m: &[usize]) -> qt_sim::RunOutput {
+            self.0.run(p, m)
+        }
+        fn run_batch(&self, jobs: &[qt_sim::BatchJob]) -> Vec<qt_sim::RunOutput> {
+            let mut outs = self.0.run_batch(jobs);
+            outs.pop();
+            outs
+        }
+    }
+    let bad = Truncating(Executor::with_backend(
+        NoiseModel::ideal(),
+        Backend::DensityMatrix,
+    ));
+    match plan.execute(&bad) {
+        Err(ExecError::ResultCountMismatch { expected, got }) => {
+            assert_eq!(expected, got + 1);
+        }
+        other => panic!("expected ResultCountMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn device_executor_pipeline_matches_legacy() {
+    // The transpiling runner exercises post-transpilation gate counts and
+    // its own batch fan-out; the pipeline must still agree bit for bit.
+    let circ = bernstein_vazirani(4, 0b1011);
+    let measured: Vec<usize> = (0..4).collect();
+    let exec = qt_device::DeviceExecutor::new(qt_device::Device::fake_hanoi());
+    let cfg = QuTracerConfig::single();
+    let legacy = run_qutracer_legacy(&exec, &circ, &measured, &cfg);
+    let report = run_qutracer(&exec, &circ, &measured, &cfg);
+    assert_reports_identical(&report, &legacy);
+}

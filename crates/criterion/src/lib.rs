@@ -73,6 +73,9 @@ pub struct Criterion {
     mode: Mode,
     /// Target measurement time per benchmark.
     measurement: Duration,
+    /// Positional substring filters (real criterion behaviour): when
+    /// non-empty, only benchmarks whose id contains one of them run.
+    filters: Vec<String>,
     records: Vec<Record>,
 }
 
@@ -88,15 +91,26 @@ impl Default for Criterion {
         } else {
             Mode::Full
         };
+        let filters = args
+            .iter()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .cloned()
+            .collect();
         Criterion {
             mode,
             measurement: Duration::from_millis(300),
+            filters,
             records: Vec::new(),
         }
     }
 }
 
 impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -111,6 +125,9 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        if !self.matches(&id) {
+            return self;
+        }
         let mut b = Bencher {
             mode: self.mode,
             measurement: self.measurement,
@@ -237,6 +254,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, id.into());
+        if !self.crit.matches(&id) {
+            return self;
+        }
         let mut b = Bencher {
             mode: self.crit.mode,
             measurement: self.crit.measurement,

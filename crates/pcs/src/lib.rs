@@ -24,4 +24,9 @@ pub mod pcs;
 pub mod qspc;
 
 pub use pcs::{postselected_distribution, z_check_sandwich, PcsProgram};
-pub use qspc::{project_to_physical, QspcConfig, QspcPair, QspcSingle, QspcStats};
+pub use qspc::{
+    bloch_state_from_expectations, combine_pair_mitigated, combine_pair_unmitigated,
+    combine_single_mitigated, combine_single_unmitigated, project_to_physical, tabulate_pair,
+    tabulate_single, PairEnsemble, PairEnsembleKey, QspcConfig, QspcPair, QspcPairSpec, QspcSingle,
+    QspcSingleSpec, QspcStats, SingleEnsemble,
+};

@@ -50,6 +50,61 @@ impl BatchJob {
             measured: measured.into(),
         }
     }
+
+    /// A collision-free deduplication key for a `(program, measured)` pair:
+    /// two jobs with equal keys execute identically on any deterministic
+    /// runner, so one result can be fanned out to both. (`f64` debug
+    /// formatting is shortest-roundtrip, so distinct gate parameters render
+    /// distinctly.)
+    pub fn key_of(program: &Program, measured: &[usize]) -> String {
+        format!("{measured:?}|{program:?}")
+    }
+
+    /// The [`BatchJob::key_of`] key of this job.
+    pub fn dedup_key(&self) -> String {
+        Self::key_of(&self.program, &self.measured)
+    }
+}
+
+/// Interns jobs by [`BatchJob::dedup_key`]: equal jobs map to one table
+/// slot, so a deduplicated batch executes each distinct program once and
+/// fans the result back out (sound because every [`Runner`] here is a
+/// deterministic function of the job). Shared by the staged pipelines in
+/// `qt-core` and `qt-baselines`.
+#[derive(Debug, Default)]
+pub struct JobInterner {
+    index: std::collections::HashMap<String, usize>,
+}
+
+impl JobInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the slot of `job` in `table`, appending `make(job)` when the
+    /// job is new. The `bool` is `true` for fresh entries.
+    pub fn intern_with<T>(
+        &mut self,
+        table: &mut Vec<T>,
+        job: BatchJob,
+        make: impl FnOnce(BatchJob) -> T,
+    ) -> (usize, bool) {
+        let key = job.dedup_key();
+        if let Some(&slot) = self.index.get(&key) {
+            (slot, false)
+        } else {
+            let slot = table.len();
+            self.index.insert(key, slot);
+            table.push(make(job));
+            (slot, true)
+        }
+    }
+
+    /// [`JobInterner::intern_with`] for a plain job table.
+    pub fn intern(&mut self, table: &mut Vec<BatchJob>, job: BatchJob) -> usize {
+        self.intern_with(table, job, |j| j).0
+    }
 }
 
 /// Anything that can execute a [`Program`] and return a noisy outcome

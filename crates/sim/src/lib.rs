@@ -37,7 +37,7 @@ pub mod trajectory;
 
 pub use backend::{Backend, BackendEngine, DensityMatrixEngine, ResolvedEngine, TrajectoryEngine};
 pub use density::DensityMatrix;
-pub use executor::{ideal_distribution, BatchJob, Executor, RunOutput, Runner};
+pub use executor::{ideal_distribution, BatchJob, Executor, JobInterner, RunOutput, Runner};
 pub use kernel::{ControlledBlock, KernelClass};
 pub use noise::{apply_readout, KrausChannel, NoiseModel, NoiseRule, ReadoutModel};
 pub use program::{Op, Program};

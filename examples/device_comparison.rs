@@ -8,7 +8,7 @@
 
 use qutracer::algos::bernstein_vazirani;
 use qutracer::baselines::{run_jigsaw, run_sqem};
-use qutracer::core::{run_qutracer, QuTracerConfig};
+use qutracer::core::{QuTracer, QuTracerConfig};
 use qutracer::device::{Device, DeviceExecutor};
 use qutracer::dist::{hellinger_fidelity, Distribution};
 use qutracer::sim::{ideal_distribution, Program};
@@ -26,7 +26,20 @@ fn main() {
     );
     let fid = |d: &Distribution| hellinger_fidelity(d, &ideal);
 
-    let qt = run_qutracer(&executor, &circuit, &measured, &QuTracerConfig::single());
+    // Staged pipeline: the plan batches every subset's mitigation circuits
+    // into one submission the transpiling device executor fans out.
+    let plan =
+        QuTracer::plan(&circuit, &measured, &QuTracerConfig::single()).expect("BV is traceable");
+    println!(
+        "plan: {} circuits to transpile and run (skipped subsets: {})",
+        plan.n_programs(),
+        plan.skipped().len(),
+    );
+    let qt = plan
+        .execute(&executor)
+        .expect("device execution")
+        .recombine()
+        .expect("recombination");
     let jig = run_jigsaw(&executor, &circuit, &measured, 2);
     let sqem = run_sqem(&executor, &circuit, &measured).expect("single check layer");
 

@@ -10,7 +10,7 @@
 //! ```
 
 use qutracer::circuit::passes::split_into_segments;
-use qutracer::core::{trace_single, TraceConfig};
+use qutracer::core::{trace_single, QuTracer, QuTracerConfig, TraceConfig};
 use qutracer::math::states::bloch_vector;
 use qutracer::sim::{Backend, Executor, NoiseModel};
 
@@ -51,5 +51,17 @@ fn main() {
     println!(
         "{} checks applied, {} mitigation circuits, {} two-qubit gates total",
         outcome.checks_applied, outcome.stats.n_circuits, outcome.stats.total_two_qubit_gates
+    );
+
+    // Watching every counting qubit at once: the staged pipeline plans all
+    // watchpoint circuits up front and would execute them as one batch.
+    let measured: Vec<usize> = (0..n_count).collect();
+    let plan = QuTracer::plan(&circuit, &measured, &QuTracerConfig::single())
+        .expect("counting qubits are traceable");
+    println!(
+        "\nfull-framework plan over {} qubits: {} distinct circuits ({} requests before dedup)",
+        n_count,
+        plan.n_programs(),
+        plan.n_requests(),
     );
 }

@@ -1,11 +1,12 @@
-//! Quickstart: mitigate a noisy VQE circuit with QuTracer.
+//! Quickstart: mitigate a noisy VQE circuit with QuTracer's staged
+//! pipeline — plan, inspect, execute, recombine.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
 use qutracer::algos::vqe_ansatz;
-use qutracer::core::{run_qutracer, QuTracerConfig};
+use qutracer::core::{QuTracer, QuTracerConfig};
 use qutracer::dist::{hellinger_fidelity, Distribution};
 use qutracer::sim::{ideal_distribution, Backend, Executor, NoiseModel, Program, ReadoutModel};
 
@@ -15,17 +16,43 @@ fn main() {
     let circuit = vqe_ansatz(n, 1, 42);
     let measured: Vec<usize> = (0..n).collect();
 
-    // 2. A noisy executor: depolarizing gate noise plus readout error with
-    //    measurement crosstalk (the error Jigsaw-style subsetting feeds on).
+    // 2. Stage 1 — plan: all classical analysis (subset enumeration,
+    //    segmentation, traceback, ensemble generation) happens here. The
+    //    plan is inspectable before anything executes, so the paper's
+    //    overhead tables are reproducible without a single simulation.
+    let plan = QuTracer::plan(&circuit, &measured, &QuTracerConfig::single())
+        .expect("VQE ansatz is traceable");
+    println!(
+        "plan: {} distinct programs to execute ({} logical requests before dedup)",
+        plan.n_programs(),
+        plan.n_requests(),
+    );
+    for s in plan.subset_summaries() {
+        println!(
+            "  subset {:?}: {} mitigation circuits{}",
+            s.qubits,
+            s.n_requests,
+            if s.shared { " (shared ensemble)" } else { "" },
+        );
+    }
+    let preview = plan.stats();
+    println!(
+        "plan-level overhead: {} circuits, avg {:.1} two-qubit gates each\n",
+        preview.n_circuits, preview.avg_two_qubit_gates,
+    );
+
+    // 3. Stage 2 — execute: every program across every subset runs as ONE
+    //    batched submission on a noisy executor (depolarizing gate noise
+    //    plus readout error with measurement crosstalk).
     let noise = NoiseModel::depolarizing(0.001, 0.01)
         .with_readout_model(ReadoutModel::with_crosstalk(0.03, 0.02));
     let executor = Executor::with_backend(noise, Backend::DensityMatrix);
+    let artifacts = plan.execute(&executor).expect("batched execution");
 
-    // 3. Run the QuTracer framework: global run, qubit subsetting with
-    //    Pauli checks, Bayesian recombination.
-    let report = run_qutracer(&executor, &circuit, &measured, &QuTracerConfig::single());
+    // 4. Stage 3 — recombine: Bayesian update, purely classical.
+    let report = artifacts.recombine().expect("recombination");
 
-    // 4. Compare against the noise-free reference.
+    // 5. Compare against the noise-free reference.
     let ideal = Distribution::from_probs(
         n,
         ideal_distribution(&Program::from_circuit(&circuit), &measured),
