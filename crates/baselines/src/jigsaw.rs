@@ -134,6 +134,7 @@ impl JigsawArtifacts<'_> {
                 normalized_shots: 1.0,
                 avg_two_qubit_gates: global_out.two_qubit_gates as f64,
                 global_two_qubit_gates: global_out.two_qubit_gates,
+                batch: None,
             },
         }
     }

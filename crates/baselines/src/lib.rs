@@ -21,4 +21,9 @@ pub struct OverheadStats {
     pub avg_two_qubit_gates: f64,
     /// 2-qubit basis gate count of the global (original) circuit.
     pub global_two_qubit_gates: usize,
+    /// Prefix-sharing statistics of the batch's execution trie (nodes,
+    /// shared-gate fraction — see `qt_sim::TrieStats`). `None` for flows
+    /// that do not batch through a plan (the serial legacy path, the
+    /// baselines' own reports).
+    pub batch: Option<qt_sim::TrieStats>,
 }

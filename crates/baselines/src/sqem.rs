@@ -257,6 +257,7 @@ impl SqemArtifacts<'_> {
                     0.0
                 },
                 global_two_qubit_gates: global_out.two_qubit_gates,
+                batch: None,
             },
         }
     }

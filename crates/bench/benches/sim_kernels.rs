@@ -69,6 +69,27 @@ fn bench_kernel_dispatch(c: &mut Criterion) {
                 })
             });
         }
+        // Low-bit-target CX (operands [q+1, q]): the contiguous-run
+        // `swap_with_slice` case of the dedicated CX kernel.
+        let m = Gate::Cx.matrix();
+        group.bench_function(format!("cx_lowbit_generic_{n}q"), |b| {
+            let mut sv = StateVector::zero(n);
+            b.iter(|| {
+                for q in 0..n - 1 {
+                    kernel::apply_op_generic(sv.amplitudes_mut(), n, &m, &[q + 1, q]);
+                }
+                sv.amplitudes()[0]
+            })
+        });
+        group.bench_function(format!("cx_lowbit_specialized_{n}q"), |b| {
+            let mut sv = StateVector::zero(n);
+            b.iter(|| {
+                for q in 0..n - 1 {
+                    kernel::apply_op(sv.amplitudes_mut(), n, &m, &[q + 1, q]);
+                }
+                sv.amplitudes()[0]
+            })
+        });
     }
     group.finish();
 }
@@ -169,7 +190,10 @@ fn bench_trajectories(c: &mut Criterion) {
 
 /// Serial vs multi-threaded batched shot execution on a 16-qubit
 /// trajectory workload — the scaling headline of the parallel `Backend`
-/// engine (compare the `1thread` and `allthreads` rows).
+/// engine. Row names embed the *effective* worker count
+/// (`..._<threads>t`), and the all-threads row is skipped entirely on
+/// single-core machines, where it would be an identical re-measurement of
+/// the serial row.
 fn bench_parallel_trajectories(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_trajectories");
     group.sample_size(10);
@@ -177,10 +201,11 @@ fn bench_parallel_trajectories(c: &mut Criterion) {
     let program = Program::from_circuit(&circ);
     let measured: Vec<usize> = (0..16).collect();
     let cores = qt_sim::backend::available_threads();
-    for (label, threads) in [
-        ("vqe16_256traj_1thread", 1),
-        ("vqe16_256traj_allthreads", cores),
-    ] {
+    let mut rows: Vec<(String, usize)> = vec![("vqe16_256traj_serial_1t".into(), 1)];
+    if cores > 1 {
+        rows.push((format!("vqe16_256traj_allthreads_{cores}t"), cores));
+    }
+    for (label, threads) in rows {
         group.bench_function(label, |b| {
             let exec = Executor::with_backend(
                 // Strong enough that stratification cannot skip the work.
@@ -274,6 +299,50 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trie-scheduled vs per-job batch execution on the 5-layer QAOA-6
+/// pipeline workload (the deduplicated programs of the symmetric-pairs
+/// plan; multi-layer QAOA is the paper's Table I sweep, and its
+/// late-segment ensembles carry the long shared prefixes the trie
+/// exploits) — the headline rows of `BENCH_batch.json`, with the batch
+/// size embedded in the row names. The `perjob` row is PR 3's
+/// `batched_dedup` execution path on the identical batch. The bench
+/// asserts the two paths produce bit-identical outputs before timing
+/// anything, so CI fails if the trie path stops being output-equivalent.
+fn bench_batch_execution(c: &mut Criterion) {
+    use qt_core::{QuTracer, QuTracerConfig};
+    use qt_sim::{BatchJob, BatchPolicy, Runner};
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    let (n, layers) = (6, 5);
+    let circ = qt_algos::qaoa_maxcut(
+        n,
+        &qt_algos::ring_graph(n),
+        &qt_algos::qaoa::QaoaParams::seeded(layers, 5),
+    );
+    let measured: Vec<usize> = (0..n).collect();
+    let cfg = QuTracerConfig::pairs().with_symmetric_subsets();
+    let plan = QuTracer::plan(&circ, &measured, &cfg).expect("symmetric ring is traceable");
+    let jobs: Vec<BatchJob> = plan.programs().map(|(j, _)| j.clone()).collect();
+    let k = jobs.len();
+    let noise = NoiseModel::depolarizing(0.002, 0.02).with_readout(0.03);
+    let trie = Executor::with_backend(noise.clone(), qt_sim::Backend::DensityMatrix);
+    let perjob = Executor::with_backend(noise, qt_sim::Backend::DensityMatrix)
+        .with_batch_policy(BatchPolicy::PerJob);
+    assert_eq!(
+        trie.run_batch(&jobs),
+        perjob.run_batch(&jobs),
+        "trie-scheduled batch diverged from per-job execution"
+    );
+    group.bench_function(format!("trie_qaoa{n}x{layers}_{k}circ"), |b| {
+        b.iter(|| black_box(trie.run_batch(&jobs)))
+    });
+    group.bench_function(format!("perjob_qaoa{n}x{layers}_{k}circ"), |b| {
+        b.iter(|| black_box(perjob.run_batch(&jobs)))
+    });
+    group.finish();
+}
+
 fn bench_circuit_passes(c: &mut Criterion) {
     let mut group = c.benchmark_group("passes");
     let circ = qt_algos::vqe_ansatz(15, 3, 9);
@@ -308,6 +377,7 @@ criterion_group!(
     bench_trajectories,
     bench_parallel_trajectories,
     bench_pipeline,
+    bench_batch_execution,
     bench_circuit_passes
 );
 criterion_main!(benches);

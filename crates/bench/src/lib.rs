@@ -3,7 +3,7 @@
 //! the experiment index).
 
 use qt_dist::{hellinger_fidelity, Distribution};
-use qt_sim::{ideal_distribution, BatchJob, Program, RunOutput, Runner};
+use qt_sim::{ideal_distribution, BatchJob, JobKey, Program, RunOutput, Runner};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -13,7 +13,7 @@ use std::sync::Mutex;
 /// (identical inputs ⇒ identical noisy outputs) and fast.
 pub struct CachedRunner<R: Runner> {
     inner: R,
-    cache: Mutex<HashMap<String, RunOutput>>,
+    cache: Mutex<HashMap<JobKey, RunOutput>>,
 }
 
 impl<R: Runner> CachedRunner<R> {
@@ -53,15 +53,15 @@ impl<R: Runner> Runner for CachedRunner<R> {
     /// Serves cache hits directly and forwards only the distinct misses to
     /// the wrapped runner's (possibly parallel) batch path.
     fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
-        let keys: Vec<String> = jobs.iter().map(|j| j.dedup_key()).collect();
+        let keys: Vec<JobKey> = jobs.iter().map(|j| j.dedup_key()).collect();
         let mut misses: Vec<usize> = Vec::new();
         {
             let cache = self.cache.lock().expect("cache poisoned");
-            let mut seen: Vec<&str> = Vec::new();
+            let mut seen: Vec<JobKey> = Vec::new();
             for (i, key) in keys.iter().enumerate() {
-                if !cache.contains_key(key.as_str()) && !seen.contains(&key.as_str()) {
+                if !cache.contains_key(key) && !seen.contains(key) {
                     misses.push(i);
-                    seen.push(key);
+                    seen.push(*key);
                 }
             }
         }
@@ -70,7 +70,7 @@ impl<R: Runner> Runner for CachedRunner<R> {
         {
             let mut cache = self.cache.lock().expect("cache poisoned");
             for (&i, out) in misses.iter().zip(fresh) {
-                cache.insert(keys[i].clone(), out);
+                cache.insert(keys[i], out);
             }
         }
         let cache = self.cache.lock().expect("cache poisoned");

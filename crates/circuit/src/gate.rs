@@ -131,6 +131,41 @@ impl Gate {
         }
     }
 
+    /// A stable structural encoding: a per-variant tag plus the gate's
+    /// parameters, zero-filled beyond the variant's arity. Two gates have
+    /// equal encodings **iff** they are the same variant with bit-equal
+    /// parameters (exactly when their `Debug` forms agree — `f64` Debug is
+    /// shortest-roundtrip) — the basis of the allocation-free structural
+    /// job keys in `qt-sim`.
+    pub fn structural_encoding(&self) -> (u8, [f64; 3]) {
+        use Gate::*;
+        match *self {
+            H => (0, [0.0; 3]),
+            X => (1, [0.0; 3]),
+            Y => (2, [0.0; 3]),
+            Z => (3, [0.0; 3]),
+            S => (4, [0.0; 3]),
+            Sdg => (5, [0.0; 3]),
+            T => (6, [0.0; 3]),
+            Tdg => (7, [0.0; 3]),
+            Sx => (8, [0.0; 3]),
+            Rx(t) => (9, [t, 0.0, 0.0]),
+            Ry(t) => (10, [t, 0.0, 0.0]),
+            Rz(t) => (11, [t, 0.0, 0.0]),
+            Phase(t) => (12, [t, 0.0, 0.0]),
+            U(t, p, l) => (13, [t, p, l]),
+            Cx => (14, [0.0; 3]),
+            Cy => (15, [0.0; 3]),
+            Cz => (16, [0.0; 3]),
+            Cp(t) => (17, [t, 0.0, 0.0]),
+            Crz(t) => (18, [t, 0.0, 0.0]),
+            Crx(t) => (19, [t, 0.0, 0.0]),
+            Cry(t) => (20, [t, 0.0, 0.0]),
+            Swap => (21, [0.0; 3]),
+            Ccp(t) => (22, [t, 0.0, 0.0]),
+        }
+    }
+
     /// The local unitary matrix of the gate.
     ///
     /// Operand 0 is the least-significant bit of the basis index, so for a

@@ -235,6 +235,7 @@ pub fn run_qutracer_legacy<R: Runner>(
                 0.0
             },
             global_two_qubit_gates: global_out.two_qubit_gates,
+            batch: None,
         },
         subset_stats,
     }

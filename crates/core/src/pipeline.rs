@@ -55,7 +55,8 @@ use qt_baselines::OverheadStats;
 use qt_circuit::Circuit;
 use qt_dist::{recombine, Distribution};
 use qt_pcs::QspcStats;
-use qt_sim::{BatchJob, JobInterner, Program, RunOutput, Runner};
+use qt_sim::{BatchJob, ExecutionTrie, JobInterner, Program, RunOutput, Runner, TrieStats};
+use std::collections::BTreeMap;
 
 /// The framework entry point of the staged pipeline.
 pub struct QuTracer;
@@ -113,6 +114,32 @@ pub struct MitigationPlan {
     traces: Vec<TracePlan>,
     assignments: Vec<Assignment>,
     skipped: Vec<SkippedSubset>,
+    /// Prefix-clustered submission order: program slots reordered so jobs
+    /// sharing long op prefixes are adjacent (the DFS leaf order of the
+    /// plan's execution tries).
+    batch_order: Vec<usize>,
+    /// Shared-work statistics of the plan's execution tries.
+    batch_stats: TrieStats,
+}
+
+/// Folds the plan's programs (grouped by register size) into execution
+/// tries: the concatenated DFS leaf orders give the prefix-clustered
+/// submission order, and the merged stats preview how much gate work the
+/// trie-scheduled runner shares.
+fn cluster_programs(programs: &[PlannedProgram]) -> (Vec<usize>, TrieStats) {
+    let mut by_n: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, p) in programs.iter().enumerate() {
+        by_n.entry(p.job.program.n_qubits()).or_default().push(i);
+    }
+    let mut order = Vec::with_capacity(programs.len());
+    let mut stats = TrieStats::default();
+    for idxs in by_n.values() {
+        let group: Vec<&Program> = idxs.iter().map(|&i| &programs[i].job.program).collect();
+        let trie = ExecutionTrie::build(&group);
+        stats.absorb(&trie.stats());
+        order.extend(trie.clustered_jobs().into_iter().map(|local| idxs[local]));
+    }
+    (order, stats)
 }
 
 impl QuTracer {
@@ -226,6 +253,7 @@ impl QuTracer {
             }
         }
 
+        let (batch_order, batch_stats) = cluster_programs(&programs);
         Ok(MitigationPlan {
             circuit: circuit.clone(),
             measured: measured.to_vec(),
@@ -235,6 +263,8 @@ impl QuTracer {
             traces,
             assignments,
             skipped,
+            batch_order,
+            batch_stats,
         })
     }
 }
@@ -327,11 +357,24 @@ impl MitigationPlan {
                 .job
                 .program
                 .two_qubit_gate_count(),
+            batch: Some(self.batch_stats),
         }
+    }
+
+    /// Shared-work statistics of the plan's execution tries: how much of
+    /// the batch's gate stream is a prefix shared between programs (what
+    /// a trie-scheduled runner evolves once instead of per job).
+    pub fn batch_stats(&self) -> TrieStats {
+        self.batch_stats
     }
 
     /// Stage 2: executes every planned program as **one** batched
     /// submission on `runner`, fanning deduplicated results back out.
+    ///
+    /// Jobs are submitted in prefix-clustered order (programs sharing
+    /// long op prefixes adjacent), so runners without their own trie —
+    /// caches, adaptive splitters, remote shards — still see related work
+    /// together; results are scattered back to plan slot order.
     ///
     /// # Errors
     ///
@@ -341,14 +384,26 @@ impl MitigationPlan {
         &'p self,
         runner: &R,
     ) -> Result<ExecutionArtifacts<'p>, ExecError> {
-        let jobs: Vec<BatchJob> = self.programs.iter().map(|p| p.job.clone()).collect();
-        let outputs = runner.run_batch(&jobs);
-        if outputs.len() != jobs.len() {
+        let jobs: Vec<BatchJob> = self
+            .batch_order
+            .iter()
+            .map(|&slot| self.programs[slot].job.clone())
+            .collect();
+        let clustered = runner.run_batch(&jobs);
+        if clustered.len() != jobs.len() {
             return Err(ExecError::ResultCountMismatch {
                 expected: jobs.len(),
-                got: outputs.len(),
+                got: clustered.len(),
             });
         }
+        let mut outputs: Vec<Option<RunOutput>> = vec![None; self.programs.len()];
+        for (&slot, out) in self.batch_order.iter().zip(clustered) {
+            outputs[slot] = Some(out);
+        }
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.expect("batch order is a permutation of the program slots"))
+            .collect();
         Ok(ExecutionArtifacts {
             plan: self,
             outputs,
@@ -442,6 +497,7 @@ impl ExecutionArtifacts<'_> {
                     0.0
                 },
                 global_two_qubit_gates: global_out.two_qubit_gates,
+                batch: Some(plan.batch_stats),
             },
             subset_stats,
         })

@@ -222,6 +222,37 @@ fn stats_derive_from_plan_and_count_shared_ensembles_once() {
 }
 
 #[test]
+fn plan_records_execution_trie_stats() {
+    // The plan's overhead summary carries the prefix-sharing preview: a
+    // QSPC ensemble batch shares most of its gate stream, and the
+    // executed report surfaces the same numbers.
+    let n = 6;
+    let circ = qaoa_maxcut(n, &ring_graph(n), &QaoaParams::seeded(3, 9));
+    let measured: Vec<usize> = (0..n).collect();
+    let cfg = QuTracerConfig::pairs().with_symmetric_subsets();
+    let plan = QuTracer::plan(&circ, &measured, &cfg).unwrap();
+
+    let batch = plan.batch_stats();
+    assert_eq!(batch.n_jobs, plan.n_programs());
+    assert!(batch.unique_gates < batch.request_gates);
+    assert!(
+        batch.shared_gate_fraction() > 0.3,
+        "ensemble batches share substantial prefix work: {batch:?}"
+    );
+    assert_eq!(plan.stats().batch, Some(batch), "preview carries the stats");
+
+    let exec = Executor::with_backend(
+        NoiseModel::depolarizing(0.002, 0.02),
+        Backend::DensityMatrix,
+    );
+    let report = plan.execute(&exec).unwrap().recombine().unwrap();
+    assert_eq!(report.stats.batch, Some(batch), "report carries the stats");
+    // The serial legacy path makes no batching claim.
+    let legacy = qt_core::run_qutracer_legacy(&exec, &circ, &measured, &cfg);
+    assert_eq!(legacy.stats.batch, None);
+}
+
+#[test]
 fn plan_rejects_bad_subset_size_with_typed_error() {
     let circ = vqe_ansatz(4, 1, 1);
     let mut cfg = QuTracerConfig::single();

@@ -114,24 +114,75 @@ impl Runner for DeviceExecutor {
         }
     }
 
-    /// Fans independent jobs out over scoped threads under the shared
-    /// [`backend::batch_split`] policy: each worker owns the full
-    /// transpile → simulate pipeline for its job (layout trials are
-    /// seeded, so results match serial execution exactly), and each job's
-    /// trajectory engine is clamped to its share of the machine.
+    /// Transpiles every job (in parallel, under the shared
+    /// [`backend::batch_split`] policy; layout trials are seeded, so
+    /// results match serial execution exactly), then groups the compacted
+    /// physical programs by their backing qubit set and executes each
+    /// group as one batch on an inner [`Executor`] — whose default
+    /// prefix-sharing trie path (`qt_sim::trie`) evolves physically-equal
+    /// program prefixes once per group. First-use compaction
+    /// ([`crate::route::compact_program`]) canonicalizes the routed
+    /// programs so equal prefixes stay equal after register renaming.
     fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
-        let (workers, inner) = backend::batch_split(jobs.len());
-        if workers <= 1 {
-            return jobs
-                .iter()
-                .map(|j| self.run(&j.program, &j.measured))
-                .collect();
+        if jobs.is_empty() {
+            return Vec::new();
         }
-        let mut per_job = self.clone();
-        per_job.backend = self.backend.with_thread_budget(inner);
-        backend::parallel_indexed(jobs.len(), workers, |i| {
-            per_job.run(&jobs[i].program, &jobs[i].measured)
-        })
+        let (workers, _) = backend::batch_split(jobs.len());
+        let transpiled: Vec<(Program, Vec<usize>, Vec<usize>)> =
+            backend::parallel_indexed(jobs.len(), workers.max(1), |i| {
+                self.transpile(&jobs[i].program, &jobs[i].measured)
+            });
+        // Group by backing physical register: the calibration-derived
+        // noise model (and therefore the simulated batch) is a function
+        // of that list alone.
+        let mut by_register: std::collections::BTreeMap<Vec<usize>, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, (_, physical, _)) in transpiled.iter().enumerate() {
+            by_register.entry(physical.clone()).or_default().push(i);
+        }
+        let groups: Vec<(Vec<usize>, Vec<usize>)> = by_register.into_iter().collect();
+        let run_group = |physical: &[usize], idxs: &[usize], backend: Backend| {
+            let mut noise = self.device.noise_model_for(physical);
+            if self.twirl_large_registers {
+                if let ResolvedEngine::Trajectory(_) = backend.resolve(physical.len()) {
+                    noise = noise.pauli_twirled();
+                }
+            }
+            let exec = Executor::with_backend(noise, backend);
+            let group_jobs: Vec<BatchJob> = idxs
+                .iter()
+                .map(|&i| BatchJob::new(transpiled[i].0.clone(), transpiled[i].2.clone()))
+                .collect();
+            exec.run_batch(&group_jobs)
+        };
+        // A lone group keeps the inner executor's own fan-out (trie
+        // subtrees, trajectory workers); multiple groups split the
+        // machine between groups instead — inside those workers every
+        // nested batch_split degrades to a serial walk, so the device
+        // path never oversubscribes but also never regresses to one
+        // group after another on an idle machine.
+        let mut out: Vec<Option<RunOutput>> = vec![None; jobs.len()];
+        let (group_workers, inner) = backend::batch_split(groups.len());
+        if groups.len() == 1 || group_workers <= 1 {
+            for (physical, idxs) in &groups {
+                for (&i, o) in idxs.iter().zip(run_group(physical, idxs, self.backend)) {
+                    out[i] = Some(o);
+                }
+            }
+        } else {
+            let budgeted = self.backend.with_thread_budget(inner);
+            let results = backend::parallel_indexed(groups.len(), group_workers, |g| {
+                run_group(&groups[g].0, &groups[g].1, budgeted)
+            });
+            for ((_, idxs), outs) in groups.iter().zip(results) {
+                for (&i, o) in idxs.iter().zip(outs) {
+                    out[i] = Some(o);
+                }
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every job belongs to exactly one group"))
+            .collect()
     }
 }
 

@@ -94,28 +94,35 @@ pub fn route_program(program: &Program, layout: &[usize], coupling: &CouplingMap
 ///
 /// Returns the compact program and the list of physical qubits backing each
 /// compact index (`physical[i]` = original index of compact qubit `i`).
+///
+/// Compact indices are assigned in **first-use order**, canonicalizing
+/// routed programs: two programs whose physical op streams agree on a
+/// prefix compact that prefix identically even when their divergent
+/// suffixes touch different qubits, so physically-equal prefixes still
+/// merge in the prefix-sharing batch executor (`qt_sim::trie`).
 pub fn compact_program(program: &Program) -> (Program, Vec<usize>) {
-    let mut used = vec![false; program.n_qubits()];
+    let mut seen = vec![false; program.n_qubits()];
+    let mut physical: Vec<usize> = Vec::new();
+    let note = |q: usize, seen: &mut Vec<bool>, physical: &mut Vec<usize>| {
+        if !seen[q] {
+            seen[q] = true;
+            physical.push(q);
+        }
+    };
     for op in program.ops() {
         match op {
             Op::Gate(i) | Op::IdealGate(i) => {
                 for &q in &i.qubits {
-                    used[q] = true;
+                    note(q, &mut seen, &mut physical);
                 }
             }
             Op::Reset { qubits, .. } => {
                 for &q in qubits {
-                    used[q] = true;
+                    note(q, &mut seen, &mut physical);
                 }
             }
         }
     }
-    let physical: Vec<usize> = used
-        .iter()
-        .enumerate()
-        .filter(|(_, &u)| u)
-        .map(|(q, _)| q)
-        .collect();
     let mut to_compact = vec![usize::MAX; program.n_qubits()];
     for (c, &p) in physical.iter().enumerate() {
         to_compact[p] = c;

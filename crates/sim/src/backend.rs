@@ -19,9 +19,33 @@
 use crate::density::DensityMatrix;
 use crate::noise::NoiseModel;
 use crate::program::{Op, Program};
+use crate::statevector::StateVector;
 use crate::trajectory::{self, TrajectoryConfig};
 use qt_math::Matrix;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A deterministic, checkpointable simulation state — the fork/snapshot
+/// capability behind trie-scheduled batch execution (see [`crate::trie`]).
+///
+/// Contract: applying the ops of a program in order to a fresh snapshot
+/// and reading [`EngineState::raw_distribution`] must be **bit-identical**
+/// to the owning engine's [`BackendEngine::raw_distribution`] for that
+/// program, and [`EngineState::fork`] must be an exact copy — together
+/// these make prefix-shared execution indistinguishable from per-job runs.
+pub trait EngineState: Send {
+    /// Applies one program op (gate + attached noise, ideal gate, or
+    /// reset).
+    fn apply_op(&mut self, op: &Op);
+
+    /// Checkpoints the state (exact copy).
+    fn fork(&self) -> Box<dyn EngineState>;
+
+    /// The gate-noisy outcome distribution over `measured` at this point
+    /// of the evolution (bit `i` of the index = `measured[i]`), before
+    /// readout error.
+    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64>;
+}
 
 /// A simulation engine: anything that can turn a noisy [`Program`] into a
 /// gate-noisy outcome distribution (readout error is applied above, by the
@@ -38,6 +62,98 @@ pub trait BackendEngine: Send + Sync + std::fmt::Debug {
         noise: &NoiseModel,
         measured: &[usize],
     ) -> Vec<f64>;
+
+    /// The engine's fork-capability class for a job with the given shape,
+    /// or `None` when the engine must run whole jobs (stochastic
+    /// trajectory sampling draws one RNG stream per program and cannot
+    /// split mid-evolution). Jobs with equal `(register size, class)` may
+    /// share one [`EngineState`] evolution; the class therefore encodes
+    /// every state-representation choice the engine makes (e.g. pure state
+    /// vs density matrix).
+    fn fork_class(&self, _noise: &NoiseModel, _has_resets: bool) -> Option<u8> {
+        None
+    }
+
+    /// A fresh `|0…0⟩` [`EngineState`] for a fork class previously
+    /// returned by [`BackendEngine::fork_class`], or `None` for engines
+    /// without the capability. The noise model arrives shared (`Arc`) so
+    /// that snapshot-heavy walks (one per independent subtree, one per
+    /// budget-forced replay) do not clone channel tables.
+    fn snapshot(
+        &self,
+        _n_qubits: usize,
+        _noise: &Arc<NoiseModel>,
+        _class: u8,
+    ) -> Option<Box<dyn EngineState>> {
+        None
+    }
+}
+
+/// Applies one program op to a density matrix exactly as
+/// [`density_evolution`] does — the single definition both the serial
+/// engine and the trie scheduler's [`EngineState`] share, so their
+/// results are bit-identical by construction.
+pub(crate) fn apply_density_op(rho: &mut DensityMatrix, op: &Op, noise: &NoiseModel) {
+    match op {
+        Op::Gate(instr) => {
+            rho.apply_instruction(instr);
+            for (qs, ch) in noise.channels_for(instr) {
+                rho.apply_channel(ch, &qs);
+            }
+        }
+        Op::IdealGate(instr) => rho.apply_instruction(instr),
+        Op::Reset { qubits, ket } => {
+            let rho_small = ket_to_density(ket);
+            rho.reset_qubits(qubits, &rho_small);
+        }
+    }
+}
+
+/// The [`EngineState`] of the exact density-matrix engine.
+#[derive(Debug, Clone)]
+struct DensityState {
+    rho: DensityMatrix,
+    noise: Arc<NoiseModel>,
+}
+
+impl EngineState for DensityState {
+    fn apply_op(&mut self, op: &Op) {
+        apply_density_op(&mut self.rho, op, &self.noise);
+    }
+
+    fn fork(&self) -> Box<dyn EngineState> {
+        Box::new(self.clone())
+    }
+
+    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
+        self.rho.marginal_probabilities(measured)
+    }
+}
+
+/// The [`EngineState`] of the exact pure-state engine (reset-free
+/// programs under gate-ideal noise only — see [`StatevectorEngine`]).
+#[derive(Debug, Clone)]
+struct PureState {
+    sv: StateVector,
+}
+
+impl EngineState for PureState {
+    fn apply_op(&mut self, op: &Op) {
+        match op {
+            Op::Gate(i) | Op::IdealGate(i) => self.sv.apply_instruction(i),
+            Op::Reset { .. } => {
+                unreachable!("pure fork class excludes programs with resets")
+            }
+        }
+    }
+
+    fn fork(&self) -> Box<dyn EngineState> {
+        Box::new(self.clone())
+    }
+
+    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
+        self.sv.marginal_probabilities(measured)
+    }
 }
 
 /// Exact mixed-state evolution: every Kraus channel applied in full.
@@ -56,6 +172,96 @@ impl BackendEngine for DensityMatrixEngine {
         measured: &[usize],
     ) -> Vec<f64> {
         density_evolution(program, noise).marginal_probabilities(measured)
+    }
+
+    fn fork_class(&self, _noise: &NoiseModel, _has_resets: bool) -> Option<u8> {
+        // One representation for every program shape: the mixed state.
+        Some(FORK_CLASS_DM)
+    }
+
+    fn snapshot(
+        &self,
+        n_qubits: usize,
+        noise: &Arc<NoiseModel>,
+        class: u8,
+    ) -> Option<Box<dyn EngineState>> {
+        debug_assert_eq!(class, FORK_CLASS_DM);
+        Some(Box::new(DensityState {
+            rho: DensityMatrix::zero(n_qubits),
+            noise: Arc::clone(noise),
+        }))
+    }
+}
+
+/// Fork class of a density-matrix representation.
+const FORK_CLASS_DM: u8 = 0;
+/// Fork class of a pure-state representation.
+const FORK_CLASS_PURE: u8 = 1;
+
+/// Exact pure-state evolution for reset-free programs under gate-ideal
+/// noise (`2^n` amplitudes instead of the density matrix's `4^n`), with a
+/// transparent density-matrix fallback for programs that need mixed
+/// states (resets) or whose noise model attaches gate channels. Readout
+/// error still applies (above, by the executor) — the engine choice only
+/// concerns gate evolution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatevectorEngine;
+
+impl StatevectorEngine {
+    /// Whether a program/noise pair admits the pure-state representation.
+    fn pure_eligible(noise: &NoiseModel, has_resets: bool) -> bool {
+        !has_resets && noise.gates_are_ideal()
+    }
+}
+
+impl BackendEngine for StatevectorEngine {
+    fn name(&self) -> &'static str {
+        "statevector"
+    }
+
+    fn raw_distribution(
+        &self,
+        program: &Program,
+        noise: &NoiseModel,
+        measured: &[usize],
+    ) -> Vec<f64> {
+        if Self::pure_eligible(noise, program.has_resets()) {
+            let mut sv = StateVector::zero(program.n_qubits());
+            for op in program.ops() {
+                if let Op::Gate(i) | Op::IdealGate(i) = op {
+                    sv.apply_instruction(i);
+                }
+            }
+            sv.marginal_probabilities(measured)
+        } else {
+            density_evolution(program, noise).marginal_probabilities(measured)
+        }
+    }
+
+    fn fork_class(&self, noise: &NoiseModel, has_resets: bool) -> Option<u8> {
+        Some(if Self::pure_eligible(noise, has_resets) {
+            FORK_CLASS_PURE
+        } else {
+            FORK_CLASS_DM
+        })
+    }
+
+    fn snapshot(
+        &self,
+        n_qubits: usize,
+        noise: &Arc<NoiseModel>,
+        class: u8,
+    ) -> Option<Box<dyn EngineState>> {
+        Some(if class == FORK_CLASS_PURE {
+            Box::new(PureState {
+                sv: StateVector::zero(n_qubits),
+            })
+        } else {
+            Box::new(DensityState {
+                rho: DensityMatrix::zero(n_qubits),
+                noise: Arc::clone(noise),
+            })
+        })
     }
 }
 
@@ -94,6 +300,9 @@ pub enum Backend {
     },
     /// Always use the density-matrix engine.
     DensityMatrix,
+    /// Exact pure-state engine for reset-free programs under gate-ideal
+    /// noise; falls back to the density matrix per program otherwise.
+    Statevector,
     /// Always use the trajectory engine.
     Trajectory(TrajectoryConfig),
 }
@@ -112,6 +321,7 @@ impl Backend {
     pub fn resolve(&self, n_qubits: usize) -> ResolvedEngine {
         match *self {
             Backend::DensityMatrix => ResolvedEngine::DensityMatrix(DensityMatrixEngine),
+            Backend::Statevector => ResolvedEngine::Statevector(StatevectorEngine),
             Backend::Trajectory(config) => ResolvedEngine::Trajectory(TrajectoryEngine { config }),
             Backend::Auto {
                 dm_max_qubits,
@@ -146,6 +356,7 @@ impl Backend {
                 trajectories: clamp(trajectories),
             },
             Backend::DensityMatrix => Backend::DensityMatrix,
+            Backend::Statevector => Backend::Statevector,
             Backend::Trajectory(cfg) => Backend::Trajectory(clamp(cfg)),
         }
     }
@@ -154,8 +365,10 @@ impl Backend {
 /// A [`Backend`] resolved against a concrete register size.
 #[derive(Debug, Clone, Copy)]
 pub enum ResolvedEngine {
-    /// The exact engine.
+    /// The exact mixed-state engine.
     DensityMatrix(DensityMatrixEngine),
+    /// The exact pure-state engine (with DM fallback per program).
+    Statevector(StatevectorEngine),
     /// The sampling engine.
     Trajectory(TrajectoryEngine),
 }
@@ -164,6 +377,7 @@ impl BackendEngine for ResolvedEngine {
     fn name(&self) -> &'static str {
         match self {
             ResolvedEngine::DensityMatrix(e) => e.name(),
+            ResolvedEngine::Statevector(e) => e.name(),
             ResolvedEngine::Trajectory(e) => e.name(),
         }
     }
@@ -176,7 +390,29 @@ impl BackendEngine for ResolvedEngine {
     ) -> Vec<f64> {
         match self {
             ResolvedEngine::DensityMatrix(e) => e.raw_distribution(program, noise, measured),
+            ResolvedEngine::Statevector(e) => e.raw_distribution(program, noise, measured),
             ResolvedEngine::Trajectory(e) => e.raw_distribution(program, noise, measured),
+        }
+    }
+
+    fn fork_class(&self, noise: &NoiseModel, has_resets: bool) -> Option<u8> {
+        match self {
+            ResolvedEngine::DensityMatrix(e) => e.fork_class(noise, has_resets),
+            ResolvedEngine::Statevector(e) => e.fork_class(noise, has_resets),
+            ResolvedEngine::Trajectory(e) => e.fork_class(noise, has_resets),
+        }
+    }
+
+    fn snapshot(
+        &self,
+        n_qubits: usize,
+        noise: &Arc<NoiseModel>,
+        class: u8,
+    ) -> Option<Box<dyn EngineState>> {
+        match self {
+            ResolvedEngine::DensityMatrix(e) => e.snapshot(n_qubits, noise, class),
+            ResolvedEngine::Statevector(e) => e.snapshot(n_qubits, noise, class),
+            ResolvedEngine::Trajectory(e) => e.snapshot(n_qubits, noise, class),
         }
     }
 }
@@ -189,19 +425,7 @@ impl BackendEngine for ResolvedEngine {
 pub fn density_evolution(program: &Program, noise: &NoiseModel) -> DensityMatrix {
     let mut rho = DensityMatrix::zero(program.n_qubits());
     for op in program.ops() {
-        match op {
-            Op::Gate(instr) => {
-                rho.apply_instruction(instr);
-                for (qs, ch) in noise.channels_for(instr) {
-                    rho.apply_channel(ch, &qs);
-                }
-            }
-            Op::IdealGate(instr) => rho.apply_instruction(instr),
-            Op::Reset { qubits, ket } => {
-                let rho_small = ket_to_density(ket);
-                rho.reset_qubits(qubits, &rho_small);
-            }
-        }
+        apply_density_op(&mut rho, op, noise);
     }
     rho
 }
@@ -228,7 +452,15 @@ pub fn available_threads() -> usize {
 /// machine between `n_jobs` concurrent jobs, returning `(workers,
 /// inner_budget)` — how many jobs run at once and the worker-thread budget
 /// each job's own engine may use. `workers <= 1` means "run serially".
+///
+/// Inside an already-parallel worker (a batch executor nested in another
+/// batch executor's fan-out, e.g. a per-register group inside the device
+/// executor) the split is `(1, 1)`: the caller already owns exactly its
+/// share of the machine, and fanning out again would oversubscribe it.
 pub fn batch_split(n_jobs: usize) -> (usize, usize) {
+    if in_parallel_worker() {
+        return (1, 1);
+    }
     let cores = available_threads();
     (cores.min(n_jobs), (cores / n_jobs.max(1)).max(1))
 }

@@ -14,11 +14,14 @@
 //! threads with the machine's parallelism split between the jobs and each
 //! job's internal trajectory workers.
 
-use crate::backend::{self, BackendEngine};
+use crate::backend::{self, BackendEngine, EngineState};
 use crate::density::DensityMatrix;
 use crate::noise::{apply_readout, NoiseModel};
 use crate::program::{Op, Program};
 use crate::statevector::StateVector;
+use crate::trie::ExecutionTrie;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 pub use crate::backend::Backend;
 
@@ -40,6 +43,58 @@ pub struct BatchJob {
     pub program: Program,
     /// The measured qubits (bit `i` of the outcome index = `measured[i]`).
     pub measured: Vec<usize>,
+    /// Cached [`JobKey`], computed on first use.
+    key: OnceLock<JobKey>,
+}
+
+/// A 128-bit structural hash of a `(program, measured)` pair — the
+/// deduplication key of [`BatchJob`]. Two jobs with equal keys execute
+/// identically on any deterministic runner, so one result can be fanned
+/// out to both.
+///
+/// The key hashes the job's *structure* (op tags, gate variants, `f64`
+/// parameter bits, operand lists, reset kets) in a single allocation-free
+/// pass, replacing the old `format!("{measured:?}|{program:?}")` string
+/// key whose construction was `O(|program|)` allocation per intern. The
+/// mapping structure → 128 bits is not injective in principle, but
+/// [`JobInterner`] debug-asserts every key hit against the old
+/// collision-free string form, so a collision cannot slip through a
+/// tested build silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(u128);
+
+/// Two-lane 64-bit mixing hasher behind [`JobKey`] (xorshift-multiply
+/// avalanche per word, distinct seeds and multipliers per lane).
+struct KeyHasher {
+    a: u64,
+    b: u64,
+}
+
+impl KeyHasher {
+    fn new() -> Self {
+        KeyHasher {
+            a: 0x243f_6a88_85a3_08d3,
+            b: 0x1319_8a2e_0370_7344,
+        }
+    }
+
+    #[inline]
+    fn mix(x: u64, k: u64) -> u64 {
+        let mut h = x.wrapping_mul(k);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^ (h >> 32)
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.a = Self::mix(self.a ^ w, 0x9e37_79b9_7f4a_7c15);
+        self.b = Self::mix(self.b ^ w.rotate_left(31), 0xc2b2_ae3d_27d4_eb4f);
+    }
+
+    fn finish(self) -> JobKey {
+        JobKey(((self.a as u128) << 64) | self.b as u128)
+    }
 }
 
 impl BatchJob {
@@ -48,21 +103,72 @@ impl BatchJob {
         BatchJob {
             program,
             measured: measured.into(),
+            key: OnceLock::new(),
         }
     }
 
-    /// A collision-free deduplication key for a `(program, measured)` pair:
-    /// two jobs with equal keys execute identically on any deterministic
-    /// runner, so one result can be fanned out to both. (`f64` debug
-    /// formatting is shortest-roundtrip, so distinct gate parameters render
-    /// distinctly.)
-    pub fn key_of(program: &Program, measured: &[usize]) -> String {
-        format!("{measured:?}|{program:?}")
+    /// The structural deduplication key of a `(program, measured)` pair
+    /// (see [`JobKey`]).
+    pub fn key_of(program: &Program, measured: &[usize]) -> JobKey {
+        let mut h = KeyHasher::new();
+        h.word(measured.len() as u64);
+        for &m in measured {
+            h.word(m as u64);
+        }
+        h.word(program.n_qubits() as u64);
+        h.word(program.ops().len() as u64);
+        for op in program.ops() {
+            match op {
+                Op::Gate(i) | Op::IdealGate(i) => {
+                    h.word(if matches!(op, Op::Gate(_)) { 0 } else { 1 });
+                    let (tag, params) = i.gate.structural_encoding();
+                    h.word(tag as u64);
+                    for p in params {
+                        h.word(p.to_bits());
+                    }
+                    h.word(i.qubits.len() as u64);
+                    for &q in &i.qubits {
+                        h.word(q as u64);
+                    }
+                }
+                Op::Reset { qubits, ket } => {
+                    h.word(2);
+                    h.word(qubits.len() as u64);
+                    for &q in qubits {
+                        h.word(q as u64);
+                    }
+                    for c in ket {
+                        h.word(c.re.to_bits());
+                        h.word(c.im.to_bits());
+                    }
+                }
+            }
+        }
+        h.finish()
     }
 
-    /// The [`BatchJob::key_of`] key of this job.
-    pub fn dedup_key(&self) -> String {
-        Self::key_of(&self.program, &self.measured)
+    /// The [`BatchJob::key_of`] key of this job, computed once and cached.
+    /// Jobs must not be mutated after their key has been read — debug
+    /// builds re-derive the key on every call and assert it unchanged, so
+    /// a stale cache fails loudly instead of silently fanning results out
+    /// to the wrong program.
+    pub fn dedup_key(&self) -> JobKey {
+        let key = *self
+            .key
+            .get_or_init(|| Self::key_of(&self.program, &self.measured));
+        debug_assert_eq!(
+            key,
+            Self::key_of(&self.program, &self.measured),
+            "BatchJob mutated after its dedup key was read"
+        );
+        key
+    }
+
+    /// The pre-`JobKey` collision-free string form, kept as the
+    /// debug-build oracle the interner checks key hits against.
+    #[cfg(debug_assertions)]
+    fn oracle_string(&self) -> String {
+        format!("{:?}|{:?}", self.measured, self.program)
     }
 }
 
@@ -71,9 +177,15 @@ impl BatchJob {
 /// fans the result back out (sound because every [`Runner`] here is a
 /// deterministic function of the job). Shared by the staged pipelines in
 /// `qt-core` and `qt-baselines`.
+///
+/// Debug builds additionally record each key's collision-free string form
+/// and assert it on every key hit, so a [`JobKey`] hash collision fails
+/// loudly instead of silently merging distinct jobs.
 #[derive(Debug, Default)]
 pub struct JobInterner {
-    index: std::collections::HashMap<String, usize>,
+    index: std::collections::HashMap<JobKey, usize>,
+    #[cfg(debug_assertions)]
+    oracle: std::collections::HashMap<JobKey, String>,
 }
 
 impl JobInterner {
@@ -92,8 +204,16 @@ impl JobInterner {
     ) -> (usize, bool) {
         let key = job.dedup_key();
         if let Some(&slot) = self.index.get(&key) {
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                self.oracle[&key],
+                job.oracle_string(),
+                "JobKey collision: distinct jobs hashed identically"
+            );
             (slot, false)
         } else {
+            #[cfg(debug_assertions)]
+            self.oracle.insert(key, job.oracle_string());
             let slot = table.len();
             self.index.insert(key, slot);
             table.push(make(job));
@@ -128,6 +248,50 @@ pub trait Runner {
     }
 }
 
+/// How [`Executor::run_batch`] schedules a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Fold the batch into a prefix-sharing [`ExecutionTrie`] and evolve
+    /// shared op prefixes once, checkpoint/forking engine states at branch
+    /// points (the default; see [`crate::trie`]). Jobs resolved to
+    /// stochastic engines fall back to per-job execution automatically.
+    Trie {
+        /// Bound on simultaneously held engine states per trie walk;
+        /// `None` derives one from the state size (≈ 256 MiB of
+        /// checkpoints, between 1 and 64 states). When the bound is hit
+        /// the scheduler re-simulates instead of checkpointing, so memory
+        /// stays bounded at the price of repeated gate work.
+        max_live_states: Option<usize>,
+    },
+    /// One independent execution per job (the pre-trie behaviour, kept as
+    /// the benchmark baseline).
+    PerJob,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::Trie {
+            max_live_states: None,
+        }
+    }
+}
+
+/// Total bytes of checkpoint states the automatic `max_live_states`
+/// derivation budgets per trie walk.
+const CHECKPOINT_BUDGET_BYTES: usize = 1 << 28; // 256 MiB
+
+/// The automatic live-state bound: as many states as the byte budget
+/// affords (conservatively sized as density matrices), clamped to
+/// `[1, 64]`.
+fn auto_live_states(n_qubits: usize) -> usize {
+    // 16-byte amplitudes, 4^n of them for a density matrix.
+    let state_bytes = match 1usize.checked_shl(2 * n_qubits as u32) {
+        Some(amps) => amps.saturating_mul(16),
+        None => usize::MAX,
+    };
+    (CHECKPOINT_BUDGET_BYTES / state_bytes.max(1)).clamp(1, 64)
+}
+
 impl Runner for Executor {
     fn run(&self, program: &Program, measured: &[usize]) -> RunOutput {
         RunOutput {
@@ -137,25 +301,38 @@ impl Runner for Executor {
         }
     }
 
-    /// Fans the jobs out over scoped threads under the shared
-    /// [`backend::batch_split`] policy, so a batch never oversubscribes
-    /// the machine.
+    /// Executes the batch under the configured [`BatchPolicy`]: the
+    /// default trie path shares every common op prefix across jobs
+    /// (bit-identical to per-job execution — see [`crate::trie`]), with
+    /// parallelism split across independent trie subtrees; the per-job
+    /// path fans whole jobs out over scoped threads under the shared
+    /// [`backend::batch_split`] policy.
     fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
-        let (workers, inner) = backend::batch_split(jobs.len());
-        if workers <= 1 {
-            return jobs
-                .iter()
-                .map(|j| self.run(&j.program, &j.measured))
-                .collect();
+        match self.batch {
+            BatchPolicy::PerJob => self.run_batch_per_job(jobs),
+            BatchPolicy::Trie { max_live_states } => self.run_batch_trie(jobs, max_live_states),
         }
-        let per_job = Executor {
-            noise: self.noise.clone(),
-            backend: self.backend.with_thread_budget(inner),
-        };
-        backend::parallel_indexed(jobs.len(), workers, |i| {
-            per_job.run(&jobs[i].program, &jobs[i].measured)
-        })
     }
+}
+
+/// One independent unit of scheduled batch work: a trie subtree (shared
+/// prefixes inside, nothing shared across subtrees) or a whole fallback
+/// job.
+enum BatchUnit {
+    Subtree { group: usize, child: usize },
+    Fallback { job: usize },
+}
+
+/// One fork-capable batch group: jobs whose compacted programs share a
+/// register size and engine fork class, folded into one trie.
+struct BatchGroup {
+    /// Batch indices, aligned with the trie's job numbering.
+    jobs: Vec<usize>,
+    trie: ExecutionTrie,
+    /// Compacted measured qubits per trie job.
+    measured: Vec<Vec<usize>>,
+    n_qubits: usize,
+    class: u8,
 }
 
 /// A noisy-circuit executor.
@@ -176,6 +353,7 @@ impl Runner for Executor {
 pub struct Executor {
     noise: NoiseModel,
     backend: Backend,
+    batch: BatchPolicy,
 }
 
 impl Executor {
@@ -184,12 +362,23 @@ impl Executor {
         Executor {
             noise,
             backend: Backend::default(),
+            batch: BatchPolicy::default(),
         }
     }
 
     /// Creates an executor with an explicit backend.
     pub fn with_backend(noise: NoiseModel, backend: Backend) -> Self {
-        Executor { noise, backend }
+        Executor {
+            noise,
+            backend,
+            batch: BatchPolicy::default(),
+        }
+    }
+
+    /// Returns a copy using the given batch-scheduling policy.
+    pub fn with_batch_policy(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// The noise model.
@@ -202,6 +391,187 @@ impl Executor {
         self.backend
     }
 
+    /// The batch-scheduling policy.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.batch
+    }
+
+    /// The pre-trie per-job batch path: fans whole jobs out over scoped
+    /// threads, splitting the machine between concurrent jobs and each
+    /// job's internal workers.
+    fn run_batch_per_job(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
+        let (workers, inner) = backend::batch_split(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|j| self.run(&j.program, &j.measured))
+                .collect();
+        }
+        let per_job = Executor {
+            noise: self.noise.clone(),
+            backend: self.backend.with_thread_budget(inner),
+            batch: self.batch,
+        };
+        backend::parallel_indexed(jobs.len(), workers, |i| {
+            per_job.run(&jobs[i].program, &jobs[i].measured)
+        })
+    }
+
+    /// The prefix-sharing batch path (see [`crate::trie`]).
+    ///
+    /// Per job, the same compaction the serial path applies yields the
+    /// program the engine actually simulates; jobs whose resolved engine
+    /// offers a fork class are grouped by `(register size, class)` and
+    /// folded into execution tries, everything else (trajectory engines)
+    /// falls back to per-job execution. Readout error and gate statistics
+    /// use the *original* job, exactly as [`Executor::run`] does, so the
+    /// outputs are bit-identical to the serial loop.
+    fn run_batch_trie(&self, jobs: &[BatchJob], max_live_states: Option<usize>) -> Vec<RunOutput> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        // Stage 1: per-job compaction, identical to the serial path
+        // (`None` = the job runs as-is; no clone needed).
+        let prepared: Vec<Option<(Program, Vec<usize>)>> = jobs
+            .iter()
+            .map(|j| self.compacted(&j.program, &j.measured))
+            .collect();
+        let program_of =
+            |i: usize| -> &Program { prepared[i].as_ref().map_or(&jobs[i].program, |(p, _)| p) };
+        let measured_of =
+            |i: usize| -> &[usize] { prepared[i].as_ref().map_or(&jobs[i].measured, |(_, m)| m) };
+
+        // Stage 2: partition into fork-capable groups and fallback jobs.
+        let mut by_class: BTreeMap<(usize, u8), Vec<usize>> = BTreeMap::new();
+        let mut fallback: Vec<usize> = Vec::new();
+        for i in 0..jobs.len() {
+            let p = program_of(i);
+            let engine = self.backend.resolve(p.n_qubits());
+            match engine.fork_class(&self.noise, p.has_resets()) {
+                Some(class) => by_class.entry((p.n_qubits(), class)).or_default().push(i),
+                None => fallback.push(i),
+            }
+        }
+        let groups: Vec<BatchGroup> = by_class
+            .into_iter()
+            .map(|((n_qubits, class), idxs)| {
+                let programs: Vec<&Program> = idxs.iter().map(|&i| program_of(i)).collect();
+                let trie = ExecutionTrie::build(&programs);
+                let measured = idxs.iter().map(|&i| measured_of(i).to_vec()).collect();
+                BatchGroup {
+                    jobs: idxs,
+                    trie,
+                    measured,
+                    n_qubits,
+                    class,
+                }
+            })
+            .collect();
+
+        // Stage 3: schedule. Units are independent trie subtrees plus the
+        // fallback jobs; the machine is split across units, serial walks
+        // within each.
+        let mut units: Vec<BatchUnit> = Vec::new();
+        for (gi, g) in groups.iter().enumerate() {
+            for &child in g.trie.root_children() {
+                units.push(BatchUnit::Subtree { group: gi, child });
+            }
+        }
+        for &job in &fallback {
+            units.push(BatchUnit::Fallback { job });
+        }
+        let budget_of = |g: &BatchGroup| {
+            max_live_states
+                .unwrap_or_else(|| auto_live_states(g.n_qubits))
+                .max(1)
+        };
+        // One shared noise-model handle for every snapshot of the batch.
+        let noise_arc = std::sync::Arc::new(self.noise.clone());
+        let snapshot_of = |g: &BatchGroup| {
+            let engine = self.backend.resolve(g.n_qubits);
+            let (n_qubits, class) = (g.n_qubits, g.class);
+            let noise = &noise_arc;
+            move || {
+                engine
+                    .snapshot(n_qubits, noise, class)
+                    .expect("fork class implies snapshot capability")
+            }
+        };
+
+        let mut raw: Vec<Option<Vec<f64>>> = vec![None; jobs.len()];
+        let mut outs: Vec<Option<RunOutput>> = vec![None; jobs.len()];
+
+        // Jobs with empty compacted programs end at the trie root and are
+        // measured inline on a fresh state.
+        for g in &groups {
+            for &local in g.trie.root_jobs() {
+                let state = snapshot_of(g)();
+                raw[g.jobs[local]] = Some(state.raw_distribution(&g.measured[local]));
+            }
+        }
+
+        // `parallel_indexed` degrades to a plain serial map for a single
+        // worker, so one scheduling path serves both shapes; fallback
+        // thread budgets only clamp below the full machine when several
+        // units actually run at once (trajectory results are thread-count
+        // invariant either way).
+        let (workers, inner) = backend::batch_split(units.len());
+        let per_job = Executor {
+            noise: self.noise.clone(),
+            backend: self.backend.with_thread_budget(inner),
+            batch: self.batch,
+        };
+        enum UnitOutcome {
+            Trie(Vec<(usize, Vec<f64>)>),
+            Job(usize, RunOutput),
+        }
+        let results = backend::parallel_indexed(units.len(), workers.max(1), |u| match &units[u] {
+            BatchUnit::Subtree { group, child } => {
+                let g = &groups[*group];
+                let init = snapshot_of(g);
+                let init: &(dyn Fn() -> Box<dyn EngineState> + Sync) = &init;
+                let (dists, _) = g
+                    .trie
+                    .execute_subtree(*child, init, &g.measured, budget_of(g));
+                UnitOutcome::Trie(
+                    dists
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(_, d)| !d.is_empty())
+                        .map(|(local, d)| (g.jobs[local], d))
+                        .collect(),
+                )
+            }
+            BatchUnit::Fallback { job } => {
+                UnitOutcome::Job(*job, per_job.run(&jobs[*job].program, &jobs[*job].measured))
+            }
+        });
+        for r in results {
+            match r {
+                UnitOutcome::Trie(hits) => {
+                    for (job, dist) in hits {
+                        raw[job] = Some(dist);
+                    }
+                }
+                UnitOutcome::Job(job, out) => outs[job] = Some(out),
+            }
+        }
+
+        // Stage 4: readout + gate statistics from the original jobs.
+        jobs.iter()
+            .enumerate()
+            .map(|(i, job)| match (outs[i].take(), raw[i].take()) {
+                (Some(out), _) => out,
+                (None, Some(dist)) => RunOutput {
+                    dist: apply_readout(&dist, &job.measured, &self.noise.readout),
+                    gates: job.program.gate_count(),
+                    two_qubit_gates: job.program.two_qubit_gate_count(),
+                },
+                (None, None) => unreachable!("every batch job is scheduled exactly once"),
+            })
+            .collect()
+    }
+
     /// The gate-noisy outcome distribution over `measured`, **without**
     /// readout error (bit `i` of the index = `measured[i]`).
     ///
@@ -209,24 +579,35 @@ impl Executor {
     /// so that reduced ensemble circuits do not pay for idle wires, then
     /// handed to the engine the backend resolves for the compacted size.
     pub fn raw_distribution(&self, program: &Program, measured: &[usize]) -> Vec<f64> {
+        match self.compacted(program, measured) {
+            Some((p, m)) => {
+                self.backend
+                    .resolve(p.n_qubits())
+                    .raw_distribution(&p, &self.noise, &m)
+            }
+            None => self.backend.resolve(program.n_qubits()).raw_distribution(
+                program,
+                &self.noise,
+                measured,
+            ),
+        }
+    }
+
+    /// The compacted `(program, measured)` this executor would simulate
+    /// for a job, or `None` when the job runs as-is. One definition for
+    /// the serial and the trie-batched path, so both simulate exactly the
+    /// same program.
+    fn compacted(&self, program: &Program, measured: &[usize]) -> Option<(Program, Vec<usize>)> {
         // Compaction renames qubits, so it is only sound when the noise
         // model is uniform (no per-qubit/per-edge calibration).
         let uniform = self.noise.per_qubit.is_empty()
             && self.noise.per_edge.is_empty()
             && self.noise.readout.per_qubit.is_empty();
-        let compacted = if uniform {
+        if uniform {
             compact(program, measured)
         } else {
             None
-        };
-        let (program, measured) = &match compacted {
-            Some((p, m)) => (p, m),
-            None => (program.clone(), measured.to_vec()),
-        };
-        let measured: &[usize] = measured;
-        self.backend
-            .resolve(program.n_qubits())
-            .raw_distribution(program, &self.noise, measured)
+        }
     }
 
     /// The full noisy outcome distribution over `measured`: gate noise plus
@@ -313,31 +694,38 @@ pub fn ideal_distribution(program: &Program, measured: &[usize]) -> Vec<f64> {
 /// `measured` order; only the register is renamed internally, so this is
 /// only valid for noise models without per-qubit overrides — the
 /// [`Executor`] therefore skips compaction when overrides exist.
+///
+/// Compact indices are assigned in **first-use order** (by op stream, then
+/// remaining measured qubits): two programs sharing an op prefix compact
+/// that prefix identically even when their divergent suffixes touch
+/// different qubit sets, so prefix sharing (see [`crate::trie`]) survives
+/// compaction.
 fn compact(program: &Program, measured: &[usize]) -> Option<(Program, Vec<usize>)> {
-    let mut used = vec![false; program.n_qubits()];
+    let mut seen = vec![false; program.n_qubits()];
+    let mut kept: Vec<usize> = Vec::new();
+    let note = |q: usize, seen: &mut Vec<bool>, kept: &mut Vec<usize>| {
+        if !seen[q] {
+            seen[q] = true;
+            kept.push(q);
+        }
+    };
     for op in program.ops() {
         match op {
             Op::Gate(i) | Op::IdealGate(i) => {
                 for &q in &i.qubits {
-                    used[q] = true;
+                    note(q, &mut seen, &mut kept);
                 }
             }
             Op::Reset { qubits, .. } => {
                 for &q in qubits {
-                    used[q] = true;
+                    note(q, &mut seen, &mut kept);
                 }
             }
         }
     }
     for &m in measured {
-        used[m] = true;
+        note(m, &mut seen, &mut kept);
     }
-    let kept: Vec<usize> = used
-        .iter()
-        .enumerate()
-        .filter(|(_, &u)| u)
-        .map(|(q, _)| q)
-        .collect();
     if kept.len() == program.n_qubits() {
         return None;
     }

@@ -518,6 +518,15 @@ fn controlled_phase_kernel(slab: &mut [Complex], qs: &[usize], phase: Complex) {
 
 /// Gather/permute/scatter for monomial operators — no matrix arithmetic.
 fn permutation_kernel(slab: &mut [Complex], qs: &[usize], perm: &[u8], factors: &[Complex]) {
+    // CX (perm [0,3,2,1], unit factors) gets a dedicated kernel: paired
+    // in-place `swap_with_slice` over contiguous runs instead of the
+    // 4-amplitude gather/scatter with per-group index expansion.
+    if let ([c, t], [0, 3, 2, 1]) = (qs, perm) {
+        if factors.iter().all(|&f| f == Complex::ONE) {
+            cx_kernel(slab, *c, *t);
+            return;
+        }
+    }
     // Diagonal monomials classify as Diagonal, so a single-qubit class from
     // `classify`/`for_gate` always has perm == [1, 0]; hand-built classes
     // with any other permutation fall through to the general path below.
@@ -553,6 +562,36 @@ fn permutation_kernel(slab: &mut [Complex], qs: &[usize], perm: &[u8], factors: 
         }
         for (l, &off) in offsets.iter().enumerate() {
             slab[base | off] = buf[l];
+        }
+    }
+}
+
+/// CX on (control `cq`, target `tq`): swaps the target-paired amplitudes
+/// of the control=1 subspace, walking the array in contiguous
+/// `swap_with_slice` runs in both operand orders — no index expansion, no
+/// scratch buffer. When the target is the low bit the control=1 subspace
+/// is itself contiguous and the kernel degenerates to back-to-back slice
+/// swaps, the memcpy-speed case the `cx_lowbit` bench rows measure.
+fn cx_kernel(slab: &mut [Complex], cq: usize, tq: usize) {
+    let (cs, ts) = (1usize << cq, 1usize << tq);
+    if tq < cq {
+        // Control is the high operand: within every control period the
+        // upper half (control = 1) is one contiguous run of target pairs.
+        for block in slab.chunks_exact_mut(2 * cs) {
+            let on = &mut block[cs..];
+            for pair in on.chunks_exact_mut(2 * ts) {
+                let (lo, hi) = pair.split_at_mut(ts);
+                lo.swap_with_slice(hi);
+            }
+        }
+    } else {
+        // Target is the high operand: swap the control=1 runs between the
+        // target=0 and target=1 halves of every target period.
+        for pair in slab.chunks_exact_mut(2 * ts) {
+            let (lo, hi) = pair.split_at_mut(ts);
+            for (lc, hc) in lo.chunks_exact_mut(2 * cs).zip(hi.chunks_exact_mut(2 * cs)) {
+                lc[cs..].swap_with_slice(&mut hc[cs..]);
+            }
         }
     }
 }

@@ -34,12 +34,19 @@ pub mod noise;
 pub mod program;
 pub mod statevector;
 pub mod trajectory;
+pub mod trie;
 
-pub use backend::{Backend, BackendEngine, DensityMatrixEngine, ResolvedEngine, TrajectoryEngine};
+pub use backend::{
+    Backend, BackendEngine, DensityMatrixEngine, EngineState, ResolvedEngine, StatevectorEngine,
+    TrajectoryEngine,
+};
 pub use density::DensityMatrix;
-pub use executor::{ideal_distribution, BatchJob, Executor, JobInterner, RunOutput, Runner};
+pub use executor::{
+    ideal_distribution, BatchJob, BatchPolicy, Executor, JobInterner, JobKey, RunOutput, Runner,
+};
 pub use kernel::{ControlledBlock, KernelClass};
 pub use noise::{apply_readout, KrausChannel, NoiseModel, NoiseRule, ReadoutModel};
 pub use program::{Op, Program};
 pub use statevector::StateVector;
 pub use trajectory::TrajectoryConfig;
+pub use trie::{ExecutionTrie, TrieStats};

@@ -37,13 +37,20 @@ fn main() {
     }
     let preview = plan.stats();
     println!(
-        "plan-level overhead: {} circuits, avg {:.1} two-qubit gates each\n",
+        "plan-level overhead: {} circuits, avg {:.1} two-qubit gates each",
         preview.n_circuits, preview.avg_two_qubit_gates,
+    );
+    let batch = plan.batch_stats();
+    println!(
+        "execution trie: {} nodes, {:.0}% of requested gate work shared\n",
+        batch.n_nodes,
+        100.0 * batch.shared_gate_fraction(),
     );
 
     // 3. Stage 2 — execute: every program across every subset runs as ONE
     //    batched submission on a noisy executor (depolarizing gate noise
-    //    plus readout error with measurement crosstalk).
+    //    plus readout error with measurement crosstalk); the executor's
+    //    prefix-sharing trie evolves each shared stretch once.
     let noise = NoiseModel::depolarizing(0.001, 0.01)
         .with_readout_model(ReadoutModel::with_crosstalk(0.03, 0.02));
     let executor = Executor::with_backend(noise, Backend::DensityMatrix);

@@ -87,3 +87,42 @@ fn eagle_device_hosts_ring_workloads() {
         out.two_qubit_gates
     );
 }
+
+#[test]
+fn device_batched_execution_matches_serial_runs_exactly() {
+    // The grouped, trie-scheduled batch path of the transpiling executor
+    // must be bit-identical to per-job serial runs — including ensemble
+    // jobs with resets, distinct measured sets, and programs that
+    // transpile onto different physical registers.
+    use qutracer::sim::BatchJob;
+    let exec = DeviceExecutor::new(Device::fake_mumbai());
+    let mut jobs = Vec::new();
+    for k in 0..4 {
+        // A shared-prefix family (QSPC-shaped: prefix, reset, suffix).
+        let mut c = qutracer::circuit::Circuit::new(4);
+        c.ry(0, 0.3).ry(1, 0.7).cz(0, 1).cz(1, 2);
+        let mut p = Program::from_circuit(&c);
+        p.push_reset_state(&[1], qutracer::math::states::PrepState::REDUCED[k % 4]);
+        let mut tail = qutracer::circuit::Circuit::new(4);
+        tail.cz(1, 2).ry(2, 0.2 * k as f64);
+        for i in tail.instructions() {
+            p.push_gate(i.clone());
+        }
+        jobs.push(BatchJob::new(p, vec![1, 2]));
+    }
+    // Unrelated programs on other qubit sets and measured orders.
+    let mut d = qutracer::circuit::Circuit::new(3);
+    d.h(0).cx(0, 2).ry(2, 1.1);
+    jobs.push(BatchJob::new(Program::from_circuit(&d), vec![2, 0]));
+    let mut e = qutracer::circuit::Circuit::new(2);
+    e.h(1).cx(1, 0);
+    jobs.push(BatchJob::new(Program::from_circuit(&e), vec![0, 1]));
+
+    let batched = exec.run_batch(&jobs);
+    for (job, out) in jobs.iter().zip(&batched) {
+        let serial = exec.run(&job.program, &job.measured);
+        assert_eq!(out.gates, serial.gates);
+        assert_eq!(out.two_qubit_gates, serial.two_qubit_gates);
+        assert_eq!(out.dist, serial.dist, "batched device run diverged");
+    }
+}
