@@ -135,6 +135,7 @@ impl JigsawArtifacts<'_> {
                 avg_two_qubit_gates: global_out.two_qubit_gates as f64,
                 global_two_qubit_gates: global_out.two_qubit_gates,
                 batch: None,
+                total_shots: None,
             },
         }
     }

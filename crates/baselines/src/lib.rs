@@ -26,4 +26,8 @@ pub struct OverheadStats {
     /// that do not batch through a plan (the serial legacy path, the
     /// baselines' own reports).
     pub batch: Option<qt_sim::TrieStats>,
+    /// Measurement shots actually sampled across every executed circuit
+    /// (the paper's real cost denomination). `None` for exact-distribution
+    /// flows, which pay in density matrices rather than shots.
+    pub total_shots: Option<u64>,
 }

@@ -258,6 +258,7 @@ impl SqemArtifacts<'_> {
                 },
                 global_two_qubit_gates: global_out.two_qubit_gates,
                 batch: None,
+                total_shots: None,
             },
         }
     }

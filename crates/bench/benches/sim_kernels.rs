@@ -328,7 +328,8 @@ fn bench_batch_execution(c: &mut Criterion) {
     let noise = NoiseModel::depolarizing(0.002, 0.02).with_readout(0.03);
     let trie = Executor::with_backend(noise.clone(), qt_sim::Backend::DensityMatrix);
     let perjob = Executor::with_backend(noise, qt_sim::Backend::DensityMatrix)
-        .with_batch_policy(BatchPolicy::PerJob);
+        .with_batch_policy(BatchPolicy::PerJob)
+        .expect("per-job policy is always valid");
     assert_eq!(
         trie.run_batch(&jobs),
         perjob.run_batch(&jobs),
@@ -340,6 +341,54 @@ fn bench_batch_execution(c: &mut Criterion) {
     group.bench_function(format!("perjob_qaoa{n}x{layers}_{k}circ"), |b| {
         b.iter(|| black_box(perjob.run_batch(&jobs)))
     });
+    group.finish();
+}
+
+/// Finite-shot batch execution: trie-integrated sampling (terminal
+/// distributions from the prefix-sharing trie walk, then per-job
+/// multinomial draws) vs naive per-job sampling (every job simulated
+/// independently before sampling) on the 5-layer QAOA-6 pipeline workload
+/// — the headline rows of `BENCH_shots.json`, with the batch size and
+/// per-job shot count embedded in the row names. The bench asserts the
+/// two paths produce bit-identical counts before timing anything, so CI
+/// failing here can mean a determinism regression, not just a slow run.
+fn bench_sampled_execution(c: &mut Criterion) {
+    use qt_core::{QuTracer, QuTracerConfig};
+    use qt_sim::{BatchJob, BatchPolicy, Runner, ShotPlan};
+
+    let mut group = c.benchmark_group("shots");
+    group.sample_size(10);
+    let (n, layers) = (6, 5);
+    let circ = qt_algos::qaoa_maxcut(
+        n,
+        &qt_algos::ring_graph(n),
+        &qt_algos::qaoa::QaoaParams::seeded(layers, 5),
+    );
+    let measured: Vec<usize> = (0..n).collect();
+    let cfg = QuTracerConfig::pairs().with_symmetric_subsets();
+    let plan = QuTracer::plan(&circ, &measured, &cfg).expect("symmetric ring is traceable");
+    let jobs: Vec<BatchJob> = plan.programs().map(|(j, _)| j.clone()).collect();
+    let k = jobs.len();
+    let shots_each = 4096;
+    let shot_plan = ShotPlan::uniform(k, shots_each);
+    let noise = NoiseModel::depolarizing(0.002, 0.02).with_readout(0.03);
+    let trie = Executor::with_backend(noise.clone(), qt_sim::Backend::DensityMatrix);
+    let perjob = Executor::with_backend(noise, qt_sim::Backend::DensityMatrix)
+        .with_batch_policy(BatchPolicy::PerJob)
+        .expect("per-job policy is always valid");
+    assert_eq!(
+        trie.run_batch_sampled(&jobs, &shot_plan, 11),
+        perjob.run_batch_sampled(&jobs, &shot_plan, 11),
+        "trie-integrated sampling diverged from per-job sampling"
+    );
+    group.bench_function(
+        format!("trie_sampled_qaoa{n}x{layers}_{k}circ_{shots_each}shots"),
+        |b| b.iter(|| black_box(trie.run_batch_sampled(&jobs, &shot_plan, 11))),
+    );
+    group.bench_function(
+        format!("perjob_sampled_qaoa{n}x{layers}_{k}circ_{shots_each}shots"),
+        |b| b.iter(|| black_box(perjob.run_batch_sampled(&jobs, &shot_plan, 11))),
+    );
     group.finish();
 }
 
@@ -378,6 +427,7 @@ criterion_group!(
     bench_parallel_trajectories,
     bench_pipeline,
     bench_batch_execution,
+    bench_sampled_execution,
     bench_circuit_passes
 );
 criterion_main!(benches);

@@ -4,66 +4,88 @@
 //!
 //! Paper reference fidelities: Original 0.39, Jigsaw 0.57, optimized
 //! copies 0.71, (noisy) PCS 0.68, QuTracer 0.87.
+//!
+//! Printed twice: once from exact simulator distributions, and once with
+//! every circuit sampled at a finite per-circuit shot budget (the paper's
+//! hardware regime) — the method ordering must survive shot noise.
 
 use qt_algos::iqft_example;
 use qt_baselines::run_jigsaw;
-use qt_bench::{fidelity_vs_ideal, header, BestReadoutRunner};
+use qt_bench::{fidelity_vs_ideal, header, BestReadoutRunner, SampledRunner};
 use qt_circuit::passes::split_into_segments;
 use qt_circuit::Circuit;
-use qt_core::{QuTracer, QuTracerConfig};
+use qt_core::{QuTracer, QuTracerConfig, QuTracerReport};
 use qt_dist::Distribution;
-use qt_pcs::{postselected_distribution, z_check_sandwich};
-use qt_sim::{Backend, Executor, NoiseModel, ReadoutModel};
+use qt_pcs::{postselected_distribution, postselected_distribution_sampled, z_check_sandwich};
+use qt_sim::{Backend, Executor, NoiseModel, ReadoutModel, Runner};
 
-fn main() {
-    header(
-        "Fig. 2 — motivating example: 3-qubit iQFT bitwise distributions",
-        "paper: Original 0.39 | Jigsaw 0.57 | optimized 0.71 | PCS 0.68 | QuTracer 0.87",
-    );
-    let circ = iqft_example();
-    let measured: Vec<usize> = vec![0, 1, 2];
+/// Per-method Fig. 2 fidelities, in the paper's order.
+struct MethodFidelities {
+    orig: f64,
+    jigsaw: f64,
+    optimized: f64,
+    pcs: f64,
+    qutracer: f64,
+}
 
-    let mut readout = ReadoutModel::default();
-    readout.per_qubit.insert(0, (0.1, 0.1));
-    readout.per_qubit.insert(1, (0.3, 0.3));
-    readout.per_qubit.insert(2, (0.3, 0.3));
-    // The PCS ancilla (qubit 3 of the sandwich program) is also noisy.
-    readout.per_qubit.insert(3, (0.3, 0.3));
-    let noise = NoiseModel::depolarizing(0.01, 0.1).with_readout_model(readout);
-    let plain = Executor::with_backend(noise.clone(), Backend::DensityMatrix);
-    // Subset circuits (Jigsaw locals, QSPC ensembles) are remapped onto the
-    // best-readout qubit, the paper's qubit-remapping optimization.
-    let exec = BestReadoutRunner::new(plain.clone(), &noise, 3);
+impl MethodFidelities {
+    /// Method indices sorted by ascending fidelity — the "ordering" the
+    /// finite-shot run must reproduce.
+    fn ranking(&self) -> Vec<usize> {
+        let f = [
+            self.orig,
+            self.jigsaw,
+            self.optimized,
+            self.pcs,
+            self.qutracer,
+        ];
+        let mut idx: Vec<usize> = (0..f.len()).collect();
+        idx.sort_by(|&a, &b| f[a].partial_cmp(&f[b]).unwrap());
+        idx
+    }
+}
 
-    // (a) Original.
-    let report = QuTracer::plan(&circ, &measured, &QuTracerConfig::single())
+/// Runs every Fig. 2 method on the given runner (`exec` remaps subset
+/// circuits onto the best-readout qubit; `pcs_dist` executes a PCS
+/// sandwich program and returns its post-selected distribution). The
+/// runner decides whether distributions are exact or sampled — the
+/// mitigation flows themselves are identical.
+fn run_methods<R: Runner>(
+    circ: &Circuit,
+    measured: &[usize],
+    exec: &R,
+    pcs_dist: &dyn Fn(&qt_pcs::PcsProgram, &[usize]) -> Vec<f64>,
+) -> (MethodFidelities, QuTracerReport) {
+    // (a) Original + (e) QuTracer from one staged-pipeline run.
+    let report = QuTracer::plan(circ, measured, &QuTracerConfig::single())
         .expect("plannable workload")
-        .execute(&exec)
+        .execute(exec)
         .expect("batched execution")
         .recombine()
         .expect("recombination");
-    let f_orig = fidelity_vs_ideal(&report.global, &circ, &measured);
+    let f_orig = fidelity_vs_ideal(&report.global, circ, measured);
+    let f_qt = fidelity_vs_ideal(&report.distribution, circ, measured);
 
     // (b) Jigsaw, subset size 1 as in the figure.
-    let jig = run_jigsaw(&exec, &circ, &measured, 1);
-    let f_jig = fidelity_vs_ideal(&jig.distribution, &circ, &measured);
+    let jig = run_jigsaw(exec, circ, measured, 1);
+    let f_jig = fidelity_vs_ideal(&jig.distribution, circ, measured);
 
     // (c) Optimized circuit copies without checks: QuTracer with zero
     // checked layers still removes false dependencies and bypasses gates.
     let cfg_nochecks = QuTracerConfig::single().with_checked_layers(0);
-    let opt = QuTracer::plan(&circ, &measured, &cfg_nochecks)
+    let opt = QuTracer::plan(circ, measured, &cfg_nochecks)
         .expect("plannable workload")
-        .execute(&exec)
+        .execute(exec)
         .expect("batched execution")
         .recombine()
         .expect("recombination");
-    let f_opt = fidelity_vs_ideal(&opt.distribution, &circ, &measured);
+    let f_opt = fidelity_vs_ideal(&opt.distribution, circ, measured);
 
     // (d) Ancilla-based PCS with *noisy* checks: one Z check per traced
     // qubit around its commuting segment, recombined like the others.
     let mut pcs_locals = Vec::new();
     for (pos, &q) in measured.iter().enumerate() {
-        let Ok(segments) = split_into_segments(&circ, &[q]) else {
+        let Ok(segments) = split_into_segments(circ, &[q]) else {
             continue;
         };
         let mut pre = Circuit::new(circ.n_qubits());
@@ -100,30 +122,87 @@ fn main() {
         for i in tail.instructions() {
             pcs.program.push_gate(i.clone());
         }
-        let (dist, _acc) = postselected_distribution(&plain, &pcs, &[q]);
+        let dist = pcs_dist(&pcs, &[q]);
         pcs_locals.push((Distribution::from_probs(1, dist), vec![pos]));
     }
     let pcs_dist = qt_dist::recombine::bayesian_update_all(&report.global, &pcs_locals);
-    let f_pcs = fidelity_vs_ideal(&pcs_dist, &circ, &measured);
+    let f_pcs = fidelity_vs_ideal(&pcs_dist, circ, measured);
 
-    // (e) QuTracer (QSPC).
-    let f_qt = fidelity_vs_ideal(&report.distribution, &circ, &measured);
+    (
+        MethodFidelities {
+            orig: f_orig,
+            jigsaw: f_jig,
+            optimized: f_opt,
+            pcs: f_pcs,
+            qutracer: f_qt,
+        },
+        report,
+    )
+}
 
+fn print_table(f: &MethodFidelities) {
     println!("{:<28} {:>8}  (paper)", "method", "fidelity");
-    println!("{:<28} {:>8.2}  (0.39)", "original", f_orig);
-    println!("{:<28} {:>8.2}  (0.57)", "jigsaw (subset 1)", f_jig);
+    println!("{:<28} {:>8.2}  (0.39)", "original", f.orig);
+    println!("{:<28} {:>8.2}  (0.57)", "jigsaw (subset 1)", f.jigsaw);
     println!(
         "{:<28} {:>8.2}  (0.71)",
-        "optimized copies, no checks", f_opt
+        "optimized copies, no checks", f.optimized
     );
     println!(
         "{:<28} {:>8.2}  (0.68)",
-        "ancilla PCS (noisy checks)", f_pcs
+        "ancilla PCS (noisy checks)", f.pcs
     );
-    println!("{:<28} {:>8.2}  (0.87)", "QuTracer (QSPC)", f_qt);
+    println!("{:<28} {:>8.2}  (0.87)", "QuTracer (QSPC)", f.qutracer);
+}
+
+fn main() {
+    header(
+        "Fig. 2 — motivating example: 3-qubit iQFT bitwise distributions",
+        "paper: Original 0.39 | Jigsaw 0.57 | optimized 0.71 | PCS 0.68 | QuTracer 0.87",
+    );
+    let circ = iqft_example();
+    let measured: Vec<usize> = vec![0, 1, 2];
+
+    let mut readout = ReadoutModel::default();
+    readout.per_qubit.insert(0, (0.1, 0.1));
+    readout.per_qubit.insert(1, (0.3, 0.3));
+    readout.per_qubit.insert(2, (0.3, 0.3));
+    // The PCS ancilla (qubit 3 of the sandwich program) is also noisy.
+    readout.per_qubit.insert(3, (0.3, 0.3));
+    let noise = NoiseModel::depolarizing(0.01, 0.1).with_readout_model(readout);
+    let plain = Executor::with_backend(noise.clone(), Backend::DensityMatrix);
+    // Subset circuits (Jigsaw locals, QSPC ensembles) are remapped onto the
+    // best-readout qubit, the paper's qubit-remapping optimization.
+    let exec = BestReadoutRunner::new(plain.clone(), &noise, 3);
+
+    let exact_pcs =
+        |pcs: &qt_pcs::PcsProgram, m: &[usize]| postselected_distribution(&plain, pcs, m).0;
+    let (exact, report) = run_methods(&circ, &measured, &exec, &exact_pcs);
+    print_table(&exact);
 
     println!("\nbitwise local distributions (QuTracer):");
     for (l, pos) in &report.locals {
         println!("  q{}: p0={:.3} p1={:.3}", pos[0], l.prob(0), l.prob(1));
     }
+
+    // Finite-shot replay: the identical flows, with every circuit sampled
+    // at a fixed shot budget (well above the 10k where shot noise stops
+    // reordering methods separated by ≥0.05 fidelity).
+    let shots = 16_384;
+    let sampled_exec = SampledRunner::new(
+        BestReadoutRunner::new(plain.clone(), &noise, 3),
+        shots,
+        0xF162,
+    );
+    let sampled_pcs = |pcs: &qt_pcs::PcsProgram, m: &[usize]| {
+        postselected_distribution_sampled(&plain, pcs, m, shots, 0xF162).0
+    };
+    let (sampled, _) = run_methods(&circ, &measured, &sampled_exec, &sampled_pcs);
+    println!("\nfinite-shot replay ({shots} shots per circuit):");
+    print_table(&sampled);
+    let preserved = exact.ranking() == sampled.ranking();
+    println!(
+        "method ordering vs exact pipeline: {}",
+        if preserved { "preserved" } else { "CHANGED" }
+    );
 }

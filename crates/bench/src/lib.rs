@@ -3,7 +3,7 @@
 //! the experiment index).
 
 use qt_dist::{hellinger_fidelity, Distribution};
-use qt_sim::{ideal_distribution, BatchJob, JobKey, Program, RunOutput, Runner};
+use qt_sim::{ideal_distribution, BatchJob, JobKey, Program, RunOutput, Runner, SampledOutput};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -76,6 +76,69 @@ impl<R: Runner> Runner for CachedRunner<R> {
         let cache = self.cache.lock().expect("cache poisoned");
         keys.iter()
             .map(|k| cache.get(k).expect("just inserted").clone())
+            .collect()
+    }
+}
+
+/// A finite-shot view of any [`Runner`]: every executed job's noisy
+/// distribution is replaced by the empirical frequencies of a fixed
+/// per-circuit shot budget — the paper's hardware regime (100 000 shots per
+/// circuit), replayable over any simulator-backed runner and any
+/// mitigation flow without touching the flow itself.
+///
+/// Per-job sampling seeds derive from the job's structural [`JobKey`], so
+/// identical circuits see identical shot noise wherever they appear (batch
+/// order, dedup fan-out, repeated methods sharing the global run) — the
+/// finite-shot analogue of [`CachedRunner`]'s "identical inputs ⇒ identical
+/// noisy outputs" honesty property.
+pub struct SampledRunner<R: Runner> {
+    /// The wrapped (exact) runner.
+    pub inner: R,
+    /// Shots sampled per executed circuit.
+    pub shots_per_circuit: usize,
+    /// Base sampling seed.
+    pub seed: u64,
+}
+
+impl<R: Runner> SampledRunner<R> {
+    /// Wraps `inner`, sampling every circuit at `shots_per_circuit`.
+    pub fn new(inner: R, shots_per_circuit: usize, seed: u64) -> Self {
+        SampledRunner {
+            inner,
+            shots_per_circuit,
+            seed,
+        }
+    }
+
+    fn seed_for(&self, program: &Program, measured: &[usize]) -> u64 {
+        let bits = BatchJob::key_of(program, measured).bits();
+        self.seed ^ (bits as u64) ^ ((bits >> 64) as u64).rotate_left(17)
+    }
+
+    fn sample(&self, out: &RunOutput, program: &Program, measured: &[usize]) -> RunOutput {
+        SampledOutput::from_run(
+            out,
+            self.shots_per_circuit,
+            self.seed_for(program, measured),
+        )
+        .to_run_output()
+    }
+}
+
+impl<R: Runner> Runner for SampledRunner<R> {
+    fn run(&self, program: &Program, measured: &[usize]) -> RunOutput {
+        let out = self.inner.run(program, measured);
+        self.sample(&out, program, measured)
+    }
+
+    /// Forwards the whole batch to the wrapped runner's (batched, possibly
+    /// prefix-sharing) path, then samples each job's terminal distribution.
+    fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
+        self.inner
+            .run_batch(jobs)
+            .iter()
+            .zip(jobs)
+            .map(|(out, job)| self.sample(out, &job.program, &job.measured))
             .collect()
     }
 }
@@ -292,6 +355,39 @@ mod tests {
         assert_eq!(exec.distinct_runs(), 1);
         let _ = exec.run(&p, &[0]);
         assert_eq!(exec.distinct_runs(), 2);
+    }
+
+    #[test]
+    fn sampled_runner_gives_equal_jobs_equal_noise() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let p = Program::from_circuit(&c);
+        let inner = Executor::with_backend(
+            NoiseModel::ideal().with_readout(0.05),
+            Backend::DensityMatrix,
+        );
+        let runner = SampledRunner::new(inner.clone(), 4096, 7);
+        // Serial and batched paths agree, and the same job sampled at two
+        // different batch positions sees identical shot noise.
+        let jobs = vec![
+            BatchJob::new(p.clone(), vec![0, 1]),
+            BatchJob::new(p.clone(), vec![0]),
+            BatchJob::new(p.clone(), vec![0, 1]),
+        ];
+        let batched = runner.run_batch(&jobs);
+        assert_eq!(batched[0], batched[2], "equal jobs, equal noise");
+        for (job, out) in jobs.iter().zip(&batched) {
+            assert_eq!(out, &runner.run(&job.program, &job.measured));
+        }
+        // Frequencies approach the exact distribution as shots grow.
+        let exact = inner.run(&p, &[0, 1]);
+        let coarse = SampledRunner::new(inner.clone(), 128, 7).run(&p, &[0, 1]);
+        let fine = SampledRunner::new(inner, 1 << 20, 7).run(&p, &[0, 1]);
+        let dist = |o: &RunOutput| Distribution::from_probs(2, o.dist.clone());
+        let f_coarse = hellinger_fidelity(&dist(&coarse), &dist(&exact));
+        let f_fine = hellinger_fidelity(&dist(&fine), &dist(&exact));
+        assert!(f_fine > 0.9999, "1M shots ≈ exact: {f_fine}");
+        assert!(f_fine >= f_coarse - 1e-9, "{f_coarse} -> {f_fine}");
     }
 
     #[test]

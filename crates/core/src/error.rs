@@ -85,6 +85,21 @@ pub enum ExecError {
     /// Recombination consumed more results than the plan recorded — the
     /// artifacts do not belong to this plan.
     ArtifactsExhausted,
+    /// A finite-shot execution was given a [`qt_sim::ShotPlan`] covering a
+    /// different number of jobs than the plan's deduplicated programs.
+    ShotPlanMismatch {
+        /// Deduplicated programs in the mitigation plan.
+        expected: usize,
+        /// Jobs the shot plan covers.
+        got: usize,
+    },
+    /// A finite-shot execution allocated zero shots to a program: its
+    /// "measured" distribution would be the information-free uniform,
+    /// which recombination cannot distinguish from real data.
+    EmptyShotAllocation {
+        /// The zero-shot program slot.
+        slot: usize,
+    },
     /// Recombination consumed fewer results than the plan recorded, or the
     /// plan's circuit analysis no longer reproduces — the plan and the
     /// artifacts diverged.
@@ -104,6 +119,19 @@ impl std::fmt::Display for ExecError {
                 write!(
                     f,
                     "execution artifacts exhausted before recombination finished"
+                )
+            }
+            ExecError::ShotPlanMismatch { expected, got } => {
+                write!(
+                    f,
+                    "shot plan covers {got} jobs but the plan has {expected} deduplicated programs"
+                )
+            }
+            ExecError::EmptyShotAllocation { slot } => {
+                write!(
+                    f,
+                    "program slot {slot} was allocated zero shots; every planned program \
+                     needs at least one shot to measure anything"
                 )
             }
             ExecError::PlanMismatch { detail } => write!(f, "plan/artifact mismatch: {detail}"),

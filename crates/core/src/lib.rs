@@ -47,5 +47,5 @@ pub mod trace;
 
 pub use error::{ExecError, PlanError, SkippedSubset};
 pub use framework::{run_qutracer, run_qutracer_legacy, QuTracerConfig, QuTracerReport};
-pub use pipeline::{ExecutionArtifacts, MitigationPlan, QuTracer, SubsetPlanSummary};
+pub use pipeline::{ExecutionArtifacts, MitigationPlan, QuTracer, ShotPolicy, SubsetPlanSummary};
 pub use trace::{trace_pair, trace_single, JobKind, JobTag, TraceConfig, TraceOutcome};

@@ -55,11 +55,28 @@ use qt_baselines::OverheadStats;
 use qt_circuit::Circuit;
 use qt_dist::{recombine, Distribution};
 use qt_pcs::QspcStats;
-use qt_sim::{BatchJob, ExecutionTrie, JobInterner, Program, RunOutput, Runner, TrieStats};
+use qt_sim::{
+    BatchJob, ExecutionTrie, JobInterner, Program, RunOutput, Runner, ShotPlan, TrieStats,
+};
 use std::collections::BTreeMap;
 
 /// The framework entry point of the staged pipeline.
 pub struct QuTracer;
+
+/// How [`MitigationPlan::allocate_shots`] splits a total shot budget
+/// across the plan's deduplicated programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShotPolicy {
+    /// Every deduplicated program gets an equal share — what a naive
+    /// executor without fan-out awareness would pay.
+    Uniform,
+    /// Programs are weighted by their request fan-out: a program serving
+    /// `k` logical requests (e.g. the shared ensemble of `k` symmetric
+    /// subsets) gets `k` shares, so every *logical* request sees the same
+    /// effective budget — the paper's per-circuit shot accounting carried
+    /// through deduplication.
+    WeightedByFanout,
+}
 
 /// One deduplicated program of a plan, with every logical request mapped
 /// onto it.
@@ -358,6 +375,7 @@ impl MitigationPlan {
                 .program
                 .two_qubit_gate_count(),
             batch: Some(self.batch_stats),
+            total_shots: None,
         }
     }
 
@@ -407,16 +425,153 @@ impl MitigationPlan {
         Ok(ExecutionArtifacts {
             plan: self,
             outputs,
+            sampled_shots: None,
+        })
+    }
+
+    /// Splits a total shot budget across the plan's deduplicated programs
+    /// (slot order matches [`MitigationPlan::programs`]). Apportionment is
+    /// largest-remainder, so the allocation sums to exactly `total_shots`;
+    /// when the budget covers at least one shot per program, no program is
+    /// left at zero (a zero-shot program would report a uniform — i.e.
+    /// information-free — distribution).
+    pub fn allocate_shots(&self, total_shots: usize, policy: ShotPolicy) -> ShotPlan {
+        let n = self.programs.len();
+        let weights: Vec<f64> = match policy {
+            ShotPolicy::Uniform => vec![1.0; n],
+            ShotPolicy::WeightedByFanout => {
+                // Logical requests per program slot: the global run plus
+                // one request per slot occurrence in every assignment's
+                // walk (symmetric subsets replay a shared walk, so its
+                // slots count once per subset served). Sums to
+                // `n_requests()` by construction.
+                let mut fanout = vec![0usize; n];
+                fanout[self.global_slot] += 1;
+                for a in &self.assignments {
+                    for &slot in &self.traces[a.trace].slots {
+                        fanout[slot] += 1;
+                    }
+                }
+                fanout.iter().map(|&f| f.max(1) as f64).collect()
+            }
+        };
+        let total_weight: f64 = weights.iter().sum();
+        if n == 0 || total_weight <= 0.0 {
+            return ShotPlan::from_shots(vec![0; n]);
+        }
+        let quotas: Vec<f64> = weights
+            .iter()
+            .map(|w| total_shots as f64 * w / total_weight)
+            .collect();
+        let mut shots: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        // The quotas sum to `total_shots` exactly, so the rounding shortfall
+        // is strictly less than `n`: one extra shot to each of the largest
+        // fractional remainders settles it (ties resolved by slot order so
+        // the allocation is deterministic).
+        let leftover = total_shots.saturating_sub(shots.iter().sum::<usize>());
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let (fa, fb) = (quotas[a].fract(), quotas[b].fract());
+            fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        });
+        for &i in order.iter().take(leftover) {
+            shots[i] += 1;
+        }
+        // Floor of one shot per program when the budget affords it, funded
+        // from the largest allocations.
+        if total_shots >= n {
+            while let Some(zero) = shots.iter().position(|&s| s == 0) {
+                let donor = (0..n).max_by_key(|&i| shots[i]).expect("n > 0");
+                if shots[donor] <= 1 {
+                    break;
+                }
+                shots[donor] -= 1;
+                shots[zero] += 1;
+            }
+        }
+        ShotPlan::from_shots(shots)
+    }
+
+    /// Stage 2 at a finite shot budget: executes every planned program as
+    /// one batched *sampled* submission — the same prefix-clustered job
+    /// stream as [`MitigationPlan::execute`], so trie prefix sharing and
+    /// cross-subset dedup carry over, with each deduplicated program
+    /// sampled once and its counts fanned out to every logical request.
+    /// The resulting artifacts recombine through the identical classical
+    /// walk, using plug-in empirical frequencies, and record the real
+    /// sampled shots in the report's [`OverheadStats::total_shots`].
+    ///
+    /// `shots` is indexed by program slot ([`MitigationPlan::programs`]
+    /// order — what [`MitigationPlan::allocate_shots`] produces); `seed`
+    /// makes the run reproducible (counts are stable across machines,
+    /// thread counts and batch policies).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::ShotPlanMismatch`] if `shots` does not cover exactly
+    /// the plan's programs; [`ExecError::EmptyShotAllocation`] if any
+    /// program is allocated zero shots (its "measurement" would be the
+    /// uniform distribution — fabricated data recombination cannot tell
+    /// from a real result); [`ExecError::ResultCountMismatch`] if the
+    /// runner violates the batch contract.
+    pub fn execute_sampled<'p, R: Runner>(
+        &'p self,
+        runner: &R,
+        shots: &ShotPlan,
+        seed: u64,
+    ) -> Result<ExecutionArtifacts<'p>, ExecError> {
+        if shots.n_jobs() != self.programs.len() {
+            return Err(ExecError::ShotPlanMismatch {
+                expected: self.programs.len(),
+                got: shots.n_jobs(),
+            });
+        }
+        if let Some(slot) = shots.per_job().iter().position(|&s| s == 0) {
+            return Err(ExecError::EmptyShotAllocation { slot });
+        }
+        let jobs: Vec<BatchJob> = self
+            .batch_order
+            .iter()
+            .map(|&slot| self.programs[slot].job.clone())
+            .collect();
+        let ordered =
+            ShotPlan::from_shots(self.batch_order.iter().map(|&s| shots.shots(s)).collect());
+        let clustered = runner.run_batch_sampled(&jobs, &ordered, seed);
+        if clustered.len() != jobs.len() {
+            return Err(ExecError::ResultCountMismatch {
+                expected: jobs.len(),
+                got: clustered.len(),
+            });
+        }
+        let mut outputs: Vec<Option<RunOutput>> = vec![None; self.programs.len()];
+        let mut per_slot_shots: Vec<u64> = vec![0; self.programs.len()];
+        for (&slot, out) in self.batch_order.iter().zip(&clustered) {
+            per_slot_shots[slot] = out.counts.iter().sum();
+            outputs[slot] = Some(out.to_run_output());
+        }
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.expect("batch order is a permutation of the program slots"))
+            .collect();
+        Ok(ExecutionArtifacts {
+            plan: self,
+            outputs,
+            sampled_shots: Some(per_slot_shots),
         })
     }
 }
 
 /// Stage-2 output: the raw results of every planned program, still keyed
-/// by the plan that produced them.
+/// by the plan that produced them. Finite-shot executions
+/// ([`MitigationPlan::execute_sampled`]) carry empirical-frequency
+/// distributions plus the per-program shots actually sampled; exact
+/// executions carry simulator probabilities and no shot record.
 #[derive(Debug, Clone)]
 pub struct ExecutionArtifacts<'p> {
     plan: &'p MitigationPlan,
     outputs: Vec<RunOutput>,
+    /// Shots sampled per program slot (`None` for exact executions).
+    sampled_shots: Option<Vec<u64>>,
 }
 
 impl ExecutionArtifacts<'_> {
@@ -428,6 +583,17 @@ impl ExecutionArtifacts<'_> {
     /// Raw results, aligned with [`MitigationPlan::programs`].
     pub fn outputs(&self) -> &[RunOutput] {
         &self.outputs
+    }
+
+    /// Shots sampled per program slot, aligned with
+    /// [`MitigationPlan::programs`] (`None` for exact executions).
+    pub fn sampled_shots(&self) -> Option<&[u64]> {
+        self.sampled_shots.as_deref()
+    }
+
+    /// Total shots sampled across the batch (`None` for exact executions).
+    pub fn total_sampled_shots(&self) -> Option<u64> {
+        self.sampled_shots.as_ref().map(|v| v.iter().copied().sum())
     }
 
     /// Stage 3: replays every subset's walk against the recorded results
@@ -498,6 +664,7 @@ impl ExecutionArtifacts<'_> {
                 },
                 global_two_qubit_gates: global_out.two_qubit_gates,
                 batch: Some(plan.batch_stats),
+                total_shots: self.total_sampled_shots(),
             },
             subset_stats,
         })

@@ -1,0 +1,190 @@
+//! Finite-shot pipeline properties: the sampled staged pipeline
+//! (`plan → execute_sampled → recombine`) must converge to the exact
+//! pipeline as the shot budget grows, allocate budgets exactly, record
+//! real shots in the overhead stats, and surface shape errors as typed
+//! values instead of panics.
+
+use proptest::prelude::*;
+use qt_algos::{qaoa::QaoaParams, qaoa_maxcut, ring_graph, vqe_ansatz};
+use qt_circuit::Circuit;
+use qt_core::{ExecError, QuTracer, QuTracerConfig, ShotPolicy};
+use qt_dist::hellinger_fidelity;
+use qt_sim::{Backend, Executor, NoiseModel, ShotPlan};
+
+fn executor() -> Executor {
+    Executor::with_backend(
+        NoiseModel::depolarizing(0.002, 0.02).with_readout(0.03),
+        Backend::DensityMatrix,
+    )
+}
+
+/// A random small paper workload (kept to sizes the exact DM engine
+/// handles instantly, so the proptest sweep stays cheap).
+fn arb_workload() -> impl Strategy<Value = (Circuit, Vec<usize>, QuTracerConfig)> {
+    prop_oneof![
+        (4usize..6, 1usize..3, 0u64..50).prop_map(|(n, layers, seed)| {
+            (
+                vqe_ansatz(n, layers, seed),
+                (0..n).collect(),
+                QuTracerConfig::single(),
+            )
+        }),
+        (4usize..6, 1usize..3, 0u64..50).prop_map(|(n, p, seed)| {
+            (
+                qaoa_maxcut(n, &ring_graph(n), &QaoaParams::seeded(p, seed)),
+                (0..n).collect(),
+                QuTracerConfig::pairs().with_symmetric_subsets(),
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline finite-shot property: as the per-program budget grows,
+    /// the sampled pipeline's refined distribution converges to the exact
+    /// pipeline's (Hellinger fidelity → 1), and it gets there through real
+    /// sampled counts whose total the report records.
+    #[test]
+    fn sampled_pipeline_converges_to_exact((circ, measured, cfg) in arb_workload(), seed in 0u64..1000) {
+        let exec = executor();
+        let plan = QuTracer::plan(&circ, &measured, &cfg).expect("plannable workload");
+        let exact = plan
+            .execute(&exec)
+            .expect("exact execution")
+            .recombine()
+            .expect("exact recombination");
+        prop_assert!(exact.stats.total_shots.is_none(), "exact runs pay in densities");
+
+        let mut fidelities = Vec::new();
+        for per_program in [64usize, 65_536] {
+            let budget = per_program * plan.n_programs();
+            let shots = plan.allocate_shots(budget, ShotPolicy::Uniform);
+            let report = plan
+                .execute_sampled(&exec, &shots, seed)
+                .expect("sampled execution")
+                .recombine()
+                .expect("sampled recombination");
+            prop_assert_eq!(report.stats.total_shots, Some(budget as u64));
+            fidelities.push(hellinger_fidelity(&report.distribution, &exact.distribution));
+        }
+        prop_assert!(
+            fidelities[1] > 0.995,
+            "64k shots/program must track the exact pipeline: {fidelities:?}"
+        );
+        prop_assert!(
+            fidelities[1] >= fidelities[0] - 0.02,
+            "fidelity must not degrade with more shots: {fidelities:?}"
+        );
+    }
+
+    /// Sampling is a pure function of the plan, the shot plan and the seed.
+    #[test]
+    fn sampled_pipeline_is_seed_stable((circ, measured, cfg) in arb_workload()) {
+        let exec = executor();
+        let plan = QuTracer::plan(&circ, &measured, &cfg).expect("plannable workload");
+        let shots = plan.allocate_shots(2048 * plan.n_programs(), ShotPolicy::Uniform);
+        let a = plan.execute_sampled(&exec, &shots, 5).unwrap().recombine().unwrap();
+        let b = plan.execute_sampled(&exec, &shots, 5).unwrap().recombine().unwrap();
+        for (x, y) in a.distribution.probs().iter().zip(b.distribution.probs()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "same seed, same distribution");
+        }
+    }
+}
+
+#[test]
+fn uniform_allocation_splits_exactly() {
+    let circ = vqe_ansatz(5, 2, 3);
+    let measured: Vec<usize> = (0..5).collect();
+    let plan = QuTracer::plan(&circ, &measured, &QuTracerConfig::single()).unwrap();
+    let n = plan.n_programs();
+    // A budget that does not divide evenly: largest-remainder must still
+    // sum exactly, with every program within one shot of the others.
+    let total = 10 * n + n / 2;
+    let shots = plan.allocate_shots(total, ShotPolicy::Uniform);
+    assert_eq!(shots.n_jobs(), n);
+    assert_eq!(shots.total_shots(), total as u64);
+    let (min, max) = (
+        shots.per_job().iter().min().unwrap(),
+        shots.per_job().iter().max().unwrap(),
+    );
+    assert!(max - min <= 1, "uniform split spread {min}..{max}");
+}
+
+#[test]
+fn fanout_weighted_allocation_favors_shared_programs() {
+    // Symmetric QAOA pairs: one shared ensemble serves all 6 subsets, so
+    // its programs carry fan-out ~6 while the global run has fan-out 1.
+    let n = 6;
+    let circ = qaoa_maxcut(n, &ring_graph(n), &QaoaParams::seeded(1, 5));
+    let measured: Vec<usize> = (0..n).collect();
+    let cfg = QuTracerConfig::pairs().with_symmetric_subsets();
+    let plan = QuTracer::plan(&circ, &measured, &cfg).unwrap();
+    assert!(plan.n_requests() > plan.n_programs(), "dedup happened");
+
+    let total = 1000 * plan.n_requests();
+    let weighted = plan.allocate_shots(total, ShotPolicy::WeightedByFanout);
+    assert_eq!(weighted.total_shots(), total as u64);
+    // Programs serving many requests get proportionally more than the
+    // single-request ones.
+    let (min, max) = (
+        *weighted.per_job().iter().min().unwrap(),
+        *weighted.per_job().iter().max().unwrap(),
+    );
+    assert!(
+        max >= 5 * min.max(1),
+        "fan-out weighting should spread allocations: {min}..{max}"
+    );
+    // Every program gets at least one shot when the budget affords it.
+    assert!(min >= 1, "no zero-shot programs");
+    let uniform = plan.allocate_shots(plan.n_programs(), ShotPolicy::Uniform);
+    assert!(uniform.per_job().iter().all(|&s| s == 1));
+}
+
+#[test]
+fn mismatched_shot_plans_are_typed_errors() {
+    let circ = vqe_ansatz(4, 1, 7);
+    let measured: Vec<usize> = (0..4).collect();
+    let plan = QuTracer::plan(&circ, &measured, &QuTracerConfig::single()).unwrap();
+    let exec = executor();
+    let wrong = ShotPlan::uniform(plan.n_programs() + 3, 100);
+    match plan.execute_sampled(&exec, &wrong, 1) {
+        Err(ExecError::ShotPlanMismatch { expected, got }) => {
+            assert_eq!(expected, plan.n_programs());
+            assert_eq!(got, plan.n_programs() + 3);
+        }
+        other => panic!("expected ShotPlanMismatch, got {other:?}"),
+    }
+    let e = plan.execute_sampled(&exec, &wrong, 1).unwrap_err();
+    assert!(e.to_string().contains("shot plan"), "{e}");
+
+    // A zero-shot program would fabricate a uniform "measurement" that
+    // recombination cannot tell from real data — rejected up front.
+    let mut per_job = vec![100usize; plan.n_programs()];
+    per_job[1] = 0;
+    match plan.execute_sampled(&exec, &ShotPlan::from_shots(per_job), 1) {
+        Err(ExecError::EmptyShotAllocation { slot }) => assert_eq!(slot, 1),
+        other => panic!("expected EmptyShotAllocation, got {other:?}"),
+    }
+}
+
+#[test]
+fn sampled_artifacts_expose_per_program_shots() {
+    let circ = vqe_ansatz(4, 1, 2);
+    let measured: Vec<usize> = (0..4).collect();
+    let plan = QuTracer::plan(&circ, &measured, &QuTracerConfig::single()).unwrap();
+    let exec = executor();
+    let shots = plan.allocate_shots(500 * plan.n_programs(), ShotPolicy::Uniform);
+    let artifacts = plan.execute_sampled(&exec, &shots, 3).unwrap();
+    let per_slot = artifacts
+        .sampled_shots()
+        .expect("sampled run records shots");
+    assert_eq!(per_slot.len(), plan.n_programs());
+    for (i, &s) in per_slot.iter().enumerate() {
+        assert_eq!(s, shots.shots(i) as u64, "slot {i}");
+    }
+    assert_eq!(artifacts.total_sampled_shots(), Some(shots.total_shots()));
+    // The exact path records nothing.
+    assert_eq!(plan.execute(&exec).unwrap().total_sampled_shots(), None);
+}

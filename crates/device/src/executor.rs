@@ -101,8 +101,12 @@ impl Runner for DeviceExecutor {
         if self.twirl_large_registers {
             // Twirl exactly when the backend resolves this register to the
             // sampling engine (its stratified fast path needs mixtures).
+            // Twirling is an optimization: a model carrying an untwirlable
+            // (>2-qubit) channel keeps its original channels instead.
             if let ResolvedEngine::Trajectory(_) = self.backend.resolve(compact.n_qubits()) {
-                noise = noise.pauli_twirled();
+                if let Ok(twirled) = noise.pauli_twirled() {
+                    noise = twirled;
+                }
             }
         }
         let exec = Executor::with_backend(noise, self.backend);
@@ -144,8 +148,12 @@ impl Runner for DeviceExecutor {
         let run_group = |physical: &[usize], idxs: &[usize], backend: Backend| {
             let mut noise = self.device.noise_model_for(physical);
             if self.twirl_large_registers {
+                // As in `run`: skip the twirl (an optimization) when the
+                // model carries an untwirlable channel.
                 if let ResolvedEngine::Trajectory(_) = backend.resolve(physical.len()) {
-                    noise = noise.pauli_twirled();
+                    if let Ok(twirled) = noise.pauli_twirled() {
+                        noise = twirled;
+                    }
                 }
             }
             let exec = Executor::with_backend(noise, backend);

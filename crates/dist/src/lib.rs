@@ -7,6 +7,12 @@
 //! measurement subsetting, QuTracer's traced subsets, SQEM's virtualized
 //! checks). This crate owns that final, purely classical stage.
 //!
+//! Exact simulators hand over probability vectors ([`Distribution`]);
+//! hardware — and the finite-shot execution mode mirroring it — hands over
+//! sampled [`Counts`]. The count-based estimators here carry shot-noise
+//! error bars ([`Estimate`]), because the paper's cost metric is *shots*
+//! and every sampled quantity trades accuracy against that budget.
+//!
 //! # Example
 //!
 //! ```
@@ -153,6 +159,171 @@ impl Distribution {
     }
 }
 
+/// Per-outcome measurement counts over `n_bits`-bit outcomes — the
+/// finite-shot counterpart of [`Distribution`] (what hardware, and the
+/// workspace's sampled execution mode, actually returns).
+///
+/// Bit conventions match [`Distribution`]: outcome index bit `i`
+/// corresponds to measured qubit `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counts {
+    n_bits: usize,
+    counts: Vec<u64>,
+}
+
+impl Counts {
+    /// Builds a count table over `n_bits` outcomes. `counts` shorter than
+    /// `2^n_bits` is zero-padded (never-observed outcomes may be omitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is longer than `2^n_bits`.
+    pub fn from_counts(n_bits: usize, mut counts: Vec<u64>) -> Self {
+        let dim = 1usize << n_bits;
+        assert!(
+            counts.len() <= dim,
+            "{} counts do not fit {} bits",
+            counts.len(),
+            n_bits
+        );
+        counts.resize(dim, 0);
+        Counts { n_bits, counts }
+    }
+
+    /// Number of outcome bits.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of outcomes (`2^n_bits`).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the table has zero outcomes (never: kept for the
+    /// conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The raw count vector, indexed by outcome.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of `outcome`, 0 when out of range.
+    pub fn count(&self, outcome: usize) -> u64 {
+        self.counts.get(outcome).copied().unwrap_or(0)
+    }
+
+    /// Total shots recorded.
+    pub fn shots(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The empirical frequency of `outcome` (`count / shots`); 0.0 when no
+    /// shots were recorded.
+    pub fn frequency(&self, outcome: usize) -> f64 {
+        let shots = self.shots();
+        if shots == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / shots as f64
+        }
+    }
+
+    /// The plug-in estimator of the underlying distribution: empirical
+    /// frequencies, normalized. Zero recorded shots yield the uniform
+    /// distribution (consistent with [`Distribution::normalized`] on a
+    /// zero-mass vector).
+    pub fn to_distribution(&self) -> Distribution {
+        Distribution::from_probs(self.n_bits, self.counts.iter().map(|&c| c as f64).collect())
+            .normalized()
+    }
+
+    /// Marginal counts over the given bit `positions` (bit `j` of the
+    /// marginal index is bit `positions[j]` of the full index). Exact —
+    /// marginalizing counts loses no shots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range.
+    pub fn marginal(&self, positions: &[usize]) -> Counts {
+        for &p in positions {
+            assert!(
+                p < self.n_bits,
+                "bit position {p} out of {} bits",
+                self.n_bits
+            );
+        }
+        let dim = 1usize << positions.len();
+        let mut out = vec![0u64; dim];
+        for (x, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let mut y = 0usize;
+            for (j, &pos) in positions.iter().enumerate() {
+                y |= ((x >> pos) & 1) << j;
+            }
+            out[y] += c;
+        }
+        Counts {
+            n_bits: positions.len(),
+            counts: out,
+        }
+    }
+
+    /// The binomial standard error of the empirical frequency of `outcome`:
+    /// `√(p̂(1−p̂)/N)`. Infinite when no shots were recorded.
+    pub fn std_error(&self, outcome: usize) -> f64 {
+        let shots = self.shots();
+        if shots == 0 {
+            return f64::INFINITY;
+        }
+        let p = self.count(outcome) as f64 / shots as f64;
+        (p * (1.0 - p) / shots as f64).sqrt()
+    }
+
+    /// Accumulates another count table over the same outcome space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit counts differ.
+    pub fn absorb(&mut self, other: &Counts) {
+        assert_eq!(
+            self.n_bits, other.n_bits,
+            "cannot merge counts over different outcome spaces"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Iterates `(outcome, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().copied().enumerate()
+    }
+}
+
+/// A sampled scalar estimate with its one-sigma shot-noise error bar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The point estimate.
+    pub value: f64,
+    /// One standard error of the estimator under multinomial shot noise.
+    pub std_error: f64,
+}
+
+impl Estimate {
+    /// Whether `value` lies within `k` of *this* estimate's standard
+    /// errors. To compare two noisy estimates, fold their bars together
+    /// first (`√(σ₁² + σ₂²)`) — this check uses only `self.std_error`.
+    pub fn consistent_with(&self, value: f64, k: f64) -> bool {
+        (self.value - value).abs() <= k * self.std_error
+    }
+}
+
 /// The Hellinger fidelity `(Σᵢ √(pᵢ qᵢ))²` between two distributions over
 /// the same outcome space — the metric every table and figure of the paper
 /// reports. Inputs are normalized internally, so sub-normalized
@@ -179,6 +350,40 @@ pub fn hellinger_fidelity(p: &Distribution, q: &Distribution) -> f64 {
         .sum();
     let f = (bc * scale).powi(2);
     f.min(1.0)
+}
+
+/// The plug-in Hellinger fidelity between two sampled count tables, with a
+/// delta-method shot-noise error bar.
+///
+/// The point estimate is [`hellinger_fidelity`] of the empirical
+/// frequencies. For the error bar, write `BC = Σᵢ √(p̂ᵢ q̂ᵢ)`; under
+/// independent multinomial sampling the delta method gives
+/// `Var(BC) ≈ (1 − BC²)/4 · (1/N_p + 1/N_q)`, and `F = BC²` propagates to
+/// `σ_F ≈ 2·BC·σ_BC`. The bar is infinite when either side recorded zero
+/// shots.
+///
+/// # Panics
+///
+/// Panics if the count tables have different bit counts.
+pub fn hellinger_fidelity_sampled(p: &Counts, q: &Counts) -> Estimate {
+    assert_eq!(
+        p.n_bits, q.n_bits,
+        "fidelity requires matching outcome spaces"
+    );
+    let value = hellinger_fidelity(&p.to_distribution(), &q.to_distribution());
+    let (np, nq) = (p.shots() as f64, q.shots() as f64);
+    if np == 0.0 || nq == 0.0 {
+        return Estimate {
+            value,
+            std_error: f64::INFINITY,
+        };
+    }
+    let bc = value.sqrt();
+    let var_bc = (1.0 - value).max(0.0) / 4.0 * (1.0 / np + 1.0 / nq);
+    Estimate {
+        value,
+        std_error: 2.0 * bc * var_bc.sqrt(),
+    }
 }
 
 #[cfg(test)]
@@ -250,5 +455,85 @@ mod tests {
         let p = Distribution::from_probs(2, vec![0.1, 0.2, 0.3, 0.4]);
         let scaled = Distribution::from_probs(2, vec![0.2, 0.4, 0.6, 0.8]);
         assert!((hellinger_fidelity(&p, &scaled) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_pad_total_and_frequencies() {
+        let c = Counts::from_counts(2, vec![30, 10]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.count(1), 10);
+        assert_eq!(c.count(3), 0);
+        assert_eq!(c.shots(), 40);
+        assert!((c.frequency(0) - 0.75).abs() < 1e-12);
+        let d = c.to_distribution();
+        assert!((d.total() - 1.0).abs() < 1e-12);
+        assert!((d.prob(0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn counts_reject_too_many_entries() {
+        let _ = Counts::from_counts(1, vec![1; 3]);
+    }
+
+    #[test]
+    fn zero_shot_counts_yield_uniform_and_infinite_error() {
+        let c = Counts::from_counts(1, vec![]);
+        let d = c.to_distribution();
+        assert!((d.prob(0) - 0.5).abs() < 1e-12);
+        assert!(c.std_error(0).is_infinite());
+        assert_eq!(c.frequency(1), 0.0);
+    }
+
+    #[test]
+    fn counts_marginal_loses_no_shots_and_reorders_bits() {
+        let c = Counts::from_counts(2, vec![7, 3, 2, 8]);
+        let m0 = c.marginal(&[0]);
+        assert_eq!(m0.counts(), &[9, 11]);
+        assert_eq!(m0.shots(), c.shots());
+        let swapped = c.marginal(&[1, 0]);
+        assert_eq!(swapped.count(0b01), c.count(0b10));
+        assert_eq!(swapped.count(0b10), c.count(0b01));
+    }
+
+    #[test]
+    fn counts_absorb_accumulates() {
+        let mut a = Counts::from_counts(1, vec![1, 2]);
+        a.absorb(&Counts::from_counts(1, vec![10, 20]));
+        assert_eq!(a.counts(), &[11, 22]);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_shots() {
+        let small = Counts::from_counts(1, vec![50, 50]);
+        let large = Counts::from_counts(1, vec![5000, 5000]);
+        assert!(large.std_error(0) < small.std_error(0));
+        // √(0.25/10000) = 0.005.
+        assert!((large.std_error(0) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_fidelity_matches_plugin_estimate_with_shrinking_bars() {
+        let p = Counts::from_counts(1, vec![60, 40]);
+        let q = Counts::from_counts(1, vec![40, 60]);
+        let est = hellinger_fidelity_sampled(&p, &q);
+        let exact = hellinger_fidelity(&p.to_distribution(), &q.to_distribution());
+        assert!((est.value - exact).abs() < 1e-12);
+        assert!(est.std_error > 0.0 && est.std_error < 0.2);
+        // 100x the shots → ~10x tighter bar.
+        let p10 = Counts::from_counts(1, vec![6000, 4000]);
+        let q10 = Counts::from_counts(1, vec![4000, 6000]);
+        let tight = hellinger_fidelity_sampled(&p10, &q10);
+        assert!(tight.std_error < est.std_error / 5.0);
+        assert!(est.consistent_with(exact, 1.0));
+        // Identical tables → fidelity 1 with a vanishing bar.
+        let same = hellinger_fidelity_sampled(&p, &p);
+        assert!((same.value - 1.0).abs() < 1e-12);
+        assert!(same.std_error < 1e-6);
+        // Zero shots on either side → infinite bar.
+        let empty = Counts::from_counts(1, vec![]);
+        assert!(hellinger_fidelity_sampled(&p, &empty)
+            .std_error
+            .is_infinite());
     }
 }

@@ -15,48 +15,118 @@
 //! local distribution; applying it for every subset folds all local
 //! information into the global picture (Fig. 4, stage ❸ of the paper).
 
-use crate::Distribution;
+use crate::{Counts, Distribution};
 
 /// Bin-mass floor below which a marginal bin is considered unobserved and
 /// its ratio skipped (no information to redistribute).
 const MARGINAL_FLOOR: f64 = 1e-15;
 
+/// A shape mismatch between a Bayesian update's inputs.
+///
+/// These were `assert!` panics before the staged pipeline grew typed
+/// errors; recombination runs at the end of an expensive execution stage,
+/// where aborting the process loses every result already paid for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecombineError {
+    /// The local distribution's bit count does not match the subset size.
+    SubsetMismatch {
+        /// Bits of the local distribution.
+        local_bits: usize,
+        /// Positions the caller asked to update.
+        positions: usize,
+    },
+    /// A subset position indexes a bit the global distribution lacks.
+    PositionOutOfRange {
+        /// The offending bit position.
+        position: usize,
+        /// Bits of the global distribution.
+        n_bits: usize,
+    },
+}
+
+impl std::fmt::Display for RecombineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecombineError::SubsetMismatch {
+                local_bits,
+                positions,
+            } => write!(
+                f,
+                "local distribution has {local_bits} bits but {positions} positions were given"
+            ),
+            RecombineError::PositionOutOfRange { position, n_bits } => {
+                write!(f, "bit position {position} out of {n_bits} global bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecombineError {}
+
 /// One Bayesian update of `global` with `local` over the bit `positions`
 /// (positions index bits of `global`; bit `j` of `local`'s outcome space is
 /// `positions[j]`). Returns a normalized distribution whose marginal over
-/// `positions` equals `local` (up to bins `global` assigns zero mass).
+/// `positions` equals `local` on the patterns `global` assigns mass to.
 ///
-/// # Panics
+/// Marginal bins below the observation floor keep their (negligible)
+/// global mass exactly — the local's mass on such patterns cannot be
+/// honored without inventing probability, so it is redistributed over the
+/// *observed* patterns in the local's proportions. Mass is conserved by
+/// construction: the floor branch no longer leans on the final
+/// normalization to paper over a sub-unit posterior, which previously
+/// inflated unobserved bins by the inverse of the local's observed mass.
 ///
-/// Panics if `local`'s bit count does not match `positions.len()` or any
-/// position is out of range.
-pub fn bayesian_update(
+/// # Errors
+///
+/// [`RecombineError`] on a local/subset size mismatch or an out-of-range
+/// position.
+pub fn try_bayesian_update(
     global: &Distribution,
     local: &Distribution,
     positions: &[usize],
-) -> Distribution {
-    assert_eq!(
-        local.n_bits(),
-        positions.len(),
-        "local distribution does not match subset size"
-    );
+) -> Result<Distribution, RecombineError> {
+    if local.n_bits() != positions.len() {
+        return Err(RecombineError::SubsetMismatch {
+            local_bits: local.n_bits(),
+            positions: positions.len(),
+        });
+    }
+    if let Some(&position) = positions.iter().find(|&&p| p >= global.n_bits()) {
+        return Err(RecombineError::PositionOutOfRange {
+            position,
+            n_bits: global.n_bits(),
+        });
+    }
     let local = local.clone().normalized();
     let marginal = global.marginal(positions).normalized();
     let g_total = global.total();
     if g_total <= 0.0 {
-        return Distribution::uniform(global.n_bits());
+        return Ok(Distribution::uniform(global.n_bits()));
     }
 
-    // Precompute the per-pattern ratio L(s)/G_S(s).
+    // Partition the subset patterns into observed (marginal mass at or
+    // above the floor) and unobserved. Unobserved patterns keep their
+    // global mass; the local mass they would have received is rescaled
+    // onto the observed patterns so the posterior stays normalized
+    // without a corrective global rescale.
+    let observed_local: f64 = (0..local.len())
+        .filter(|&s| marginal.prob(s) >= MARGINAL_FLOOR)
+        .map(|s| local.prob(s))
+        .sum();
+    let unobserved_mass: f64 = (0..local.len())
+        .filter(|&s| marginal.prob(s) < MARGINAL_FLOOR)
+        .map(|s| marginal.prob(s))
+        .sum();
+    // Precompute the per-pattern ratio: target subset mass / current mass.
     let ratios: Vec<f64> = (0..local.len())
         .map(|s| {
             let m = marginal.prob(s);
-            if m < MARGINAL_FLOOR {
-                // The global run never saw this pattern: keep its (zero)
-                // mass instead of inventing probability from nothing.
+            if m < MARGINAL_FLOOR || observed_local <= 0.0 {
+                // Unobserved pattern (or a local with no mass anywhere the
+                // global looked): keep the global's mass untouched.
                 1.0
             } else {
-                local.prob(s) / m
+                local.prob(s) * (1.0 - unobserved_mass) / (observed_local * m)
             }
         })
         .collect();
@@ -71,7 +141,22 @@ pub fn bayesian_update(
             p.max(0.0) * ratios[s]
         })
         .collect();
-    Distribution::from_probs(global.n_bits(), probs).normalized()
+    Ok(Distribution::from_probs(global.n_bits(), probs).normalized())
+}
+
+/// [`try_bayesian_update`], panicking on shape mismatches — the historical
+/// signature, kept for callers whose inputs are correct by construction.
+///
+/// # Panics
+///
+/// Panics if `local`'s bit count does not match `positions.len()` or any
+/// position is out of range.
+pub fn bayesian_update(
+    global: &Distribution,
+    local: &Distribution,
+    positions: &[usize],
+) -> Distribution {
+    try_bayesian_update(global, local, positions).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Folds every `(local, positions)` pair into `global` by sequential
@@ -81,15 +166,73 @@ pub fn bayesian_update(
 /// Updates are applied in the given order; with overlapping subsets later
 /// updates take precedence on the shared bits (the workloads here use
 /// disjoint or symmetric subsets, where order is immaterial).
+///
+/// # Errors
+///
+/// [`RecombineError`] on the first shape-mismatched pair.
+pub fn try_bayesian_update_all(
+    global: &Distribution,
+    locals: &[(Distribution, Vec<usize>)],
+) -> Result<Distribution, RecombineError> {
+    let mut acc = global.clone().normalized();
+    for (local, positions) in locals {
+        acc = try_bayesian_update(&acc, local, positions)?;
+    }
+    Ok(acc)
+}
+
+/// [`try_bayesian_update_all`], panicking on shape mismatches.
+///
+/// # Panics
+///
+/// Panics if any pair's bit count does not match its positions or a
+/// position is out of range.
 pub fn bayesian_update_all(
     global: &Distribution,
     locals: &[(Distribution, Vec<usize>)],
 ) -> Distribution {
-    let mut acc = global.clone().normalized();
+    try_bayesian_update_all(global, locals).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The finite-shot Bayesian update (the paper's `P(x|s)` over sampled
+/// counts): plug-in empirical frequencies on both sides. Subset patterns
+/// the global counts never landed in are genuinely unobserved here (exact
+/// zeros, not numeric dust), so the observation-floor handling of
+/// [`try_bayesian_update`] is load-bearing rather than defensive.
+///
+/// # Errors
+///
+/// [`RecombineError`] on a local/subset size mismatch or an out-of-range
+/// position.
+pub fn bayesian_update_counts(
+    global: &Counts,
+    local: &Counts,
+    positions: &[usize],
+) -> Result<Distribution, RecombineError> {
+    // `to_distribution` preserves bit counts, so `try_bayesian_update`'s
+    // own shape validation covers the count tables too.
+    try_bayesian_update(
+        &global.to_distribution(),
+        &local.to_distribution(),
+        positions,
+    )
+}
+
+/// Folds every sampled `(local, positions)` pair into the sampled global —
+/// [`bayesian_update_all`] over counts.
+///
+/// # Errors
+///
+/// [`RecombineError`] on the first shape-mismatched pair.
+pub fn bayesian_update_all_counts(
+    global: &Counts,
+    locals: &[(Counts, Vec<usize>)],
+) -> Result<Distribution, RecombineError> {
+    let mut acc = global.to_distribution();
     for (local, positions) in locals {
-        acc = bayesian_update(&acc, local, positions);
+        acc = try_bayesian_update(&acc, &local.to_distribution(), positions)?;
     }
-    acc
+    Ok(acc)
 }
 
 #[cfg(test)]
@@ -170,6 +313,86 @@ mod tests {
                 updated.prob(x)
             );
         }
+    }
+
+    #[test]
+    fn under_floor_marginals_conserve_mass() {
+        // Regression: bit 0's pattern `1` carries marginal mass below the
+        // observation floor. Its ratio is 1.0; previously the posterior was
+        // only renormalized globally afterwards, which inflated the
+        // unobserved bin by the inverse of the local's observed mass
+        // (1/0.6 here). The mass-conserving update keeps it exactly.
+        let tiny = 8e-16;
+        let global = Distribution::from_probs(2, vec![0.7 - tiny, tiny, 0.3, 0.0]);
+        // The local insists on mass 0.4 for the unobserved pattern; only
+        // the remaining 0.6 is honorable.
+        let local = Distribution::from_probs(1, vec![0.6, 0.4]);
+        let updated = bayesian_update(&global, &local, &[0]);
+        assert!((updated.total() - 1.0).abs() < 1e-12, "mass conserved");
+        let m = updated.marginal(&[0]);
+        // The unobserved pattern keeps its prior mass bit-for-bit (no
+        // 1/0.6 inflation), and the observed pattern absorbs the rest.
+        assert!(
+            (m.prob(1) - tiny).abs() < tiny * 1e-6,
+            "unobserved mass moved: {} vs {tiny}",
+            m.prob(1)
+        );
+        assert!((m.prob(0) - (1.0 - tiny)).abs() < 1e-12);
+        // Conditionals within the observed pattern are untouched.
+        assert!((updated.prob(0b00) / updated.prob(0b10) - (0.7 - tiny) / 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typed_errors_replace_shape_asserts() {
+        let global = Distribution::uniform(2);
+        let local = Distribution::uniform(1);
+        assert_eq!(
+            try_bayesian_update(&global, &local, &[0, 1]),
+            Err(RecombineError::SubsetMismatch {
+                local_bits: 1,
+                positions: 2
+            })
+        );
+        assert_eq!(
+            try_bayesian_update(&global, &local, &[5]),
+            Err(RecombineError::PositionOutOfRange {
+                position: 5,
+                n_bits: 2
+            })
+        );
+        let e = try_bayesian_update(&global, &local, &[5]).unwrap_err();
+        assert!(e.to_string().contains('5'), "{e}");
+        assert!(
+            try_bayesian_update_all(&global, &[(local, vec![0, 1])]).is_err(),
+            "update_all surfaces the same errors"
+        );
+    }
+
+    #[test]
+    fn counts_update_matches_plugin_frequencies() {
+        let global = Counts::from_counts(2, vec![40, 10, 40, 10]);
+        let local = Counts::from_counts(1, vec![30, 70]); // bit 1
+        let refined = bayesian_update_counts(&global, &local, &[1]).unwrap();
+        assert!((refined.total() - 1.0).abs() < 1e-12);
+        assert!((refined.marginal(&[1]).prob(1) - 0.7).abs() < 1e-12);
+        // Equivalent to the exact update on the empirical frequencies.
+        let exact = bayesian_update(&global.to_distribution(), &local.to_distribution(), &[1]);
+        for (x, p) in exact.iter() {
+            assert!((refined.prob(x) - p).abs() < 1e-12);
+        }
+        // Never-sampled patterns stay at zero.
+        let sparse_global = Counts::from_counts(1, vec![100, 0]);
+        let optimistic_local = Counts::from_counts(1, vec![50, 50]);
+        let r = bayesian_update_counts(&sparse_global, &optimistic_local, &[0]).unwrap();
+        assert_eq!(r.prob(1), 0.0);
+        assert!((r.total() - 1.0).abs() < 1e-12);
+        // Shape mismatches are typed, not panics.
+        assert!(bayesian_update_counts(&sparse_global, &optimistic_local, &[0, 1]).is_err());
+        assert!(bayesian_update_all_counts(
+            &global,
+            &[(Counts::from_counts(1, vec![1, 1]), vec![9])]
+        )
+        .is_err());
     }
 
     #[test]

@@ -23,10 +23,12 @@ pub mod checks;
 pub mod pcs;
 pub mod qspc;
 
-pub use pcs::{postselected_distribution, z_check_sandwich, PcsProgram};
+pub use pcs::{
+    postselected_distribution, postselected_distribution_sampled, z_check_sandwich, PcsProgram,
+};
 pub use qspc::{
     bloch_state_from_expectations, combine_pair_mitigated, combine_pair_unmitigated,
     combine_single_mitigated, combine_single_unmitigated, project_to_physical, tabulate_pair,
-    tabulate_single, PairEnsemble, PairEnsembleKey, QspcConfig, QspcPair, QspcPairSpec, QspcSingle,
-    QspcSingleSpec, QspcStats, SingleEnsemble,
+    tabulate_pair_sampled, tabulate_single, tabulate_single_sampled, PairEnsemble, PairEnsembleKey,
+    QspcConfig, QspcPair, QspcPairSpec, QspcSingle, QspcSingleSpec, QspcStats, SingleEnsemble,
 };

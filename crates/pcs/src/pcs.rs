@@ -12,7 +12,7 @@
 //!   noise model (Fig. 2(d), where PCS *hurts*).
 
 use qt_circuit::{Circuit, Gate, Instruction};
-use qt_sim::{apply_readout, Executor, Program};
+use qt_sim::{apply_readout, sample_counts_deterministic, Executor, Program};
 
 /// An assembled PCS program.
 #[derive(Debug, Clone)]
@@ -135,6 +135,63 @@ pub fn postselected_distribution(
     }
 }
 
+/// Finite-shot [`postselected_distribution`]: the program is *sampled* at
+/// `shots` measurement shots and post-selection operates on the counts —
+/// acceptance becomes a ratio of counts and discarded shots are genuinely
+/// lost, exactly as on hardware. Deterministic in `(program, shots, seed)`.
+///
+/// Returns the normalized post-selected frequencies over `measured` (the
+/// uniform distribution when every shot is rejected) and the acceptance
+/// fraction.
+pub fn postselected_distribution_sampled(
+    exec: &Executor,
+    pcs: &PcsProgram,
+    measured: &[usize],
+    shots: usize,
+    seed: u64,
+) -> (Vec<f64>, f64) {
+    let m = measured.len();
+    if pcs.ideal_checks {
+        // Noiseless ancilla readout: the post-selection itself is exact
+        // and only the final payload measurement is shot-limited.
+        let (exact, acc) = postselected_distribution(exec, pcs, measured);
+        let counts = sample_counts_deterministic(&exact, shots, seed, 1);
+        let total: u64 = counts.iter().sum();
+        let dist = if total == 0 {
+            vec![1.0 / (1usize << m) as f64; 1 << m]
+        } else {
+            counts.iter().map(|&c| c as f64 / total as f64).collect()
+        };
+        return (dist, acc);
+    }
+    // Noisy checks: sample the joint payload+ancilla readout, then keep
+    // only the shots whose ancillas all read 0.
+    let mut all: Vec<usize> = measured.to_vec();
+    all.extend_from_slice(&pcs.ancillas);
+    let raw = exec.raw_distribution(&pcs.program, &all);
+    let noisy_all = apply_readout(&raw, &all, &exec.noise().readout);
+    let counts = sample_counts_deterministic(&noisy_all, shots, seed, 1);
+    let mut kept = vec![0u64; 1 << m];
+    for (idx, &c) in counts.iter().enumerate() {
+        if idx >> m == 0 {
+            kept[idx & ((1 << m) - 1)] += c;
+        }
+    }
+    let accepted: u64 = kept.iter().sum();
+    let total: u64 = counts.iter().sum();
+    let dist = if accepted == 0 {
+        vec![1.0 / (1usize << m) as f64; 1 << m]
+    } else {
+        kept.iter().map(|&c| c as f64 / accepted as f64).collect()
+    };
+    let acc = if total == 0 {
+        0.0
+    } else {
+        accepted as f64 / total as f64
+    };
+    (dist, acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +270,46 @@ mod tests {
         let fn_ = hellinger_fidelity(&Distribution::from_probs(2, dn), &ideal);
         let fi = hellinger_fidelity(&Distribution::from_probs(2, di), &ideal);
         assert!(fi >= fn_ - 1e-9, "ideal {fi} vs noisy {fn_}");
+    }
+
+    #[test]
+    fn sampled_postselection_converges_to_exact() {
+        // Both branches (ideal and noisy checks) of the finite-shot
+        // post-selection must approach the exact distribution and
+        // acceptance as shots grow, and be seed-stable.
+        let (pre, payload) = pieces();
+        let noise = NoiseModel::depolarizing(0.01, 0.05).with_readout(0.08);
+        let exec = Executor::new(noise);
+        for ideal_checks in [true, false] {
+            let pcs = z_check_sandwich(&pre, &payload, &[0], ideal_checks);
+            let (exact, acc) = postselected_distribution(&exec, &pcs, &[0, 1]);
+            let (sampled, s_acc) =
+                postselected_distribution_sampled(&exec, &pcs, &[0, 1], 1 << 18, 3);
+            for (s, e) in sampled.iter().zip(&exact) {
+                assert!((s - e).abs() < 0.01, "ideal={ideal_checks}: {s} vs {e}");
+            }
+            assert!(
+                (s_acc - acc).abs() < 0.01,
+                "ideal={ideal_checks}: acceptance {s_acc} vs {acc}"
+            );
+            let again = postselected_distribution_sampled(&exec, &pcs, &[0, 1], 1 << 18, 3);
+            assert_eq!((sampled, s_acc), again, "seed-stable");
+        }
+    }
+
+    #[test]
+    fn sampled_postselection_rejecting_everything_degrades_safely() {
+        // A payload-wide X anti-commutes with the ideal Z check: every
+        // shot is rejected, and the sampled path reports zero acceptance
+        // with a uniform (information-free) distribution instead of
+        // dividing by zero.
+        let mut payload = Circuit::new(1);
+        payload.x(0);
+        let pcs = z_check_sandwich(&Circuit::new(1), &payload, &[0], false);
+        let exec = Executor::new(NoiseModel::ideal());
+        let (dist, acc) = postselected_distribution_sampled(&exec, &pcs, &[0], 5000, 1);
+        assert!(acc < 1e-9, "X error must be fully rejected, acc={acc}");
+        assert!((dist[0] - 0.5).abs() < 1e-12 && (dist[1] - 0.5).abs() < 1e-12);
     }
 
     #[test]

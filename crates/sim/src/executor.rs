@@ -36,6 +36,147 @@ pub struct RunOutput {
     pub two_qubit_gates: usize,
 }
 
+/// The result of one finite-shot program execution: sampled measurement
+/// counts instead of an exact distribution — what hardware (and the
+/// paper's cost accounting, which is denominated in shots) returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledOutput {
+    /// Per-outcome counts over the measured qubits (same indexing as
+    /// [`RunOutput::dist`]); sums to `shots`.
+    pub counts: Vec<u64>,
+    /// Shots sampled for this job.
+    pub shots: usize,
+    /// Gates actually executed (post-transpilation where applicable).
+    pub gates: usize,
+    /// Multi-qubit gates actually executed.
+    pub two_qubit_gates: usize,
+}
+
+impl SampledOutput {
+    /// Draws `shots` multinomial samples from an executed job's noisy
+    /// distribution — the dist-then-sample step shared by every finite-shot
+    /// path. Deterministic in `(out.dist, shots, seed)` alone, so batched,
+    /// serial and re-ordered executions agree bit for bit.
+    pub fn from_run(out: &RunOutput, shots: usize, seed: u64) -> SampledOutput {
+        SampledOutput {
+            counts: sample_counts_deterministic(&out.dist, shots, seed, 1),
+            shots,
+            gates: out.gates,
+            two_qubit_gates: out.two_qubit_gates,
+        }
+    }
+
+    /// The plug-in [`RunOutput`]: empirical frequencies (uniform when no
+    /// shots were recorded, consistent with normalizing a zero-mass
+    /// distribution). Gate statistics carry over unchanged.
+    pub fn to_run_output(&self) -> RunOutput {
+        let total: u64 = self.counts.iter().sum();
+        let dist = if total == 0 {
+            vec![1.0 / self.counts.len().max(1) as f64; self.counts.len()]
+        } else {
+            let inv = 1.0 / total as f64;
+            self.counts.iter().map(|&c| c as f64 * inv).collect()
+        };
+        RunOutput {
+            dist,
+            gates: self.gates,
+            two_qubit_gates: self.two_qubit_gates,
+        }
+    }
+}
+
+/// Per-job shot allocation of one [`Runner::run_batch_sampled`] submission.
+/// Allocation *policies* (splitting a total budget across a mitigation
+/// plan's deduplicated programs) live upstream in `qt-core`; the executor
+/// only needs the final per-job counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShotPlan {
+    per_job: Vec<usize>,
+}
+
+impl ShotPlan {
+    /// The same shot count for every job.
+    pub fn uniform(n_jobs: usize, shots_each: usize) -> Self {
+        ShotPlan {
+            per_job: vec![shots_each; n_jobs],
+        }
+    }
+
+    /// Explicit per-job shot counts.
+    pub fn from_shots(per_job: Vec<usize>) -> Self {
+        ShotPlan { per_job }
+    }
+
+    /// Number of jobs the plan covers.
+    pub fn n_jobs(&self) -> usize {
+        self.per_job.len()
+    }
+
+    /// Shots allocated to `job`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    pub fn shots(&self, job: usize) -> usize {
+        self.per_job[job]
+    }
+
+    /// The per-job shot counts, in job order.
+    pub fn per_job(&self) -> &[usize] {
+        &self.per_job
+    }
+
+    /// Total shots across all jobs.
+    pub fn total_shots(&self) -> u64 {
+        self.per_job.iter().map(|&s| s as u64).sum()
+    }
+}
+
+/// The per-job sampling seed of a batched finite-shot submission: a
+/// SplitMix64-style avalanche over `(seed, index)`, decorrelating jobs from
+/// each other *and* from the per-stream offsets inside one job's sampler
+/// (which are additive in the raw seed).
+fn job_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed
+        ^ (index as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x243f_6a88_85a3_08d3);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Samples `shots` outcomes from a probability vector in a fixed number of
+/// independent seeded streams. The stream layout is a function of the shot
+/// count alone and each stream owns its own RNG, so the counts depend only
+/// on `(dist, shots, seed)` — never on `threads` (which bounds the worker
+/// fan-out, not the result) or the machine's core count.
+pub fn sample_counts_deterministic(
+    dist: &[f64],
+    shots: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<u64> {
+    use rand::SeedableRng;
+    let streams = if shots >= 1 << 14 { 8 } else { 1 };
+    let chunk = shots.div_ceil(streams);
+    let partials = backend::parallel_indexed(streams, threads.clamp(1, streams), |s| {
+        let lo = s * chunk;
+        let hi = ((s + 1) * chunk).min(shots);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            seed.wrapping_add((s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        crate::statevector::sample_from_probs(dist, hi.saturating_sub(lo), &mut rng)
+    });
+    let mut counts = vec![0u64; dist.len()];
+    for part in partials {
+        for (c, p) in counts.iter_mut().zip(part) {
+            *c += p;
+        }
+    }
+    counts
+}
+
 /// One independent unit of work for [`Runner::run_batch`].
 #[derive(Debug, Clone)]
 pub struct BatchJob {
@@ -62,6 +203,15 @@ pub struct BatchJob {
 /// tested build silently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobKey(u128);
+
+impl JobKey {
+    /// The raw 128 key bits — seed material for callers that want
+    /// job-identity-derived randomness (e.g. finite-shot harnesses that
+    /// give equal jobs equal sample noise regardless of submission order).
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+}
 
 /// Two-lane 64-bit mixing hasher behind [`JobKey`] (xorshift-multiply
 /// avalanche per word, distinct seeds and multipliers per lane).
@@ -246,6 +396,56 @@ pub trait Runner {
             .map(|j| self.run(&j.program, &j.measured))
             .collect()
     }
+
+    /// Executes `program` at a finite shot budget: the noisy distribution
+    /// is computed as in [`Runner::run`], then `shots` outcomes are drawn
+    /// from it (dist-then-multinomial). Counts depend only on the job and
+    /// `(shots, seed)` — stable across machines and thread counts.
+    fn run_sampled(
+        &self,
+        program: &Program,
+        measured: &[usize],
+        shots: usize,
+        seed: u64,
+    ) -> SampledOutput {
+        self.run_batch_sampled(
+            &[BatchJob::new(program.clone(), measured)],
+            &ShotPlan::uniform(1, shots),
+            seed,
+        )
+        .remove(0)
+    }
+
+    /// Executes a batch of independent jobs at finite shot budgets,
+    /// returning sampled counts in job order. The default implementation
+    /// runs the batch through [`Runner::run_batch`] — inheriting whatever
+    /// batching the runner does (deduplication, prefix sharing,
+    /// transpilation grouping) — and then samples each job's terminal
+    /// distribution with a per-index seed, so results are bit-identical
+    /// for any scheduling of the same job list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots` does not cover exactly `jobs.len()` jobs (callers
+    /// with fallible plumbing validate first — see
+    /// `qt_core::MitigationPlan::execute_sampled`).
+    fn run_batch_sampled(
+        &self,
+        jobs: &[BatchJob],
+        shots: &ShotPlan,
+        seed: u64,
+    ) -> Vec<SampledOutput> {
+        assert_eq!(
+            jobs.len(),
+            shots.n_jobs(),
+            "shot plan covers a different number of jobs than submitted"
+        );
+        self.run_batch(jobs)
+            .iter()
+            .enumerate()
+            .map(|(i, out)| SampledOutput::from_run(out, shots.shots(i), job_seed(seed, i)))
+            .collect()
+    }
 }
 
 /// How [`Executor::run_batch`] schedules a batch.
@@ -275,6 +475,32 @@ impl Default for BatchPolicy {
         }
     }
 }
+
+/// An invalid [`Executor`] batch configuration, rejected at configuration
+/// time. Before this error existed, `BatchPolicy::Trie { max_live_states:
+/// Some(0) }` was silently clamped to 1 deep inside the trie walk — the
+/// caller asked for an impossible budget and got replay-everything
+/// behaviour with no signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchConfigError {
+    /// `max_live_states` must be at least 1: the walked state itself is
+    /// always live.
+    ZeroLiveStateBudget,
+}
+
+impl std::fmt::Display for BatchConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchConfigError::ZeroLiveStateBudget => write!(
+                f,
+                "max_live_states must be >= 1 (the walked state is always live); \
+                 use None for the automatic budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchConfigError {}
 
 /// Total bytes of checkpoint states the automatic `max_live_states`
 /// derivation budgets per trie walk.
@@ -312,6 +538,31 @@ impl Runner for Executor {
             BatchPolicy::PerJob => self.run_batch_per_job(jobs),
             BatchPolicy::Trie { max_live_states } => self.run_batch_trie(jobs, max_live_states),
         }
+    }
+
+    /// The finite-shot batch path: terminal distributions come from the
+    /// configured [`BatchPolicy`] — under the default trie policy every
+    /// shared op prefix still evolves once, so prefix sharing and plan-level
+    /// dedup fan-out carry over to sampling — and the per-job multinomial
+    /// draws then fan out over scoped threads. Per-job seeds depend only on
+    /// the job's index, so the counts are bit-identical to the serial
+    /// default for any worker count and either batch policy.
+    fn run_batch_sampled(
+        &self,
+        jobs: &[BatchJob],
+        shots: &ShotPlan,
+        seed: u64,
+    ) -> Vec<SampledOutput> {
+        assert_eq!(
+            jobs.len(),
+            shots.n_jobs(),
+            "shot plan covers a different number of jobs than submitted"
+        );
+        let outs = self.run_batch(jobs);
+        let workers = backend::available_threads().min(jobs.len().max(1));
+        backend::parallel_indexed(jobs.len(), workers, |i| {
+            SampledOutput::from_run(&outs[i], shots.shots(i), job_seed(seed, i))
+        })
     }
 }
 
@@ -376,9 +627,22 @@ impl Executor {
     }
 
     /// Returns a copy using the given batch-scheduling policy.
-    pub fn with_batch_policy(mut self, batch: BatchPolicy) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`BatchConfigError::ZeroLiveStateBudget`] for
+    /// `BatchPolicy::Trie { max_live_states: Some(0) }` — a zero budget
+    /// cannot hold even the walked state, and used to degrade silently to
+    /// replay-everything instead of being rejected here.
+    pub fn with_batch_policy(mut self, batch: BatchPolicy) -> Result<Self, BatchConfigError> {
+        if let BatchPolicy::Trie {
+            max_live_states: Some(0),
+        } = batch
+        {
+            return Err(BatchConfigError::ZeroLiveStateBudget);
+        }
         self.batch = batch;
-        self
+        Ok(self)
     }
 
     /// The noise model.
@@ -635,28 +899,8 @@ impl Executor {
         shots: usize,
         seed: u64,
     ) -> Vec<u64> {
-        use rand::SeedableRng;
         let dist = self.noisy_distribution(program, measured);
-        // Stream layout is a function of the shot count alone, so results
-        // are reproducible everywhere.
-        let streams = if shots >= 1 << 14 { 8 } else { 1 };
-        let chunk = shots.div_ceil(streams);
-        let partials =
-            backend::parallel_indexed(streams, backend::available_threads().min(streams), |s| {
-                let lo = s * chunk;
-                let hi = ((s + 1) * chunk).min(shots);
-                let mut rng = rand::rngs::StdRng::seed_from_u64(
-                    seed.wrapping_add((s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-                );
-                crate::statevector::sample_from_probs(&dist, hi.saturating_sub(lo), &mut rng)
-            });
-        let mut counts = vec![0u64; dist.len()];
-        for part in partials {
-            for (c, p) in counts.iter_mut().zip(part) {
-                *c += p;
-            }
-        }
-        counts
+        sample_counts_deterministic(&dist, shots, seed, backend::available_threads())
     }
 
     /// Runs the program on the exact density-matrix engine.

@@ -42,10 +42,13 @@ pub use backend::{
 };
 pub use density::DensityMatrix;
 pub use executor::{
-    ideal_distribution, BatchJob, BatchPolicy, Executor, JobInterner, JobKey, RunOutput, Runner,
+    ideal_distribution, sample_counts_deterministic, BatchConfigError, BatchJob, BatchPolicy,
+    Executor, JobInterner, JobKey, RunOutput, Runner, SampledOutput, ShotPlan,
 };
 pub use kernel::{ControlledBlock, KernelClass};
-pub use noise::{apply_readout, KrausChannel, NoiseModel, NoiseRule, ReadoutModel};
+pub use noise::{
+    apply_readout, KrausChannel, NoiseModel, NoiseRule, ReadoutModel, TwirlUnsupported,
+};
 pub use program::{Op, Program};
 pub use statevector::StateVector;
 pub use trajectory::TrajectoryConfig;

@@ -23,6 +23,28 @@ pub enum ChannelKind {
     General,
 }
 
+/// A channel that cannot be Pauli-twirled: twirling is implemented for
+/// 1- and 2-qubit channels only (the arities gate noise attaches to).
+/// Callers either propagate the error or skip the twirl and keep the
+/// original channel — both beat the `assert!` abort this replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwirlUnsupported {
+    /// Qubits the offending channel acts on.
+    pub n_qubits: usize,
+}
+
+impl std::fmt::Display for TwirlUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Pauli twirling supports 1- and 2-qubit channels, got {} qubits",
+            self.n_qubits
+        )
+    }
+}
+
+impl std::error::Error for TwirlUnsupported {}
+
 /// A quantum channel in Kraus form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KrausChannel {
@@ -131,12 +153,19 @@ impl KrausChannel {
     /// thermal relaxation) it is the standard PTA used to speed up
     /// stochastic simulation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for channels on more than 2 qubits.
-    pub fn pauli_twirled(&self) -> KrausChannel {
+    /// [`TwirlUnsupported`] for channels on more than 2 qubits (the Pauli
+    /// basis enumeration here stops at pairs, matching the gate noise the
+    /// device models attach). This used to be an `assert!` panic, which
+    /// turned a wide custom channel into a process abort mid-batch.
+    pub fn pauli_twirled(&self) -> Result<KrausChannel, TwirlUnsupported> {
         use qt_math::Pauli;
-        assert!(self.n_qubits <= 2, "twirling implemented for 1-2 qubits");
+        if self.n_qubits > 2 {
+            return Err(TwirlUnsupported {
+                n_qubits: self.n_qubits,
+            });
+        }
         let d = (1usize << self.n_qubits) as f64;
         let paulis: Vec<Matrix> = if self.n_qubits == 1 {
             Pauli::ALL.iter().map(|p| p.matrix()).collect()
@@ -160,7 +189,7 @@ impl KrausChannel {
                 ops.push(p.scale(Complex::real(q.sqrt())));
             }
         }
-        KrausChannel::new(ops)
+        Ok(KrausChannel::new(ops))
     }
 
     /// The identity channel on `n` qubits.
@@ -457,30 +486,42 @@ impl NoiseModel {
     /// Replaces every gate channel by its Pauli-twirling approximation
     /// (readout is unchanged). Speeds up trajectory simulation of models
     /// with state-dependent channels such as thermal relaxation.
-    pub fn pauli_twirled(&self) -> NoiseModel {
-        let twirl_rule = |r: &NoiseRule| NoiseRule {
-            full: r.full.iter().map(KrausChannel::pauli_twirled).collect(),
-            per_operand: r
-                .per_operand
-                .iter()
-                .map(KrausChannel::pauli_twirled)
-                .collect(),
+    ///
+    /// # Errors
+    ///
+    /// [`TwirlUnsupported`] if any attached channel acts on more than 2
+    /// qubits; the model is returned untouched-by-side-effects, so callers
+    /// can fall back to the untwirled original.
+    pub fn pauli_twirled(&self) -> Result<NoiseModel, TwirlUnsupported> {
+        let twirl_rule = |r: &NoiseRule| -> Result<NoiseRule, TwirlUnsupported> {
+            Ok(NoiseRule {
+                full: r
+                    .full
+                    .iter()
+                    .map(KrausChannel::pauli_twirled)
+                    .collect::<Result<_, _>>()?,
+                per_operand: r
+                    .per_operand
+                    .iter()
+                    .map(KrausChannel::pauli_twirled)
+                    .collect::<Result<_, _>>()?,
+            })
         };
-        NoiseModel {
-            one_qubit: twirl_rule(&self.one_qubit),
-            two_qubit: twirl_rule(&self.two_qubit),
+        Ok(NoiseModel {
+            one_qubit: twirl_rule(&self.one_qubit)?,
+            two_qubit: twirl_rule(&self.two_qubit)?,
             per_qubit: self
                 .per_qubit
                 .iter()
-                .map(|(&q, r)| (q, twirl_rule(r)))
-                .collect(),
+                .map(|(&q, r)| Ok((q, twirl_rule(r)?)))
+                .collect::<Result<_, TwirlUnsupported>>()?,
             per_edge: self
                 .per_edge
                 .iter()
-                .map(|(&e, r)| (e, twirl_rule(r)))
-                .collect(),
+                .map(|(&e, r)| Ok((e, twirl_rule(r)?)))
+                .collect::<Result<_, TwirlUnsupported>>()?,
             readout: self.readout.clone(),
-        }
+        })
     }
 
     /// Whether the model applies no gate noise (readout may still be noisy).
@@ -623,7 +664,9 @@ mod tests {
     #[test]
     fn twirled_amplitude_damping_has_textbook_probabilities() {
         let gamma: f64 = 0.3;
-        let ch = KrausChannel::amplitude_damping(gamma).pauli_twirled();
+        let ch = KrausChannel::amplitude_damping(gamma)
+            .pauli_twirled()
+            .expect("1q channel twirls");
         let probs = ch.mixture_probs().expect("twirled channel is a mixture");
         let s = (1.0 - gamma).sqrt();
         let expect = [
@@ -641,12 +684,27 @@ mod tests {
     #[test]
     fn twirling_fixes_pauli_channels() {
         let ch = KrausChannel::depolarizing(1, 0.2);
-        let tw = ch.pauli_twirled();
+        let tw = ch.pauli_twirled().expect("1q channel twirls");
         let a = ch.mixture_probs().unwrap();
         let b = tw.mixture_probs().unwrap();
         for (x, y) in a.iter().zip(b) {
             assert!((x - y).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn twirling_wide_channels_errors_instead_of_panicking() {
+        // Regression: >2-qubit channels used to hit an `assert!`.
+        let ch = KrausChannel::identity(3);
+        assert_eq!(ch.pauli_twirled(), Err(TwirlUnsupported { n_qubits: 3 }));
+        let e = ch.pauli_twirled().unwrap_err();
+        assert!(e.to_string().contains('3'), "{e}");
+        // And the model-level twirl surfaces the same error...
+        let mut noise = NoiseModel::depolarizing(0.01, 0.02);
+        noise.one_qubit.full.push(KrausChannel::identity(3));
+        assert!(noise.pauli_twirled().is_err());
+        // ...while models with only supported channels still twirl.
+        assert!(NoiseModel::depolarizing(0.01, 0.02).pauli_twirled().is_ok());
     }
 
     #[test]

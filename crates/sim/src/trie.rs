@@ -336,6 +336,11 @@ impl ExecutionTrie {
             trie: self,
             init,
             measured,
+            // Last-resort clamp only: a zero budget is rejected upstream at
+            // executor-configuration time (`Executor::with_batch_policy`
+            // returns `BatchConfigError::ZeroLiveStateBudget`), so direct
+            // trie callers passing 0 get budget-1 replay semantics instead
+            // of a hang or underflow.
             budget: max_live_states.max(1),
             live: 1,
             counters: &mut counters,

@@ -109,7 +109,8 @@ proptest! {
         for budget in [None, Some(1), Some(2)] {
             let trie = exec
                 .clone()
-                .with_batch_policy(BatchPolicy::Trie { max_live_states: budget });
+                .with_batch_policy(BatchPolicy::Trie { max_live_states: budget })
+                .expect("nonzero budgets are valid");
             assert_identical(&trie.run_batch(&jobs), &reference);
         }
     }

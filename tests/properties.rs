@@ -140,7 +140,7 @@ proptest! {
     ) {
         let t2 = (t1 * ratio).min(2.0 * t1);
         let ch = qutracer::sim::KrausChannel::thermal_relaxation(t1, t2, time);
-        let tw = ch.pauli_twirled();
+        let tw = ch.pauli_twirled().expect("1q channel twirls");
         let probs = tw.mixture_probs().expect("twirled is a mixture");
         let total: f64 = probs.iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-8);
