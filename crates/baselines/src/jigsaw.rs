@@ -136,6 +136,7 @@ impl JigsawArtifacts<'_> {
                 global_two_qubit_gates: global_out.two_qubit_gates,
                 batch: None,
                 total_shots: None,
+                engine_mix: None,
             },
         }
     }

@@ -8,7 +8,7 @@ pub use jigsaw::{plan_jigsaw, run_jigsaw, JigsawArtifacts, JigsawPlan, JigsawRep
 pub use sqem::{plan_sqem, run_sqem, SqemArtifacts, SqemPlan, SqemReport, SqemUnsupported};
 
 /// Execution-cost bookkeeping shared by the result tables.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OverheadStats {
     /// Number of distinct circuits executed (including the global run).
     pub n_circuits: usize,
@@ -30,4 +30,10 @@ pub struct OverheadStats {
     /// (the paper's real cost denomination). `None` for exact-distribution
     /// flows, which pay in density matrices rather than shots.
     pub total_shots: Option<u64>,
+    /// Per-engine job counts of the executed batch (`(engine name, jobs)`
+    /// sorted by name — e.g. `[("density-matrix", 3), ("stabilizer", 40)]`),
+    /// recording what `Backend::Auto`'s per-program selection actually
+    /// chose. `None` for runners without engine introspection and for
+    /// plan-time (pre-execution) statistics.
+    pub engine_mix: Option<Vec<(String, usize)>>,
 }

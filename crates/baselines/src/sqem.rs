@@ -259,6 +259,7 @@ impl SqemArtifacts<'_> {
                 global_two_qubit_gates: global_out.two_qubit_gates,
                 batch: None,
                 total_shots: None,
+                engine_mix: None,
             },
         }
     }

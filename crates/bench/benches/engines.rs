@@ -1,0 +1,188 @@
+//! Engine-tier throughput: the stabilizer-tableau and sparse-statevector
+//! engines against the dense oracles on their admissible workloads, plus a
+//! 26-qubit end-to-end `plan → execute → recombine` demo on `Backend::Auto`
+//! — a register no dense engine in the workspace could even allocate as a
+//! density matrix.
+//!
+//! Every pair of rows is asserted equivalent (1e-9) before timing, so the
+//! speedups in `BENCH_engines.json` are for *identical* answers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qt_circuit::Circuit;
+use qt_core::{QuTracer, QuTracerConfig};
+use qt_sim::{Backend, Executor, NoiseModel, Program};
+use std::hint::black_box;
+
+/// Layered Clifford brickwork: single-qubit H/S/Sdg rotations followed by
+/// alternating-offset CX pairs — the shape of a twirled mitigation
+/// ensemble member.
+fn clifford_brickwork(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n {
+            match (q + layer) % 3 {
+                0 => c.h(q),
+                1 => c.s(q),
+                _ => c.sdg(q),
+            };
+        }
+        let mut q = layer % 2;
+        while q + 1 < n {
+            c.cx(q, q + 1);
+            q += 2;
+        }
+    }
+    c
+}
+
+/// GHZ chain followed by diagonal phase layers: wide but low-entanglement
+/// (the sparse engine's support never exceeds 2 basis states).
+fn ghz_with_phases(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    for layer in 0..layers {
+        for q in 0..n {
+            c.rz(q, 0.1 + 0.05 * (q + layer) as f64);
+        }
+        for q in 0..n - 1 {
+            c.cp(q, q + 1, 0.2);
+        }
+    }
+    c
+}
+
+fn assert_close(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() < 1e-9, "{what}: index {i}: {x} vs {y}");
+    }
+}
+
+/// Stabilizer vs dense statevector on a 16-qubit noise-free Clifford
+/// ensemble member (all-Clifford, so both are exact).
+fn bench_stabilizer_vs_dense_sv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    let circ = clifford_brickwork(16, 6);
+    let prog = Program::from_circuit(&circ);
+    let measured: Vec<usize> = (0..8).collect();
+    let noise = NoiseModel::ideal();
+    let stab = Executor::with_backend(noise.clone(), Backend::Stabilizer);
+    let dense = Executor::with_backend(noise, Backend::Statevector);
+    assert_close(
+        &stab.noisy_distribution(&prog, &measured),
+        &dense.noisy_distribution(&prog, &measured),
+        "16q ideal Clifford",
+    );
+    group.bench_function("stabilizer_16q_clifford", |b| {
+        b.iter(|| black_box(stab.noisy_distribution(black_box(&prog), &measured)))
+    });
+    group.bench_function("dense_sv_16q_clifford", |b| {
+        b.iter(|| black_box(dense.noisy_distribution(black_box(&prog), &measured)))
+    });
+    group.finish();
+}
+
+/// Stabilizer (analytic Pauli-noise mixing) vs the exact density matrix on
+/// a 10-qubit depolarized Clifford ensemble member — the largest register
+/// the dense mixed-state oracle handles.
+fn bench_stabilizer_vs_density_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    let circ = clifford_brickwork(10, 4);
+    let prog = Program::from_circuit(&circ);
+    let measured: Vec<usize> = (0..4).collect();
+    let noise = NoiseModel::depolarizing(0.01, 0.02);
+    let stab = Executor::with_backend(noise.clone(), Backend::Stabilizer);
+    let dm = Executor::with_backend(noise, Backend::DensityMatrix);
+    assert_close(
+        &stab.noisy_distribution(&prog, &measured),
+        &dm.noisy_distribution(&prog, &measured),
+        "10q depolarized Clifford",
+    );
+    group.bench_function("stabilizer_10q_noisy_clifford", |b| {
+        b.iter(|| black_box(stab.noisy_distribution(black_box(&prog), &measured)))
+    });
+    group.bench_function("density_matrix_10q_noisy_clifford", |b| {
+        b.iter(|| black_box(dm.noisy_distribution(black_box(&prog), &measured)))
+    });
+    group.finish();
+}
+
+/// Sparse vs dense statevector on a wide, low-entanglement register: the
+/// sparse map carries 2 nonzero amplitudes where the dense engine carries
+/// 2^16.
+fn bench_sparse_vs_dense_sv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    let circ = ghz_with_phases(16, 4);
+    let prog = Program::from_circuit(&circ);
+    let measured: Vec<usize> = (0..8).collect();
+    let noise = NoiseModel::ideal();
+    let sparse = Executor::with_backend(noise.clone(), Backend::Sparse);
+    let dense = Executor::with_backend(noise, Backend::Statevector);
+    assert_close(
+        &sparse.noisy_distribution(&prog, &measured),
+        &dense.noisy_distribution(&prog, &measured),
+        "16q low-entanglement",
+    );
+    group.bench_function("sparse_16q_low_entanglement", |b| {
+        b.iter(|| black_box(sparse.noisy_distribution(black_box(&prog), &measured)))
+    });
+    group.bench_function("dense_sv_16q_low_entanglement", |b| {
+        b.iter(|| black_box(dense.noisy_distribution(black_box(&prog), &measured)))
+    });
+    group.finish();
+}
+
+/// End-to-end demo: a 26-qubit GHZ workload through the full staged
+/// pipeline under depolarizing noise, with `Backend::Auto` routing the
+/// global circuit to the stabilizer engine. 2^26 complex amplitudes would
+/// be a 1 GiB statevector and the density matrix is unthinkable; the
+/// tableau holds it in a few kilobytes.
+fn bench_auto_pipeline_26q(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demo");
+    let n = 26;
+    let mut circ = Circuit::new(n);
+    circ.h(0);
+    for q in 1..n {
+        circ.cx(q - 1, q);
+    }
+    let measured: Vec<usize> = (0..8).collect();
+    let cfg = QuTracerConfig::single();
+    let plan = QuTracer::plan(&circ, &measured, &cfg).unwrap();
+    let exec = Executor::new(NoiseModel::depolarizing(0.002, 0.01));
+
+    // The Auto ladder must route the 26q global program to the stabilizer
+    // engine (nothing else can hold the register), and the report must be
+    // a sane noisy GHZ marginal.
+    let report = plan.execute(&exec).unwrap().recombine().unwrap();
+    let mix = report
+        .stats
+        .engine_mix
+        .as_ref()
+        .expect("engine mix recorded");
+    assert!(
+        mix.iter().any(|(name, _)| name == "stabilizer"),
+        "26q global program must ride the tableau: {mix:?}"
+    );
+    let probs = report.distribution.probs();
+    assert!(probs[0] > 0.4 && probs[255] > 0.4, "noisy GHZ marginal");
+
+    group.bench_function("auto_ghz26_pipeline", |b| {
+        b.iter(|| {
+            let arts = plan.execute(&exec).unwrap();
+            black_box(arts.recombine().unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stabilizer_vs_dense_sv,
+    bench_stabilizer_vs_density_matrix,
+    bench_sparse_vs_dense_sv,
+    bench_auto_pipeline_26q
+);
+criterion_main!(benches);

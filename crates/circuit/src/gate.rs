@@ -30,6 +30,48 @@ pub enum GateStructure {
     Dense,
 }
 
+/// A gate of the Clifford group, normalized **up to global phase** — the
+/// alphabet of `qt-sim`'s stabilizer-tableau engine.
+///
+/// [`Gate::clifford_class`] maps every statically recognizable Clifford gate
+/// onto one of these variants; parametric rotations are snapped to quarter
+/// turns within an absolute angle tolerance of `1e-12` radians. `I` stands
+/// for "acts as the identity on its operands" for any arity (e.g. `Cp(0.0)`),
+/// so consumers can simply skip it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliffordGate {
+    /// Identity on the gate's operands (any arity).
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `diag(1, i)`.
+    S,
+    /// Inverse phase gate `diag(1, -i)`.
+    Sdg,
+    /// Square root of X (`Rx(π/2)` up to global phase).
+    Sx,
+    /// Inverse square root of X (`Rx(-π/2)` up to global phase).
+    Sxdg,
+    /// Square root of Y: `Ry(π/2) = H·Z` exactly.
+    Sy,
+    /// Inverse square root of Y: `Ry(-π/2) = Z·H` exactly.
+    Sydg,
+    /// Controlled-X. Operands: control, target.
+    Cx,
+    /// Controlled-Y. Operands: control, target.
+    Cy,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// SWAP.
+    Swap,
+}
+
 /// A quantum gate.
 ///
 /// The gate set covers everything the paper's benchmarks need: the Clifford
@@ -312,6 +354,75 @@ impl Gate {
     pub fn is_multi_qubit(&self) -> bool {
         self.n_qubits() > 1
     }
+
+    /// The Clifford class of the gate **up to global phase**, or `None` for
+    /// gates outside the (recognized) Clifford group.
+    ///
+    /// Parametric rotations (`Rx`/`Ry`/`Rz`/`Phase`) snap to quarter turns
+    /// within `1e-12` radians; `Cp` is recognized at `0` (identity) and `π`
+    /// (`Cz`). Recognition is deliberately conservative: variants whose
+    /// Clifford corners never appear in practice (`U`, `T`, controlled
+    /// rotations, `Ccp`) always return `None` and fall back to dense
+    /// simulation.
+    pub fn clifford_class(&self) -> Option<CliffordGate> {
+        use Gate::*;
+        Some(match self {
+            H => CliffordGate::H,
+            X => CliffordGate::X,
+            Y => CliffordGate::Y,
+            Z => CliffordGate::Z,
+            S => CliffordGate::S,
+            Sdg => CliffordGate::Sdg,
+            Sx => CliffordGate::Sx,
+            Cx => CliffordGate::Cx,
+            Cy => CliffordGate::Cy,
+            Cz => CliffordGate::Cz,
+            Swap => CliffordGate::Swap,
+            Rx(t) => match quarter_turns(*t)? {
+                0 => CliffordGate::I,
+                1 => CliffordGate::Sx,
+                2 => CliffordGate::X,
+                _ => CliffordGate::Sxdg,
+            },
+            Ry(t) => match quarter_turns(*t)? {
+                0 => CliffordGate::I,
+                1 => CliffordGate::Sy,
+                2 => CliffordGate::Y,
+                _ => CliffordGate::Sydg,
+            },
+            Rz(t) | Phase(t) => match quarter_turns(*t)? {
+                0 => CliffordGate::I,
+                1 => CliffordGate::S,
+                2 => CliffordGate::Z,
+                _ => CliffordGate::Sdg,
+            },
+            Cp(t) => match quarter_turns(*t)? {
+                0 => CliffordGate::I,
+                2 => CliffordGate::Cz,
+                _ => return None,
+            },
+            T | Tdg | U(..) | Crz(_) | Crx(_) | Cry(_) | Ccp(_) => return None,
+        })
+    }
+
+    /// Whether [`Gate::clifford_class`] recognizes the gate as Clifford.
+    pub fn is_clifford(&self) -> bool {
+        self.clifford_class().is_some()
+    }
+}
+
+/// The number of quarter turns (`θ / (π/2)` mod 4) when `θ` is a multiple of
+/// `π/2` within `1e-12` radians, else `None`.
+fn quarter_turns(theta: f64) -> Option<u8> {
+    let k = theta / std::f64::consts::FRAC_PI_2;
+    let r = k.round();
+    // The comparison is deliberately "< tolerance" (not ">= rejects") so a
+    // NaN angle falls through to None.
+    if (k - r).abs() * std::f64::consts::FRAC_PI_2 < 1e-12 {
+        Some(r.rem_euclid(4.0) as u8)
+    } else {
+        None
+    }
 }
 
 /// Builds the controlled version of a single-qubit unitary, with the control
@@ -489,6 +600,110 @@ mod tests {
         assert!(h.approx_eq_up_to_phase(&Gate::H.matrix(), 1e-12));
         let x = Gate::U(PI, 0.0, PI).matrix();
         assert!(x.approx_eq_up_to_phase(&Gate::X.matrix(), 1e-12));
+    }
+
+    /// The canonical matrix of a [`CliffordGate`] at the given arity, built
+    /// from the base gate set (`Sy = H·Z`, `Sydg = Z·H`, `Sxdg = Sx†`).
+    fn clifford_matrix(c: CliffordGate, arity: usize) -> Matrix {
+        use CliffordGate as C;
+        match c {
+            C::I => Matrix::identity(1 << arity),
+            C::X => Gate::X.matrix(),
+            C::Y => Gate::Y.matrix(),
+            C::Z => Gate::Z.matrix(),
+            C::H => Gate::H.matrix(),
+            C::S => Gate::S.matrix(),
+            C::Sdg => Gate::Sdg.matrix(),
+            C::Sx => Gate::Sx.matrix(),
+            C::Sxdg => Gate::Sx.inverse().matrix(),
+            C::Sy => Gate::H.matrix().mul(&Gate::Z.matrix()),
+            C::Sydg => Gate::Z.matrix().mul(&Gate::H.matrix()),
+            C::Cx => Gate::Cx.matrix(),
+            C::Cy => Gate::Cy.matrix(),
+            C::Cz => Gate::Cz.matrix(),
+            C::Swap => Gate::Swap.matrix(),
+        }
+    }
+
+    #[test]
+    fn clifford_class_matches_matrix_up_to_phase() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        let cliffords = [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::Sx,
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Rx(0.0),
+            Gate::Rx(FRAC_PI_2),
+            Gate::Rx(PI),
+            Gate::Rx(-FRAC_PI_2),
+            Gate::Rx(5.0 * FRAC_PI_2),
+            Gate::Ry(FRAC_PI_2),
+            Gate::Ry(PI),
+            Gate::Ry(-FRAC_PI_2),
+            Gate::Rz(FRAC_PI_2),
+            Gate::Rz(PI),
+            Gate::Rz(-FRAC_PI_2),
+            Gate::Phase(FRAC_PI_2),
+            Gate::Phase(PI),
+            Gate::Phase(-FRAC_PI_2),
+            Gate::Cp(0.0),
+            Gate::Cp(PI),
+            Gate::Cp(-PI),
+        ];
+        for g in &cliffords {
+            let class = g
+                .clifford_class()
+                .unwrap_or_else(|| panic!("{} should be Clifford", g.name()));
+            assert!(
+                g.matrix()
+                    .approx_eq_up_to_phase(&clifford_matrix(class, g.n_qubits()), 1e-10),
+                "{:?} mapped to wrong Clifford class {:?}",
+                g,
+                class
+            );
+        }
+    }
+
+    #[test]
+    fn sy_is_ry_half_pi_exactly() {
+        // `Ry(π/2) = H·Z` with no global phase — the identity behind Sy.
+        use std::f64::consts::FRAC_PI_2;
+        let ry = Gate::Ry(FRAC_PI_2).matrix();
+        let hz = Gate::H.matrix().mul(&Gate::Z.matrix());
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(ry[(r, c)].approx_eq(hz[(r, c)], 1e-15));
+            }
+        }
+    }
+
+    #[test]
+    fn non_clifford_gates_are_rejected() {
+        use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+        for g in [
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.3),
+            Gate::Ry(FRAC_PI_4),
+            Gate::Rz(1.0),
+            Gate::Phase(0.2),
+            Gate::Cp(FRAC_PI_2),
+            Gate::U(FRAC_PI_2, 0.0, std::f64::consts::PI),
+            Gate::Crz(std::f64::consts::PI),
+            Gate::Crx(FRAC_PI_2),
+            Gate::Cry(FRAC_PI_2),
+            Gate::Ccp(std::f64::consts::PI),
+        ] {
+            assert!(!g.is_clifford(), "{:?} wrongly classified Clifford", g);
+        }
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod gate;
 pub mod passes;
 
 pub use circuit::{embed, Circuit, Instruction};
-pub use gate::{Gate, GateStructure};
+pub use gate::{CliffordGate, Gate, GateStructure};

@@ -237,6 +237,7 @@ pub fn run_qutracer_legacy<R: Runner>(
             global_two_qubit_gates: global_out.two_qubit_gates,
             batch: None,
             total_shots: None,
+            engine_mix: None,
         },
         subset_stats,
     }

@@ -376,6 +376,19 @@ impl MitigationPlan {
                 .two_qubit_gate_count(),
             batch: Some(self.batch_stats),
             total_shots: None,
+            engine_mix: None,
+        }
+    }
+
+    /// [`MitigationPlan::stats`] augmented with the engine mix `runner`
+    /// would execute this plan with (see [`Runner::engine_mix`]) — what the
+    /// automatic per-program engine selection resolves each planned job to,
+    /// without executing anything.
+    pub fn stats_for<R: Runner>(&self, runner: &R) -> OverheadStats {
+        let jobs: Vec<BatchJob> = self.programs.iter().map(|p| p.job.clone()).collect();
+        OverheadStats {
+            engine_mix: runner.engine_mix(&jobs),
+            ..self.stats()
         }
     }
 
@@ -407,6 +420,7 @@ impl MitigationPlan {
             .iter()
             .map(|&slot| self.programs[slot].job.clone())
             .collect();
+        let engine_mix = runner.engine_mix(&jobs);
         let clustered = runner.run_batch(&jobs);
         if clustered.len() != jobs.len() {
             return Err(ExecError::ResultCountMismatch {
@@ -426,6 +440,7 @@ impl MitigationPlan {
             plan: self,
             outputs,
             sampled_shots: None,
+            engine_mix,
         })
     }
 
@@ -536,6 +551,7 @@ impl MitigationPlan {
             .collect();
         let ordered =
             ShotPlan::from_shots(self.batch_order.iter().map(|&s| shots.shots(s)).collect());
+        let engine_mix = runner.engine_mix(&jobs);
         let clustered = runner.run_batch_sampled(&jobs, &ordered, seed);
         if clustered.len() != jobs.len() {
             return Err(ExecError::ResultCountMismatch {
@@ -557,6 +573,7 @@ impl MitigationPlan {
             plan: self,
             outputs,
             sampled_shots: Some(per_slot_shots),
+            engine_mix,
         })
     }
 }
@@ -572,6 +589,9 @@ pub struct ExecutionArtifacts<'p> {
     outputs: Vec<RunOutput>,
     /// Shots sampled per program slot (`None` for exact executions).
     sampled_shots: Option<Vec<u64>>,
+    /// Per-engine job counts the runner reported for the batch (`None`
+    /// for runners without engine introspection).
+    engine_mix: Option<Vec<(String, usize)>>,
 }
 
 impl ExecutionArtifacts<'_> {
@@ -594,6 +614,12 @@ impl ExecutionArtifacts<'_> {
     /// Total shots sampled across the batch (`None` for exact executions).
     pub fn total_sampled_shots(&self) -> Option<u64> {
         self.sampled_shots.as_ref().map(|v| v.iter().copied().sum())
+    }
+
+    /// Per-engine job counts the runner reported for the executed batch
+    /// (`None` for runners without engine introspection).
+    pub fn engine_mix(&self) -> Option<&[(String, usize)]> {
+        self.engine_mix.as_deref()
     }
 
     /// Stage 3: replays every subset's walk against the recorded results
@@ -665,6 +691,7 @@ impl ExecutionArtifacts<'_> {
                 global_two_qubit_gates: global_out.two_qubit_gates,
                 batch: Some(plan.batch_stats),
                 total_shots: self.total_sampled_shots(),
+                engine_mix: self.engine_mix.clone(),
             },
             subset_stats,
         })

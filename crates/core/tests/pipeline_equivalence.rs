@@ -333,3 +333,34 @@ fn device_executor_pipeline_matches_legacy() {
     let report = run_qutracer(&exec, &circ, &measured, &cfg);
     assert_reports_identical(&report, &legacy);
 }
+
+#[test]
+fn report_records_the_engine_mix() {
+    // The recombined report and the plan-side preview both record which
+    // simulation engines the batch resolved to, and they agree.
+    let n = 6;
+    let circ = qaoa_maxcut(n, &ring_graph(n), &QaoaParams::seeded(5, 9));
+    let measured: Vec<usize> = (0..n).collect();
+    let cfg = QuTracerConfig::pairs();
+    let exec = Executor::with_backend(
+        NoiseModel::depolarizing(0.002, 0.02),
+        Backend::DensityMatrix,
+    );
+
+    let plan = QuTracer::plan(&circ, &measured, &cfg).unwrap();
+    let report = plan.execute(&exec).unwrap().recombine().unwrap();
+    let mix = report
+        .stats
+        .engine_mix
+        .as_ref()
+        .expect("Executor reports its engine mix");
+    let total: usize = mix.iter().map(|(_, c)| c).sum();
+    assert_eq!(total, plan.n_programs(), "every planned job is accounted");
+    assert_eq!(mix.len(), 1, "forced backend resolves uniformly: {mix:?}");
+    assert_eq!(mix[0].0, "density-matrix");
+
+    // Plan-time preview (no execution) agrees with the executed record.
+    let preview = plan.stats_for(&exec);
+    assert_eq!(preview.engine_mix, report.stats.engine_mix);
+    assert_eq!(preview.n_circuits, report.stats.n_circuits);
+}

@@ -28,6 +28,46 @@
 
 pub mod recombine;
 
+/// Default ceiling on the outcome-space width a dense table may allocate:
+/// `2^26` f64 entries is 512 MiB — anything wider is almost certainly a
+/// caller bug (e.g. measuring every qubit of a wide register that only a
+/// sparse or stabilizer engine can even simulate). The fallible
+/// constructors ([`Distribution::try_from_probs`],
+/// [`Counts::try_from_counts`]) take an explicit cap for callers that know
+/// better.
+pub const DEFAULT_DENSE_CAP_BITS: usize = 26;
+
+/// A dense outcome table was requested over more bits than the allocation
+/// cap allows (the table would hold `2^n_bits` entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseCapError {
+    /// The requested outcome-space width.
+    pub n_bits: usize,
+    /// The cap it exceeded.
+    pub cap_bits: usize,
+}
+
+impl std::fmt::Display for DenseCapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dense outcome table over {} bits exceeds the {}-bit allocation cap \
+             (2^{} entries); marginalize to fewer measured bits or raise the cap",
+            self.n_bits, self.cap_bits, self.n_bits
+        )
+    }
+}
+
+impl std::error::Error for DenseCapError {}
+
+fn check_dense_cap(n_bits: usize, cap_bits: usize) -> Result<(), DenseCapError> {
+    if n_bits > cap_bits {
+        Err(DenseCapError { n_bits, cap_bits })
+    } else {
+        Ok(())
+    }
+}
+
 /// A (sub-)normalized probability distribution over `n_bits`-bit outcomes.
 ///
 /// Outcome index bit `i` corresponds to measured qubit `i` of whichever
@@ -48,8 +88,30 @@ impl Distribution {
     ///
     /// # Panics
     ///
+    /// Panics if `probs` is longer than `2^n_bits`, or if `n_bits` exceeds
+    /// [`DEFAULT_DENSE_CAP_BITS`] (use [`Distribution::try_from_probs`]
+    /// with an explicit cap to go wider).
+    pub fn from_probs(n_bits: usize, probs: Vec<f64>) -> Self {
+        match Self::try_from_probs(n_bits, probs, DEFAULT_DENSE_CAP_BITS) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Distribution::from_probs`] with an explicit allocation
+    /// cap: the table holds `2^n_bits` entries, so `n_bits > cap_bits` is
+    /// rejected with a [`DenseCapError`] instead of attempting a dense
+    /// allocation that can exhaust memory (or overflow the shift).
+    ///
+    /// # Panics
+    ///
     /// Panics if `probs` is longer than `2^n_bits`.
-    pub fn from_probs(n_bits: usize, mut probs: Vec<f64>) -> Self {
+    pub fn try_from_probs(
+        n_bits: usize,
+        mut probs: Vec<f64>,
+        cap_bits: usize,
+    ) -> Result<Self, DenseCapError> {
+        check_dense_cap(n_bits, cap_bits)?;
         let dim = 1usize << n_bits;
         assert!(
             probs.len() <= dim,
@@ -58,7 +120,7 @@ impl Distribution {
             n_bits
         );
         probs.resize(dim, 0.0);
-        Distribution { n_bits, probs }
+        Ok(Distribution { n_bits, probs })
     }
 
     /// The uniform distribution over `n_bits` outcomes.
@@ -177,8 +239,30 @@ impl Counts {
     ///
     /// # Panics
     ///
+    /// Panics if `counts` is longer than `2^n_bits`, or if `n_bits` exceeds
+    /// [`DEFAULT_DENSE_CAP_BITS`] (use [`Counts::try_from_counts`] with an
+    /// explicit cap to go wider).
+    pub fn from_counts(n_bits: usize, counts: Vec<u64>) -> Self {
+        match Self::try_from_counts(n_bits, counts, DEFAULT_DENSE_CAP_BITS) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Counts::from_counts`] with an explicit allocation cap:
+    /// the table holds `2^n_bits` entries, so `n_bits > cap_bits` is
+    /// rejected with a [`DenseCapError`] instead of attempting a dense
+    /// allocation that can exhaust memory (or overflow the shift).
+    ///
+    /// # Panics
+    ///
     /// Panics if `counts` is longer than `2^n_bits`.
-    pub fn from_counts(n_bits: usize, mut counts: Vec<u64>) -> Self {
+    pub fn try_from_counts(
+        n_bits: usize,
+        mut counts: Vec<u64>,
+        cap_bits: usize,
+    ) -> Result<Self, DenseCapError> {
+        check_dense_cap(n_bits, cap_bits)?;
         let dim = 1usize << n_bits;
         assert!(
             counts.len() <= dim,
@@ -187,7 +271,7 @@ impl Counts {
             n_bits
         );
         counts.resize(dim, 0);
-        Counts { n_bits, counts }
+        Ok(Counts { n_bits, counts })
     }
 
     /// Number of outcome bits.
@@ -403,6 +487,32 @@ mod tests {
     #[should_panic(expected = "do not fit")]
     fn from_probs_rejects_too_many_entries() {
         let _ = Distribution::from_probs(1, vec![0.2; 3]);
+    }
+
+    #[test]
+    fn dense_cap_rejects_wide_tables_with_typed_error() {
+        let err = Distribution::try_from_probs(40, vec![0.5], DEFAULT_DENSE_CAP_BITS)
+            .expect_err("40 bits must exceed the default cap");
+        assert_eq!(
+            err,
+            DenseCapError {
+                n_bits: 40,
+                cap_bits: DEFAULT_DENSE_CAP_BITS
+            }
+        );
+        assert!(err.to_string().contains("40 bits"));
+        let err = Counts::try_from_counts(30, vec![1], 20).expect_err("explicit cap applies");
+        assert_eq!(err.cap_bits, 20);
+        // Within the cap, the fallible and panicking paths agree.
+        let ok = Distribution::try_from_probs(2, vec![0.5, 0.5], DEFAULT_DENSE_CAP_BITS)
+            .expect("2 bits fit");
+        assert_eq!(ok, Distribution::from_probs(2, vec![0.5, 0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation cap")]
+    fn from_probs_rejects_uncapped_width() {
+        let _ = Distribution::from_probs(DEFAULT_DENSE_CAP_BITS + 1, vec![1.0]);
     }
 
     #[test]

@@ -12,14 +12,26 @@
 //! Runner::run / run_batch
 //!         │
 //!         ▼
-//! Backend::resolve(n_qubits) ──► DensityMatrixEngine   (exact, small n)
-//!                            └─► TrajectoryEngine      (sampled, large n)
+//! Backend::resolve_for(n, noise, profile)
+//!         ├─► StabilizerEngine          (Clifford + Pauli noise, O(n²)/gate)
+//!         ├─► SparseStatevectorEngine   (low-entanglement pure states)
+//!         ├─► DensityMatrixEngine       (exact mixed state, small n)
+//!         ├─► StatevectorEngine         (dense pure state, mid n)
+//!         └─► TrajectoryEngine          (sampled, large n)
 //! ```
+//!
+//! Engine choice never changes results — only cost. Every engine is exact
+//! for the programs it admits, and inadmissible programs transparently fall
+//! back to the density matrix, so `Backend::Auto` is a pure performance
+//! decision driven by the one-pass [`ProgramProfile`] classifier.
 
+use crate::classify::ProgramProfile;
 use crate::density::DensityMatrix;
 use crate::noise::NoiseModel;
 use crate::program::{Op, Program};
-use crate::statevector::StateVector;
+use crate::sparse::{sparse_admissible, sparse_distribution, SparseState};
+use crate::stabilizer::{stabilizer_admissible, stabilizer_distribution, StabilizerState};
+use crate::statevector::{self, StateVector};
 use crate::trajectory::{self, TrajectoryConfig};
 use qt_math::Matrix;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -68,9 +80,10 @@ pub trait BackendEngine: Send + Sync + std::fmt::Debug {
     /// trajectory sampling draws one RNG stream per program and cannot
     /// split mid-evolution). Jobs with equal `(register size, class)` may
     /// share one [`EngineState`] evolution; the class therefore encodes
-    /// every state-representation choice the engine makes (e.g. pure state
-    /// vs density matrix).
-    fn fork_class(&self, _noise: &NoiseModel, _has_resets: bool) -> Option<u8> {
+    /// every state-representation choice the engine makes (pure state vs
+    /// density matrix vs stabilizer tableau vs sparse map), which is why it
+    /// takes the full [`ProgramProfile`] rather than just the reset flag.
+    fn fork_class(&self, _noise: &NoiseModel, _profile: &ProgramProfile) -> Option<u8> {
         None
     }
 
@@ -174,7 +187,7 @@ impl BackendEngine for DensityMatrixEngine {
         density_evolution(program, noise).marginal_probabilities(measured)
     }
 
-    fn fork_class(&self, _noise: &NoiseModel, _has_resets: bool) -> Option<u8> {
+    fn fork_class(&self, _noise: &NoiseModel, _profile: &ProgramProfile) -> Option<u8> {
         // One representation for every program shape: the mixed state.
         Some(FORK_CLASS_DM)
     }
@@ -197,6 +210,10 @@ impl BackendEngine for DensityMatrixEngine {
 const FORK_CLASS_DM: u8 = 0;
 /// Fork class of a pure-state representation.
 const FORK_CLASS_PURE: u8 = 1;
+/// Fork class of a stabilizer-tableau representation.
+const FORK_CLASS_STABILIZER: u8 = 2;
+/// Fork class of a sparse-statevector representation.
+const FORK_CLASS_SPARSE: u8 = 3;
 
 /// Exact pure-state evolution for reset-free programs under gate-ideal
 /// noise (`2^n` amplitudes instead of the density matrix's `4^n`), with a
@@ -211,6 +228,139 @@ impl StatevectorEngine {
     /// Whether a program/noise pair admits the pure-state representation.
     fn pure_eligible(noise: &NoiseModel, has_resets: bool) -> bool {
         !has_resets && noise.gates_are_ideal()
+    }
+}
+
+impl EngineState for StabilizerState {
+    fn apply_op(&mut self, op: &Op) {
+        StabilizerState::apply_op(self, op);
+    }
+
+    fn fork(&self) -> Box<dyn EngineState> {
+        Box::new(StabilizerState::fork(self))
+    }
+
+    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
+        StabilizerState::raw_distribution(self, measured)
+    }
+}
+
+impl EngineState for SparseState {
+    fn apply_op(&mut self, op: &Op) {
+        SparseState::apply_op(self, op);
+    }
+
+    fn fork(&self) -> Box<dyn EngineState> {
+        Box::new(SparseState::fork(self))
+    }
+
+    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
+        SparseState::raw_distribution(self, measured)
+    }
+}
+
+/// CHP-style stabilizer-tableau evolution for all-Clifford, reset-free
+/// programs whose gate noise is absent or a Pauli mixture (mixed exactly,
+/// without trajectories — see [`crate::stabilizer`]), with a transparent
+/// density-matrix fallback for everything else. `O(n²)` per gate instead
+/// of `O(4^n)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StabilizerEngine;
+
+impl BackendEngine for StabilizerEngine {
+    fn name(&self) -> &'static str {
+        "stabilizer"
+    }
+
+    fn raw_distribution(
+        &self,
+        program: &Program,
+        noise: &NoiseModel,
+        measured: &[usize],
+    ) -> Vec<f64> {
+        let profile = ProgramProfile::of(program);
+        if stabilizer_admissible(noise, &profile) {
+            let noise = Arc::new(noise.clone());
+            stabilizer_distribution(program, &noise, measured)
+        } else {
+            density_evolution(program, noise).marginal_probabilities(measured)
+        }
+    }
+
+    fn fork_class(&self, noise: &NoiseModel, profile: &ProgramProfile) -> Option<u8> {
+        Some(if stabilizer_admissible(noise, profile) {
+            FORK_CLASS_STABILIZER
+        } else {
+            FORK_CLASS_DM
+        })
+    }
+
+    fn snapshot(
+        &self,
+        n_qubits: usize,
+        noise: &Arc<NoiseModel>,
+        class: u8,
+    ) -> Option<Box<dyn EngineState>> {
+        Some(if class == FORK_CLASS_STABILIZER {
+            Box::new(StabilizerState::zero(n_qubits, Arc::clone(noise)))
+        } else {
+            Box::new(DensityState {
+                rho: DensityMatrix::zero(n_qubits),
+                noise: Arc::clone(noise),
+            })
+        })
+    }
+}
+
+/// Sparse pure-state evolution for reset-free programs under gate-ideal
+/// noise: only nonzero amplitudes are stored, so cost scales with the
+/// superposition a program actually builds, not the register width (see
+/// [`crate::sparse`]). Densifies in place past half density; falls back to
+/// the density matrix for programs that need mixed states.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SparseStatevectorEngine;
+
+impl BackendEngine for SparseStatevectorEngine {
+    fn name(&self) -> &'static str {
+        "sparse-statevector"
+    }
+
+    fn raw_distribution(
+        &self,
+        program: &Program,
+        noise: &NoiseModel,
+        measured: &[usize],
+    ) -> Vec<f64> {
+        let profile = ProgramProfile::of(program);
+        if sparse_admissible(noise, &profile) {
+            sparse_distribution(program, measured)
+        } else {
+            density_evolution(program, noise).marginal_probabilities(measured)
+        }
+    }
+
+    fn fork_class(&self, noise: &NoiseModel, profile: &ProgramProfile) -> Option<u8> {
+        Some(if sparse_admissible(noise, profile) {
+            FORK_CLASS_SPARSE
+        } else {
+            FORK_CLASS_DM
+        })
+    }
+
+    fn snapshot(
+        &self,
+        n_qubits: usize,
+        noise: &Arc<NoiseModel>,
+        class: u8,
+    ) -> Option<Box<dyn EngineState>> {
+        Some(if class == FORK_CLASS_SPARSE {
+            Box::new(SparseState::zero(n_qubits))
+        } else {
+            Box::new(DensityState {
+                rho: DensityMatrix::zero(n_qubits),
+                noise: Arc::clone(noise),
+            })
+        })
     }
 }
 
@@ -238,8 +388,8 @@ impl BackendEngine for StatevectorEngine {
         }
     }
 
-    fn fork_class(&self, noise: &NoiseModel, has_resets: bool) -> Option<u8> {
-        Some(if Self::pure_eligible(noise, has_resets) {
+    fn fork_class(&self, noise: &NoiseModel, profile: &ProgramProfile) -> Option<u8> {
+        Some(if Self::pure_eligible(noise, profile.has_resets) {
             FORK_CLASS_PURE
         } else {
             FORK_CLASS_DM
@@ -303,6 +453,13 @@ pub enum Backend {
     /// Exact pure-state engine for reset-free programs under gate-ideal
     /// noise; falls back to the density matrix per program otherwise.
     Statevector,
+    /// Stabilizer-tableau engine for all-Clifford reset-free programs
+    /// under Pauli (or no) gate noise; falls back to the density matrix
+    /// per program otherwise.
+    Stabilizer,
+    /// Sparse pure-state engine for reset-free programs under gate-ideal
+    /// noise; falls back to the density matrix per program otherwise.
+    Sparse,
     /// Always use the trajectory engine.
     Trajectory(TrajectoryConfig),
 }
@@ -317,11 +474,16 @@ impl Default for Backend {
 }
 
 impl Backend {
-    /// Resolves the engine that will simulate a register of `n_qubits`.
+    /// Resolves the engine that will simulate a register of `n_qubits`,
+    /// without program knowledge. `Auto` falls back to its size-only rule
+    /// (density matrix up to `dm_max_qubits`, then trajectories); callers
+    /// that hold a program should prefer [`Backend::resolve_for`].
     pub fn resolve(&self, n_qubits: usize) -> ResolvedEngine {
         match *self {
             Backend::DensityMatrix => ResolvedEngine::DensityMatrix(DensityMatrixEngine),
             Backend::Statevector => ResolvedEngine::Statevector(StatevectorEngine),
+            Backend::Stabilizer => ResolvedEngine::Stabilizer(StabilizerEngine),
+            Backend::Sparse => ResolvedEngine::Sparse(SparseStatevectorEngine),
             Backend::Trajectory(config) => ResolvedEngine::Trajectory(TrajectoryEngine { config }),
             Backend::Auto {
                 dm_max_qubits,
@@ -336,6 +498,47 @@ impl Backend {
                 }
             }
         }
+    }
+
+    /// Resolves the cheapest admissible engine for a concrete job: register
+    /// size `n_qubits` (of the program actually executed, which compaction
+    /// may have shrunk), the noise model, and the job's structural
+    /// [`ProgramProfile`]. Forced backends resolve to themselves; `Auto`
+    /// walks the admissibility ladder cheapest-first:
+    ///
+    /// 1. **Stabilizer** — all-Clifford, reset-free, Pauli/no gate noise:
+    ///    polynomial in `n` regardless of register width.
+    /// 2. **Sparse statevector** — pure-eligible with a support bound
+    ///    comfortably below the dense size (`2^(s+2) ≤ 2^n`).
+    /// 3. **Density matrix** — exact mixed state, within `dm_max_qubits`.
+    /// 4. **Dense statevector** — pure-eligible registers the dense pure
+    ///    engine can hold.
+    /// 5. **Trajectories** — everything else.
+    ///
+    /// Engine choice is a pure performance decision: every engine is exact
+    /// for the jobs it admits, so `Auto` never changes results.
+    pub fn resolve_for(
+        &self,
+        n_qubits: usize,
+        noise: &NoiseModel,
+        profile: &ProgramProfile,
+    ) -> ResolvedEngine {
+        let Backend::Auto { dm_max_qubits, .. } = *self else {
+            return self.resolve(n_qubits);
+        };
+        if stabilizer_admissible(noise, profile) {
+            return ResolvedEngine::Stabilizer(StabilizerEngine);
+        }
+        if sparse_admissible(noise, profile) && profile.support_bound_log2() + 2 <= n_qubits {
+            return ResolvedEngine::Sparse(SparseStatevectorEngine);
+        }
+        if n_qubits <= dm_max_qubits {
+            return ResolvedEngine::DensityMatrix(DensityMatrixEngine);
+        }
+        if sparse_admissible(noise, profile) && n_qubits <= statevector::MAX_QUBITS {
+            return ResolvedEngine::Statevector(StatevectorEngine);
+        }
+        self.resolve(n_qubits)
     }
 
     /// Caps the *internal* worker-thread budget of any trajectory engine.
@@ -357,6 +560,8 @@ impl Backend {
             },
             Backend::DensityMatrix => Backend::DensityMatrix,
             Backend::Statevector => Backend::Statevector,
+            Backend::Stabilizer => Backend::Stabilizer,
+            Backend::Sparse => Backend::Sparse,
             Backend::Trajectory(cfg) => Backend::Trajectory(clamp(cfg)),
         }
     }
@@ -369,6 +574,10 @@ pub enum ResolvedEngine {
     DensityMatrix(DensityMatrixEngine),
     /// The exact pure-state engine (with DM fallback per program).
     Statevector(StatevectorEngine),
+    /// The stabilizer-tableau engine (with DM fallback per program).
+    Stabilizer(StabilizerEngine),
+    /// The sparse pure-state engine (with DM fallback per program).
+    Sparse(SparseStatevectorEngine),
     /// The sampling engine.
     Trajectory(TrajectoryEngine),
 }
@@ -378,6 +587,8 @@ impl BackendEngine for ResolvedEngine {
         match self {
             ResolvedEngine::DensityMatrix(e) => e.name(),
             ResolvedEngine::Statevector(e) => e.name(),
+            ResolvedEngine::Stabilizer(e) => e.name(),
+            ResolvedEngine::Sparse(e) => e.name(),
             ResolvedEngine::Trajectory(e) => e.name(),
         }
     }
@@ -391,15 +602,19 @@ impl BackendEngine for ResolvedEngine {
         match self {
             ResolvedEngine::DensityMatrix(e) => e.raw_distribution(program, noise, measured),
             ResolvedEngine::Statevector(e) => e.raw_distribution(program, noise, measured),
+            ResolvedEngine::Stabilizer(e) => e.raw_distribution(program, noise, measured),
+            ResolvedEngine::Sparse(e) => e.raw_distribution(program, noise, measured),
             ResolvedEngine::Trajectory(e) => e.raw_distribution(program, noise, measured),
         }
     }
 
-    fn fork_class(&self, noise: &NoiseModel, has_resets: bool) -> Option<u8> {
+    fn fork_class(&self, noise: &NoiseModel, profile: &ProgramProfile) -> Option<u8> {
         match self {
-            ResolvedEngine::DensityMatrix(e) => e.fork_class(noise, has_resets),
-            ResolvedEngine::Statevector(e) => e.fork_class(noise, has_resets),
-            ResolvedEngine::Trajectory(e) => e.fork_class(noise, has_resets),
+            ResolvedEngine::DensityMatrix(e) => e.fork_class(noise, profile),
+            ResolvedEngine::Statevector(e) => e.fork_class(noise, profile),
+            ResolvedEngine::Stabilizer(e) => e.fork_class(noise, profile),
+            ResolvedEngine::Sparse(e) => e.fork_class(noise, profile),
+            ResolvedEngine::Trajectory(e) => e.fork_class(noise, profile),
         }
     }
 
@@ -412,6 +627,8 @@ impl BackendEngine for ResolvedEngine {
         match self {
             ResolvedEngine::DensityMatrix(e) => e.snapshot(n_qubits, noise, class),
             ResolvedEngine::Statevector(e) => e.snapshot(n_qubits, noise, class),
+            ResolvedEngine::Stabilizer(e) => e.snapshot(n_qubits, noise, class),
+            ResolvedEngine::Sparse(e) => e.snapshot(n_qubits, noise, class),
             ResolvedEngine::Trajectory(e) => e.snapshot(n_qubits, noise, class),
         }
     }

@@ -1,0 +1,124 @@
+//! One-pass per-program classification for automatic engine selection.
+//!
+//! [`ProgramProfile`] captures the structural facts `Backend::Auto` needs to
+//! pick the cheapest admissible engine for a job: whether the op stream is
+//! all-Clifford (stabilizer-tableau admissible), whether it contains resets
+//! (mixed-state only), and how many ops can grow superposition (an upper
+//! bound on the branching factor a sparse statevector evolution pays).
+//!
+//! The profile is a function of the op stream's *structure* only — gate
+//! variants and parameters, never operand indices — so it is invariant under
+//! qubit remapping and register compaction, and can be computed once per
+//! deduplicated [`crate::BatchJob`] and reused for the compacted program.
+
+use crate::program::{Op, Program};
+use qt_circuit::GateStructure;
+
+/// A one-pass structural profile of a [`Program`] — everything automatic
+/// engine selection needs, cached per batch job (see
+/// [`crate::BatchJob::profile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramProfile {
+    /// Register size of the profiled program.
+    pub n_qubits: usize,
+    /// Whether the program contains any mid-circuit reset (forces a
+    /// mixed-state representation).
+    pub has_resets: bool,
+    /// Whether every gate (noisy or ideal) is recognizably Clifford
+    /// (see [`qt_circuit::Gate::clifford_class`]).
+    pub all_clifford: bool,
+    /// Number of ops whose matrix is dense on at least one operand axis
+    /// (`SingleQubitDense` / `ControlledDense` / `Dense` structure).
+    /// Starting from a basis state, each such op at most doubles the number
+    /// of nonzero amplitudes, so `2^superposing_ops` bounds the support a
+    /// sparse statevector evolution can reach; diagonal and permutation
+    /// gates never grow support.
+    pub superposing_ops: usize,
+}
+
+impl ProgramProfile {
+    /// Profiles `program` in one pass over its ops.
+    pub fn of(program: &Program) -> Self {
+        let mut has_resets = false;
+        let mut all_clifford = true;
+        let mut superposing_ops = 0usize;
+        for op in program.ops() {
+            match op {
+                Op::Gate(i) | Op::IdealGate(i) => {
+                    if all_clifford && !i.gate.is_clifford() {
+                        all_clifford = false;
+                    }
+                    if matches!(
+                        i.gate.structure(),
+                        GateStructure::SingleQubitDense
+                            | GateStructure::ControlledDense
+                            | GateStructure::Dense
+                    ) {
+                        superposing_ops += 1;
+                    }
+                }
+                Op::Reset { .. } => has_resets = true,
+            }
+        }
+        ProgramProfile {
+            n_qubits: program.n_qubits(),
+            has_resets,
+            all_clifford,
+            superposing_ops,
+        }
+    }
+
+    /// An upper bound on the log2 of the statevector support the program
+    /// can build from `|0…0⟩`, clamped to the register size.
+    pub fn support_bound_log2(&self) -> usize {
+        self.superposing_ops.min(self.n_qubits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_circuit::Circuit;
+    use qt_math::states::PrepState;
+
+    #[test]
+    fn clifford_circuit_profiles_clifford() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).s(1).cz(1, 2).swap(2, 3);
+        let p = ProgramProfile::of(&Program::from_circuit(&c));
+        assert_eq!(p.n_qubits, 4);
+        assert!(p.all_clifford);
+        assert!(!p.has_resets);
+        assert_eq!(p.superposing_ops, 1, "only the H is dense");
+    }
+
+    #[test]
+    fn non_clifford_and_resets_are_detected() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1);
+        let mut prog = Program::from_circuit(&c);
+        prog.push_reset_state(&[0], PrepState::Plus);
+        let p = ProgramProfile::of(&prog);
+        assert!(!p.all_clifford);
+        assert!(p.has_resets);
+    }
+
+    #[test]
+    fn profile_is_invariant_under_remapping() {
+        let mut c = Circuit::new(3);
+        c.h(0).ry(1, 0.3).cx(0, 2);
+        let prog = Program::from_circuit(&c);
+        let remapped = prog.remapped(&[2, 0, 1]);
+        assert_eq!(ProgramProfile::of(&prog), ProgramProfile::of(&remapped));
+    }
+
+    #[test]
+    fn superposing_count_bounds_support() {
+        // X / CX / CZ / Rz never grow support; H / Ry do.
+        let mut c = Circuit::new(5);
+        c.x(0).cx(0, 1).cz(1, 2).rz(2, 0.7).h(3).ry(4, 0.2);
+        let p = ProgramProfile::of(&Program::from_circuit(&c));
+        assert_eq!(p.superposing_ops, 2);
+        assert_eq!(p.support_bound_log2(), 2);
+    }
+}

@@ -15,6 +15,7 @@
 //! job's internal trajectory workers.
 
 use crate::backend::{self, BackendEngine, EngineState};
+use crate::classify::ProgramProfile;
 use crate::density::DensityMatrix;
 use crate::noise::{apply_readout, NoiseModel};
 use crate::program::{Op, Program};
@@ -186,6 +187,9 @@ pub struct BatchJob {
     pub measured: Vec<usize>,
     /// Cached [`JobKey`], computed on first use.
     key: OnceLock<JobKey>,
+    /// Cached [`ProgramProfile`], computed on first use (engine selection
+    /// consults it once per job instead of rescanning the op stream).
+    profile: OnceLock<ProgramProfile>,
 }
 
 /// A 128-bit structural hash of a `(program, measured)` pair — the
@@ -254,6 +258,7 @@ impl BatchJob {
             program,
             measured: measured.into(),
             key: OnceLock::new(),
+            profile: OnceLock::new(),
         }
     }
 
@@ -312,6 +317,22 @@ impl BatchJob {
             "BatchJob mutated after its dedup key was read"
         );
         key
+    }
+
+    /// The structural [`ProgramProfile`] of this job's program, computed
+    /// once and cached. Like [`BatchJob::dedup_key`], jobs must not be
+    /// mutated after the profile has been read — debug builds re-derive it
+    /// on every call and assert it unchanged.
+    pub fn profile(&self) -> &ProgramProfile {
+        let profile = self
+            .profile
+            .get_or_init(|| ProgramProfile::of(&self.program));
+        debug_assert_eq!(
+            *profile,
+            ProgramProfile::of(&self.program),
+            "BatchJob mutated after its profile was read"
+        );
+        profile
     }
 
     /// The pre-`JobKey` collision-free string form, kept as the
@@ -446,6 +467,14 @@ pub trait Runner {
             .map(|(i, out)| SampledOutput::from_run(out, shots.shots(i), job_seed(seed, i)))
             .collect()
     }
+
+    /// The engine mix this runner would use for `jobs`: `(engine name, job
+    /// count)` pairs sorted by name, or `None` for runners without engine
+    /// introspection (the default). Reporting only — never affects
+    /// execution.
+    fn engine_mix(&self, _jobs: &[BatchJob]) -> Option<Vec<(String, usize)>> {
+        None
+    }
 }
 
 /// How [`Executor::run_batch`] schedules a batch.
@@ -501,6 +530,12 @@ impl std::fmt::Display for BatchConfigError {
 }
 
 impl std::error::Error for BatchConfigError {}
+
+/// Largest measured-qubit set any execution path will produce a dense
+/// outcome vector for (`2^26` f64 entries is 512 MiB). Mirrors
+/// `qt_dist::DEFAULT_DENSE_CAP_BITS` — the classical stage downstream
+/// enforces the same ceiling on its tables.
+pub const MAX_MEASURED_BITS: usize = 26;
 
 /// Total bytes of checkpoint states the automatic `max_live_states`
 /// derivation budgets per trie walk.
@@ -564,6 +599,10 @@ impl Runner for Executor {
             SampledOutput::from_run(&outs[i], shots.shots(i), job_seed(seed, i))
         })
     }
+
+    fn engine_mix(&self, jobs: &[BatchJob]) -> Option<Vec<(String, usize)>> {
+        Some(self.engine_mix_of(jobs))
+    }
 }
 
 /// One independent unit of scheduled batch work: a trie subtree (shared
@@ -584,6 +623,10 @@ struct BatchGroup {
     measured: Vec<Vec<usize>>,
     n_qubits: usize,
     class: u8,
+    /// The engine the group's jobs resolved to. A fork class pins the
+    /// state representation, so any engine producing the same class yields
+    /// bit-identical snapshots — the first job's engine stands for all.
+    engine: crate::backend::ResolvedEngine,
 }
 
 /// A noisy-circuit executor.
@@ -694,6 +737,15 @@ impl Executor {
         if jobs.is_empty() {
             return Vec::new();
         }
+        for job in jobs {
+            assert!(
+                job.measured.len() <= MAX_MEASURED_BITS,
+                "measuring {} qubits would allocate a dense 2^{} outcome vector \
+                 (cap: {MAX_MEASURED_BITS} bits); measure a subset instead",
+                job.measured.len(),
+                job.measured.len(),
+            );
+        }
         // Stage 1: per-job compaction, identical to the serial path
         // (`None` = the job runs as-is; no clone needed).
         let prepared: Vec<Option<(Program, Vec<usize>)>> = jobs
@@ -706,13 +758,26 @@ impl Executor {
             |i: usize| -> &[usize] { prepared[i].as_ref().map_or(&jobs[i].measured, |(_, m)| m) };
 
         // Stage 2: partition into fork-capable groups and fallback jobs.
+        // Engine selection uses the cached job profile (structure is
+        // invariant under compaction's qubit renaming) with the register
+        // size of the program actually simulated.
         let mut by_class: BTreeMap<(usize, u8), Vec<usize>> = BTreeMap::new();
         let mut fallback: Vec<usize> = Vec::new();
+        let mut resolved: Vec<Option<crate::backend::ResolvedEngine>> = vec![None; jobs.len()];
         for i in 0..jobs.len() {
             let p = program_of(i);
-            let engine = self.backend.resolve(p.n_qubits());
-            match engine.fork_class(&self.noise, p.has_resets()) {
-                Some(class) => by_class.entry((p.n_qubits(), class)).or_default().push(i),
+            let profile = ProgramProfile {
+                n_qubits: p.n_qubits(),
+                ..*jobs[i].profile()
+            };
+            let engine = self
+                .backend
+                .resolve_for(p.n_qubits(), &self.noise, &profile);
+            match engine.fork_class(&self.noise, &profile) {
+                Some(class) => {
+                    resolved[i] = Some(engine);
+                    by_class.entry((p.n_qubits(), class)).or_default().push(i);
+                }
                 None => fallback.push(i),
             }
         }
@@ -722,12 +787,14 @@ impl Executor {
                 let programs: Vec<&Program> = idxs.iter().map(|&i| program_of(i)).collect();
                 let trie = ExecutionTrie::build(&programs);
                 let measured = idxs.iter().map(|&i| measured_of(i).to_vec()).collect();
+                let engine = resolved[idxs[0]].expect("grouped jobs have a resolved engine");
                 BatchGroup {
                     jobs: idxs,
                     trie,
                     measured,
                     n_qubits,
                     class,
+                    engine,
                 }
             })
             .collect();
@@ -752,7 +819,7 @@ impl Executor {
         // One shared noise-model handle for every snapshot of the batch.
         let noise_arc = std::sync::Arc::new(self.noise.clone());
         let snapshot_of = |g: &BatchGroup| {
-            let engine = self.backend.resolve(g.n_qubits);
+            let engine = g.engine;
             let (n_qubits, class) = (g.n_qubits, g.class);
             let noise = &noise_arc;
             move || {
@@ -843,18 +910,52 @@ impl Executor {
     /// so that reduced ensemble circuits do not pay for idle wires, then
     /// handed to the engine the backend resolves for the compacted size.
     pub fn raw_distribution(&self, program: &Program, measured: &[usize]) -> Vec<f64> {
+        // Every engine allocates a dense 2^|measured| output vector; wide
+        // registers are fine (stabilizer/sparse engines), wide *measurement
+        // sets* are not — fail with a clear message instead of an
+        // allocation attempt of hundreds of GiB.
+        assert!(
+            measured.len() <= MAX_MEASURED_BITS,
+            "measuring {} qubits would allocate a dense 2^{} outcome vector \
+             (cap: {MAX_MEASURED_BITS} bits); measure a subset instead",
+            measured.len(),
+            measured.len(),
+        );
         match self.compacted(program, measured) {
-            Some((p, m)) => {
-                self.backend
-                    .resolve(p.n_qubits())
-                    .raw_distribution(&p, &self.noise, &m)
-            }
-            None => self.backend.resolve(program.n_qubits()).raw_distribution(
-                program,
-                &self.noise,
-                measured,
-            ),
+            Some((p, m)) => self
+                .resolve_engine(&p)
+                .raw_distribution(&p, &self.noise, &m),
+            None => self
+                .resolve_engine(program)
+                .raw_distribution(program, &self.noise, measured),
         }
+    }
+
+    /// The engine [`Backend::resolve_for`] picks for a concrete program —
+    /// the one definition the serial path, the trie partition and the
+    /// engine-mix report all share.
+    fn resolve_engine(&self, program: &Program) -> crate::backend::ResolvedEngine {
+        let profile = ProgramProfile::of(program);
+        self.backend
+            .resolve_for(program.n_qubits(), &self.noise, &profile)
+    }
+
+    /// The engine name each job of a batch resolves to, aggregated into
+    /// `(name, job count)` pairs sorted by name — the engine-mix record
+    /// surfaced through plan statistics.
+    pub fn engine_mix_of(&self, jobs: &[BatchJob]) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for job in jobs {
+            let name = match self.compacted(&job.program, &job.measured) {
+                Some((p, _)) => self.resolve_engine(&p).name(),
+                None => self.resolve_engine(&job.program).name(),
+            };
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(name, n)| (name.to_string(), n))
+            .collect()
     }
 
     /// The compacted `(program, measured)` this executor would simulate

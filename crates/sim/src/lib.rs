@@ -27,23 +27,27 @@
 //! ```
 
 pub mod backend;
+pub mod classify;
 pub mod density;
 pub mod executor;
 pub mod kernel;
 pub mod noise;
 pub mod program;
+pub mod sparse;
+pub mod stabilizer;
 pub mod statevector;
 pub mod trajectory;
 pub mod trie;
 
 pub use backend::{
-    Backend, BackendEngine, DensityMatrixEngine, EngineState, ResolvedEngine, StatevectorEngine,
-    TrajectoryEngine,
+    Backend, BackendEngine, DensityMatrixEngine, EngineState, ResolvedEngine,
+    SparseStatevectorEngine, StabilizerEngine, StatevectorEngine, TrajectoryEngine,
 };
+pub use classify::ProgramProfile;
 pub use density::DensityMatrix;
 pub use executor::{
     ideal_distribution, sample_counts_deterministic, BatchConfigError, BatchJob, BatchPolicy,
-    Executor, JobInterner, JobKey, RunOutput, Runner, SampledOutput, ShotPlan,
+    Executor, JobInterner, JobKey, RunOutput, Runner, SampledOutput, ShotPlan, MAX_MEASURED_BITS,
 };
 pub use kernel::{ControlledBlock, KernelClass};
 pub use noise::{

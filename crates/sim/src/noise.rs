@@ -192,6 +192,51 @@ impl KrausChannel {
         Ok(KrausChannel::new(ops))
     }
 
+    /// The channel as an explicit probabilistic mixture of Pauli strings —
+    /// `(probability, one Pauli letter per operand)` with operand 0 first —
+    /// or `None` when the channel is not a Pauli mixture (up to global
+    /// phases on the unitaries). Zero-probability entries are dropped.
+    ///
+    /// This is the admissibility predicate (and the event table) of the
+    /// stabilizer engine's exact trajectory-free noise mixing: Pauli errors
+    /// conjugate stabilizer generators to `±`themselves, so their effect is
+    /// a sign flip that can be mixed analytically instead of sampled.
+    pub fn pauli_mixture(&self) -> Option<Vec<(f64, Vec<qt_math::Pauli>)>> {
+        use qt_math::Pauli;
+        if self.n_qubits > 2 {
+            return None;
+        }
+        let probs = self.mixture_probs()?;
+        let units = self.mixture_unitaries()?;
+        let mut out = Vec::with_capacity(probs.len());
+        for (&p, u) in probs.iter().zip(units) {
+            if p == 0.0 {
+                continue;
+            }
+            let mut found: Option<Vec<Pauli>> = None;
+            if self.n_qubits == 1 {
+                for cand in Pauli::ALL {
+                    if u.approx_eq_up_to_phase(&cand.matrix(), 1e-9) {
+                        found = Some(vec![cand]);
+                        break;
+                    }
+                }
+            } else {
+                'outer: for hi in Pauli::ALL {
+                    for lo in Pauli::ALL {
+                        // Operand 0 is the low bit: kron(high, low).
+                        if u.approx_eq_up_to_phase(&hi.matrix().kron(&lo.matrix()), 1e-9) {
+                            found = Some(vec![lo, hi]);
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            out.push((p, found?));
+        }
+        Some(out)
+    }
+
     /// The identity channel on `n` qubits.
     pub fn identity(n: usize) -> Self {
         KrausChannel::new(vec![Matrix::identity(1 << n)])
@@ -524,6 +569,23 @@ impl NoiseModel {
         })
     }
 
+    /// Whether every attached gate channel is a probabilistic Pauli mixture
+    /// (see [`KrausChannel::pauli_mixture`]) — the noise-side admissibility
+    /// condition of the stabilizer engine. Ideal models qualify trivially;
+    /// readout error is not considered because it applies above the engine.
+    pub fn gate_noise_is_pauli(&self) -> bool {
+        let rule_ok = |r: &NoiseRule| {
+            r.full
+                .iter()
+                .chain(&r.per_operand)
+                .all(|ch| ch.pauli_mixture().is_some())
+        };
+        rule_ok(&self.one_qubit)
+            && rule_ok(&self.two_qubit)
+            && self.per_qubit.values().all(rule_ok)
+            && self.per_edge.values().all(rule_ok)
+    }
+
     /// Whether the model applies no gate noise (readout may still be noisy).
     pub fn gates_are_ideal(&self) -> bool {
         self.one_qubit.is_ideal()
@@ -705,6 +767,68 @@ mod tests {
         assert!(noise.pauli_twirled().is_err());
         // ...while models with only supported channels still twirl.
         assert!(NoiseModel::depolarizing(0.01, 0.02).pauli_twirled().is_ok());
+    }
+
+    #[test]
+    fn pauli_mixture_recognizes_pauli_channels() {
+        use qt_math::Pauli;
+        let mix = KrausChannel::depolarizing(1, 0.3)
+            .pauli_mixture()
+            .expect("depolarizing is a Pauli mixture");
+        assert_eq!(mix.len(), 4);
+        assert_eq!(mix[0].1, vec![Pauli::I]);
+        assert!((mix[0].0 - 0.7).abs() < 1e-12);
+        for (p, _) in &mix[1..] {
+            assert!((p - 0.1).abs() < 1e-12);
+        }
+        let mix2 = KrausChannel::depolarizing(2, 0.15)
+            .pauli_mixture()
+            .expect("2q depolarizing is a Pauli mixture");
+        assert_eq!(mix2.len(), 16);
+        assert!((mix2.iter().map(|(p, _)| p).sum::<f64>() - 1.0).abs() < 1e-12);
+        // Ordering check: option index 1 of the 2q depolarizing loop is
+        // `X.kron(I)` — X on the high bit, i.e. on operand 1.
+        assert_eq!(mix2[1].1, vec![Pauli::I, Pauli::X]);
+        assert!(KrausChannel::bit_flip(0.1).pauli_mixture().is_some());
+        assert!(KrausChannel::phase_flip(0.1).pauli_mixture().is_some());
+        assert!(KrausChannel::identity(1).pauli_mixture().is_some());
+    }
+
+    #[test]
+    fn pauli_mixture_rejects_non_pauli_channels() {
+        assert!(KrausChannel::amplitude_damping(0.3)
+            .pauli_mixture()
+            .is_none());
+        assert!(
+            KrausChannel::thermal_relaxation(125.94e3, 188.75e3, 426.667)
+                .pauli_mixture()
+                .is_none()
+        );
+        // A mixed-unitary channel whose unitaries are not Paulis.
+        let th: f64 = 0.4;
+        let u = Gate::Rx(th).matrix();
+        let ch = KrausChannel::new(vec![
+            Matrix::identity(2).scale(Complex::real(0.5f64.sqrt())),
+            u.scale(Complex::real(0.5f64.sqrt())),
+        ]);
+        assert!(ch.mixture_probs().is_some());
+        assert!(ch.pauli_mixture().is_none());
+    }
+
+    #[test]
+    fn gate_noise_is_pauli_classifies_models() {
+        assert!(NoiseModel::ideal().gate_noise_is_pauli());
+        assert!(NoiseModel::depolarizing(0.01, 0.05).gate_noise_is_pauli());
+        assert!(NoiseModel::depolarizing(0.01, 0.05)
+            .with_readout(0.1)
+            .gate_noise_is_pauli());
+        let mut nm = NoiseModel::depolarizing(0.01, 0.05);
+        nm.one_qubit
+            .per_operand
+            .push(KrausChannel::amplitude_damping(0.1));
+        assert!(!nm.gate_noise_is_pauli());
+        // Twirling restores Pauli structure.
+        assert!(nm.pauli_twirled().unwrap().gate_noise_is_pauli());
     }
 
     #[test]

@@ -190,8 +190,9 @@ fn max_live_states_one_degrades_to_replay() {
     let measured: Vec<Vec<usize>> = vec![vec![0, 1, 2]; programs.len()];
     let noise = Arc::new(NoiseModel::depolarizing(0.002, 0.01));
     let engine = DensityMatrixEngine;
+    let profile = qt_sim::ProgramProfile::of(&programs[0]);
     let class = engine
-        .fork_class(&noise, false)
+        .fork_class(&noise, &profile)
         .expect("DM engine is fork-capable");
     let init = move || {
         engine
