@@ -30,7 +30,6 @@ pub struct JigsawReport {
 /// group, as independent circuit copies ready to batch.
 #[derive(Debug, Clone)]
 pub struct JigsawPlan {
-    measured: Vec<usize>,
     subsets: Vec<Vec<usize>>,
     jobs: Vec<BatchJob>,
 }
@@ -68,11 +67,7 @@ pub fn plan_jigsaw(circuit: &Circuit, measured: &[usize], subset_size: usize) ->
         let qubits: Vec<usize> = positions.iter().map(|&p| measured[p]).collect();
         jobs.push(BatchJob::new(program.clone(), qubits));
     }
-    JigsawPlan {
-        measured: measured.to_vec(),
-        subsets,
-        jobs,
-    }
+    JigsawPlan { subsets, jobs }
 }
 
 impl JigsawPlan {
@@ -110,19 +105,20 @@ impl JigsawArtifacts<'_> {
         let plan = self.plan;
         let mut outs = self.outputs.iter().cloned();
         let global_out = outs.next().expect("global job present");
-        let global = Distribution::from_probs(plan.measured.len(), global_out.dist);
+        let global = global_out.dist.clone();
 
         let mut locals = Vec::new();
         let mut n_circuits = 1;
         for (positions, out) in plan.subsets.iter().zip(outs) {
             n_circuits += 1;
-            locals.push((
-                Distribution::from_probs(positions.len(), out.dist),
-                positions.clone(),
-            ));
+            locals.push((out.dist, positions.clone()));
         }
 
-        let refined = recombine::bayesian_update_all(&global, &locals);
+        let refined = recombine::try_bayesian_update_all(
+            &global,
+            locals.iter().map(|(d, p)| (d, p.as_slice())),
+        )
+        .expect("Jigsaw subset modes match the planned positions");
         JigsawReport {
             distribution: refined,
             global,
@@ -169,10 +165,7 @@ mod tests {
     fn jigsaw_improves_under_measurement_crosstalk() {
         let circ = vqe_ansatz(6, 1, 5);
         let measured: Vec<usize> = (0..6).collect();
-        let ideal = Distribution::from_probs(
-            6,
-            ideal_distribution(&Program::from_circuit(&circ), &measured),
-        );
+        let ideal = ideal_distribution(&Program::from_circuit(&circ), &measured);
         let noise =
             NoiseModel::ideal().with_readout_model(ReadoutModel::with_crosstalk(0.01, 0.02));
         let exec = Executor::with_backend(noise, Backend::DensityMatrix);
@@ -191,10 +184,7 @@ mod tests {
         // Jigsaw's local distributions see the same noise as the global.
         let circ = vqe_ansatz(5, 1, 2);
         let measured: Vec<usize> = (0..5).collect();
-        let ideal = Distribution::from_probs(
-            5,
-            ideal_distribution(&Program::from_circuit(&circ), &measured),
-        );
+        let ideal = ideal_distribution(&Program::from_circuit(&circ), &measured);
         let noise = NoiseModel::depolarizing(0.001, 0.01).with_readout(0.05);
         let exec = Executor::with_backend(noise, Backend::DensityMatrix);
         let report = run_jigsaw(&exec, &circ, &measured, 2);
@@ -229,10 +219,7 @@ mod tests {
         let measured: Vec<usize> = (0..4).collect();
         let exec = Executor::with_backend(NoiseModel::ideal(), Backend::DensityMatrix);
         let report = run_jigsaw(&exec, &circ, &measured, 2);
-        let ideal = Distribution::from_probs(
-            4,
-            ideal_distribution(&Program::from_circuit(&circ), &measured),
-        );
+        let ideal = ideal_distribution(&Program::from_circuit(&circ), &measured);
         assert!(hellinger_fidelity(&report.distribution, &ideal) > 1.0 - 1e-9);
     }
 }

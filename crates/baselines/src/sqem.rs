@@ -84,7 +84,6 @@ struct SqemCheckPlan {
 /// Stage-1 output of SQEM: every reconstruction circuit, deduplicated.
 #[derive(Debug, Clone)]
 pub struct SqemPlan {
-    measured: Vec<usize>,
     programs: Vec<BatchJob>,
     global_slot: usize,
     qubits: Vec<SqemQubitPlan>,
@@ -172,7 +171,6 @@ pub fn plan_sqem(circuit: &Circuit, measured: &[usize]) -> Result<SqemPlan, Sqem
     }
 
     Ok(SqemPlan {
-        measured: measured.to_vec(),
         programs,
         global_slot,
         qubits,
@@ -213,7 +211,7 @@ impl SqemArtifacts<'_> {
     pub fn recombine(&self) -> SqemReport {
         let plan = self.plan;
         let global_out = &self.outputs[plan.global_slot];
-        let global = Distribution::from_probs(plan.measured.len(), global_out.dist.clone());
+        let global = global_out.dist.clone();
 
         let mut locals = Vec::new();
         let mut n_circuits = 1usize;
@@ -239,12 +237,18 @@ impl SqemArtifacts<'_> {
             }
             let p0 = rho[(0, 0)].re.clamp(0.0, 1.0);
             locals.push((
-                Distribution::from_probs(1, vec![p0, 1.0 - p0]).normalized(),
+                Distribution::try_from_probs(1, vec![p0, 1.0 - p0])
+                    .expect("one-qubit reconstructed state")
+                    .normalized(),
                 vec![qp.pos],
             ));
         }
 
-        let refined = recombine::bayesian_update_all(&global, &locals);
+        let refined = recombine::try_bayesian_update_all(
+            &global,
+            locals.iter().map(|(d, p)| (d, p.as_slice())),
+        )
+        .expect("SQEM per-qubit locals match their planned positions");
         SqemReport {
             distribution: refined,
             global,
@@ -304,10 +308,7 @@ mod tests {
     fn sqem_mitigates_vqe_single_layer() {
         let circ = vqe_ansatz(5, 1, 8);
         let measured: Vec<usize> = (0..5).collect();
-        let ideal = Distribution::from_probs(
-            5,
-            ideal_distribution(&Program::from_circuit(&circ), &measured),
-        );
+        let ideal = ideal_distribution(&Program::from_circuit(&circ), &measured);
         let noise = NoiseModel::depolarizing(0.002, 0.02).with_readout(0.05);
         let exec = Executor::with_backend(noise, Backend::DensityMatrix);
         let report = run_sqem(&exec, &circ, &measured).unwrap();
@@ -320,10 +321,7 @@ mod tests {
     fn sqem_handles_bernstein_vazirani() {
         let circ = bernstein_vazirani(4, 0b1101);
         let measured: Vec<usize> = (0..4).collect();
-        let ideal = Distribution::from_probs(
-            4,
-            ideal_distribution(&Program::from_circuit(&circ), &measured),
-        );
+        let ideal = ideal_distribution(&Program::from_circuit(&circ), &measured);
         let noise = NoiseModel::depolarizing(0.003, 0.03).with_readout(0.08);
         let exec = Executor::with_backend(noise, Backend::DensityMatrix);
         let report = run_sqem(&exec, &circ, &measured).unwrap();
@@ -367,12 +365,11 @@ mod tests {
         );
         let report = plan.execute(&exec).recombine();
         let direct = run_sqem(&exec, &circ, &measured).unwrap();
-        for (a, b) in report
-            .distribution
-            .probs()
-            .iter()
-            .zip(direct.distribution.probs())
-        {
+        let xs: Vec<(u64, f64)> = report.distribution.iter().collect();
+        let ys: Vec<(u64, f64)> = direct.distribution.iter().collect();
+        assert_eq!(xs.len(), ys.len());
+        for ((i, a), (j, b)) in xs.iter().zip(&ys) {
+            assert_eq!(i, j);
             assert!((a - b).abs() < 1e-15);
         }
     }

@@ -1,0 +1,108 @@
+//! Sparse vs dense distribution kernels: the `Mass` redesign's perf claim,
+//! measured on a 24-qubit low-density workload (512 nonzero outcomes in a
+//! 2^24 space — the shape a wide low-entanglement engine readout
+//! produces). The sparse arm walks the nonzero stream; the dense arm scans
+//! the full table. Both arms are asserted **bit-identical** before timing,
+//! so every speedup in `BENCH_dist.json` is for the exact same answer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qt_dist::{recombine, Distribution};
+use std::hint::black_box;
+
+const N_BITS: usize = 24;
+const SUPPORT: u64 = 512;
+
+/// A deterministic scattered-support distribution: `SUPPORT` outcomes at
+/// multiplicatively-hashed indices, unnormalized weights 1..=SUPPORT.
+fn low_density_entries() -> Vec<(u64, f64)> {
+    let mask = (1u64 << N_BITS) - 1;
+    let mut entries: Vec<(u64, f64)> = (1..=SUPPORT)
+        .map(|k| (k.wrapping_mul(0x9e37_79b9) & mask, k as f64))
+        .collect();
+    entries.sort_unstable_by_key(|&(i, _)| i);
+    entries.dedup_by_key(|&mut (i, _)| i);
+    entries
+}
+
+/// The same logical distribution in both storage arms.
+fn both_arms() -> (Distribution, Distribution) {
+    let base = Distribution::try_from_entries(N_BITS, low_density_entries())
+        .expect("24-bit indices are in range")
+        .normalized();
+    let sparse = base.clone().with_density_threshold(2.0);
+    let dense = base.with_density_threshold(0.0);
+    assert!(!sparse.is_dense() && dense.is_dense(), "arms must differ");
+    (sparse, dense)
+}
+
+fn assert_identical(a: &Distribution, b: &Distribution, what: &str) {
+    let xs: Vec<(u64, f64)> = a.iter().collect();
+    let ys: Vec<(u64, f64)> = b.iter().collect();
+    assert_eq!(xs.len(), ys.len(), "{what}: support size");
+    for ((i, x), (j, y)) in xs.iter().zip(&ys) {
+        assert!(
+            i == j && x.to_bits() == y.to_bits(),
+            "{what}: ({i}, {x:?}) != ({j}, {y:?})"
+        );
+    }
+}
+
+/// Marginal over the low 8 positions: the recombination inner loop's
+/// dominant traversal.
+fn bench_marginal(c: &mut Criterion) {
+    let (sparse, dense) = both_arms();
+    let keep: Vec<usize> = (0..8).collect();
+    assert_identical(
+        &sparse.marginal(&keep),
+        &dense.marginal(&keep),
+        "marginal sparse vs dense",
+    );
+
+    let mut group = c.benchmark_group("dist");
+    group.sample_size(10);
+    group.bench_function("marginal_sparse_24q", |b| {
+        b.iter(|| black_box(sparse.marginal(black_box(&keep))))
+    });
+    group.bench_function("marginal_dense_24q", |b| {
+        b.iter(|| black_box(dense.marginal(black_box(&keep))))
+    });
+    group.finish();
+}
+
+/// One full Bayesian update (marginal + per-subset ratio + reweight):
+/// the recombination stage of the pipeline on a single-qubit subset.
+fn bench_recombine(c: &mut Criterion) {
+    let (sparse, dense) = both_arms();
+    let local = Distribution::try_from_probs(1, vec![0.85, 0.15])
+        .expect("one-bit local")
+        .normalized();
+    let pos = [3usize];
+    assert_identical(
+        &recombine::try_bayesian_update(&sparse, &local, &pos).expect("sparse update"),
+        &recombine::try_bayesian_update(&dense, &local, &pos).expect("dense update"),
+        "recombine sparse vs dense",
+    );
+
+    let mut group = c.benchmark_group("dist");
+    group.sample_size(10);
+    group.bench_function("recombine_sparse_24q", |b| {
+        b.iter(|| {
+            black_box(
+                recombine::try_bayesian_update(black_box(&sparse), &local, &pos)
+                    .expect("sparse update"),
+            )
+        })
+    });
+    group.bench_function("recombine_dense_24q", |b| {
+        b.iter(|| {
+            black_box(
+                recombine::try_bayesian_update(black_box(&dense), &local, &pos)
+                    .expect("dense update"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_marginal, bench_recombine);
+criterion_main!(benches);

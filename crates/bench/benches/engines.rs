@@ -54,9 +54,10 @@ fn ghz_with_phases(n: usize, layers: usize) -> Circuit {
     c
 }
 
-fn assert_close(a: &[f64], b: &[f64], what: &str) {
-    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+fn assert_close(a: &qt_dist::Distribution, b: &qt_dist::Distribution, what: &str) {
+    assert_eq!(a.n_bits(), b.n_bits(), "{what}: width mismatch");
+    for i in 0..1u64 << a.n_bits() {
+        let (x, y) = (a.prob(i), b.prob(i));
         assert!((x - y).abs() < 1e-9, "{what}: index {i}: {x} vs {y}");
     }
 }
@@ -166,8 +167,11 @@ fn bench_auto_pipeline_26q(c: &mut Criterion) {
         mix.iter().any(|(name, _)| name == "stabilizer"),
         "26q global program must ride the tableau: {mix:?}"
     );
-    let probs = report.distribution.probs();
-    assert!(probs[0] > 0.4 && probs[255] > 0.4, "noisy GHZ marginal");
+    let dist = &report.distribution;
+    assert!(
+        dist.prob(0) > 0.4 && dist.prob(255) > 0.4,
+        "noisy GHZ marginal"
+    );
 
     group.bench_function("auto_ghz26_pipeline", |b| {
         b.iter(|| {

@@ -228,8 +228,7 @@ fn bench_parallel_trajectories(c: &mut Criterion) {
 /// (`..._<K>circ`) so the report is self-describing: batched dedup runs the
 /// 6 symmetric pairs' shared ensemble once instead of six times.
 fn bench_pipeline(c: &mut Criterion) {
-    use qt_core::{run_qutracer_legacy, QuTracer, QuTracerConfig};
-    use qt_dist::Distribution;
+    use qt_core::{QuTracer, QuTracerConfig};
     use qt_sim::Runner;
 
     let mut group = c.benchmark_group("pipeline");
@@ -267,8 +266,13 @@ fn bench_pipeline(c: &mut Criterion) {
                         .expect("traceable pair");
                     locals.push((o.local, vec![p, (p + 1) % n]));
                 }
-                let g = Distribution::from_probs(n, global.dist);
-                black_box(qt_dist::recombine::bayesian_update_all(&g, &locals))
+                black_box(
+                    qt_dist::recombine::try_bayesian_update_all(
+                        &global.dist,
+                        locals.iter().map(|(d, p)| (d, p.as_slice())),
+                    )
+                    .expect("cyclic-pair locals match the measured register"),
+                )
             })
         },
     );
@@ -288,13 +292,6 @@ fn bench_pipeline(c: &mut Criterion) {
                 black_box(report)
             })
         },
-    );
-
-    // The symmetric-aware serial reference (shared ensemble, small
-    // batches): isolates the batching win from the symmetry win.
-    group.bench_function(
-        format!("legacy_symmetric_qaoa{n}_{batched_circuits}circ"),
-        |b| b.iter(|| black_box(run_qutracer_legacy(&exec, &circ, &measured, &cfg))),
     );
     group.finish();
 }

@@ -54,7 +54,7 @@ fn run_methods<R: Runner>(
     circ: &Circuit,
     measured: &[usize],
     exec: &R,
-    pcs_dist: &dyn Fn(&qt_pcs::PcsProgram, &[usize]) -> Vec<f64>,
+    pcs_dist: &dyn Fn(&qt_pcs::PcsProgram, &[usize]) -> Distribution,
 ) -> (MethodFidelities, QuTracerReport) {
     // (a) Original + (e) QuTracer from one staged-pipeline run.
     let report = QuTracer::plan(circ, measured, &QuTracerConfig::single())
@@ -123,9 +123,13 @@ fn run_methods<R: Runner>(
             pcs.program.push_gate(i.clone());
         }
         let dist = pcs_dist(&pcs, &[q]);
-        pcs_locals.push((Distribution::from_probs(1, dist), vec![pos]));
+        pcs_locals.push((dist, vec![pos]));
     }
-    let pcs_dist = qt_dist::recombine::bayesian_update_all(&report.global, &pcs_locals);
+    let pcs_dist = qt_dist::recombine::try_bayesian_update_all(
+        &report.global,
+        pcs_locals.iter().map(|(d, p)| (d, p.as_slice())),
+    )
+    .expect("per-qubit PCS locals match the measured register");
     let f_pcs = fidelity_vs_ideal(&pcs_dist, circ, measured);
 
     (

@@ -112,8 +112,12 @@ fn ideal_pcs_fidelity(
             pcs.program.push_gate(i.clone());
         }
         let (dist, _acc) = postselected_distribution(exec, &pcs, &[q]);
-        locals.push((Distribution::from_probs(1, dist), vec![pos]));
+        locals.push((dist, vec![pos]));
     }
-    let refined = qt_dist::recombine::bayesian_update_all(global, &locals);
+    let refined = qt_dist::recombine::try_bayesian_update_all(
+        global,
+        locals.iter().map(|(d, p)| (d, p.as_slice())),
+    )
+    .expect("per-qubit locals match the measured register");
     fidelity_vs_ideal(&refined, circ, measured)
 }

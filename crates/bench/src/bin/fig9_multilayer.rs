@@ -146,12 +146,15 @@ fn ideal_pcs_trailing(
     for i in tail.instructions() {
         pcs.program.push_gate(i.clone());
     }
-    let (dist, _) = postselected_distribution(exec, &pcs, &pair);
-    let local = Distribution::from_probs(2, dist);
+    let (local, _) = postselected_distribution(exec, &pcs, &pair);
     // Reuse by ring symmetry for all adjacent pairs.
     let locals: Vec<(Distribution, Vec<usize>)> = (0..measured.len())
         .map(|p| (local.clone(), vec![p, (p + 1) % measured.len()]))
         .collect();
-    let refined = qt_dist::recombine::bayesian_update_all(global, &locals);
+    let refined = qt_dist::recombine::try_bayesian_update_all(
+        global,
+        locals.iter().map(|(d, p)| (d, p.as_slice())),
+    )
+    .expect("ring-pair locals match the measured register");
     fidelity_vs_ideal(&refined, circ, measured)
 }

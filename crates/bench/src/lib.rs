@@ -150,10 +150,7 @@ pub fn fidelity_vs_ideal(
     circuit: &qt_circuit::Circuit,
     measured: &[usize],
 ) -> f64 {
-    let ideal = Distribution::from_probs(
-        measured.len(),
-        ideal_distribution(&Program::from_circuit(circuit), measured),
-    );
+    let ideal = ideal_distribution(&Program::from_circuit(circuit), measured);
     hellinger_fidelity(dist, &ideal)
 }
 
@@ -383,9 +380,8 @@ mod tests {
         let exact = inner.run(&p, &[0, 1]);
         let coarse = SampledRunner::new(inner.clone(), 128, 7).run(&p, &[0, 1]);
         let fine = SampledRunner::new(inner, 1 << 20, 7).run(&p, &[0, 1]);
-        let dist = |o: &RunOutput| Distribution::from_probs(2, o.dist.clone());
-        let f_coarse = hellinger_fidelity(&dist(&coarse), &dist(&exact));
-        let f_fine = hellinger_fidelity(&dist(&fine), &dist(&exact));
+        let f_coarse = hellinger_fidelity(&coarse.dist, &exact.dist);
+        let f_fine = hellinger_fidelity(&fine.dist, &exact.dist);
         assert!(f_fine > 0.9999, "1M shots ≈ exact: {f_fine}");
         assert!(f_fine >= f_coarse - 1e-9, "{f_coarse} -> {f_fine}");
     }
@@ -425,9 +421,9 @@ mod tests {
             assert_eq!(out, &want);
         }
         // Local jobs really took the ideal path (no readout error).
-        assert!((batched[1].dist[1] - 1.0).abs() < 1e-12);
+        assert!((batched[1].dist.prob(1) - 1.0).abs() < 1e-12);
         // Global jobs really saw readout error.
-        assert!(batched[0].dist[3] < 0.7);
+        assert!(batched[0].dist.prob(3) < 0.7);
     }
 
     #[test]

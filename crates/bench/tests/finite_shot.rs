@@ -8,7 +8,7 @@ use qt_algos::iqft_example;
 use qt_baselines::run_jigsaw;
 use qt_bench::{fidelity_vs_ideal, BestReadoutRunner, SampledRunner};
 use qt_core::{QuTracer, QuTracerConfig, ShotPolicy};
-use qt_dist::{hellinger_fidelity_sampled, Counts};
+use qt_dist::hellinger_fidelity_sampled;
 use qt_sim::{Backend, Executor, NoiseModel, ReadoutModel, Runner};
 
 fn fig2_noise() -> NoiseModel {
@@ -84,7 +84,7 @@ fn execute_sampled_matches_sampled_runner_regime() {
     let global = plan.programs().next().unwrap().0.clone();
     let a = exec.sampled_counts(&global.program, &global.measured, 20_000, 1);
     let b = exec.sampled_counts(&global.program, &global.measured, 20_000, 2);
-    let est = hellinger_fidelity_sampled(&Counts::from_counts(3, a), &Counts::from_counts(3, b));
+    let est = hellinger_fidelity_sampled(&a, &b);
     assert!(
         est.value > 0.99,
         "same distribution resampled: {}",

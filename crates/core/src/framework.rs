@@ -2,18 +2,19 @@
 //! error mitigation, and the global distribution update (Fig. 4).
 //!
 //! [`run_qutracer`] is a thin compatibility wrapper over the staged
-//! pipeline ([`crate::QuTracer::plan`] → execute → recombine); the serial
-//! per-subset reference path survives as [`run_qutracer_legacy`] for
-//! equivalence testing and benchmarking.
+//! pipeline ([`crate::QuTracer::plan`] → execute → recombine). The old
+//! serial per-subset reference path now lives only in the equivalence
+//! test suite (`tests/pipeline_equivalence.rs`), where it remains the
+//! oracle the pipeline is checked against bit for bit.
 
-use crate::error::{PlanError, SkippedSubset};
+use crate::error::SkippedSubset;
 use crate::pipeline::QuTracer;
-use crate::trace::{trace_pair, trace_single, TraceConfig, TraceOutcome};
+use crate::trace::TraceConfig;
 use qt_baselines::OverheadStats;
 use qt_circuit::Circuit;
-use qt_dist::{recombine, Distribution};
+use qt_dist::Distribution;
 use qt_pcs::QspcStats;
-use qt_sim::{Program, Runner};
+use qt_sim::Runner;
 
 /// Framework configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,7 +124,8 @@ pub(crate) fn enumerate_subset_positions(
 /// This is a thin compatibility wrapper over the staged pipeline: it plans
 /// once, executes every mitigation circuit of every subset as one
 /// deduplicated batch, and recombines — bit-identical to (and faster than)
-/// the serial [`run_qutracer_legacy`] reference.
+/// the serial per-subset reference retained as the oracle in
+/// `tests/pipeline_equivalence.rs`.
 ///
 /// # Panics
 ///
@@ -143,118 +145,15 @@ pub fn run_qutracer<R: Runner>(
         .unwrap_or_else(|e| panic!("QuTracer pipeline failed: {e}"))
 }
 
-/// The pre-pipeline reference implementation: traces every subset serially
-/// against the runner, one small batch at a time. Retained for equivalence
-/// testing (`tests/pipeline_equivalence.rs` asserts the pipeline reproduces
-/// it bit for bit) and for the `pipeline` benchmark group's baseline arm.
-///
-/// # Panics
-///
-/// Panics if `config.subset_size` is not 1 or 2.
-pub fn run_qutracer_legacy<R: Runner>(
-    runner: &R,
-    circuit: &Circuit,
-    measured: &[usize],
-    config: &QuTracerConfig,
-) -> QuTracerReport {
-    assert!(
-        config.subset_size == 1 || config.subset_size == 2,
-        "subset size must be 1 or 2"
-    );
-    let program = Program::from_circuit(circuit);
-    let global_out = runner.run(&program, measured);
-    let global = Distribution::from_probs(measured.len(), global_out.dist);
-
-    // Enumerate subsets as positions into `measured`.
-    let subsets = enumerate_subset_positions(measured.len(), config);
-
-    let mut locals: Vec<(Distribution, Vec<usize>)> = Vec::new();
-    let mut skipped: Vec<SkippedSubset> = Vec::new();
-    let mut subset_stats = Vec::new();
-    let mut shared: Option<TraceOutcome> = None;
-    let skip = |skipped: &mut Vec<SkippedSubset>,
-                qubits: Vec<usize>,
-                positions: &[usize],
-                e: qt_circuit::passes::UnsupportedCoupling| {
-        skipped.push(SkippedSubset {
-            qubits: qubits.clone(),
-            positions: positions.to_vec(),
-            reason: PlanError::coupling(qubits, e),
-        });
-    };
-
-    for positions in &subsets {
-        let qubits: Vec<usize> = positions.iter().map(|&p| measured[p]).collect();
-        let outcome = if config.symmetric_subsets && config.subset_size == 2 {
-            if shared.is_none() {
-                shared = match trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace) {
-                    Ok(o) => Some(o),
-                    Err(e) => {
-                        skip(&mut skipped, qubits, positions, e);
-                        continue;
-                    }
-                };
-            }
-            Some(shared.clone().expect("set above"))
-        } else {
-            let traced = if config.subset_size == 1 {
-                trace_single(runner, circuit, qubits[0], &config.trace)
-            } else {
-                trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace)
-            };
-            match traced {
-                Ok(o) => Some(o),
-                Err(e) => {
-                    skip(&mut skipped, qubits.clone(), positions, e);
-                    None
-                }
-            }
-        };
-        if let Some(o) = outcome {
-            if !(config.symmetric_subsets && !locals.is_empty() && config.subset_size == 2) {
-                subset_stats.push(o.stats);
-            }
-            locals.push((o.local, positions.clone()));
-        }
-    }
-
-    let refined = recombine::bayesian_update_all(&global, &locals);
-    let n_mitigation_circuits: usize = subset_stats.iter().map(|s| s.n_circuits).sum();
-    let total_2q: usize = subset_stats.iter().map(|s| s.total_two_qubit_gates).sum();
-    QuTracerReport {
-        distribution: refined,
-        global,
-        locals,
-        skipped,
-        stats: OverheadStats {
-            n_circuits: 1 + n_mitigation_circuits,
-            normalized_shots: n_mitigation_circuits as f64,
-            avg_two_qubit_gates: if n_mitigation_circuits > 0 {
-                total_2q as f64 / n_mitigation_circuits as f64
-            } else {
-                0.0
-            },
-            global_two_qubit_gates: global_out.two_qubit_gates,
-            batch: None,
-            total_shots: None,
-            engine_mix: None,
-        },
-        subset_stats,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use qt_algos::{bernstein_vazirani, qaoa::QaoaParams, qaoa_maxcut, ring_graph, vqe_ansatz};
     use qt_dist::hellinger_fidelity;
-    use qt_sim::{ideal_distribution, Backend, Executor, NoiseModel, ReadoutModel};
+    use qt_sim::{ideal_distribution, Backend, Executor, NoiseModel, Program, ReadoutModel};
 
     fn fidelity_of(dist: &Distribution, circ: &Circuit, measured: &[usize]) -> f64 {
-        let ideal = Distribution::from_probs(
-            measured.len(),
-            ideal_distribution(&Program::from_circuit(circ), measured),
-        );
+        let ideal = ideal_distribution(&Program::from_circuit(circ), measured);
         hellinger_fidelity(dist, &ideal)
     }
 

@@ -46,6 +46,6 @@ pub mod pipeline;
 pub mod trace;
 
 pub use error::{ExecError, PlanError, SkippedSubset};
-pub use framework::{run_qutracer, run_qutracer_legacy, QuTracerConfig, QuTracerReport};
+pub use framework::{run_qutracer, QuTracerConfig, QuTracerReport};
 pub use pipeline::{ExecutionArtifacts, MitigationPlan, QuTracer, ShotPolicy, SubsetPlanSummary};
 pub use trace::{trace_pair, trace_single, JobKind, JobTag, TraceConfig, TraceOutcome};

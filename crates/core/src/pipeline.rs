@@ -562,7 +562,7 @@ impl MitigationPlan {
         let mut outputs: Vec<Option<RunOutput>> = vec![None; self.programs.len()];
         let mut per_slot_shots: Vec<u64> = vec![0; self.programs.len()];
         for (&slot, out) in self.batch_order.iter().zip(&clustered) {
-            per_slot_shots[slot] = out.counts.iter().sum();
+            per_slot_shots[slot] = out.counts.shots();
             outputs[slot] = Some(out.to_run_output());
         }
         let outputs = outputs
@@ -632,7 +632,7 @@ impl ExecutionArtifacts<'_> {
     pub fn recombine(&self) -> Result<QuTracerReport, ExecError> {
         let plan = self.plan;
         let global_out = &self.outputs[plan.global_slot];
-        let global = Distribution::from_probs(plan.measured.len(), global_out.dist.clone());
+        let global = global_out.dist.clone();
 
         let mut outcomes: Vec<TraceOutcome> = Vec::with_capacity(plan.traces.len());
         for t in &plan.traces {
@@ -672,7 +672,13 @@ impl ExecutionArtifacts<'_> {
         // the executed outputs (so transpiling runners report real gate
         // counts).
         let subset_stats: Vec<QspcStats> = outcomes.iter().map(|o| o.stats).collect();
-        let refined = recombine::bayesian_update_all(&global, &locals);
+        let refined = recombine::try_bayesian_update_all(
+            &global,
+            locals.iter().map(|(d, p)| (d, p.as_slice())),
+        )
+        .map_err(|e| ExecError::PlanMismatch {
+            detail: format!("recombination rejected the planned subsets: {e}"),
+        })?;
         let n_mitigation_circuits: usize = subset_stats.iter().map(|s| s.n_circuits).sum();
         let total_2q: usize = subset_stats.iter().map(|s| s.total_two_qubit_gates).sum();
         Ok(QuTracerReport {

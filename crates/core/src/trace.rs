@@ -187,13 +187,10 @@ impl TracePort for CollectPort<'_> {
     ) -> Result<Vec<RunOutput>, ExecError> {
         let outs = jobs
             .iter()
-            .map(|j| {
-                let dim = 1usize << j.measured.len();
-                RunOutput {
-                    dist: vec![1.0 / dim as f64; dim],
-                    gates: j.program.gate_count(),
-                    two_qubit_gates: j.program.two_qubit_gate_count(),
-                }
+            .map(|j| RunOutput {
+                dist: Distribution::uniform(j.measured.len()),
+                gates: j.program.gate_count(),
+                two_qubit_gates: j.program.two_qubit_gate_count(),
             })
             .collect();
         for (job, tag) in jobs.into_iter().zip(tags) {
@@ -458,7 +455,7 @@ pub(crate) fn trace_single_with_port(
         stats.total_gates += out.gates;
         stats.total_two_qubit_gates += out.two_qubit_gates;
         return Ok(TraceOutcome {
-            local: Distribution::from_probs(1, out.dist).normalized(),
+            local: out.dist.normalized(),
             rho,
             stats,
             checks_applied,
@@ -467,7 +464,9 @@ pub(crate) fn trace_single_with_port(
 
     let p0 = rho[(0, 0)].re.clamp(0.0, 1.0);
     Ok(TraceOutcome {
-        local: Distribution::from_probs(1, vec![p0, 1.0 - p0]).normalized(),
+        local: Distribution::try_from_probs(1, vec![p0, 1.0 - p0])
+            .expect("one-bit local distribution")
+            .normalized(),
         rho,
         stats,
         checks_applied,
@@ -621,7 +620,7 @@ pub(crate) fn trace_pair_with_port(
         stats.total_gates += out.gates;
         stats.total_two_qubit_gates += out.two_qubit_gates;
         return Ok(TraceOutcome {
-            local: Distribution::from_probs(2, out.dist).normalized(),
+            local: out.dist.normalized(),
             rho,
             stats,
             checks_applied,
@@ -633,7 +632,9 @@ pub(crate) fn trace_pair_with_port(
         *p = rho[(b, b)].re.max(0.0);
     }
     Ok(TraceOutcome {
-        local: Distribution::from_probs(2, probs).normalized(),
+        local: Distribution::try_from_probs(2, probs)
+            .expect("two-bit local distribution")
+            .normalized(),
         rho,
         stats,
         checks_applied,
@@ -775,7 +776,7 @@ fn measure_marginal_single(
         stats.total_gates += run.gates;
         stats.total_two_qubit_gates += run.two_qubit_gates;
         stats.max_two_qubit_gates = stats.max_two_qubit_gates.max(run.two_qubit_gates);
-        out.insert(b, run.dist[0] - run.dist[1]);
+        out.insert(b, run.dist.prob(0) - run.dist.prob(1));
     }
     Ok(out)
 }
@@ -840,10 +841,9 @@ fn measure_marginal_pair(
         stats.total_two_qubit_gates += run.two_qubit_gates;
         stats.max_two_qubit_gates = stats.max_two_qubit_gates.max(run.two_qubit_gates);
         let dist = run.dist;
-        let exp = |mask: usize| -> f64 {
+        let exp = |mask: u64| -> f64 {
             dist.iter()
-                .enumerate()
-                .map(|(i, &p)| {
+                .map(|(i, p)| {
                     if (i & mask).count_ones().is_multiple_of(2) {
                         p
                     } else {

@@ -1,16 +1,149 @@
 //! The staged pipeline must be indistinguishable from the serial reference:
-//! `plan → execute → recombine` reproduces `run_qutracer_legacy` **bit for
-//! bit** (distribution, locals, stats) across random workloads, subset
-//! sizes, and noise models — plus unit tests for plan-level deduplication,
-//! order-independent stats accounting, and the typed error surface.
+//! `plan → execute → recombine` reproduces the serial per-subset oracle
+//! ([`legacy_oracle`], inlined below) **bit for bit** (distribution,
+//! locals, stats) across random workloads, subset sizes, and noise models
+//! — plus unit tests for plan-level deduplication, order-independent stats
+//! accounting, and the typed error surface.
 
 use proptest::prelude::*;
 use qt_algos::{bernstein_vazirani, qaoa::QaoaParams, qaoa_maxcut, ring_graph, vqe_ansatz};
+use qt_baselines::OverheadStats;
 use qt_circuit::Circuit;
 use qt_core::{
-    run_qutracer, run_qutracer_legacy, PlanError, QuTracer, QuTracerConfig, QuTracerReport,
+    run_qutracer, trace_pair, trace_single, PlanError, QuTracer, QuTracerConfig, QuTracerReport,
+    SkippedSubset, TraceOutcome,
 };
-use qt_sim::{Backend, Executor, NoiseModel, ReadoutModel};
+use qt_dist::{recombine, Distribution};
+use qt_sim::{Backend, Executor, NoiseModel, Program, ReadoutModel, Runner};
+
+/// The pre-pipeline reference implementation, preserved verbatim as the
+/// equivalence oracle: traces every subset serially against the runner,
+/// one small batch at a time. This used to ship as
+/// `qt_core::run_qutracer_legacy`; it now lives only here, where its sole
+/// remaining job — pinning down the pipeline's exact semantics — is done.
+fn legacy_oracle<R: Runner>(
+    runner: &R,
+    circuit: &Circuit,
+    measured: &[usize],
+    config: &QuTracerConfig,
+) -> QuTracerReport {
+    assert!(
+        config.subset_size == 1 || config.subset_size == 2,
+        "subset size must be 1 or 2"
+    );
+    let program = Program::from_circuit(circuit);
+    let global_out = runner.run(&program, measured);
+    let global = global_out.dist.clone();
+
+    // Enumerate subsets as positions into `measured` (the shapes
+    // `QuTracer::plan` produces: singles, cyclic pairs, or disjoint pairs).
+    let subsets: Vec<Vec<usize>> = if config.subset_size == 1 {
+        (0..measured.len()).map(|p| vec![p]).collect()
+    } else if config.symmetric_subsets {
+        (0..measured.len())
+            .map(|p| vec![p, (p + 1) % measured.len()])
+            .collect()
+    } else {
+        let mut v = Vec::new();
+        let mut start = 0;
+        while start < measured.len() {
+            let end = (start + 2).min(measured.len());
+            let lo = end.saturating_sub(2);
+            v.push((lo..end).collect());
+            start = end;
+        }
+        v
+    };
+
+    let mut locals: Vec<(Distribution, Vec<usize>)> = Vec::new();
+    let mut skipped: Vec<SkippedSubset> = Vec::new();
+    let mut subset_stats = Vec::new();
+    let mut shared: Option<TraceOutcome> = None;
+    let skip = |skipped: &mut Vec<SkippedSubset>,
+                qubits: Vec<usize>,
+                positions: &[usize],
+                e: qt_circuit::passes::UnsupportedCoupling| {
+        skipped.push(SkippedSubset {
+            qubits: qubits.clone(),
+            positions: positions.to_vec(),
+            reason: PlanError::coupling(qubits, e),
+        });
+    };
+
+    for positions in &subsets {
+        let qubits: Vec<usize> = positions.iter().map(|&p| measured[p]).collect();
+        let outcome = if config.symmetric_subsets && config.subset_size == 2 {
+            if shared.is_none() {
+                shared = match trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace) {
+                    Ok(o) => Some(o),
+                    Err(e) => {
+                        skip(&mut skipped, qubits, positions, e);
+                        continue;
+                    }
+                };
+            }
+            Some(shared.clone().expect("set above"))
+        } else {
+            let traced = if config.subset_size == 1 {
+                trace_single(runner, circuit, qubits[0], &config.trace)
+            } else {
+                trace_pair(runner, circuit, [qubits[0], qubits[1]], &config.trace)
+            };
+            match traced {
+                Ok(o) => Some(o),
+                Err(e) => {
+                    skip(&mut skipped, qubits.clone(), positions, e);
+                    None
+                }
+            }
+        };
+        if let Some(o) = outcome {
+            if !(config.symmetric_subsets && !locals.is_empty() && config.subset_size == 2) {
+                subset_stats.push(o.stats);
+            }
+            locals.push((o.local, positions.clone()));
+        }
+    }
+
+    let refined =
+        recombine::try_bayesian_update_all(&global, locals.iter().map(|(d, p)| (d, p.as_slice())))
+            .expect("oracle locals match their planned positions");
+    let n_mitigation_circuits: usize = subset_stats.iter().map(|s| s.n_circuits).sum();
+    let total_2q: usize = subset_stats.iter().map(|s| s.total_two_qubit_gates).sum();
+    QuTracerReport {
+        distribution: refined,
+        global,
+        locals,
+        skipped,
+        stats: OverheadStats {
+            n_circuits: 1 + n_mitigation_circuits,
+            normalized_shots: n_mitigation_circuits as f64,
+            avg_two_qubit_gates: if n_mitigation_circuits > 0 {
+                total_2q as f64 / n_mitigation_circuits as f64
+            } else {
+                0.0
+            },
+            global_two_qubit_gates: global_out.two_qubit_gates,
+            batch: None,
+            total_shots: None,
+            engine_mix: None,
+        },
+        subset_stats,
+    }
+}
+
+/// Bitwise equality of two distributions' nonzero `(outcome, mass)`
+/// streams — representation-independent and exact.
+fn assert_dist_bits(a: &Distribution, b: &Distribution, what: &str) {
+    assert_eq!(a.n_bits(), b.n_bits(), "{what}: width");
+    let xs: Vec<(u64, f64)> = a.iter().collect();
+    let ys: Vec<(u64, f64)> = b.iter().collect();
+    assert_eq!(xs.len(), ys.len(), "{what}: support size");
+    for ((i, x), (j, y)) in xs.iter().zip(&ys) {
+        assert_eq!(i, j, "{what}: support index");
+        assert_bits(*x, *y, &format!("{what}[{i}]"));
+    }
+}
 
 fn assert_bits(a: f64, b: f64, what: &str) {
     assert!(
@@ -21,30 +154,12 @@ fn assert_bits(a: f64, b: f64, what: &str) {
 
 /// Bit-for-bit equality of two framework reports.
 fn assert_reports_identical(pipeline: &QuTracerReport, legacy: &QuTracerReport) {
-    for (i, (x, y)) in pipeline
-        .distribution
-        .probs()
-        .iter()
-        .zip(legacy.distribution.probs())
-        .enumerate()
-    {
-        assert_bits(*x, *y, &format!("distribution[{i}]"));
-    }
-    for (i, (x, y)) in pipeline
-        .global
-        .probs()
-        .iter()
-        .zip(legacy.global.probs())
-        .enumerate()
-    {
-        assert_bits(*x, *y, &format!("global[{i}]"));
-    }
+    assert_dist_bits(&pipeline.distribution, &legacy.distribution, "distribution");
+    assert_dist_bits(&pipeline.global, &legacy.global, "global");
     assert_eq!(pipeline.locals.len(), legacy.locals.len(), "locals count");
     for (i, ((dp, pp), (dl, pl))) in pipeline.locals.iter().zip(&legacy.locals).enumerate() {
         assert_eq!(pp, pl, "locals[{i}] positions");
-        for (x, y) in dp.probs().iter().zip(dl.probs()) {
-            assert_bits(*x, *y, &format!("locals[{i}]"));
-        }
+        assert_dist_bits(dp, dl, &format!("locals[{i}]"));
     }
     assert_eq!(pipeline.subset_stats, legacy.subset_stats, "subset stats");
     assert_eq!(pipeline.stats.n_circuits, legacy.stats.n_circuits);
@@ -143,7 +258,7 @@ proptest! {
         noise in arb_noise(),
     ) {
         let exec = Executor::with_backend(noise, Backend::DensityMatrix);
-        let legacy = run_qutracer_legacy(&exec, &circ, &measured, &cfg);
+        let legacy = legacy_oracle(&exec, &circ, &measured, &cfg);
         let report = run_qutracer(&exec, &circ, &measured, &cfg);
         assert_reports_identical(&report, &legacy);
     }
@@ -176,7 +291,7 @@ fn symmetric_subsets_dedup_to_one_executed_ensemble() {
         Backend::DensityMatrix,
     );
     let report = plan.execute(&exec).unwrap().recombine().unwrap();
-    let legacy = run_qutracer_legacy(&exec, &circ, &measured, &cfg);
+    let legacy = legacy_oracle(&exec, &circ, &measured, &cfg);
     assert_reports_identical(&report, &legacy);
 }
 
@@ -248,7 +363,7 @@ fn plan_records_execution_trie_stats() {
     let report = plan.execute(&exec).unwrap().recombine().unwrap();
     assert_eq!(report.stats.batch, Some(batch), "report carries the stats");
     // The serial legacy path makes no batching claim.
-    let legacy = qt_core::run_qutracer_legacy(&exec, &circ, &measured, &cfg);
+    let legacy = legacy_oracle(&exec, &circ, &measured, &cfg);
     assert_eq!(legacy.stats.batch, None);
 }
 
@@ -329,7 +444,7 @@ fn device_executor_pipeline_matches_legacy() {
     let measured: Vec<usize> = (0..4).collect();
     let exec = qt_device::DeviceExecutor::new(qt_device::Device::fake_hanoi());
     let cfg = QuTracerConfig::single();
-    let legacy = run_qutracer_legacy(&exec, &circ, &measured, &cfg);
+    let legacy = legacy_oracle(&exec, &circ, &measured, &cfg);
     let report = run_qutracer(&exec, &circ, &measured, &cfg);
     assert_reports_identical(&report, &legacy);
 }

@@ -87,7 +87,11 @@ proptest! {
         let shots = plan.allocate_shots(2048 * plan.n_programs(), ShotPolicy::Uniform);
         let a = plan.execute_sampled(&exec, &shots, 5).unwrap().recombine().unwrap();
         let b = plan.execute_sampled(&exec, &shots, 5).unwrap().recombine().unwrap();
-        for (x, y) in a.distribution.probs().iter().zip(b.distribution.probs()) {
+        let xs: Vec<(u64, f64)> = a.distribution.iter().collect();
+        let ys: Vec<(u64, f64)> = b.distribution.iter().collect();
+        prop_assert_eq!(xs.len(), ys.len(), "same seed, same support");
+        for ((i, x), (j, y)) in xs.iter().zip(&ys) {
+            prop_assert_eq!(i, j, "same seed, same support");
             prop_assert_eq!(x.to_bits(), y.to_bits(), "same seed, same distribution");
         }
     }

@@ -19,6 +19,7 @@
 //! * [`recombine`] — quasi-probability recombination of ensemble results.
 
 use qt_circuit::{basis, Circuit};
+use qt_dist::Distribution;
 use qt_math::states::PrepState;
 use qt_math::Pauli;
 use qt_sim::Program;
@@ -256,17 +257,17 @@ pub fn build_cut_programs(circ: &Circuit, cut: CutPoint, terms: &[CutTerm]) -> V
 /// are the downstream outcomes of interest. Returns the (possibly signed)
 /// recombined vector over the downstream outcomes; callers typically clamp
 /// and normalize via [`to_probabilities`].
-pub fn recombine(results: &[(CutTerm, Vec<f64>)]) -> Vec<f64> {
+pub fn recombine(results: &[(CutTerm, Distribution)]) -> Vec<f64> {
     assert!(!results.is_empty());
-    let joint_len = results[0].1.len();
-    assert!(joint_len >= 2 && joint_len.is_power_of_two());
-    let out_len = joint_len / 2;
+    let n_bits = results[0].1.n_bits();
+    assert!(n_bits >= 1, "joint distribution needs the upstream bit");
+    let out_len = 1usize << (n_bits - 1);
     let mut out = vec![0.0; out_len];
     for (term, joint) in results {
-        assert_eq!(joint.len(), joint_len, "inconsistent result sizes");
-        for (idx, &p) in joint.iter().enumerate() {
-            let m = idx & 1;
-            let rest = idx >> 1;
+        assert_eq!(joint.n_bits(), n_bits, "inconsistent result sizes");
+        for (idx, p) in joint.iter() {
+            let m = (idx & 1) as usize;
+            let rest = (idx >> 1) as usize;
             out[rest] += term.coeff * term.outcome_weights[m] * p;
         }
     }
@@ -355,7 +356,8 @@ mod tests {
             }
             let quasi = recombine(&results);
             let direct = ideal_distribution(&qt_sim::Program::from_circuit(&circ), &[0, 1]);
-            for (a, b) in quasi.iter().zip(&direct) {
+            for (i, a) in quasi.iter().enumerate() {
+                let b = direct.prob(i as u64);
                 assert!((a - b).abs() < 1e-9, "cut reconstruction {a} vs {b}");
             }
         }
@@ -387,7 +389,8 @@ mod tests {
         let direct = exec.raw_distribution(&qt_sim::Program::from_circuit(&circ), &[0, 1]);
         // The ensemble circuits carry extra noisy 1q gates (preparation and
         // basis rotation), so equality is approximate.
-        for (a, b) in quasi.iter().zip(&direct) {
+        for (i, a) in quasi.iter().enumerate() {
+            let b = direct.prob(i as u64);
             assert!((a - b).abs() < 0.05, "noisy cut {a} vs {b}");
         }
     }

@@ -17,7 +17,7 @@
 //! c.h(0).cx(0, 1);
 //! let exec = DeviceExecutor::new(Device::fake_hanoi());
 //! let out = exec.run(&Program::from_circuit(&c), &[0, 1]);
-//! assert!((out.dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! assert!((out.dist.total() - 1.0).abs() < 1e-9);
 //! ```
 
 pub mod basis;

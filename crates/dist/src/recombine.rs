@@ -14,203 +14,177 @@
 //! register untouched while pinning the subset marginal to the trusted
 //! local distribution; applying it for every subset folds all local
 //! information into the global picture (Fig. 4, stage ❸ of the paper).
+//!
+//! Everything here *streams* over nonzero entries: likelihood ratios are
+//! tabulated from the (small) subset marginal's support, and each global
+//! outcome is reweighted in one sorted pass, so recombining a wide sparse
+//! global never materializes a `2^n` table. The traversal order is the
+//! canonical ascending order of [`Distribution::iter`], which keeps every
+//! accumulation bit-reproducible across storage representations.
 
-use crate::{Counts, Distribution};
+use crate::{Counts, DistError, Distribution};
 
 /// Bin-mass floor below which a marginal bin is considered unobserved and
 /// its ratio skipped (no information to redistribute).
 const MARGINAL_FLOOR: f64 = 1e-15;
 
-/// A shape mismatch between a Bayesian update's inputs.
+/// Applies one Bayesian subset update: reweights `global` so its marginal
+/// on `positions` matches `local`, preserving conditionals elsewhere.
 ///
-/// These were `assert!` panics before the staged pipeline grew typed
-/// errors; recombination runs at the end of an expensive execution stage,
-/// where aborting the process loses every result already paid for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RecombineError {
-    /// The local distribution's bit count does not match the subset size.
-    SubsetMismatch {
-        /// Bits of the local distribution.
-        local_bits: usize,
-        /// Positions the caller asked to update.
-        positions: usize,
-    },
-    /// A subset position indexes a bit the global distribution lacks.
-    PositionOutOfRange {
-        /// The offending bit position.
-        position: usize,
-        /// Bits of the global distribution.
-        n_bits: usize,
-    },
-}
-
-impl std::fmt::Display for RecombineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RecombineError::SubsetMismatch {
-                local_bits,
-                positions,
-            } => write!(
-                f,
-                "local distribution has {local_bits} bits but {positions} positions were given"
-            ),
-            RecombineError::PositionOutOfRange { position, n_bits } => {
-                write!(f, "bit position {position} out of {n_bits} global bits")
-            }
-        }
-    }
-}
-
-impl std::error::Error for RecombineError {}
-
-/// One Bayesian update of `global` with `local` over the bit `positions`
-/// (positions index bits of `global`; bit `j` of `local`'s outcome space is
-/// `positions[j]`). Returns a normalized distribution whose marginal over
-/// `positions` equals `local` on the patterns `global` assigns mass to.
+/// `local` must have exactly `positions.len()` bits, and `positions` index
+/// bits of `global` (bit `j` of a local outcome corresponds to global bit
+/// `positions[j]`).
 ///
-/// Marginal bins below the observation floor keep their (negligible)
-/// global mass exactly — the local's mass on such patterns cannot be
-/// honored without inventing probability, so it is redistributed over the
-/// *observed* patterns in the local's proportions. Mass is conserved by
-/// construction: the floor branch no longer leans on the final
-/// normalization to paper over a sub-unit posterior, which previously
-/// inflated unobserved bins by the inverse of the local's observed mass.
+/// Marginal bins at or below [`MARGINAL_FLOOR`] are treated as unobserved:
+/// dividing by them would blow up a pattern the noisy global considers
+/// (numerically) impossible, so their local mass is instead redistributed
+/// over the observed patterns, keeping the update mass-conserving.
+///
+/// A single sorted pass over the global support — cost
+/// `O(support(global) + 2^|S|)`, independent of `2^n_bits`.
 ///
 /// # Errors
 ///
-/// [`RecombineError`] on a local/subset size mismatch or an out-of-range
-/// position.
+/// [`DistError::SubsetMismatch`] / [`DistError::PositionOutOfRange`] on
+/// shape mismatches.
 pub fn try_bayesian_update(
     global: &Distribution,
     local: &Distribution,
     positions: &[usize],
-) -> Result<Distribution, RecombineError> {
+) -> Result<Distribution, DistError> {
     if local.n_bits() != positions.len() {
-        return Err(RecombineError::SubsetMismatch {
+        return Err(DistError::SubsetMismatch {
             local_bits: local.n_bits(),
             positions: positions.len(),
         });
     }
     if let Some(&position) = positions.iter().find(|&&p| p >= global.n_bits()) {
-        return Err(RecombineError::PositionOutOfRange {
+        return Err(DistError::PositionOutOfRange {
             position,
             n_bits: global.n_bits(),
         });
     }
-    let local = local.clone().normalized();
-    let marginal = global.marginal(positions).normalized();
     let g_total = global.total();
     if g_total <= 0.0 {
+        // Nothing to reweight; fall back to uniform like `normalized`.
         return Ok(Distribution::uniform(global.n_bits()));
     }
 
-    // Partition the subset patterns into observed (marginal mass at or
-    // above the floor) and unobserved. Unobserved patterns keep their
-    // global mass; the local mass they would have received is rescaled
-    // onto the observed patterns so the posterior stays normalized
-    // without a corrective global rescale.
-    let observed_local: f64 = (0..local.len())
-        .filter(|&s| marginal.prob(s) >= MARGINAL_FLOOR)
-        .map(|s| local.prob(s))
-        .sum();
-    let unobserved_mass: f64 = (0..local.len())
-        .filter(|&s| marginal.prob(s) < MARGINAL_FLOOR)
-        .map(|s| marginal.prob(s))
-        .sum();
-    // Precompute the per-pattern ratio: target subset mass / current mass.
-    let ratios: Vec<f64> = (0..local.len())
-        .map(|s| {
-            let m = marginal.prob(s);
-            if m < MARGINAL_FLOOR || observed_local <= 0.0 {
-                // Unobserved pattern (or a local with no mass anywhere the
-                // global looked): keep the global's mass untouched.
-                1.0
-            } else {
-                local.prob(s) * (1.0 - unobserved_mass) / (observed_local * m)
-            }
-        })
-        .collect();
+    let local = local.clone().normalized();
+    let marginal = global.marginal(positions).normalized();
 
-    let probs = global
+    // Likelihood ratios over the marginal's support. Patterns the noisy
+    // global effectively never produces (marginal ≤ floor, or absent from
+    // the support entirely) keep ratio 1.0: their local mass is instead
+    // redistributed over the observed patterns via `scale`, so the update
+    // conserves mass. Both sums run in ascending pattern order — the
+    // shared iteration order of either storage representation.
+    let mut observed_local = 0.0;
+    let mut unobserved_mass = 0.0;
+    for (s, m) in marginal.iter() {
+        if m >= MARGINAL_FLOOR {
+            observed_local += local.prob(s);
+        } else {
+            unobserved_mass += m;
+        }
+    }
+    let mut ratios: Vec<(u64, f64)> = Vec::with_capacity(marginal.support_len());
+    if observed_local > 0.0 {
+        let scale = (1.0 - unobserved_mass) / observed_local;
+        for (s, m) in marginal.iter() {
+            if m >= MARGINAL_FLOOR {
+                ratios.push((s, local.prob(s) * scale / m));
+            }
+        }
+    }
+    let ratio_of = |s: u64| match ratios.binary_search_by_key(&s, |&(i, _)| i) {
+        Ok(pos) => ratios[pos].1,
+        Err(_) => 1.0,
+    };
+
+    // Single streaming pass: reweight each nonzero global outcome by its
+    // subset pattern's ratio (sorted input → sorted output, no re-sort).
+    let entries: Vec<(u64, f64)> = global
         .iter()
         .map(|(x, p)| {
-            let mut s = 0usize;
+            let mut s = 0u64;
             for (j, &pos) in positions.iter().enumerate() {
                 s |= ((x >> pos) & 1) << j;
             }
-            p.max(0.0) * ratios[s]
+            (x, p.max(0.0) * ratio_of(s))
         })
         .collect();
-    Ok(Distribution::from_probs(global.n_bits(), probs).normalized())
+    Ok(Distribution::try_from_entries(global.n_bits(), entries)
+        .expect("reweighted outcomes stay in range")
+        .normalized())
 }
 
-/// [`try_bayesian_update`], panicking on shape mismatches — the historical
-/// signature, kept for callers whose inputs are correct by construction.
+/// [`try_bayesian_update`], panicking on shape errors.
 ///
-/// # Panics
-///
-/// Panics if `local`'s bit count does not match `positions.len()` or any
-/// position is out of range.
+/// Kept as a thin migration alias for call sites whose shapes are correct
+/// by construction; new code should prefer the `try_` updater. Slated for
+/// removal.
+#[doc(hidden)]
 pub fn bayesian_update(
     global: &Distribution,
     local: &Distribution,
     positions: &[usize],
 ) -> Distribution {
-    try_bayesian_update(global, local, positions).unwrap_or_else(|e| panic!("{e}"))
+    match try_bayesian_update(global, local, positions) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
+    }
 }
 
-/// Folds every `(local, positions)` pair into `global` by sequential
-/// Bayesian updates, then normalizes — the full recombination stage shared
-/// by QuTracer, Jigsaw and SQEM.
-///
-/// Updates are applied in the given order; with overlapping subsets later
-/// updates take precedence on the shared bits (the workloads here use
-/// disjoint or symmetric subsets, where order is immaterial).
+/// Applies [`try_bayesian_update`] for every `(local, positions)` pair in
+/// sequence — the full recombination over all traced subsets. Later
+/// updates can perturb earlier subsets' marginals when subsets overlap or
+/// correlate; the paper's subsets are chosen small and near-independent so
+/// the sequential pass converges in one sweep.
 ///
 /// # Errors
 ///
-/// [`RecombineError`] on the first shape-mismatched pair.
-pub fn try_bayesian_update_all(
+/// Propagates the first shape error encountered.
+pub fn try_bayesian_update_all<'a, I>(
     global: &Distribution,
-    locals: &[(Distribution, Vec<usize>)],
-) -> Result<Distribution, RecombineError> {
+    subsets: I,
+) -> Result<Distribution, DistError>
+where
+    I: IntoIterator<Item = (&'a Distribution, &'a [usize])>,
+{
     let mut acc = global.clone().normalized();
-    for (local, positions) in locals {
+    for (local, positions) in subsets {
         acc = try_bayesian_update(&acc, local, positions)?;
     }
     Ok(acc)
 }
 
-/// [`try_bayesian_update_all`], panicking on shape mismatches.
+/// [`try_bayesian_update_all`], panicking on shape errors.
 ///
-/// # Panics
-///
-/// Panics if any pair's bit count does not match its positions or a
-/// position is out of range.
-pub fn bayesian_update_all(
-    global: &Distribution,
-    locals: &[(Distribution, Vec<usize>)],
-) -> Distribution {
-    try_bayesian_update_all(global, locals).unwrap_or_else(|e| panic!("{e}"))
+/// Kept as a thin migration alias; new code should prefer the `try_`
+/// updater. Slated for removal.
+#[doc(hidden)]
+pub fn bayesian_update_all<'a, I>(global: &Distribution, subsets: I) -> Distribution
+where
+    I: IntoIterator<Item = (&'a Distribution, &'a [usize])>,
+{
+    match try_bayesian_update_all(global, subsets) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
+    }
 }
 
-/// The finite-shot Bayesian update (the paper's `P(x|s)` over sampled
-/// counts): plug-in empirical frequencies on both sides. Subset patterns
-/// the global counts never landed in are genuinely unobserved here (exact
-/// zeros, not numeric dust), so the observation-floor handling of
-/// [`try_bayesian_update`] is load-bearing rather than defensive.
+/// Finite-shot variant of [`try_bayesian_update`]: both sides are sampled
+/// count tables; the update runs on their plug-in distributions.
 ///
 /// # Errors
 ///
-/// [`RecombineError`] on a local/subset size mismatch or an out-of-range
-/// position.
-pub fn bayesian_update_counts(
+/// Same shape errors as [`try_bayesian_update`].
+pub fn try_bayesian_update_counts(
     global: &Counts,
     local: &Counts,
     positions: &[usize],
-) -> Result<Distribution, RecombineError> {
-    // `to_distribution` preserves bit counts, so `try_bayesian_update`'s
-    // own shape validation covers the count tables too.
+) -> Result<Distribution, DistError> {
     try_bayesian_update(
         &global.to_distribution(),
         &local.to_distribution(),
@@ -218,18 +192,20 @@ pub fn bayesian_update_counts(
     )
 }
 
-/// Folds every sampled `(local, positions)` pair into the sampled global —
-/// [`bayesian_update_all`] over counts.
+/// Finite-shot variant of [`try_bayesian_update_all`].
 ///
 /// # Errors
 ///
-/// [`RecombineError`] on the first shape-mismatched pair.
-pub fn bayesian_update_all_counts(
+/// Propagates the first shape error encountered.
+pub fn try_bayesian_update_all_counts<'a, I>(
     global: &Counts,
-    locals: &[(Counts, Vec<usize>)],
-) -> Result<Distribution, RecombineError> {
+    subsets: I,
+) -> Result<Distribution, DistError>
+where
+    I: IntoIterator<Item = (&'a Counts, &'a [usize])>,
+{
     let mut acc = global.to_distribution();
-    for (local, positions) in locals {
+    for (local, positions) in subsets {
         acc = try_bayesian_update(&acc, &local.to_distribution(), positions)?;
     }
     Ok(acc)
@@ -239,172 +215,155 @@ pub fn bayesian_update_all_counts(
 mod tests {
     use super::*;
 
-    fn product_2q(p0: f64, p1: f64) -> Distribution {
-        // Independent bits: P(bit0 = 1) = p0, P(bit1 = 1) = p1.
-        Distribution::from_probs(
+    fn dist(n_bits: usize, probs: Vec<f64>) -> Distribution {
+        Distribution::try_from_probs(n_bits, probs).unwrap()
+    }
+
+    /// 2-bit product distribution with p(bit0=1)=a, p(bit1=1)=b.
+    fn product_2q(a: f64, b: f64) -> Distribution {
+        dist(
             2,
-            vec![
-                (1.0 - p0) * (1.0 - p1),
-                p0 * (1.0 - p1),
-                (1.0 - p0) * p1,
-                p0 * p1,
-            ],
+            vec![(1.0 - a) * (1.0 - b), a * (1.0 - b), (1.0 - a) * b, a * b],
         )
     }
 
     #[test]
     fn update_pins_the_subset_marginal() {
-        let global = Distribution::from_probs(3, (1..=8).map(f64::from).collect()).normalized();
-        let local = Distribution::from_probs(1, vec![0.9, 0.1]);
-        let updated = bayesian_update(&global, &local, &[2]);
-        assert!((updated.total() - 1.0).abs() < 1e-12);
-        let m = updated.marginal(&[2]);
-        assert!((m.prob(0) - 0.9).abs() < 1e-12);
-        assert!((m.prob(1) - 0.1).abs() < 1e-12);
+        let global = product_2q(0.3, 0.45);
+        let local = dist(1, vec![0.1, 0.9]);
+        let out = try_bayesian_update(&global, &local, &[0]).unwrap();
+        let m = out.marginal(&[0]);
+        assert!((m.prob(1) - 0.9).abs() < 1e-12, "marginal must match local");
+        assert!((out.total() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn update_preserves_conditionals_elsewhere() {
-        let global = product_2q(0.3, 0.6);
-        let local = Distribution::from_probs(1, vec![0.5, 0.5]);
-        let updated = bayesian_update(&global, &local, &[0]);
-        // Bit 1 was independent of bit 0, so its marginal must not move.
-        let m1 = updated.marginal(&[1]);
-        assert!((m1.prob(1) - 0.6).abs() < 1e-12);
+        let global = product_2q(0.3, 0.45);
+        let local = dist(1, vec![0.8, 0.2]);
+        let out = try_bayesian_update(&global, &local, &[0]).unwrap();
+        // Bit 1 was independent of bit 0, so its marginal must survive.
+        let m1 = out.marginal(&[1]);
+        assert!((m1.prob(1) - 0.45).abs() < 1e-12);
     }
 
     #[test]
     fn neutral_local_is_a_no_op() {
-        let global = Distribution::from_probs(2, vec![0.4, 0.1, 0.3, 0.2]);
-        let local = global.marginal(&[1]);
-        let updated = bayesian_update(&global, &local, &[1]);
-        for (x, p) in global.clone().normalized().iter() {
-            assert!((updated.prob(x) - p).abs() < 1e-12);
+        let global = dist(2, vec![0.4, 0.1, 0.4, 0.1]).normalized();
+        let marginal = global.marginal(&[1]);
+        let out = try_bayesian_update(&global, &marginal, &[1]).unwrap();
+        for x in 0..4u64 {
+            assert!((out.prob(x) - global.prob(x)).abs() < 1e-12);
         }
     }
 
     #[test]
     fn zero_mass_patterns_stay_zero() {
-        // Global has no mass on bit0 = 1; the local cannot resurrect it.
-        let global = Distribution::from_probs(2, vec![0.7, 0.0, 0.3, 0.0]);
-        let local = Distribution::from_probs(1, vec![0.5, 0.5]);
-        let updated = bayesian_update(&global, &local, &[0]);
-        assert_eq!(updated.prob(0b01), 0.0);
-        assert_eq!(updated.prob(0b11), 0.0);
-        assert!((updated.total() - 1.0).abs() < 1e-12);
+        // Global gives zero mass to bit0=1; a local that also avoids it
+        // keeps the update well-defined.
+        let global = dist(2, vec![0.6, 0.0, 0.4, 0.0]);
+        let local = dist(1, vec![1.0, 0.0]);
+        let out = try_bayesian_update(&global, &local, &[0]).unwrap();
+        assert_eq!(out.prob(1), 0.0);
+        assert_eq!(out.prob(3), 0.0);
+        assert!((out.total() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn update_all_round_trips_known_two_qubit_marginal() {
-        // A correlated 3-bit global; feed back its own exact pair marginal
-        // over bits (0, 2) plus a single-bit marginal over bit 1: the
-        // distribution must be unchanged (round trip).
-        let global =
-            Distribution::from_probs(3, vec![0.22, 0.03, 0.07, 0.18, 0.05, 0.15, 0.2, 0.1]);
-        let locals = vec![
-            (global.marginal(&[0, 2]), vec![0, 2]),
-            (global.marginal(&[1]), vec![1]),
-        ];
-        let updated = bayesian_update_all(&global, &locals);
-        for (x, p) in global.iter() {
+        let probs = vec![0.22, 0.03, 0.07, 0.18, 0.05, 0.15, 0.2, 0.1];
+        let global = dist(3, probs).normalized();
+        // Use the true marginals as "traced" locals: fixed point.
+        let m01 = global.marginal(&[0, 1]);
+        let m2 = global.marginal(&[2]);
+        let subsets: Vec<(&Distribution, &[usize])> =
+            vec![(&m01, &[0usize, 1][..]), (&m2, &[2usize][..])];
+        let out = try_bayesian_update_all(&global, subsets).unwrap();
+        for x in 0..8u64 {
             assert!(
-                (updated.prob(x) - p).abs() < 1e-12,
-                "outcome {x}: {} vs {p}",
-                updated.prob(x)
+                (out.prob(x) - global.prob(x)).abs() < 1e-10,
+                "fixed point drifted at {x}"
             );
         }
     }
 
     #[test]
     fn under_floor_marginals_conserve_mass() {
-        // Regression: bit 0's pattern `1` carries marginal mass below the
-        // observation floor. Its ratio is 1.0; previously the posterior was
-        // only renormalized globally afterwards, which inflated the
-        // unobserved bin by the inverse of the local's observed mass
-        // (1/0.6 here). The mass-conserving update keeps it exactly.
+        // Pattern bit0=1 has marginal below the floor: its local mass is
+        // redistributed instead of divided by ~0.
         let tiny = 8e-16;
-        let global = Distribution::from_probs(2, vec![0.7 - tiny, tiny, 0.3, 0.0]);
-        // The local insists on mass 0.4 for the unobserved pattern; only
-        // the remaining 0.6 is honorable.
-        let local = Distribution::from_probs(1, vec![0.6, 0.4]);
-        let updated = bayesian_update(&global, &local, &[0]);
-        assert!((updated.total() - 1.0).abs() < 1e-12, "mass conserved");
-        let m = updated.marginal(&[0]);
-        // The unobserved pattern keeps its prior mass bit-for-bit (no
-        // 1/0.6 inflation), and the observed pattern absorbs the rest.
-        assert!(
-            (m.prob(1) - tiny).abs() < tiny * 1e-6,
-            "unobserved mass moved: {} vs {tiny}",
-            m.prob(1)
-        );
-        assert!((m.prob(0) - (1.0 - tiny)).abs() < 1e-12);
-        // Conditionals within the observed pattern are untouched.
-        assert!((updated.prob(0b00) / updated.prob(0b10) - (0.7 - tiny) / 0.3).abs() < 1e-9);
+        let global = dist(2, vec![0.7 - tiny, tiny, 0.3, 0.0]);
+        let local = dist(1, vec![0.6, 0.4]);
+        let out = try_bayesian_update(&global, &local, &[0]).unwrap();
+        assert!((out.total() - 1.0).abs() < 1e-9, "mass must be conserved");
+        assert!(out.iter().all(|(_, p)| (0.0..=1.0).contains(&p)));
     }
 
     #[test]
     fn typed_errors_replace_shape_asserts() {
-        let global = Distribution::uniform(2);
-        let local = Distribution::uniform(1);
+        let global = product_2q(0.5, 0.5);
+        let local = dist(1, vec![0.5, 0.5]);
         assert_eq!(
-            try_bayesian_update(&global, &local, &[0, 1]),
-            Err(RecombineError::SubsetMismatch {
+            try_bayesian_update(&global, &local, &[0, 1]).unwrap_err(),
+            DistError::SubsetMismatch {
                 local_bits: 1,
                 positions: 2
-            })
+            }
         );
         assert_eq!(
-            try_bayesian_update(&global, &local, &[5]),
-            Err(RecombineError::PositionOutOfRange {
-                position: 5,
+            try_bayesian_update(&global, &local, &[2]).unwrap_err(),
+            DistError::PositionOutOfRange {
+                position: 2,
                 n_bits: 2
-            })
+            }
         );
-        let e = try_bayesian_update(&global, &local, &[5]).unwrap_err();
-        assert!(e.to_string().contains('5'), "{e}");
-        assert!(
-            try_bayesian_update_all(&global, &[(local, vec![0, 1])]).is_err(),
-            "update_all surfaces the same errors"
-        );
+    }
+
+    #[test]
+    fn streaming_update_handles_wide_sparse_globals() {
+        // 40-bit global: densify() is impossible (allocation cap), but the
+        // streaming update runs over the 2-outcome support just fine.
+        let hi = 1u64 << 39;
+        let global = Distribution::try_from_entries(40, vec![(0, 0.5), (hi | 1, 0.5)]).unwrap();
+        assert!(matches!(
+            global.densify(),
+            Err(DistError::DenseCap { n_bits: 40, .. })
+        ));
+        let local = dist(1, vec![0.2, 0.8]);
+        let out = try_bayesian_update(&global, &local, &[0]).unwrap();
+        assert!((out.prob(0) - 0.2).abs() < 1e-12);
+        assert!((out.prob(hi | 1) - 0.8).abs() < 1e-12);
+        assert_eq!(out.support_len(), 2);
+        assert!((out.total() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn counts_update_matches_plugin_frequencies() {
-        let global = Counts::from_counts(2, vec![40, 10, 40, 10]);
-        let local = Counts::from_counts(1, vec![30, 70]); // bit 1
-        let refined = bayesian_update_counts(&global, &local, &[1]).unwrap();
-        assert!((refined.total() - 1.0).abs() < 1e-12);
-        assert!((refined.marginal(&[1]).prob(1) - 0.7).abs() < 1e-12);
-        // Equivalent to the exact update on the empirical frequencies.
-        let exact = bayesian_update(&global.to_distribution(), &local.to_distribution(), &[1]);
-        for (x, p) in exact.iter() {
-            assert!((refined.prob(x) - p).abs() < 1e-12);
+        let global = Counts::try_from_counts(2, vec![40, 10, 40, 10]).unwrap();
+        let local = Counts::try_from_counts(1, vec![10, 90]).unwrap();
+        let sampled = try_bayesian_update_counts(&global, &local, &[0]).unwrap();
+        let exact =
+            try_bayesian_update(&global.to_distribution(), &local.to_distribution(), &[0]).unwrap();
+        for x in 0..4u64 {
+            assert!((sampled.prob(x) - exact.prob(x)).abs() < 1e-12);
         }
-        // Never-sampled patterns stay at zero.
-        let sparse_global = Counts::from_counts(1, vec![100, 0]);
-        let optimistic_local = Counts::from_counts(1, vec![50, 50]);
-        let r = bayesian_update_counts(&sparse_global, &optimistic_local, &[0]).unwrap();
-        assert_eq!(r.prob(1), 0.0);
-        assert!((r.total() - 1.0).abs() < 1e-12);
-        // Shape mismatches are typed, not panics.
-        assert!(bayesian_update_counts(&sparse_global, &optimistic_local, &[0, 1]).is_err());
-        assert!(bayesian_update_all_counts(
-            &global,
-            &[(Counts::from_counts(1, vec![1, 1]), vec![9])]
-        )
-        .is_err());
+        let all = try_bayesian_update_all_counts(&global, vec![(&local, &[0usize][..])]).unwrap();
+        assert_eq!(all, sampled);
     }
 
     #[test]
     fn update_all_moves_toward_trusted_locals() {
-        // Noisy global says uniform; trusted locals say both bits are 0.
-        let global = Distribution::uniform(2);
-        let locals = vec![
-            (Distribution::from_probs(1, vec![0.95, 0.05]), vec![0]),
-            (Distribution::from_probs(1, vec![0.95, 0.05]), vec![1]),
-        ];
-        let updated = bayesian_update_all(&global, &locals);
-        assert!((updated.prob(0) - 0.95 * 0.95).abs() < 1e-12);
-        assert!((updated.total() - 1.0).abs() < 1e-12);
+        // Noisy global: uniform-ish. Trusted locals: strongly peaked.
+        let global = dist(2, vec![0.3, 0.2, 0.3, 0.2]);
+        let l0 = dist(1, vec![0.95, 0.05]);
+        let l1 = dist(1, vec![0.95, 0.05]);
+        let subsets: Vec<(&Distribution, &[usize])> =
+            vec![(&l0, &[0usize][..]), (&l1, &[1usize][..])];
+        let out = try_bayesian_update_all(&global, subsets).unwrap();
+        assert!(
+            out.prob(0) > 0.85,
+            "both bits peaked at 0 → outcome 00 dominates, got {}",
+            out.prob(0)
+        );
     }
 }

@@ -1,0 +1,178 @@
+//! Representation-independence properties: every qt-dist operation must
+//! produce **bit-identical** results whether its operands are stored
+//! sparsely or densely. The tests build the same logical distribution (or
+//! count table) under a density threshold of `0.0` (everything densifies)
+//! and `2.0` (everything stays sparse) and compare the nonzero
+//! `(outcome, mass)` streams bitwise, so a divergence in either arm's
+//! traversal order or arithmetic fails loudly.
+
+use proptest::prelude::*;
+use qt_dist::{hellinger_fidelity, hellinger_fidelity_sampled, recombine, Counts, Distribution};
+
+/// The same probabilities as a forced-dense and a forced-sparse
+/// distribution (thresholds straddling every real density).
+fn both_arms(n_bits: usize, probs: Vec<f64>) -> (Distribution, Distribution) {
+    let dense = Distribution::try_from_probs(n_bits, probs.clone())
+        .expect("within the dense cap")
+        .with_density_threshold(0.0);
+    let sparse = Distribution::try_from_probs(n_bits, probs)
+        .expect("within the dense cap")
+        .with_density_threshold(2.0);
+    assert!(dense.is_dense() && !sparse.is_dense(), "arms must differ");
+    (dense, sparse)
+}
+
+fn both_count_arms(n_bits: usize, counts: Vec<u64>) -> (Counts, Counts) {
+    let dense = Counts::try_from_counts(n_bits, counts.clone())
+        .expect("within the dense cap")
+        .with_density_threshold(0.0);
+    let sparse = Counts::try_from_counts(n_bits, counts)
+        .expect("within the dense cap")
+        .with_density_threshold(2.0);
+    assert!(dense.is_dense() && !sparse.is_dense(), "arms must differ");
+    (dense, sparse)
+}
+
+/// Bitwise equality of nonzero streams.
+fn assert_identical(a: &Distribution, b: &Distribution, what: &str) {
+    assert_eq!(a.n_bits(), b.n_bits(), "{what}: width");
+    let xs: Vec<(u64, f64)> = a.iter().collect();
+    let ys: Vec<(u64, f64)> = b.iter().collect();
+    assert_eq!(xs.len(), ys.len(), "{what}: support size");
+    for ((i, x), (j, y)) in xs.iter().zip(&ys) {
+        assert_eq!(i, j, "{what}: support index");
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: outcome {i}: {x:?} != {y:?}"
+        );
+    }
+}
+
+/// Mixed-density probability vectors: some exact zeros, some mass.
+fn arb_probs(n_bits: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![Just(0.0), Just(0.0), 0.001..1.0f64],
+        1 << n_bits,
+    )
+    .prop_filter("need at least one nonzero", |v| v.iter().any(|&p| p > 0.0))
+}
+
+fn arb_counts(n_bits: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(prop_oneof![Just(0u64), Just(0u64), 1u64..500], 1 << n_bits)
+        .prop_filter("need at least one shot", |v| v.iter().any(|&c| c > 0))
+}
+
+proptest! {
+    #[test]
+    fn marginal_is_representation_independent(
+        probs in arb_probs(5),
+        keep in prop::collection::vec(0usize..5, 1..4),
+    ) {
+        let mut keep = keep;
+        keep.sort_unstable();
+        keep.dedup();
+        let (dense, sparse) = both_arms(5, probs);
+        assert_identical(&dense.marginal(&keep), &sparse.marginal(&keep), "marginal");
+    }
+
+    #[test]
+    fn normalized_is_representation_independent(probs in arb_probs(5)) {
+        let (dense, sparse) = both_arms(5, probs);
+        assert_identical(&dense.normalized(), &sparse.normalized(), "normalized");
+    }
+
+    #[test]
+    fn hellinger_fidelity_is_representation_independent(
+        p in arb_probs(4),
+        q in arb_probs(4),
+    ) {
+        let (pd, ps) = both_arms(4, p);
+        let (qd, qs) = both_arms(4, q);
+        let dense = hellinger_fidelity(&pd, &qd);
+        // Mixed representations must agree too: the sorted-merge
+        // intersection cannot depend on which side is sparse.
+        for (a, b) in [(&ps, &qs), (&pd, &qs), (&ps, &qd)] {
+            prop_assert_eq!(dense.to_bits(), hellinger_fidelity(a, b).to_bits());
+        }
+    }
+
+    #[test]
+    fn hellinger_fidelity_sampled_is_representation_independent(
+        p in arb_counts(4),
+        q in arb_counts(4),
+    ) {
+        let (pd, ps) = both_count_arms(4, p);
+        let (qd, qs) = both_count_arms(4, q);
+        let dense = hellinger_fidelity_sampled(&pd, &qd);
+        let sparse = hellinger_fidelity_sampled(&ps, &qs);
+        prop_assert_eq!(dense.value.to_bits(), sparse.value.to_bits());
+        prop_assert_eq!(dense.std_error.to_bits(), sparse.std_error.to_bits());
+    }
+
+    #[test]
+    fn bayesian_update_is_representation_independent(
+        global in arb_probs(5),
+        local in arb_probs(2),
+        pos in prop::collection::vec(0usize..5, 2),
+    ) {
+        prop_assume!(pos[0] != pos[1]);
+        let (gd, gs) = both_arms(5, global);
+        let (ld, ls) = both_arms(2, local);
+        let dense = recombine::try_bayesian_update(&gd, &ld, &pos).unwrap();
+        let sparse = recombine::try_bayesian_update(&gs, &ls, &pos).unwrap();
+        assert_identical(&dense, &sparse, "bayesian_update");
+    }
+
+    #[test]
+    fn bayesian_update_counts_is_representation_independent(
+        global in arb_counts(4),
+        local in arb_counts(1),
+        pos in 0usize..4,
+    ) {
+        let (gd, gs) = both_count_arms(4, global);
+        let (ld, ls) = both_count_arms(1, local);
+        let dense = recombine::try_bayesian_update_counts(&gd, &ld, &[pos]).unwrap();
+        let sparse = recombine::try_bayesian_update_counts(&gs, &ls, &[pos]).unwrap();
+        assert_identical(&dense, &sparse, "bayesian_update_counts");
+    }
+
+    #[test]
+    fn absorb_is_representation_independent(
+        a in arb_counts(4),
+        b in arb_counts(4),
+    ) {
+        let (mut ad, mut asp) = both_count_arms(4, a);
+        let (bd, bs) = both_count_arms(4, b);
+        ad.absorb(&bs); // cross representations on purpose
+        asp.absorb(&bd);
+        prop_assert_eq!(ad.shots(), asp.shots());
+        let xs: Vec<(u64, u64)> = ad.iter().collect();
+        let ys: Vec<(u64, u64)> = asp.iter().collect();
+        prop_assert_eq!(xs, ys);
+    }
+}
+
+/// The dense-cap round trip of the redesign: a distribution wider than
+/// [`qt_dist::DEFAULT_DENSE_CAP_BITS`] refuses to densify with a typed
+/// error, while the streaming recombination path handles it without ever
+/// materializing the 2^n table.
+#[test]
+fn dense_cap_blocks_densify_but_not_streaming_recombination() {
+    let n_bits = 40; // dim 2^40 — any dense buffer would be a terabyte.
+    let global =
+        Distribution::try_from_entries(n_bits, vec![(0, 0.25), (1 << 20, 0.25), (1 << 39, 0.5)])
+            .unwrap();
+
+    let err = global.densify().unwrap_err();
+    assert!(
+        matches!(err, qt_dist::DistError::DenseCap { .. }),
+        "wrong error: {err:?}"
+    );
+
+    let local = Distribution::try_from_probs(1, vec![0.9, 0.1]).unwrap();
+    let refined = recombine::try_bayesian_update(&global, &local, &[39]).unwrap();
+    assert!((refined.total() - 1.0).abs() < 1e-12);
+    assert!((refined.marginal(&[39]).prob(0) - 0.9).abs() < 1e-12);
+    assert!(refined.support_len() <= 3, "support must stay sparse");
+}

@@ -12,6 +12,7 @@
 //!   noise model (Fig. 2(d), where PCS *hurts*).
 
 use qt_circuit::{Circuit, Gate, Instruction};
+use qt_dist::{Counts, Distribution};
 use qt_sim::{apply_readout, sample_counts_deterministic, Executor, Program};
 
 /// An assembled PCS program.
@@ -97,27 +98,32 @@ pub fn postselected_distribution(
     exec: &Executor,
     pcs: &PcsProgram,
     measured: &[usize],
-) -> (Vec<f64>, f64) {
+) -> (Distribution, f64) {
     let mut all: Vec<usize> = measured.to_vec();
     all.extend_from_slice(&pcs.ancillas);
     let raw = exec.raw_distribution(&pcs.program, &all);
 
     let k = pcs.ancillas.len();
     let m = measured.len();
-    let condition = |dist: &[f64]| -> (Vec<f64>, f64) {
-        let mut out = vec![0.0; 1 << m];
-        for (idx, &p) in dist.iter().enumerate() {
+    // Ancillas occupy the high index bits, so `idx >> m == 0` both selects
+    // the all-zero ancilla readout and leaves `idx` already reduced to the
+    // payload register; the nonzero stream stays sorted as-is.
+    let condition = |dist: &Distribution| -> (Distribution, f64) {
+        let mut kept: Vec<(u64, f64)> = Vec::new();
+        let mut acc = 0.0;
+        for (idx, p) in dist.iter() {
             if idx >> m == 0 {
-                out[idx & ((1 << m) - 1)] += p;
+                acc += p;
+                kept.push((idx, p));
             }
         }
-        let acc: f64 = out.iter().sum();
+        let cond = Distribution::try_from_entries(m, kept)
+            .expect("post-selected outcomes fit the payload register");
         if acc > 0.0 {
-            for o in &mut out {
-                *o /= acc;
-            }
+            (cond.normalized(), acc)
+        } else {
+            (cond, acc)
         }
-        (out, acc)
     };
 
     if pcs.ideal_checks {
@@ -149,20 +155,16 @@ pub fn postselected_distribution_sampled(
     measured: &[usize],
     shots: usize,
     seed: u64,
-) -> (Vec<f64>, f64) {
+) -> (Distribution, f64) {
     let m = measured.len();
     if pcs.ideal_checks {
         // Noiseless ancilla readout: the post-selection itself is exact
         // and only the final payload measurement is shot-limited.
         let (exact, acc) = postselected_distribution(exec, pcs, measured);
         let counts = sample_counts_deterministic(&exact, shots, seed, 1);
-        let total: u64 = counts.iter().sum();
-        let dist = if total == 0 {
-            vec![1.0 / (1usize << m) as f64; 1 << m]
-        } else {
-            counts.iter().map(|&c| c as f64 / total as f64).collect()
-        };
-        return (dist, acc);
+        // `to_distribution` yields the uniform distribution when every
+        // shot was rejected, matching the hardware-honest degradation.
+        return (counts.to_distribution(), acc);
     }
     // Noisy checks: sample the joint payload+ancilla readout, then keep
     // only the shots whose ancillas all read 0.
@@ -171,31 +173,29 @@ pub fn postselected_distribution_sampled(
     let raw = exec.raw_distribution(&pcs.program, &all);
     let noisy_all = apply_readout(&raw, &all, &exec.noise().readout);
     let counts = sample_counts_deterministic(&noisy_all, shots, seed, 1);
-    let mut kept = vec![0u64; 1 << m];
-    for (idx, &c) in counts.iter().enumerate() {
+    let mut kept: Vec<(u64, u64)> = Vec::new();
+    let mut accepted = 0u64;
+    for (idx, c) in counts.iter() {
         if idx >> m == 0 {
-            kept[idx & ((1 << m) - 1)] += c;
+            accepted += c;
+            kept.push((idx, c));
         }
     }
-    let accepted: u64 = kept.iter().sum();
-    let total: u64 = counts.iter().sum();
-    let dist = if accepted == 0 {
-        vec![1.0 / (1usize << m) as f64; 1 << m]
-    } else {
-        kept.iter().map(|&c| c as f64 / accepted as f64).collect()
-    };
+    let total = counts.shots();
+    let kept =
+        Counts::try_from_entries(m, kept).expect("post-selected outcomes fit the payload register");
     let acc = if total == 0 {
         0.0
     } else {
         accepted as f64 / total as f64
     };
-    (dist, acc)
+    (kept.to_distribution(), acc)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qt_dist::{hellinger_fidelity, Distribution};
+    use qt_dist::hellinger_fidelity;
     use qt_sim::{ideal_distribution, NoiseModel};
 
     /// State preparation + a payload commuting with Z on qubit 0.
@@ -221,8 +221,8 @@ mod tests {
         let (dist, acc) = postselected_distribution(&exec, &pcs, &[0, 1]);
         assert!((acc - 1.0).abs() < 1e-9, "acceptance {acc}");
         let direct = ideal_distribution(&Program::from_circuit(&whole(&pre, &payload)), &[0, 1]);
-        for (a, b) in dist.iter().zip(&direct) {
-            assert!((a - b).abs() < 1e-9);
+        for i in 0..4 {
+            assert!((dist.prob(i) - direct.prob(i)).abs() < 1e-9);
         }
     }
 
@@ -230,19 +230,12 @@ mod tests {
     fn ideal_pcs_improves_fidelity_under_gate_noise() {
         let (pre, payload) = pieces();
         let full = whole(&pre, &payload);
-        let ideal = Distribution::from_probs(
-            2,
-            ideal_distribution(&Program::from_circuit(&full), &[0, 1]),
-        );
+        let ideal = ideal_distribution(&Program::from_circuit(&full), &[0, 1]);
         let noise = NoiseModel::depolarizing(0.01, 0.08);
         let exec = Executor::new(noise);
-        let unmitigated = Distribution::from_probs(
-            2,
-            exec.noisy_distribution(&Program::from_circuit(&full), &[0, 1]),
-        );
+        let unmitigated = exec.noisy_distribution(&Program::from_circuit(&full), &[0, 1]);
         let pcs = z_check_sandwich(&pre, &payload, &[0], true);
-        let (dist, acc) = postselected_distribution(&exec, &pcs, &[0, 1]);
-        let mitigated = Distribution::from_probs(2, dist);
+        let (mitigated, acc) = postselected_distribution(&exec, &pcs, &[0, 1]);
         assert!(acc < 1.0);
         assert!(
             hellinger_fidelity(&mitigated, &ideal) > hellinger_fidelity(&unmitigated, &ideal),
@@ -257,18 +250,15 @@ mod tests {
         // its fidelity should not beat ideal PCS.
         let (pre, payload) = pieces();
         let full = whole(&pre, &payload);
-        let ideal = Distribution::from_probs(
-            2,
-            ideal_distribution(&Program::from_circuit(&full), &[0, 1]),
-        );
+        let ideal = ideal_distribution(&Program::from_circuit(&full), &[0, 1]);
         let noise = NoiseModel::depolarizing(0.01, 0.1).with_readout(0.2);
         let exec = Executor::new(noise);
         let noisy_pcs = z_check_sandwich(&pre, &payload, &[0], false);
         let ideal_pcs = z_check_sandwich(&pre, &payload, &[0], true);
         let (dn, _) = postselected_distribution(&exec, &noisy_pcs, &[0, 1]);
         let (di, _) = postselected_distribution(&exec, &ideal_pcs, &[0, 1]);
-        let fn_ = hellinger_fidelity(&Distribution::from_probs(2, dn), &ideal);
-        let fi = hellinger_fidelity(&Distribution::from_probs(2, di), &ideal);
+        let fn_ = hellinger_fidelity(&dn, &ideal);
+        let fi = hellinger_fidelity(&di, &ideal);
         assert!(fi >= fn_ - 1e-9, "ideal {fi} vs noisy {fn_}");
     }
 
@@ -285,7 +275,8 @@ mod tests {
             let (exact, acc) = postselected_distribution(&exec, &pcs, &[0, 1]);
             let (sampled, s_acc) =
                 postselected_distribution_sampled(&exec, &pcs, &[0, 1], 1 << 18, 3);
-            for (s, e) in sampled.iter().zip(&exact) {
+            for i in 0..4 {
+                let (s, e) = (sampled.prob(i), exact.prob(i));
                 assert!((s - e).abs() < 0.01, "ideal={ideal_checks}: {s} vs {e}");
             }
             assert!(
@@ -309,7 +300,7 @@ mod tests {
         let exec = Executor::new(NoiseModel::ideal());
         let (dist, acc) = postselected_distribution_sampled(&exec, &pcs, &[0], 5000, 1);
         assert!(acc < 1e-9, "X error must be fully rejected, acc={acc}");
-        assert!((dist[0] - 0.5).abs() < 1e-12 && (dist[1] - 0.5).abs() < 1e-12);
+        assert!((dist.prob(0) - 0.5).abs() < 1e-12 && (dist.prob(1) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::sparse::{sparse_admissible, sparse_distribution, SparseState};
 use crate::stabilizer::{stabilizer_admissible, stabilizer_distribution, StabilizerState};
 use crate::statevector::{self, StateVector};
 use crate::trajectory::{self, TrajectoryConfig};
+use qt_dist::Distribution;
 use qt_math::Matrix;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -56,7 +57,7 @@ pub trait EngineState: Send {
     /// The gate-noisy outcome distribution over `measured` at this point
     /// of the evolution (bit `i` of the index = `measured[i]`), before
     /// readout error.
-    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64>;
+    fn raw_distribution(&self, measured: &[usize]) -> Distribution;
 }
 
 /// A simulation engine: anything that can turn a noisy [`Program`] into a
@@ -73,7 +74,7 @@ pub trait BackendEngine: Send + Sync + std::fmt::Debug {
         program: &Program,
         noise: &NoiseModel,
         measured: &[usize],
-    ) -> Vec<f64>;
+    ) -> Distribution;
 
     /// The engine's fork-capability class for a job with the given shape,
     /// or `None` when the engine must run whole jobs (stochastic
@@ -122,6 +123,13 @@ pub(crate) fn apply_density_op(rho: &mut DensityMatrix, op: &Op, noise: &NoiseMo
     }
 }
 
+/// Wraps a dense marginal-probability vector as a [`Distribution`] — the
+/// adapter every dense engine readout shares.
+fn dense_raw(probs: Vec<f64>, measured: &[usize]) -> Distribution {
+    Distribution::try_from_probs(measured.len(), probs)
+        .expect("dense marginal fits its measured bit count")
+}
+
 /// The [`EngineState`] of the exact density-matrix engine.
 #[derive(Debug, Clone)]
 struct DensityState {
@@ -138,8 +146,8 @@ impl EngineState for DensityState {
         Box::new(self.clone())
     }
 
-    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
-        self.rho.marginal_probabilities(measured)
+    fn raw_distribution(&self, measured: &[usize]) -> Distribution {
+        dense_raw(self.rho.marginal_probabilities(measured), measured)
     }
 }
 
@@ -164,8 +172,8 @@ impl EngineState for PureState {
         Box::new(self.clone())
     }
 
-    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
-        self.sv.marginal_probabilities(measured)
+    fn raw_distribution(&self, measured: &[usize]) -> Distribution {
+        dense_raw(self.sv.marginal_probabilities(measured), measured)
     }
 }
 
@@ -183,8 +191,11 @@ impl BackendEngine for DensityMatrixEngine {
         program: &Program,
         noise: &NoiseModel,
         measured: &[usize],
-    ) -> Vec<f64> {
-        density_evolution(program, noise).marginal_probabilities(measured)
+    ) -> Distribution {
+        dense_raw(
+            density_evolution(program, noise).marginal_probabilities(measured),
+            measured,
+        )
     }
 
     fn fork_class(&self, _noise: &NoiseModel, _profile: &ProgramProfile) -> Option<u8> {
@@ -240,7 +251,7 @@ impl EngineState for StabilizerState {
         Box::new(StabilizerState::fork(self))
     }
 
-    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
+    fn raw_distribution(&self, measured: &[usize]) -> Distribution {
         StabilizerState::raw_distribution(self, measured)
     }
 }
@@ -254,7 +265,7 @@ impl EngineState for SparseState {
         Box::new(SparseState::fork(self))
     }
 
-    fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
+    fn raw_distribution(&self, measured: &[usize]) -> Distribution {
         SparseState::raw_distribution(self, measured)
     }
 }
@@ -277,13 +288,16 @@ impl BackendEngine for StabilizerEngine {
         program: &Program,
         noise: &NoiseModel,
         measured: &[usize],
-    ) -> Vec<f64> {
+    ) -> Distribution {
         let profile = ProgramProfile::of(program);
         if stabilizer_admissible(noise, &profile) {
             let noise = Arc::new(noise.clone());
             stabilizer_distribution(program, &noise, measured)
         } else {
-            density_evolution(program, noise).marginal_probabilities(measured)
+            dense_raw(
+                density_evolution(program, noise).marginal_probabilities(measured),
+                measured,
+            )
         }
     }
 
@@ -330,12 +344,15 @@ impl BackendEngine for SparseStatevectorEngine {
         program: &Program,
         noise: &NoiseModel,
         measured: &[usize],
-    ) -> Vec<f64> {
+    ) -> Distribution {
         let profile = ProgramProfile::of(program);
         if sparse_admissible(noise, &profile) {
             sparse_distribution(program, measured)
         } else {
-            density_evolution(program, noise).marginal_probabilities(measured)
+            dense_raw(
+                density_evolution(program, noise).marginal_probabilities(measured),
+                measured,
+            )
         }
     }
 
@@ -374,7 +391,7 @@ impl BackendEngine for StatevectorEngine {
         program: &Program,
         noise: &NoiseModel,
         measured: &[usize],
-    ) -> Vec<f64> {
+    ) -> Distribution {
         if Self::pure_eligible(noise, program.has_resets()) {
             let mut sv = StateVector::zero(program.n_qubits());
             for op in program.ops() {
@@ -382,9 +399,12 @@ impl BackendEngine for StatevectorEngine {
                     sv.apply_instruction(i);
                 }
             }
-            sv.marginal_probabilities(measured)
+            dense_raw(sv.marginal_probabilities(measured), measured)
         } else {
-            density_evolution(program, noise).marginal_probabilities(measured)
+            dense_raw(
+                density_evolution(program, noise).marginal_probabilities(measured),
+                measured,
+            )
         }
     }
 
@@ -432,7 +452,7 @@ impl BackendEngine for TrajectoryEngine {
         program: &Program,
         noise: &NoiseModel,
         measured: &[usize],
-    ) -> Vec<f64> {
+    ) -> Distribution {
         trajectory::run_distribution(program, noise, measured, &self.config)
     }
 }
@@ -598,7 +618,7 @@ impl BackendEngine for ResolvedEngine {
         program: &Program,
         noise: &NoiseModel,
         measured: &[usize],
-    ) -> Vec<f64> {
+    ) -> Distribution {
         match self {
             ResolvedEngine::DensityMatrix(e) => e.raw_distribution(program, noise, measured),
             ResolvedEngine::Statevector(e) => e.raw_distribution(program, noise, measured),

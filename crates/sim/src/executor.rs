@@ -21,6 +21,7 @@ use crate::noise::{apply_readout, NoiseModel};
 use crate::program::{Op, Program};
 use crate::statevector::StateVector;
 use crate::trie::ExecutionTrie;
+use qt_dist::{Counts, Distribution};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
@@ -30,7 +31,7 @@ pub use crate::backend::Backend;
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOutput {
     /// Noisy outcome distribution over the measured qubits.
-    pub dist: Vec<f64>,
+    pub dist: Distribution,
     /// Gates actually executed (post-transpilation where applicable).
     pub gates: usize,
     /// Multi-qubit gates actually executed.
@@ -43,8 +44,8 @@ pub struct RunOutput {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SampledOutput {
     /// Per-outcome counts over the measured qubits (same indexing as
-    /// [`RunOutput::dist`]); sums to `shots`.
-    pub counts: Vec<u64>,
+    /// [`RunOutput::dist`]); their total is `shots`.
+    pub counts: Counts,
     /// Shots sampled for this job.
     pub shots: usize,
     /// Gates actually executed (post-transpilation where applicable).
@@ -71,15 +72,8 @@ impl SampledOutput {
     /// shots were recorded, consistent with normalizing a zero-mass
     /// distribution). Gate statistics carry over unchanged.
     pub fn to_run_output(&self) -> RunOutput {
-        let total: u64 = self.counts.iter().sum();
-        let dist = if total == 0 {
-            vec![1.0 / self.counts.len().max(1) as f64; self.counts.len()]
-        } else {
-            let inv = 1.0 / total as f64;
-            self.counts.iter().map(|&c| c as f64 * inv).collect()
-        };
         RunOutput {
-            dist,
+            dist: self.counts.to_distribution(),
             gates: self.gates,
             two_qubit_gates: self.two_qubit_gates,
         }
@@ -147,18 +141,29 @@ fn job_seed(seed: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Samples `shots` outcomes from a probability vector in a fixed number of
+/// Samples `shots` outcomes from a [`Distribution`] in a fixed number of
 /// independent seeded streams. The stream layout is a function of the shot
 /// count alone and each stream owns its own RNG, so the counts depend only
 /// on `(dist, shots, seed)` — never on `threads` (which bounds the worker
 /// fan-out, not the result) or the machine's core count.
+///
+/// The inverse-CDF table covers only the distribution's nonzero support,
+/// so sampling a sparse wide-register distribution never materialises its
+/// `2^n_bits` outcome space.
 pub fn sample_counts_deterministic(
-    dist: &[f64],
+    dist: &Distribution,
     shots: usize,
     seed: u64,
     threads: usize,
-) -> Vec<u64> {
-    use rand::SeedableRng;
+) -> Counts {
+    use rand::{RngExt, SeedableRng};
+    let mut cdf: Vec<(u64, f64)> = Vec::with_capacity(dist.support_len());
+    let mut acc = 0.0;
+    for (idx, p) in dist.iter() {
+        acc += p.max(0.0);
+        cdf.push((idx, acc));
+    }
+    let total = acc;
     let streams = if shots >= 1 << 14 { 8 } else { 1 };
     let chunk = shots.div_ceil(streams);
     let partials = backend::parallel_indexed(streams, threads.clamp(1, streams), |s| {
@@ -167,15 +172,24 @@ pub fn sample_counts_deterministic(
         let mut rng = rand::rngs::StdRng::seed_from_u64(
             seed.wrapping_add((s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
         );
-        crate::statevector::sample_from_probs(dist, hi.saturating_sub(lo), &mut rng)
+        let mut part: BTreeMap<u64, u64> = BTreeMap::new();
+        if total > 0.0 {
+            for _ in lo..hi {
+                let r = rng.random::<f64>() * total;
+                let k = cdf.partition_point(|&(_, c)| c <= r).min(cdf.len() - 1);
+                *part.entry(cdf[k].0).or_insert(0) += 1;
+            }
+        }
+        part
     });
-    let mut counts = vec![0u64; dist.len()];
+    let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
     for part in partials {
-        for (c, p) in counts.iter_mut().zip(part) {
-            *c += p;
+        for (idx, c) in part {
+            *merged.entry(idx).or_insert(0) += c;
         }
     }
-    counts
+    Counts::try_from_entries(dist.n_bits(), merged.into_iter().collect())
+        .expect("sampled outcomes lie in the distribution's own outcome space")
 }
 
 /// One independent unit of work for [`Runner::run_batch`].
@@ -531,10 +545,13 @@ impl std::fmt::Display for BatchConfigError {
 
 impl std::error::Error for BatchConfigError {}
 
-/// Largest measured-qubit set any execution path will produce a dense
-/// outcome vector for (`2^26` f64 entries is 512 MiB). Mirrors
-/// `qt_dist::DEFAULT_DENSE_CAP_BITS` — the classical stage downstream
-/// enforces the same ceiling on its tables.
+/// Largest measured-qubit set the *dense-table* execution paths (the
+/// trajectory engine's per-shot accumulator, noisy readout convolution)
+/// will allocate a `2^m` vector for (`2^26` f64 entries is 512 MiB).
+/// Mirrors [`qt_dist::DEFAULT_DENSE_CAP_BITS`]. Sparse-native engines
+/// (stabilizer, sparse statevector) emit [`Distribution`]s over their
+/// nonzero support directly and are *not* bound by this cap — a 32-qubit
+/// low-entanglement job can measure all 32 qubits.
 pub const MAX_MEASURED_BITS: usize = 26;
 
 /// Total bytes of checkpoint states the automatic `max_live_states`
@@ -641,7 +658,7 @@ struct BatchGroup {
 /// c.h(0).cx(0, 1);
 /// let exec = Executor::new(NoiseModel::depolarizing(0.001, 0.01).with_readout(0.02));
 /// let dist = exec.noisy_distribution(&Program::from_circuit(&c), &[0, 1]);
-/// assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// assert!((dist.total() - 1.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
@@ -737,15 +754,6 @@ impl Executor {
         if jobs.is_empty() {
             return Vec::new();
         }
-        for job in jobs {
-            assert!(
-                job.measured.len() <= MAX_MEASURED_BITS,
-                "measuring {} qubits would allocate a dense 2^{} outcome vector \
-                 (cap: {MAX_MEASURED_BITS} bits); measure a subset instead",
-                job.measured.len(),
-                job.measured.len(),
-            );
-        }
         // Stage 1: per-job compaction, identical to the serial path
         // (`None` = the job runs as-is; no clone needed).
         let prepared: Vec<Option<(Program, Vec<usize>)>> = jobs
@@ -829,7 +837,7 @@ impl Executor {
             }
         };
 
-        let mut raw: Vec<Option<Vec<f64>>> = vec![None; jobs.len()];
+        let mut raw: Vec<Option<Distribution>> = vec![None; jobs.len()];
         let mut outs: Vec<Option<RunOutput>> = vec![None; jobs.len()];
 
         // Jobs with empty compacted programs end at the trie root and are
@@ -853,7 +861,7 @@ impl Executor {
             batch: self.batch,
         };
         enum UnitOutcome {
-            Trie(Vec<(usize, Vec<f64>)>),
+            Trie(Vec<(usize, Distribution)>),
             Job(usize, RunOutput),
         }
         let results = backend::parallel_indexed(units.len(), workers.max(1), |u| match &units[u] {
@@ -868,8 +876,7 @@ impl Executor {
                     dists
                         .into_iter()
                         .enumerate()
-                        .filter(|(_, d)| !d.is_empty())
-                        .map(|(local, d)| (g.jobs[local], d))
+                        .filter_map(|(local, d)| d.map(|d| (g.jobs[local], d)))
                         .collect(),
                 )
             }
@@ -909,18 +916,11 @@ impl Executor {
     /// The program is first compacted onto its used qubits (plus `measured`)
     /// so that reduced ensemble circuits do not pay for idle wires, then
     /// handed to the engine the backend resolves for the compacted size.
-    pub fn raw_distribution(&self, program: &Program, measured: &[usize]) -> Vec<f64> {
-        // Every engine allocates a dense 2^|measured| output vector; wide
-        // registers are fine (stabilizer/sparse engines), wide *measurement
-        // sets* are not — fail with a clear message instead of an
-        // allocation attempt of hundreds of GiB.
-        assert!(
-            measured.len() <= MAX_MEASURED_BITS,
-            "measuring {} qubits would allocate a dense 2^{} outcome vector \
-             (cap: {MAX_MEASURED_BITS} bits); measure a subset instead",
-            measured.len(),
-            measured.len(),
-        );
+    /// Engines that track a dense outcome table enforce
+    /// [`MAX_MEASURED_BITS`] themselves (see
+    /// [`crate::trajectory::run_distribution`]); sparse-native engines
+    /// accept any measured set up to 64 bits.
+    pub fn raw_distribution(&self, program: &Program, measured: &[usize]) -> Distribution {
         match self.compacted(program, measured) {
             Some((p, m)) => self
                 .resolve_engine(&p)
@@ -981,7 +981,7 @@ impl Executor {
     ///
     /// Readout is applied with the *original* qubit identities, so per-qubit
     /// readout calibration survives compaction.
-    pub fn noisy_distribution(&self, program: &Program, measured: &[usize]) -> Vec<f64> {
+    pub fn noisy_distribution(&self, program: &Program, measured: &[usize]) -> Distribution {
         let raw = self.raw_distribution(program, measured);
         apply_readout(&raw, measured, &self.noise.readout)
     }
@@ -999,7 +999,7 @@ impl Executor {
         measured: &[usize],
         shots: usize,
         seed: u64,
-    ) -> Vec<u64> {
+    ) -> Counts {
         let dist = self.noisy_distribution(program, measured);
         sample_counts_deterministic(&dist, shots, seed, backend::available_threads())
     }
@@ -1018,19 +1018,22 @@ impl Executor {
 ///
 /// Uses a pure-state simulation when the program has no resets, otherwise
 /// the density-matrix engine.
-pub fn ideal_distribution(program: &Program, measured: &[usize]) -> Vec<f64> {
-    if !program.has_resets() {
+pub fn ideal_distribution(program: &Program, measured: &[usize]) -> Distribution {
+    let probs = if !program.has_resets() {
         let mut sv = StateVector::zero(program.n_qubits());
         for op in program.ops() {
             if let Op::Gate(i) | Op::IdealGate(i) = op {
                 sv.apply_instruction(i);
             }
         }
-        return sv.marginal_probabilities(measured);
-    }
-    Executor::new(NoiseModel::ideal())
-        .run_dm(program)
-        .marginal_probabilities(measured)
+        sv.marginal_probabilities(measured)
+    } else {
+        Executor::new(NoiseModel::ideal())
+            .run_dm(program)
+            .marginal_probabilities(measured)
+    };
+    Distribution::try_from_probs(measured.len(), probs)
+        .expect("dense marginal fits its measured bit count")
 }
 
 /// Compacts a program onto its used qubits (always including `measured`).
@@ -1122,7 +1125,8 @@ mod tests {
         );
         let a = dm.noisy_distribution(&prog, &[0, 1, 2]);
         let b = tj.noisy_distribution(&prog, &[0, 1, 2]);
-        for (x, y) in a.iter().zip(&b) {
+        for i in 0..8 {
+            let (x, y) = (a.prob(i), b.prob(i));
             assert!((x - y).abs() < 0.02, "{x} vs {y}");
         }
     }
@@ -1134,8 +1138,8 @@ mod tests {
         let prog = Program::from_circuit(&c);
         let exec = Executor::new(NoiseModel::ideal().with_readout(0.25));
         let dist = exec.noisy_distribution(&prog, &[0]);
-        assert!((dist[0] - 0.25).abs() < 1e-12);
-        assert!((dist[1] - 0.75).abs() < 1e-12);
+        assert!((dist.prob(0) - 0.25).abs() < 1e-12);
+        assert!((dist.prob(1) - 0.75).abs() < 1e-12);
     }
 
     #[test]
@@ -1144,8 +1148,8 @@ mod tests {
         c.h(0).cx(0, 1);
         let prog = Program::from_circuit(&c);
         let dist = ideal_distribution(&prog, &[0, 1]);
-        assert!((dist[0] - 0.5).abs() < 1e-12);
-        assert!((dist[3] - 0.5).abs() < 1e-12);
+        assert!((dist.prob(0) - 0.5).abs() < 1e-12);
+        assert!((dist.prob(3) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -1155,8 +1159,8 @@ mod tests {
         let mut prog = Program::from_circuit(&c);
         prog.push_reset_state(&[0], qt_math::states::PrepState::Zero);
         let dist = ideal_distribution(&prog, &[0, 1]);
-        assert!((dist[0] - 0.5).abs() < 1e-12);
-        assert!((dist[2] - 0.5).abs() < 1e-12);
+        assert!((dist.prob(0) - 0.5).abs() < 1e-12);
+        assert!((dist.prob(2) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -1172,13 +1176,8 @@ mod tests {
         let sub = exec.noisy_distribution(&prog, &[0]);
         // P(correct) on qubit 0 alone must exceed marginal correctness when
         // measured jointly with two others.
-        let p_joint_correct: f64 = all
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & 1 == 1)
-            .map(|(_, p)| p)
-            .sum();
-        assert!(sub[1] > p_joint_correct + 0.02);
+        let p_joint_correct: f64 = all.iter().filter(|(i, _)| i & 1 == 1).map(|(_, p)| p).sum();
+        assert!(sub.prob(1) > p_joint_correct + 0.02);
     }
 
     #[test]
@@ -1200,7 +1199,8 @@ mod tests {
         for (b, s) in batched.iter().zip(&serial) {
             assert_eq!(b.gates, s.gates);
             assert_eq!(b.two_qubit_gates, s.two_qubit_gates);
-            for (x, y) in b.dist.iter().zip(&s.dist) {
+            for i in 0..8 {
+                let (x, y) = (b.dist.prob(i), s.dist.prob(i));
                 assert!((x - y).abs() < 1e-12, "batch {x} vs serial {y}");
             }
         }
@@ -1229,7 +1229,8 @@ mod tests {
             .map(|j| exec.run(&j.program, &j.measured))
             .collect();
         for (b, s) in batched.iter().zip(&serial) {
-            for (x, y) in b.dist.iter().zip(&s.dist) {
+            for i in 0..4 {
+                let (x, y) = (b.dist.prob(i), s.dist.prob(i));
                 assert!((x - y).abs() < 1e-12, "batch {x} vs serial {y}");
             }
         }
@@ -1248,7 +1249,7 @@ mod tests {
         let a = exec.sampled_counts(&prog, &[0, 1], shots, 11);
         let b = exec.sampled_counts(&prog, &[0, 1], shots, 11);
         assert_eq!(a, b, "same seed must reproduce counts");
-        assert_eq!(a.iter().sum::<u64>(), shots as u64);
+        assert_eq!(a.shots(), shots as u64);
         let c2 = exec.sampled_counts(&prog, &[0, 1], shots, 12);
         assert_ne!(a, c2, "different seeds should differ");
     }

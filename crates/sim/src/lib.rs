@@ -23,7 +23,7 @@
 //! c.h(0).cx(0, 1);
 //! let exec = Executor::new(NoiseModel::depolarizing(0.001, 0.01));
 //! let dist = exec.noisy_distribution(&Program::from_circuit(&c), &[0, 1]);
-//! assert!(dist[0] > 0.45 && dist[3] > 0.45);
+//! assert!(dist.prob(0) > 0.45 && dist.prob(3) > 0.45);
 //! ```
 
 pub mod backend;

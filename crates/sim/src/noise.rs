@@ -425,14 +425,30 @@ impl ReadoutModel {
 /// Applies the readout model to an outcome distribution over `measured`
 /// qubits (distribution bit `i` = `measured[i]`).
 ///
-/// The returned vector is a proper distribution (sums to the input's sum).
-pub fn apply_readout(probs: &[f64], measured: &[usize], readout: &ReadoutModel) -> Vec<f64> {
-    assert_eq!(probs.len(), 1 << measured.len());
+/// The result carries the input's total mass. An ideal readout model is a
+/// passthrough, preserving sparse storage untouched — wide distributions
+/// flow through unchanged. A noisy readout convolves every measured bit
+/// with its flip probabilities, which fills in the outcome space; that
+/// path densifies and is therefore capped at
+/// [`qt_dist::DEFAULT_DENSE_CAP_BITS`] measured bits.
+///
+/// # Panics
+///
+/// Panics if `dist` has more bits than `measured` entries, or if a noisy
+/// readout is requested over a distribution too wide to densify.
+pub fn apply_readout(
+    dist: &qt_dist::Distribution,
+    measured: &[usize],
+    readout: &ReadoutModel,
+) -> qt_dist::Distribution {
+    assert_eq!(dist.n_bits(), measured.len());
     if readout.is_ideal() {
-        return probs.to_vec();
+        return dist.clone();
     }
     let n_measured = measured.len();
-    let mut cur = probs.to_vec();
+    let mut cur = dist
+        .densify()
+        .expect("noisy readout convolution fills the outcome space and must densify");
     for (pos, &q) in measured.iter().enumerate() {
         let (p01, p10) = readout.flip_probs(q, n_measured);
         if p01 == 0.0 && p10 == 0.0 {
@@ -454,7 +470,8 @@ pub fn apply_readout(probs: &[f64], measured: &[usize], readout: &ReadoutModel) 
         }
         cur = next;
     }
-    cur
+    qt_dist::Distribution::try_from_probs(n_measured, cur)
+        .expect("convolution preserves the outcome space")
 }
 
 /// A gate-level noise rule: channels applied on the full operand set plus
@@ -675,9 +692,10 @@ mod tests {
     #[test]
     fn readout_confusion_single_qubit() {
         let ro = ReadoutModel::uniform(0.1);
-        let out = apply_readout(&[1.0, 0.0], &[0], &ro);
-        assert!((out[0] - 0.9).abs() < 1e-12);
-        assert!((out[1] - 0.1).abs() < 1e-12);
+        let dist = qt_dist::Distribution::try_from_probs(1, vec![1.0, 0.0]).unwrap();
+        let out = apply_readout(&dist, &[0], &ro);
+        assert!((out.prob(0) - 0.9).abs() < 1e-12);
+        assert!((out.prob(1) - 0.1).abs() < 1e-12);
     }
 
     #[test]
@@ -697,9 +715,9 @@ mod tests {
             crosstalk: 0.01,
             ..Default::default()
         };
-        let probs = vec![0.5, 0.2, 0.2, 0.1];
-        let out = apply_readout(&probs, &[3, 5], &ro);
-        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let dist = qt_dist::Distribution::try_from_probs(2, vec![0.5, 0.2, 0.2, 0.1]).unwrap();
+        let out = apply_readout(&dist, &[3, 5], &ro);
+        assert!((out.total() - 1.0).abs() < 1e-12);
     }
 
     #[test]

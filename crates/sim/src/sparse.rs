@@ -18,6 +18,7 @@ use crate::noise::NoiseModel;
 use crate::program::{Op, Program};
 use crate::statevector::{self, StateVector};
 use qt_circuit::{GateStructure, Instruction};
+use qt_dist::Distribution;
 use qt_math::Complex;
 use std::collections::BTreeMap;
 
@@ -143,16 +144,22 @@ impl SparseState {
     }
 
     /// The outcome distribution over `measured` (bit `i` of the index =
-    /// `measured[i]`), summed in canonical key order.
-    pub(crate) fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
+    /// `measured[i]`), summed in canonical key order. The map
+    /// representation emits sparse entries natively — no `2^|measured|`
+    /// buffer exists on this path, so wide measurement lists are fine.
+    pub(crate) fn raw_distribution(&self, measured: &[usize]) -> Distribution {
         match &self.repr {
-            Repr::Dense(sv) => sv.marginal_probabilities(measured),
+            Repr::Dense(sv) => {
+                Distribution::try_from_probs(measured.len(), sv.marginal_probabilities(measured))
+                    .expect("dense register fits the outcome space")
+            }
             Repr::Map(map) => {
-                let mut out = vec![0.0; 1usize << measured.len()];
+                let mut out: BTreeMap<u64, f64> = BTreeMap::new();
                 for (&key, amp) in map.iter() {
-                    out[gather(key, measured)] += amp.norm_sqr();
+                    *out.entry(gather_wide(key, measured)).or_insert(0.0) += amp.norm_sqr();
                 }
-                out
+                Distribution::try_from_entries(measured.len(), out.into_iter().collect())
+                    .expect("gathered patterns fit the measured bit count")
             }
         }
     }
@@ -165,6 +172,17 @@ fn gather(key: u64, qs: &[usize]) -> usize {
     let mut l = 0usize;
     for (o, &q) in qs.iter().enumerate() {
         l |= (((key >> q) & 1) as usize) << o;
+    }
+    l
+}
+
+/// [`gather`] over a measurement list that may span the full 64-bit
+/// register: the compact pattern stays a `u64` outcome index.
+#[inline]
+fn gather_wide(key: u64, qs: &[usize]) -> u64 {
+    let mut l = 0u64;
+    for (o, &q) in qs.iter().enumerate() {
+        l |= ((key >> q) & 1) << o;
     }
     l
 }
@@ -192,7 +210,7 @@ fn scatter(l: usize, qs: &[usize]) -> u64 {
 /// Runs `program` on a fresh sparse state and reads the distribution — the
 /// serial path of the sparse engine; callers check [`sparse_admissible`]
 /// first.
-pub(crate) fn sparse_distribution(program: &Program, measured: &[usize]) -> Vec<f64> {
+pub(crate) fn sparse_distribution(program: &Program, measured: &[usize]) -> Distribution {
     let mut st = SparseState::zero(program.n_qubits());
     for op in program.ops() {
         st.apply_op(op);
@@ -217,7 +235,8 @@ mod tests {
         sv.marginal_probabilities(measured)
     }
 
-    fn assert_close(a: &[f64], b: &[f64], tol: f64, ctx: &str) {
+    fn assert_close(a: &Distribution, b: &[f64], tol: f64, ctx: &str) {
+        let a = a.densify().expect("test distributions are narrow");
         assert_eq!(a.len(), b.len(), "{ctx}");
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
             assert!((x - y).abs() < tol, "{ctx}: idx {i}: {x} vs {y}");
@@ -263,8 +282,14 @@ mod tests {
         }
         assert_eq!(st.support(), 2, "GHZ-60 has two nonzero amplitudes");
         let d = st.raw_distribution(&[0, 30, 59]);
-        assert!((d[0] - 0.5).abs() < 1e-12);
-        assert!((d[7] - 0.5).abs() < 1e-12);
+        assert!((d.prob(0) - 0.5).abs() < 1e-12);
+        assert!((d.prob(7) - 0.5).abs() < 1e-12);
+        assert_eq!(d.support_len(), 2);
+        // The full 60-bit readout also works — natively sparse output.
+        let wide = st.raw_distribution(&(0..60).collect::<Vec<_>>());
+        assert_eq!(wide.n_bits(), 60);
+        assert_eq!(wide.support_len(), 2);
+        assert!((wide.prob(u64::MAX >> 4) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -32,7 +32,9 @@ use crate::classify::ProgramProfile;
 use crate::noise::NoiseModel;
 use crate::program::{Op, Program};
 use qt_circuit::{CliffordGate, Instruction};
+use qt_dist::Distribution;
 use qt_math::Pauli;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Largest register for which the *noisy* stabilizer path is admissible:
@@ -337,9 +339,12 @@ impl StabilizerState {
     }
 
     /// The gate-noisy outcome distribution over `measured` (bit `i` of the
-    /// index = `measured[i]`), before readout error.
-    pub(crate) fn raw_distribution(&self, measured: &[usize]) -> Vec<f64> {
-        let mut out = vec![0.0; 1usize << measured.len()];
+    /// index = `measured[i]`), before readout error. Leaves accumulate into
+    /// a sorted outcome→mass map in a fixed descent order, so the result is
+    /// deterministic and no `2^|measured|` buffer ever exists — wide
+    /// measurement lists are as cheap as their outcome count.
+    pub(crate) fn raw_distribution(&self, measured: &[usize]) -> Distribution {
+        let mut out: BTreeMap<u64, f64> = BTreeMap::new();
         let walk = Walk {
             tab: self.tab.clone(),
             prov: (0..self.tab.n as u64).map(|i| 1u64 << (i & 63)).collect(),
@@ -350,7 +355,8 @@ impl StabilizerState {
         // Provenance masks are single words; without events they are never
         // read, so wide noise-free registers stay admissible.
         walk.descend(measured, 0, &self.events, &mut out);
-        out
+        Distribution::try_from_entries(measured.len(), out.into_iter().collect())
+            .expect("walk outcomes fit the measured bit count")
     }
 }
 
@@ -365,12 +371,18 @@ struct Walk {
     /// where `combo` is the provenance of the accumulated scratch row.
     det: Vec<(usize, bool, u64)>,
     /// Random outcome bits, already placed at their measured positions.
-    rand_bits: usize,
+    rand_bits: u64,
     n_random: u32,
 }
 
 impl Walk {
-    fn descend(mut self, measured: &[usize], pos: usize, events: &[NoiseEvent], out: &mut [f64]) {
+    fn descend(
+        mut self,
+        measured: &[usize],
+        pos: usize,
+        events: &[NoiseEvent],
+        out: &mut BTreeMap<u64, f64>,
+    ) {
         if pos == measured.len() {
             return self.emit(events, out);
         }
@@ -428,7 +440,7 @@ impl Walk {
                     tab: self.tab.clone(),
                     prov: self.prov.clone(),
                     det: self.det.clone(),
-                    rand_bits: self.rand_bits | (1usize << pos),
+                    rand_bits: self.rand_bits | (1u64 << pos),
                     n_random: self.n_random,
                 };
                 one.tab.sign[row] = true;
@@ -441,13 +453,13 @@ impl Walk {
 
     /// Adds this leaf's probability mass: `2^{-n_random}` spread over the
     /// deterministic bits by the GF(2) convolution of the event flips.
-    fn emit(self, events: &[NoiseEvent], out: &mut [f64]) {
+    fn emit(self, events: &[NoiseEvent], out: &mut BTreeMap<u64, f64>) {
         let weight = (0.5f64).powi(self.n_random as i32);
-        let base: usize = self
+        let base: u64 = self
             .det
             .iter()
             .filter(|&&(_, bit, _)| bit)
-            .fold(0, |acc, &(pos, _, _)| acc | (1usize << pos));
+            .fold(0, |acc, &(pos, _, _)| acc | (1u64 << pos));
 
         // Project each event onto the deterministic bits of this leaf:
         // option flip-vector bit t = ⟨option mask, combo_t⟩.
@@ -472,7 +484,7 @@ impl Walk {
             }
         }
         if relevant.is_empty() {
-            out[self.rand_bits | base] += weight;
+            *out.entry(self.rand_bits | base).or_insert(0.0) += weight;
             return;
         }
 
@@ -511,10 +523,10 @@ impl Walk {
             // Flip vector d moves the deterministic bits off their base.
             let mut idx = self.rand_bits;
             for (t, &(pos, _, _)) in self.det.iter().enumerate() {
-                let bit = ((base >> pos) & 1) ^ ((d >> t) & 1);
+                let bit = ((base >> pos) & 1) ^ (((d >> t) & 1) as u64);
                 idx |= bit << pos;
             }
-            out[idx] += scale * fd;
+            *out.entry(idx).or_insert(0.0) += scale * fd;
         }
     }
 }
@@ -526,7 +538,7 @@ pub(crate) fn stabilizer_distribution(
     program: &Program,
     noise: &Arc<NoiseModel>,
     measured: &[usize],
-) -> Vec<f64> {
+) -> Distribution {
     let mut st = StabilizerState::zero(program.n_qubits(), Arc::clone(noise));
     for op in program.ops() {
         st.apply_op(op);
@@ -542,6 +554,8 @@ mod tests {
 
     fn stab_dist(prog: &Program, noise: &NoiseModel, measured: &[usize]) -> Vec<f64> {
         stabilizer_distribution(prog, &Arc::new(noise.clone()), measured)
+            .densify()
+            .expect("test measurement lists are narrow")
     }
 
     fn dm_dist(prog: &Program, noise: &NoiseModel, measured: &[usize]) -> Vec<f64> {
@@ -690,6 +704,15 @@ mod tests {
         let d = stab_dist(&prog, &NoiseModel::ideal(), &[0, 20, 39]);
         assert!((d[0] - 0.5).abs() < 1e-12);
         assert!((d[7] - 0.5).abs() < 1e-12);
+        // Reading out all 40 qubits emits a two-entry sparse distribution —
+        // no 2^40 buffer anywhere.
+        let wide = stabilizer_distribution(
+            &prog,
+            &Arc::new(NoiseModel::ideal()),
+            &(0..40).collect::<Vec<_>>(),
+        );
+        assert_eq!(wide.support_len(), 2);
+        assert!((wide.prob((1u64 << 40) - 1) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::kernel::KernelClass;
 use crate::noise::NoiseModel;
 use crate::program::{Op, Program};
 use crate::statevector::StateVector;
+use qt_dist::Distribution;
 use qt_math::Matrix;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -76,7 +77,16 @@ pub fn run_distribution(
     noise: &NoiseModel,
     measured: &[usize],
     cfg: &TrajectoryConfig,
-) -> Vec<f64> {
+) -> Distribution {
+    // Trajectory averaging accumulates into a flat `2^|measured|` buffer;
+    // wide measurement lists belong to the sparse/stabilizer engines.
+    assert!(
+        measured.len() <= crate::executor::MAX_MEASURED_BITS,
+        "trajectory readout allocates a dense outcome table: {} measured bits exceeds the \
+         {}-bit cap",
+        measured.len(),
+        crate::executor::MAX_MEASURED_BITS
+    );
     let dim = 1usize << measured.len();
     let n_threads = cfg.n_threads.unwrap_or_else(available_threads).max(1);
 
@@ -166,7 +176,8 @@ pub fn run_distribution(
     for d in &mut dist {
         *d *= norm;
     }
-    dist
+    Distribution::try_from_probs(measured.len(), dist)
+        .expect("trajectory average fits its measured bit count")
 }
 
 /// Simulates one trajectory into `acc`. Returns `true` if the trajectory was
@@ -380,7 +391,9 @@ mod tests {
             seed: 42,
             n_threads: Some(2),
         };
-        let traj = run_distribution(&prog, noise, measured, &cfg);
+        let traj = run_distribution(&prog, noise, measured, &cfg)
+            .densify()
+            .expect("test measurement lists are narrow");
         let mut rho = DensityMatrix::zero(circ.n_qubits());
         for instr in circ.instructions() {
             rho.apply_instruction(instr);
@@ -423,8 +436,8 @@ mod tests {
             n_threads: Some(1),
         };
         let dist = run_distribution(&prog, &NoiseModel::ideal(), &[0, 1], &cfg);
-        assert!((dist[0] - 0.5).abs() < 1e-12);
-        assert!((dist[3] - 0.5).abs() < 1e-12);
+        assert!((dist.prob(0) - 0.5).abs() < 1e-12);
+        assert!((dist.prob(3) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -465,8 +478,8 @@ mod tests {
         };
         let dist = run_distribution(&prog, &NoiseModel::ideal(), &[0, 1], &cfg);
         // q0 = 0 always; q1 uniform.
-        assert!((dist[0] - 0.5).abs() < 0.02);
-        assert!((dist[2] - 0.5).abs() < 0.02);
-        assert!(dist[1].abs() < 1e-12 && dist[3].abs() < 1e-12);
+        assert!((dist.prob(0) - 0.5).abs() < 0.02);
+        assert!((dist.prob(2) - 0.5).abs() < 0.02);
+        assert!(dist.prob(1).abs() < 1e-12 && dist.prob(3).abs() < 1e-12);
     }
 }

@@ -45,6 +45,7 @@
 
 use crate::backend::EngineState;
 use crate::program::{Op, Program};
+use qt_dist::Distribution;
 
 /// One node of an [`ExecutionTrie`]: a run of ops shared by every job
 /// below it.
@@ -301,19 +302,19 @@ impl ExecutionTrie {
         init: &(dyn Fn() -> Box<dyn EngineState> + Sync),
         measured: &[Vec<usize>],
         max_live_states: usize,
-    ) -> (Vec<Vec<f64>>, ExecCounters) {
+    ) -> (Vec<Option<Distribution>>, ExecCounters) {
         self.walk_from(0, init, measured, max_live_states)
     }
 
     /// Walks one root subtree (see [`ExecutionTrie::root_children`]).
-    /// Jobs outside the subtree are left untouched (empty distributions).
+    /// Jobs outside the subtree are left untouched (`None`).
     pub fn execute_subtree(
         &self,
         child: usize,
         init: &(dyn Fn() -> Box<dyn EngineState> + Sync),
         measured: &[Vec<usize>],
         max_live_states: usize,
-    ) -> (Vec<Vec<f64>>, ExecCounters) {
+    ) -> (Vec<Option<Distribution>>, ExecCounters) {
         assert!(
             self.nodes[0].children.contains(&child),
             "not a root subtree: node {child}"
@@ -329,8 +330,8 @@ impl ExecutionTrie {
         init: &(dyn Fn() -> Box<dyn EngineState> + Sync),
         measured: &[Vec<usize>],
         max_live_states: usize,
-    ) -> (Vec<Vec<f64>>, ExecCounters) {
-        let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.n_jobs];
+    ) -> (Vec<Option<Distribution>>, ExecCounters) {
+        let mut out: Vec<Option<Distribution>> = vec![None; self.n_jobs];
         let mut counters = ExecCounters::default();
         let mut walker = Walker {
             trie: self,
@@ -360,7 +361,7 @@ struct Walker<'a> {
     /// States currently allocated (the walked state plus held checkpoints).
     live: usize,
     counters: &'a mut ExecCounters,
-    out: &'a mut Vec<Vec<f64>>,
+    out: &'a mut Vec<Option<Distribution>>,
 }
 
 impl Walker<'_> {
@@ -397,7 +398,7 @@ impl Walker<'_> {
                 state.apply_op(op);
             }
             for &job in &n.jobs {
-                self.out[job] = state.raw_distribution(&self.measured[job]);
+                self.out[job] = Some(state.raw_distribution(&self.measured[job]));
             }
             match n.children.as_slice() {
                 [only] => node = *only,

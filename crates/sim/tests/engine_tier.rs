@@ -8,6 +8,7 @@
 
 use proptest::prelude::*;
 use qt_circuit::{Circuit, Gate};
+use qt_dist::Distribution;
 use qt_sim::{Backend, BatchJob, BatchPolicy, Executor, NoiseModel, Program, Runner};
 
 /// Clifford-only gate stream: the stabilizer engine's full alphabet.
@@ -59,14 +60,20 @@ fn arb_any_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
     prop::collection::vec(arb_any_gate(n), 1..len).prop_map(move |i| circuit_of(n, i))
 }
 
-fn dist_of(backend: Backend, noise: &NoiseModel, circ: &Circuit, measured: &[usize]) -> Vec<f64> {
+fn dist_of(
+    backend: Backend,
+    noise: &NoiseModel,
+    circ: &Circuit,
+    measured: &[usize],
+) -> Distribution {
     Executor::with_backend(noise.clone(), backend)
         .noisy_distribution(&Program::from_circuit(circ), measured)
 }
 
-fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
-    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+fn assert_close(a: &Distribution, b: &Distribution, tol: f64, what: &str) {
+    assert_eq!(a.n_bits(), b.n_bits(), "{what}: width mismatch");
+    for i in 0..1u64 << a.n_bits() {
+        let (x, y) = (a.prob(i), b.prob(i));
         assert!((x - y).abs() < tol, "{what}: index {i}: {x} vs {y}");
     }
 }
@@ -200,11 +207,13 @@ fn trie_is_bit_identical_to_per_job_for_each_engine() {
         let b = per_job.run_batch(&jobs);
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(&b).enumerate() {
-            assert_eq!(x.dist.len(), y.dist.len());
-            for (j, (p, q)) in x.dist.iter().zip(&y.dist).enumerate() {
+            let xs: Vec<(u64, f64)> = x.dist.iter().collect();
+            let ys: Vec<(u64, f64)> = y.dist.iter().collect();
+            assert_eq!(xs.len(), ys.len(), "{backend:?}: job {i} support sizes");
+            for (&(ix, p), &(iy, q)) in xs.iter().zip(&ys) {
                 assert!(
-                    p.to_bits() == q.to_bits(),
-                    "{backend:?}: job {i} bin {j}: {p:?} != {q:?} (bitwise)"
+                    ix == iy && p.to_bits() == q.to_bits(),
+                    "{backend:?}: job {i}: ({ix}, {p:?}) != ({iy}, {q:?}) (bitwise)"
                 );
             }
         }
@@ -255,10 +264,10 @@ fn auto_ladder_routes_by_program_class() {
     let outs = exec.run_batch(&jobs);
     assert_eq!(outs.len(), 3);
     for out in &outs {
-        let total: f64 = out.dist.iter().sum();
+        let total: f64 = out.dist.total();
         assert!((total - 1.0).abs() < 1e-9, "normalized: {total}");
     }
     // GHZ+S distribution: half |0000⟩, half |1111⟩.
-    assert!((outs[0].dist[0] - 0.5).abs() < 1e-12);
-    assert!((outs[0].dist[15] - 0.5).abs() < 1e-12);
+    assert!((outs[0].dist.prob(0) - 0.5).abs() < 1e-12);
+    assert!((outs[0].dist.prob(15) - 0.5).abs() < 1e-12);
 }

@@ -68,7 +68,7 @@ fn parallel_trajectories_beat_serial_on_16_qubits() {
 
     // Stream-seeded trajectories: identical results regardless of threads.
     assert_eq!(dist_serial, dist_parallel, "thread count changed results");
-    assert!((dist_parallel.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    assert!((dist_parallel.total() - 1.0).abs() < 1e-6);
 
     println!(
         "16q × {trajectories} trajectories: serial {serial:?}, \

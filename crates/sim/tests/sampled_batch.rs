@@ -5,6 +5,7 @@
 //! invariant to the sampler's worker-thread count.
 
 use qt_circuit::Circuit;
+use qt_dist::Distribution;
 use qt_sim::{
     sample_counts_deterministic, Backend, BatchConfigError, BatchJob, BatchPolicy, Executor,
     NoiseModel, Program, RunOutput, Runner, ShotPlan,
@@ -55,7 +56,7 @@ fn sampled_batch_is_seed_stable_and_totals_the_plan() {
     assert_ne!(a, c, "different seeds should differ somewhere");
     for (i, out) in a.iter().enumerate() {
         assert_eq!(out.shots, plan.shots(i));
-        assert_eq!(out.counts.iter().sum::<u64>(), plan.shots(i) as u64);
+        assert_eq!(out.counts.shots(), plan.shots(i) as u64);
         assert_eq!(out.gates, jobs[i].program.gate_count());
     }
     assert_eq!(plan.total_shots(), a.iter().map(|o| o.shots as u64).sum());
@@ -91,13 +92,14 @@ fn single_job_sampling_matches_its_batch() {
 
 #[test]
 fn sampler_is_invariant_to_worker_thread_count() {
-    let dist = vec![0.05, 0.3, 0.15, 0.2, 0.1, 0.08, 0.07, 0.05];
+    let dist = Distribution::try_from_probs(3, vec![0.05, 0.3, 0.15, 0.2, 0.1, 0.08, 0.07, 0.05])
+        .expect("3-bit test distribution");
     // Multi-stream regime (>= 2^14 shots) and single-stream regime.
     for shots in [50_000usize, 300] {
         let one = sample_counts_deterministic(&dist, shots, 123, 1);
         let many = sample_counts_deterministic(&dist, shots, 123, 8);
         assert_eq!(one, many, "{shots} shots");
-        assert_eq!(one.iter().sum::<u64>(), shots as u64);
+        assert_eq!(one.shots(), shots as u64);
     }
 }
 
@@ -135,7 +137,8 @@ fn empirical_frequencies_converge_to_the_noisy_distribution() {
     let exact = exec.run(&p, &[0, 1, 2]);
     let sampled = exec.run_sampled(&p, &[0, 1, 2], 1 << 20, 5);
     let freq = sampled.to_run_output();
-    for (f, e) in freq.dist.iter().zip(&exact.dist) {
+    for i in 0..8 {
+        let (f, e) = (freq.dist.prob(i), exact.dist.prob(i));
         assert!((f - e).abs() < 5e-3, "frequency {f} vs exact {e}");
     }
 }

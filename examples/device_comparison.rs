@@ -20,10 +20,7 @@ fn main() {
     let measured: Vec<usize> = (0..n_data).collect();
 
     let executor = DeviceExecutor::new(Device::fake_hanoi());
-    let ideal = Distribution::from_probs(
-        n_data,
-        ideal_distribution(&Program::from_circuit(&circuit), &measured),
-    );
+    let ideal = ideal_distribution(&Program::from_circuit(&circuit), &measured);
     let fid = |d: &Distribution| hellinger_fidelity(d, &ideal);
 
     // Staged pipeline: the plan batches every subset's mitigation circuits
@@ -54,10 +51,8 @@ fn main() {
     );
     let peak = qt
         .distribution
-        .probs()
         .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
     println!(
         "  most likely outcome after mitigation: {:#b} (p = {:.3})",

@@ -7,7 +7,7 @@
 
 use qutracer::algos::vqe_ansatz;
 use qutracer::core::{QuTracer, QuTracerConfig};
-use qutracer::dist::{hellinger_fidelity, Distribution};
+use qutracer::dist::hellinger_fidelity;
 use qutracer::sim::{ideal_distribution, Backend, Executor, NoiseModel, Program, ReadoutModel};
 
 fn main() {
@@ -60,10 +60,7 @@ fn main() {
     let report = artifacts.recombine().expect("recombination");
 
     // 5. Compare against the noise-free reference.
-    let ideal = Distribution::from_probs(
-        n,
-        ideal_distribution(&Program::from_circuit(&circuit), &measured),
-    );
+    let ideal = ideal_distribution(&Program::from_circuit(&circuit), &measured);
     let before = hellinger_fidelity(&report.global, &ideal);
     let after = hellinger_fidelity(&report.distribution, &ideal);
 

@@ -4,7 +4,7 @@
 use qutracer::algos::vqe_ansatz;
 use qutracer::core::{run_qutracer, QuTracerConfig};
 use qutracer::device::{Device, DeviceExecutor};
-use qutracer::dist::{hellinger_fidelity, Distribution};
+use qutracer::dist::hellinger_fidelity;
 use qutracer::sim::{ideal_distribution, Program, Runner};
 
 #[test]
@@ -14,10 +14,7 @@ fn framework_runs_end_to_end_on_device_model() {
     let measured: Vec<usize> = (0..n).collect();
     let exec = DeviceExecutor::new(Device::fake_hanoi());
     let report = run_qutracer(&exec, &circ, &measured, &QuTracerConfig::single());
-    let ideal = Distribution::from_probs(
-        n,
-        ideal_distribution(&Program::from_circuit(&circ), &measured),
-    );
+    let ideal = ideal_distribution(&Program::from_circuit(&circ), &measured);
     let before = hellinger_fidelity(&report.global, &ideal);
     let after = hellinger_fidelity(&report.distribution, &ideal);
     assert!(
@@ -52,9 +49,9 @@ fn subset_runs_use_better_qubits_than_forced_bad_ones() {
     let out = exec.run(&Program::from_circuit(&c), &[0]);
     // p(correct) = 1 − p10 of the chosen physical qubit ≥ 1 − 2·best-ish.
     assert!(
-        out.dist[1] > 1.0 - 3.0 * best - 0.01,
+        out.dist.prob(1) > 1.0 - 3.0 * best - 0.01,
         "remapping should pick a good qubit: p1 = {}",
-        out.dist[1]
+        out.dist.prob(1)
     );
 }
 
@@ -79,7 +76,7 @@ fn eagle_device_hosts_ring_workloads() {
     );
     let measured: Vec<usize> = (0..8).collect();
     let out = exec.run(&Program::from_circuit(&circ), &measured);
-    assert!((out.dist.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    assert!((out.dist.total() - 1.0).abs() < 1e-6);
     // 8 edges × 2 CX plus limited swap overhead.
     assert!(
         out.two_qubit_gates >= 16 && out.two_qubit_gates <= 34,

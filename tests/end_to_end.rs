@@ -10,10 +10,7 @@ use qutracer::dist::{hellinger_fidelity, Distribution};
 use qutracer::sim::{ideal_distribution, Backend, Executor, NoiseModel, Program, ReadoutModel};
 
 fn fid(d: &Distribution, circ: &qutracer::circuit::Circuit, measured: &[usize]) -> f64 {
-    let ideal = Distribution::from_probs(
-        measured.len(),
-        ideal_distribution(&Program::from_circuit(circ), measured),
-    );
+    let ideal = ideal_distribution(&Program::from_circuit(circ), measured);
     hellinger_fidelity(d, &ideal)
 }
 
