@@ -1,0 +1,304 @@
+//! Closed-loop load generator for the `qt-serve` mitigation service —
+//! the source of `BENCH_service.json`.
+//!
+//! Workload: QAOA max-cut circuits on a ring graph with a small pool of
+//! seeded parameter variants; each request picks its variant from a
+//! Zipf-skewed, deterministically seeded schedule (production traffic:
+//! many users, few distinct ansätze). Clients are closed-loop — each
+//! thread submits, waits for the report, then issues its next request.
+//!
+//! Two arms over the *same* request schedule:
+//!
+//! * **per-request** — batching and caching disabled
+//!   ([`ServiceConfig::per_request`]): every request plans and executes
+//!   alone, the one-shot library-call baseline behind HTTP.
+//! * **service** — cross-request batching + the sharded result cache.
+//!
+//! Before timing, every variant's served report is checked bit-for-bit
+//! against an in-process `run_qutracer` call with the same runner, so the
+//! speedup is measured over verified-identical results.
+//!
+//! ```text
+//! load_gen [--quick] [--json PATH]
+//! ```
+
+use qt_algos::{qaoa_maxcut, ring_graph, QaoaParams};
+use qt_bench::quick_mode;
+use qt_circuit::Circuit;
+use qt_core::{run_qutracer, QuTracerConfig, QuTracerReport};
+use qt_dist::Distribution;
+use qt_serve::json::{obj, Json};
+use qt_serve::{serve, ServiceClient, ServiceConfig, ServiceStats};
+use qt_sim::{Backend, Executor};
+use std::time::{Duration, Instant};
+
+/// One deterministic SplitMix64 step (the schedule's only RNG).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The Zipf-skewed variant schedule: request `i` → variant index.
+fn zipf_schedule(n_requests: usize, n_variants: usize, s: f64, seed: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (1..=n_variants).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    (0..n_requests)
+        .map(|i| {
+            let u = splitmix(seed ^ (i as u64).wrapping_mul(0x2545f4914f6cdd1d)) as f64
+                / (u64::MAX as f64)
+                * total;
+            let mut acc = 0.0;
+            for (v, w) in weights.iter().enumerate() {
+                acc += w;
+                if u < acc {
+                    return v;
+                }
+            }
+            n_variants - 1
+        })
+        .collect()
+}
+
+fn service_runner() -> Executor {
+    Executor::with_backend(qt_bench::mumbai_uniform_noise(), Backend::DensityMatrix)
+}
+
+/// Exact-entry equality: same outcomes, bit-identical probabilities.
+fn assert_dist_identical(a: &Distribution, b: &Distribution, what: &str) {
+    assert_eq!(a.n_bits(), b.n_bits(), "{what}: width mismatch");
+    let ea: Vec<(u64, u64)> = a.iter().map(|(i, p)| (i, p.to_bits())).collect();
+    let eb: Vec<(u64, u64)> = b.iter().map(|(i, p)| (i, p.to_bits())).collect();
+    assert_eq!(ea, eb, "{what}: served result is not bit-identical");
+}
+
+fn assert_report_identical(served: &QuTracerReport, local: &QuTracerReport) {
+    assert_dist_identical(&served.distribution, &local.distribution, "distribution");
+    assert_dist_identical(&served.global, &local.global, "global");
+    assert_eq!(served.locals.len(), local.locals.len(), "locals count");
+    for (i, ((da, pa), (db, pb))) in served.locals.iter().zip(&local.locals).enumerate() {
+        assert_eq!(pa, pb, "locals[{i}] positions");
+        assert_dist_identical(da, db, &format!("locals[{i}]"));
+    }
+    assert_eq!(
+        served.stats.n_circuits, local.stats.n_circuits,
+        "stats.n_circuits"
+    );
+}
+
+struct ArmResult {
+    wall: Duration,
+    latencies_ms: Vec<f64>,
+    stats: ServiceStats,
+}
+
+/// Runs the full schedule through a freshly booted server under `config`.
+fn run_arm(
+    circuits: &[Circuit],
+    measured: &[usize],
+    qt_config: &QuTracerConfig,
+    schedule: &[usize],
+    n_clients: usize,
+    config: ServiceConfig,
+) -> ArmResult {
+    let server = serve("127.0.0.1:0", service_runner(), config).expect("bind ephemeral port");
+    let addr = server.addr();
+    let started = Instant::now();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let client = ServiceClient::new(addr);
+                    let mut lat = Vec::new();
+                    // Round-robin partition keeps the schedule deterministic
+                    // regardless of thread interleaving.
+                    for i in (c..schedule.len()).step_by(n_clients) {
+                        let circuit = &circuits[schedule[i]];
+                        let t0 = Instant::now();
+                        let job = loop {
+                            match client.submit(circuit, measured, qt_config) {
+                                Ok(job) => break job,
+                                Err(e) if e.is_overloaded() => {
+                                    std::thread::sleep(Duration::from_millis(1))
+                                }
+                                Err(e) => panic!("submit failed: {e}"),
+                            }
+                        };
+                        client
+                            .wait_result(job, Duration::from_secs(120))
+                            .unwrap_or_else(|e| panic!("job {job} failed: {e}"));
+                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed();
+    let stats = server.service().stats();
+    server.shutdown();
+    ArmResult {
+        wall,
+        latencies_ms: latencies.into_iter().flatten().collect(),
+        stats,
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn arm_metrics(arm: &ArmResult, n_requests: usize) -> (f64, f64, f64) {
+    let mut lat = arm.latencies_ms.clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let throughput = n_requests as f64 / arm.wall.as_secs_f64();
+    (throughput, percentile(&lat, 0.5), percentile(&lat, 0.99))
+}
+
+fn main() {
+    let quick = quick_mode();
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let n_qubits = 8;
+    let layers = 2;
+    let n_variants = if quick { 6 } else { 10 };
+    let n_requests = if quick { 48 } else { 160 };
+    let n_clients = 3;
+    let zipf_s = 1.1;
+    let seed = 0x5eed_cafe;
+
+    let edges = ring_graph(n_qubits);
+    let circuits: Vec<Circuit> = (0..n_variants)
+        .map(|v| qaoa_maxcut(n_qubits, &edges, &QaoaParams::seeded(layers, v as u64)))
+        .collect();
+    let measured: Vec<usize> = (0..n_qubits).collect();
+    let qt_config = QuTracerConfig::single();
+    let schedule = zipf_schedule(n_requests, n_variants, zipf_s, seed);
+
+    // Correctness preflight: every variant served over the wire must be
+    // bit-identical to a one-shot pipeline call with the same runner.
+    {
+        let server = serve("127.0.0.1:0", service_runner(), ServiceConfig::default())
+            .expect("bind ephemeral port");
+        let client = ServiceClient::new(server.addr());
+        let local_runner = service_runner();
+        for (v, circuit) in circuits.iter().enumerate() {
+            let job = client
+                .submit(circuit, &measured, &qt_config)
+                .expect("preflight submit");
+            let served = client
+                .wait_result(job, Duration::from_secs(120))
+                .expect("preflight result");
+            let local = run_qutracer(&local_runner, circuit, &measured, &qt_config);
+            assert_report_identical(&served, &local);
+            println!("preflight: variant {v} bit-identical over the wire");
+        }
+        server.shutdown();
+    }
+
+    println!(
+        "workload: QAOA-{n_qubits} ring, {layers} layers, {n_variants} variants, \
+         {n_requests} requests, {n_clients} closed-loop clients, zipf s={zipf_s}"
+    );
+
+    let per_request = run_arm(
+        &circuits,
+        &measured,
+        &qt_config,
+        &schedule,
+        n_clients,
+        ServiceConfig::default().per_request(),
+    );
+    let service = run_arm(
+        &circuits,
+        &measured,
+        &qt_config,
+        &schedule,
+        n_clients,
+        ServiceConfig::default(),
+    );
+
+    let (pr_tp, pr_p50, pr_p99) = arm_metrics(&per_request, n_requests);
+    let (sv_tp, sv_p50, sv_p99) = arm_metrics(&service, n_requests);
+    let speedup = sv_tp / pr_tp;
+    let hit_rate = service.stats.cache.hit_rate();
+    let shared = service.stats.batch_trie.shared_gate_fraction();
+    let avg_batch = service.stats.batched_requests as f64 / service.stats.batches.max(1) as f64;
+
+    println!("arm          req/s      p50 ms     p99 ms");
+    println!("per-request  {pr_tp:<10.1} {pr_p50:<10.2} {pr_p99:<10.2}");
+    println!("service      {sv_tp:<10.1} {sv_p50:<10.2} {sv_p99:<10.2}");
+    println!(
+        "batching speedup {speedup:.2}x | cache hit rate {hit_rate:.3} | \
+         avg batch {avg_batch:.2} requests | shared gate fraction {shared:.3}"
+    );
+
+    assert!(
+        speedup >= 1.0,
+        "cross-request batching must not lose to per-request execution"
+    );
+    assert!(hit_rate > 0.0, "Zipf reuse must produce cache hits");
+
+    if let Some(path) = json_path {
+        let doc = obj([
+            ("schema_version", Json::Num(1.0)),
+            ("suite", Json::Str("service".into())),
+            (
+                "mode",
+                Json::Str(if quick { "quick" } else { "full" }.into()),
+            ),
+            (
+                "workload",
+                obj([
+                    ("n_qubits", Json::Num(n_qubits as f64)),
+                    ("layers", Json::Num(layers as f64)),
+                    ("n_variants", Json::Num(n_variants as f64)),
+                    ("n_requests", Json::Num(n_requests as f64)),
+                    ("n_clients", Json::Num(n_clients as f64)),
+                    ("zipf_s", Json::Num(zipf_s)),
+                ]),
+            ),
+            (
+                "per_request",
+                obj([
+                    ("throughput_rps", Json::Num(pr_tp)),
+                    ("p50_ms", Json::Num(pr_p50)),
+                    ("p99_ms", Json::Num(pr_p99)),
+                ]),
+            ),
+            (
+                "service",
+                obj([
+                    ("throughput_rps", Json::Num(sv_tp)),
+                    ("p50_ms", Json::Num(sv_p50)),
+                    ("p99_ms", Json::Num(sv_p99)),
+                    ("cache_hit_rate", Json::Num(hit_rate)),
+                    ("avg_batch_requests", Json::Num(avg_batch)),
+                    ("shared_gate_fraction", Json::Num(shared)),
+                    (
+                        "distinct_jobs",
+                        Json::Num(service.stats.distinct_jobs as f64),
+                    ),
+                    (
+                        "executed_jobs",
+                        Json::Num(service.stats.executed_jobs as f64),
+                    ),
+                ]),
+            ),
+            ("batching_speedup", Json::Num(speedup)),
+        ]);
+        std::fs::write(&path, doc.to_string() + "\n").expect("write BENCH_service.json");
+        println!("wrote {path}");
+    }
+}

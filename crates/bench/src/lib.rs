@@ -3,25 +3,41 @@
 //! the experiment index).
 
 use qt_dist::{hellinger_fidelity, Distribution};
+use qt_sim::cache::{run_output_weight, CacheStats, ShardedLruCache};
 use qt_sim::{ideal_distribution, BatchJob, JobKey, Program, RunOutput, Runner, SampledOutput};
 use std::collections::HashMap;
-use std::sync::Mutex;
+
+/// Default byte budget of a [`CachedRunner`]'s result cache — generous
+/// for the harness workloads, but bounded: the old `HashMap`-backed cache
+/// grew without limit for the lifetime of the runner.
+pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
 
 /// A memoizing wrapper around any [`Runner`]: identical (program, measured)
 /// pairs are executed once. The evaluation flows re-run the same global
 /// circuit for every mitigation method; caching keeps the harness honest
 /// (identical inputs ⇒ identical noisy outputs) and fast.
+///
+/// Backed by the shared [`ShardedLruCache`], so the cache is bounded
+/// (memory-weighted LRU eviction instead of silent unbounded growth) and
+/// exposes hit/miss/eviction counters via
+/// [`CachedRunner::cache_stats`].
 pub struct CachedRunner<R: Runner> {
     inner: R,
-    cache: Mutex<HashMap<JobKey, RunOutput>>,
+    cache: ShardedLruCache<RunOutput>,
 }
 
 impl<R: Runner> CachedRunner<R> {
-    /// Wraps a runner.
+    /// Wraps a runner with the default cache budget
+    /// ([`DEFAULT_CACHE_BYTES`]).
     pub fn new(inner: R) -> Self {
+        Self::with_capacity(inner, DEFAULT_CACHE_BYTES, 8)
+    }
+
+    /// Wraps a runner with an explicit cache byte budget and shard count.
+    pub fn with_capacity(inner: R, capacity_bytes: usize, shards: usize) -> Self {
         CachedRunner {
             inner,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedLruCache::new(capacity_bytes, shards),
         }
     }
 
@@ -30,36 +46,42 @@ impl<R: Runner> CachedRunner<R> {
         &self.inner
     }
 
-    /// Number of distinct executions performed.
+    /// Number of inner executions performed — equal to the number of
+    /// distinct jobs seen as long as nothing has been evicted (the
+    /// harness workloads fit comfortably in the default budget).
     pub fn distinct_runs(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").len()
+        self.cache.stats().insertions as usize
+    }
+
+    /// Hit/miss/eviction counters of the result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 
 impl<R: Runner> Runner for CachedRunner<R> {
     fn run(&self, program: &Program, measured: &[usize]) -> RunOutput {
         let key = BatchJob::key_of(program, measured);
-        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
-            return hit.clone();
+        if let Some(hit) = self.cache.get(key) {
+            return hit;
         }
         let out = self.inner.run(program, measured);
-        self.cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, out.clone());
+        self.cache.insert(key, out.clone(), run_output_weight(&out));
         out
     }
 
     /// Serves cache hits directly and forwards only the distinct misses to
-    /// the wrapped runner's (possibly parallel) batch path.
+    /// the wrapped runner's (possibly parallel) batch path. Return values
+    /// come from the executed results themselves, so correctness never
+    /// depends on the entries surviving in the cache.
     fn run_batch(&self, jobs: &[BatchJob]) -> Vec<RunOutput> {
         let keys: Vec<JobKey> = jobs.iter().map(|j| j.dedup_key()).collect();
+        let mut results: Vec<Option<RunOutput>> = keys.iter().map(|&k| self.cache.get(k)).collect();
         let mut misses: Vec<usize> = Vec::new();
         {
-            let cache = self.cache.lock().expect("cache poisoned");
             let mut seen: Vec<JobKey> = Vec::new();
             for (i, key) in keys.iter().enumerate() {
-                if !cache.contains_key(key) && !seen.contains(key) {
+                if results[i].is_none() && !seen.contains(key) {
                     misses.push(i);
                     seen.push(*key);
                 }
@@ -67,15 +89,23 @@ impl<R: Runner> Runner for CachedRunner<R> {
         }
         let fresh_jobs: Vec<BatchJob> = misses.iter().map(|&i| jobs[i].clone()).collect();
         let fresh = self.inner.run_batch(&fresh_jobs);
-        {
-            let mut cache = self.cache.lock().expect("cache poisoned");
-            for (&i, out) in misses.iter().zip(fresh) {
-                cache.insert(keys[i], out);
-            }
+        let mut executed: HashMap<JobKey, RunOutput> = HashMap::with_capacity(misses.len());
+        for (&i, out) in misses.iter().zip(fresh) {
+            self.cache
+                .insert(keys[i], out.clone(), run_output_weight(&out));
+            executed.insert(keys[i], out);
         }
-        let cache = self.cache.lock().expect("cache poisoned");
-        keys.iter()
-            .map(|k| cache.get(k).expect("just inserted").clone())
+        results
+            .iter_mut()
+            .zip(&keys)
+            .map(|(slot, key)| {
+                slot.take().unwrap_or_else(|| {
+                    executed
+                        .get(key)
+                        .expect("every non-hit key was executed")
+                        .clone()
+                })
+            })
             .collect()
     }
 }

@@ -47,5 +47,7 @@ pub mod trace;
 
 pub use error::{ExecError, PlanError, SkippedSubset};
 pub use framework::{run_qutracer, QuTracerConfig, QuTracerReport};
-pub use pipeline::{ExecutionArtifacts, MitigationPlan, QuTracer, ShotPolicy, SubsetPlanSummary};
+pub use pipeline::{
+    ExecutionArtifacts, MitigationPlan, PlanView, QuTracer, ShotPolicy, SubsetPlanSummary,
+};
 pub use trace::{trace_pair, trace_single, JobKind, JobTag, TraceConfig, TraceOutcome};

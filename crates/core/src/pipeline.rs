@@ -106,6 +106,28 @@ struct Assignment {
     shared: bool,
 }
 
+/// A flat, serializable summary of a [`MitigationPlan`] (see
+/// [`MitigationPlan::view`]): plain counts and the shared-prefix fraction,
+/// with no borrowed plan internals — what a service front-end puts on the
+/// wire for a queued job's status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanView {
+    /// Register size of the submitted circuit.
+    pub n_qubits: usize,
+    /// The measured qubits, in bit order.
+    pub measured: Vec<usize>,
+    /// Distinct programs after cross-subset dedup.
+    pub n_programs: usize,
+    /// Logical program requests before dedup.
+    pub n_requests: usize,
+    /// Traced subsets served (excluding skipped ones).
+    pub n_subsets: usize,
+    /// Subsets that could not be planned.
+    pub n_skipped: usize,
+    /// Fraction of the batch's gate stream shared between programs.
+    pub shared_gate_fraction: f64,
+}
+
 /// Per-subset view of a plan (see [`MitigationPlan::subset_summaries`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SubsetPlanSummary {
@@ -415,16 +437,44 @@ impl MitigationPlan {
         &'p self,
         runner: &R,
     ) -> Result<ExecutionArtifacts<'p>, ExecError> {
-        let jobs: Vec<BatchJob> = self
-            .batch_order
-            .iter()
-            .map(|&slot| self.programs[slot].job.clone())
-            .collect();
+        let jobs = self.batch_jobs();
         let engine_mix = runner.engine_mix(&jobs);
         let clustered = runner.run_batch(&jobs);
-        if clustered.len() != jobs.len() {
+        self.artifacts_from_outputs(clustered, engine_mix)
+    }
+
+    /// The plan's deduplicated jobs in prefix-clustered submission order —
+    /// the exact batch [`MitigationPlan::execute`] hands to
+    /// [`Runner::run_batch`]. Batch front-ends (e.g. `qt-serve`) use this
+    /// to merge several plans' jobs into one combined submission, then
+    /// feed the results back through
+    /// [`MitigationPlan::artifacts_from_outputs`].
+    pub fn batch_jobs(&self) -> Vec<BatchJob> {
+        self.batch_order
+            .iter()
+            .map(|&slot| self.programs[slot].job.clone())
+            .collect()
+    }
+
+    /// Stage 2, inverted: builds [`ExecutionArtifacts`] from batch results
+    /// computed elsewhere. `clustered[i]` must be the result of
+    /// [`MitigationPlan::batch_jobs`]`()[i]` — this is the injection point
+    /// for external batchers (service front-ends, shared result caches)
+    /// that execute many plans' jobs as one merged, deduplicated
+    /// submission instead of calling [`MitigationPlan::execute`] per plan.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::ResultCountMismatch`] when `clustered` does not align
+    /// with the plan's batch.
+    pub fn artifacts_from_outputs(
+        &self,
+        clustered: Vec<RunOutput>,
+        engine_mix: Option<Vec<(String, usize)>>,
+    ) -> Result<ExecutionArtifacts<'_>, ExecError> {
+        if clustered.len() != self.batch_order.len() {
             return Err(ExecError::ResultCountMismatch {
-                expected: jobs.len(),
+                expected: self.batch_order.len(),
                 got: clustered.len(),
             });
         }
@@ -442,6 +492,21 @@ impl MitigationPlan {
             sampled_shots: None,
             engine_mix,
         })
+    }
+
+    /// A serializable summary of the plan — the wire-friendly view a
+    /// service front-end reports for queued jobs without exposing plan
+    /// internals.
+    pub fn view(&self) -> PlanView {
+        PlanView {
+            n_qubits: self.circuit.n_qubits(),
+            measured: self.measured.clone(),
+            n_programs: self.n_programs(),
+            n_requests: self.n_requests(),
+            n_subsets: self.n_subsets(),
+            n_skipped: self.skipped.len(),
+            shared_gate_fraction: self.batch_stats.shared_gate_fraction(),
+        }
     }
 
     /// Splits a total shot budget across the plan's deduplicated programs

@@ -272,6 +272,26 @@ pub mod collection {
     }
 }
 
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Uniform boolean strategy (`prop::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random::<u64>() & 1 == 1
+        }
+    }
+}
+
 pub mod sample {
     use super::strategy::Strategy;
     use rand::rngs::StdRng;
@@ -389,6 +409,7 @@ pub mod prelude {
 
     /// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
     pub mod prop {
+        pub use crate::bool;
         pub use crate::collection;
         pub use crate::sample;
     }

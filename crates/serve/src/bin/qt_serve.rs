@@ -1,0 +1,38 @@
+//! The `qt_serve` binary: boots the mitigation service on a TCP address
+//! and runs until killed.
+//!
+//! ```text
+//! qt_serve [ADDR]          # default 127.0.0.1:7878
+//! ```
+//!
+//! The runner is a density-matrix executor under the workspace's default
+//! depolarizing + readout noise, so served results are deterministic and
+//! bit-identical to in-process `run_qutracer` calls with the same model.
+
+use qt_serve::{serve, ServiceConfig};
+use qt_sim::{Backend, Executor, NoiseModel};
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let runner = Executor::with_backend(
+        NoiseModel::depolarizing(0.001, 0.01).with_readout(0.02),
+        Backend::DensityMatrix,
+    );
+    let config = ServiceConfig::default();
+    let server = match serve(&addr, runner, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("qt_serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("qt_serve listening on {}", server.addr());
+    println!("endpoints: POST /submit  GET /status/<id>  GET /result/<id>  GET /stats");
+    println!("try: curl-free raw TCP — see README \"Mitigation as a service\"");
+    // Serve until the process is killed; the handle's threads do the work.
+    loop {
+        std::thread::park();
+    }
+}

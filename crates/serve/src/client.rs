@@ -1,0 +1,166 @@
+//! A small blocking client for the service's HTTP endpoints — what the
+//! load generator and the end-to-end tests talk through. One TCP
+//! connection per call, mirroring the server's `Connection: close`
+//! contract.
+
+use crate::http::{read_message, response_status, write_request};
+use crate::json::Json;
+use crate::wire;
+use qt_circuit::Circuit;
+use qt_core::{QuTracerConfig, QuTracerReport};
+use std::fmt;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A client-side failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Transport failure (connect/read/write).
+    Io(String),
+    /// The server replied with an error status; carries the wire
+    /// `error` kind and message.
+    Server {
+        /// HTTP status code.
+        status: u16,
+        /// Machine-readable kind (`"overloaded"`, ...).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The response body could not be decoded.
+    Decode(String),
+    /// [`ServiceClient::wait_result`] ran out of time.
+    Timeout {
+        /// The job that was still unfinished.
+        job: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server {
+                status,
+                kind,
+                message,
+            } => write!(f, "server error {status} ({kind}): {message}"),
+            ClientError::Decode(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Timeout { job } => write!(f, "timed out waiting for job {job}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// `true` for an admission rejection (HTTP 429) — the client should
+    /// back off and retry.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ClientError::Server { status: 429, .. })
+    }
+}
+
+/// A blocking HTTP client bound to one service address.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    addr: SocketAddr,
+}
+
+impl ServiceClient {
+    /// A client for the service at `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        ServiceClient { addr }
+    }
+
+    fn call(&self, method: &str, path: &str, body: &str) -> Result<(u16, Json), ClientError> {
+        let mut stream =
+            TcpStream::connect(self.addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        write_request(&mut stream, method, path, body)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let msg = read_message(&mut stream).map_err(|e| ClientError::Io(e.to_string()))?;
+        let status = response_status(&msg).map_err(|e| ClientError::Io(e.to_string()))?;
+        let doc = Json::parse(&msg.body).map_err(|e| ClientError::Decode(e.to_string()))?;
+        if status >= 400 {
+            let kind = doc
+                .field("error", "error body")
+                .and_then(|k| k.as_str("error kind").map(str::to_string))
+                .unwrap_or_else(|_| "unknown".to_string());
+            let message = doc
+                .field("message", "error body")
+                .and_then(|m| m.as_str("error message").map(str::to_string))
+                .unwrap_or_default();
+            return Err(ClientError::Server {
+                status,
+                kind,
+                message,
+            });
+        }
+        Ok((status, doc))
+    }
+
+    /// Submits a circuit, returning the job id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with status 429 when the service sheds
+    /// load (see [`ClientError::is_overloaded`]).
+    pub fn submit(
+        &self,
+        circuit: &Circuit,
+        measured: &[usize],
+        config: &QuTracerConfig,
+    ) -> Result<u64, ClientError> {
+        let body = crate::json::obj([
+            ("circuit", wire::circuit_to_json(circuit)),
+            (
+                "measured",
+                Json::Arr(measured.iter().map(|&q| Json::Num(q as f64)).collect()),
+            ),
+            ("config", wire::config_to_json(config)),
+        ])
+        .to_string();
+        let (_, doc) = self.call("POST", "/submit", &body)?;
+        doc.field("job_id", "submit response")
+            .and_then(|id| id.as_usize("job_id"))
+            .map(|id| id as u64)
+            .map_err(ClientError::Decode)
+    }
+
+    /// Fetches a finished report, `None` while the job is in flight.
+    pub fn result(&self, job: u64) -> Result<Option<QuTracerReport>, ClientError> {
+        let (status, doc) = self.call("GET", &format!("/result/{job}"), "")?;
+        if status == 202 {
+            return Ok(None);
+        }
+        wire::report_from_json(&doc)
+            .map(Some)
+            .map_err(ClientError::Decode)
+    }
+
+    /// Polls `result` until the job finishes or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when time runs out; any transport or
+    /// server error as soon as it occurs.
+    pub fn wait_result(&self, job: u64, timeout: Duration) -> Result<QuTracerReport, ClientError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_micros(200);
+        loop {
+            if let Some(report) = self.result(job)? {
+                return Ok(report);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout { job });
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(10));
+        }
+    }
+
+    /// Raw service counters (the `/stats` document).
+    pub fn stats(&self) -> Result<Json, ClientError> {
+        Ok(self.call("GET", "/stats", "")?.1)
+    }
+}

@@ -1,0 +1,83 @@
+//! Typed service errors and their HTTP status mapping.
+
+use crate::json::{obj, Json};
+use qt_core::{ExecError, PlanError};
+use std::fmt;
+
+/// Everything that can go wrong between a request arriving and a report
+/// leaving. Admission failures are *values*, never hangs: a full queue
+/// rejects with [`ServiceError::Overloaded`] immediately.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The bounded request queue is full; the client should back off and
+    /// retry. Carries the configured capacity so clients can size their
+    /// backoff.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request body could not be decoded.
+    BadRequest(String),
+    /// Planning the submitted circuit failed (configuration-level).
+    Plan(PlanError),
+    /// Executing or recombining the job failed.
+    Exec(ExecError),
+    /// No job with this id exists.
+    NotFound {
+        /// The requested job id.
+        job: u64,
+    },
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl ServiceError {
+    /// The HTTP status code this error maps to.
+    pub fn status_code(&self) -> u16 {
+        match self {
+            ServiceError::Overloaded { .. } => 429,
+            ServiceError::BadRequest(_) => 400,
+            ServiceError::Plan(_) => 422,
+            ServiceError::Exec(_) => 500,
+            ServiceError::NotFound { .. } => 404,
+            ServiceError::ShuttingDown => 503,
+        }
+    }
+
+    /// A short machine-readable tag (the wire `error` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::Plan(_) => "plan_error",
+            ServiceError::Exec(_) => "exec_error",
+            ServiceError::NotFound { .. } => "not_found",
+            ServiceError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// The wire form: `{"error": kind, "message": display}`.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("error", Json::Str(self.kind().into())),
+            ("message", Json::Str(self.to_string())),
+        ])
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { capacity } => {
+                write!(f, "request queue full ({capacity} pending); retry later")
+            }
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::Plan(e) => write!(f, "planning failed: {e}"),
+            ServiceError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServiceError::NotFound { job } => write!(f, "no such job: {job}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,458 @@
+//! The service engine: admission, the cross-request batcher, the shared
+//! result cache and the job registry. HTTP is a thin shell over this
+//! module (see [`crate::server`]); tests can drive the engine directly.
+//!
+//! # Data flow
+//!
+//! ```text
+//! submit ──plan──▶ bounded queue ──drain (size-or-deadline)──▶ batcher
+//!                                                               │
+//!                       ┌───────────────────────────────────────┘
+//!                       ▼
+//!          dedup all requests' jobs (JobInterner)
+//!                       │ per distinct job
+//!            cache hit ◀┴▶ miss ──▶ ONE run_batch over all misses
+//!                       │            (trie merges shared prefixes
+//!                       │             across unrelated requests)
+//!                       ▼
+//!      scatter per request ─▶ artifacts_from_outputs ─▶ recombine
+//! ```
+//!
+//! Every served report is bit-identical to a one-shot
+//! `run_qutracer` call with the same runner: plan-order jobs, trie
+//! execution and cache hits are all exact — the end-to-end tests assert
+//! this with `f64::to_bits` equality through the wire format.
+
+use crate::error::ServiceError;
+use crate::queue::{BoundedQueue, PushError};
+use qt_circuit::Circuit;
+use qt_core::{MitigationPlan, PlanView, QuTracer, QuTracerConfig, QuTracerReport};
+use qt_sim::cache::{run_output_weight, CacheStats, ShardedLruCache};
+use qt_sim::{batch_trie_stats, BatchJob, JobInterner, RunOutput, Runner, TrieStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one service instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Admission bound: requests pending beyond this are rejected with
+    /// [`ServiceError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Drain size trigger: a batch closes as soon as this many requests
+    /// are pending.
+    pub batch_max_requests: usize,
+    /// Drain deadline trigger: a batch closes at most this long after its
+    /// first request arrives, full or not.
+    pub batch_deadline: Duration,
+    /// Byte budget of the shared result cache; `0` disables caching.
+    pub cache_bytes: usize,
+    /// Shard count of the result cache (rounded up to a power of two).
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            batch_max_requests: 8,
+            batch_deadline: Duration::from_millis(2),
+            cache_bytes: 32 << 20,
+            cache_shards: 8,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration with batching and caching effectively disabled —
+    /// every request executes alone (the load generator's per-request
+    /// baseline arm).
+    pub fn per_request(self) -> Self {
+        ServiceConfig {
+            batch_max_requests: 1,
+            cache_bytes: 0,
+            ..self
+        }
+    }
+}
+
+/// Where a submitted job currently is.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Planned and admitted, waiting for a batch.
+    Queued(PlanView),
+    /// Part of the batch currently executing.
+    Running(PlanView),
+    /// Finished; the report is ready.
+    Done(Arc<QuTracerReport>),
+    /// Execution or recombination failed.
+    Failed(ServiceError),
+}
+
+impl JobState {
+    /// The wire name of this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued(_) => "queued",
+            JobState::Running(_) => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One admitted request travelling from `submit` to the batcher.
+struct Ticket {
+    id: u64,
+    plan: MitigationPlan,
+}
+
+/// A point-in-time snapshot of the service's counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests admitted (planned and queued).
+    pub submitted: u64,
+    /// Requests rejected at admission ([`ServiceError::Overloaded`]).
+    pub rejected: u64,
+    /// Requests finished with a report.
+    pub completed: u64,
+    /// Requests finished with an error.
+    pub failed: u64,
+    /// Requests currently pending in the queue.
+    pub queue_depth: usize,
+    /// Batches drained so far.
+    pub batches: u64,
+    /// Requests across all drained batches (`batched_requests / batches`
+    /// is the achieved batch size).
+    pub batched_requests: u64,
+    /// Distinct jobs after cross-request dedup, across all batches.
+    pub distinct_jobs: u64,
+    /// Distinct jobs served from the result cache.
+    pub cache_hit_jobs: u64,
+    /// Distinct jobs actually executed.
+    pub executed_jobs: u64,
+    /// Result-cache counters (zeroes when the cache is disabled).
+    pub cache: CacheStats,
+    /// Accumulated prefix-sharing statistics of the executed (miss)
+    /// batches — how much gate work cross-request merging shared.
+    pub batch_trie: TrieStats,
+}
+
+/// The long-running mitigation engine behind the HTTP front-end.
+pub struct MitigationService<R> {
+    runner: R,
+    config: ServiceConfig,
+    queue: BoundedQueue<Ticket>,
+    jobs: Mutex<HashMap<u64, JobState>>,
+    /// Signalled whenever a job reaches a terminal state.
+    done_cv: Condvar,
+    next_id: AtomicU64,
+    cache: Option<ShardedLruCache<RunOutput>>,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    distinct_jobs: AtomicU64,
+    cache_hit_jobs: AtomicU64,
+    executed_jobs: AtomicU64,
+    batch_trie: Mutex<TrieStats>,
+}
+
+impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
+    /// A service executing on `runner` under `config`. The batcher thread
+    /// is *not* started — call [`MitigationService::spawn_batcher`] (or
+    /// drive [`MitigationService::process_next_batch`] manually in tests).
+    pub fn new(runner: R, config: ServiceConfig) -> Arc<Self> {
+        let cache = (config.cache_bytes > 0)
+            .then(|| ShardedLruCache::new(config.cache_bytes, config.cache_shards));
+        Arc::new(MitigationService {
+            runner,
+            config,
+            queue: BoundedQueue::new(config.queue_capacity),
+            jobs: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            cache,
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            distinct_jobs: AtomicU64::new(0),
+            cache_hit_jobs: AtomicU64::new(0),
+            executed_jobs: AtomicU64::new(0),
+            batch_trie: Mutex::new(TrieStats::default()),
+        })
+    }
+
+    /// The configuration this service runs under.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Starts the batcher thread draining the queue until
+    /// [`MitigationService::shutdown`]. Join the handle to wait for a
+    /// clean drain.
+    pub fn spawn_batcher(self: &Arc<Self>) -> JoinHandle<()> {
+        let service = Arc::clone(self);
+        std::thread::spawn(move || while service.process_next_batch() {})
+    }
+
+    /// Plans `circuit` and admits the job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Plan`] when planning fails,
+    /// [`ServiceError::Overloaded`] when the queue is full,
+    /// [`ServiceError::ShuttingDown`] after [`MitigationService::shutdown`].
+    pub fn submit(
+        &self,
+        circuit: &Circuit,
+        measured: &[usize],
+        config: &QuTracerConfig,
+    ) -> Result<u64, ServiceError> {
+        let plan = QuTracer::plan(circuit, measured, config).map_err(ServiceError::Plan)?;
+        let view = plan.view();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.jobs.lock().unwrap().insert(id, JobState::Queued(view));
+        match self.queue.try_push(Ticket { id, plan }) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(id)
+            }
+            Err(e) => {
+                self.jobs.lock().unwrap().remove(&id);
+                match e {
+                    PushError::Full => {
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        Err(ServiceError::Overloaded {
+                            capacity: self.queue.capacity(),
+                        })
+                    }
+                    PushError::Closed => Err(ServiceError::ShuttingDown),
+                }
+            }
+        }
+    }
+
+    /// The current state of job `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotFound`] for unknown ids.
+    pub fn status(&self, id: u64) -> Result<JobState, ServiceError> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or(ServiceError::NotFound { job: id })
+    }
+
+    /// The finished report for job `id`, `None` while it is still in
+    /// flight.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotFound`] for unknown ids; the job's own error if
+    /// it failed.
+    pub fn result(&self, id: u64) -> Result<Option<Arc<QuTracerReport>>, ServiceError> {
+        match self.status(id)? {
+            JobState::Done(report) => Ok(Some(report)),
+            JobState::Failed(e) => Err(e),
+            _ => Ok(None),
+        }
+    }
+
+    /// Blocks until job `id` reaches a terminal state, up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotFound`] for unknown ids *and* for timeouts (the
+    /// job is still unfinished — callers distinguish via
+    /// [`MitigationService::status`]); the job's own error if it failed.
+    pub fn wait_result(
+        &self,
+        id: u64,
+        timeout: Duration,
+    ) -> Result<Arc<QuTracerReport>, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            match jobs.get(&id) {
+                None => return Err(ServiceError::NotFound { job: id }),
+                Some(JobState::Done(report)) => return Ok(Arc::clone(report)),
+                Some(JobState::Failed(e)) => return Err(e.clone()),
+                Some(_) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(ServiceError::NotFound { job: id });
+                    }
+                    let (next, _) = self.done_cv.wait_timeout(jobs, deadline - now).unwrap();
+                    jobs = next;
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue.len(),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            distinct_jobs: self.distinct_jobs.load(Ordering::Relaxed),
+            cache_hit_jobs: self.cache_hit_jobs.load(Ordering::Relaxed),
+            executed_jobs: self.executed_jobs.load(Ordering::Relaxed),
+            cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            batch_trie: *self.batch_trie.lock().unwrap(),
+        }
+    }
+
+    /// Result-cache counters (the satellite `cache_stats()` surface;
+    /// all-zero when the cache is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Stops admission and lets the batcher drain what is already queued;
+    /// its thread exits afterwards.
+    pub fn shutdown(&self) {
+        self.queue.close();
+    }
+
+    /// Drains and processes one batch. Returns `false` once the queue is
+    /// closed and empty — the batcher's exit condition.
+    pub fn process_next_batch(&self) -> bool {
+        let Some(batch) = self
+            .queue
+            .drain(self.config.batch_max_requests, self.config.batch_deadline)
+        else {
+            return false;
+        };
+        self.process_batch(batch);
+        true
+    }
+
+    /// Executes one drained batch: cross-request dedup, cache lookups,
+    /// one merged `run_batch` over the misses, then per-request scatter
+    /// and recombination.
+    fn process_batch(&self, batch: Vec<Ticket>) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        {
+            let mut jobs = self.jobs.lock().unwrap();
+            for ticket in &batch {
+                if let Some(state) = jobs.get_mut(&ticket.id) {
+                    if let JobState::Queued(view) = state {
+                        *state = JobState::Running(view.clone());
+                    }
+                }
+            }
+        }
+
+        // Cross-request dedup: every request's plan-order jobs land in one
+        // shared table; equal jobs (same structural key) occupy one slot
+        // no matter which user submitted them.
+        let per_request: Vec<Vec<BatchJob>> = batch.iter().map(|t| t.plan.batch_jobs()).collect();
+        let mut interner = JobInterner::new();
+        let mut table: Vec<BatchJob> = Vec::new();
+        let request_slots: Vec<Vec<usize>> = per_request
+            .iter()
+            .map(|jobs| {
+                jobs.iter()
+                    .map(|job| interner.intern_with(&mut table, job.clone(), |job| job).0)
+                    .collect()
+            })
+            .collect();
+        self.distinct_jobs
+            .fetch_add(table.len() as u64, Ordering::Relaxed);
+
+        // Cache lookups per distinct job; the remainder executes as ONE
+        // batch so the trie scheduler merges shared prefixes across
+        // requests.
+        let mut results: Vec<Option<RunOutput>> = vec![None; table.len()];
+        let mut miss_slots: Vec<usize> = Vec::new();
+        for (slot, job) in table.iter().enumerate() {
+            if let Some(cache) = &self.cache {
+                if let Some(out) = cache.get(job.dedup_key()) {
+                    results[slot] = Some(out);
+                    continue;
+                }
+            }
+            miss_slots.push(slot);
+        }
+        self.cache_hit_jobs
+            .fetch_add((table.len() - miss_slots.len()) as u64, Ordering::Relaxed);
+        self.executed_jobs
+            .fetch_add(miss_slots.len() as u64, Ordering::Relaxed);
+
+        if !miss_slots.is_empty() {
+            let miss_jobs: Vec<BatchJob> =
+                miss_slots.iter().map(|&slot| table[slot].clone()).collect();
+            self.batch_trie
+                .lock()
+                .unwrap()
+                .absorb(&batch_trie_stats(&miss_jobs));
+            let fresh = self.runner.run_batch(&miss_jobs);
+            // A runner violating the run_batch contract fails the whole
+            // drained batch below (every request sees a scatter mismatch)
+            // instead of panicking the batcher thread.
+            if fresh.len() == miss_jobs.len() {
+                for (&slot, out) in miss_slots.iter().zip(fresh) {
+                    if let Some(cache) = &self.cache {
+                        let weight = run_output_weight(&out);
+                        cache.insert(table[slot].dedup_key(), out.clone(), weight);
+                    }
+                    results[slot] = Some(out);
+                }
+            }
+        }
+
+        // Scatter back per request and recombine each plan independently.
+        let mut jobs = self.jobs.lock().unwrap();
+        for ((ticket, slots), own_jobs) in batch.iter().zip(&request_slots).zip(&per_request) {
+            let outputs: Option<Vec<RunOutput>> =
+                slots.iter().map(|&slot| results[slot].clone()).collect();
+            let outcome = match outputs {
+                Some(outputs) => {
+                    let engine_mix = self.runner.engine_mix(own_jobs);
+                    ticket
+                        .plan
+                        .artifacts_from_outputs(outputs, engine_mix)
+                        .and_then(|artifacts| artifacts.recombine())
+                        .map_err(ServiceError::Exec)
+                }
+                None => Err(ServiceError::Exec(
+                    qt_core::ExecError::ResultCountMismatch {
+                        expected: slots.len(),
+                        got: 0,
+                    },
+                )),
+            };
+            let state = match outcome {
+                Ok(report) => {
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    JobState::Done(Arc::new(report))
+                }
+                Err(e) => {
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                    JobState::Failed(e)
+                }
+            };
+            jobs.insert(ticket.id, state);
+        }
+        drop(jobs);
+        self.done_cv.notify_all();
+    }
+}

@@ -1,0 +1,309 @@
+//! A sharded, memory-weighted, concurrent LRU result cache keyed by
+//! [`JobKey`].
+//!
+//! This is the cache substrate shared by `qt_bench::CachedRunner` and the
+//! `qt-serve` service front-end. Design points:
+//!
+//! * **Sharding** — the key space is split across `n_shards` independent
+//!   shards (power of two), each behind its own `Mutex`, so concurrent
+//!   lookups from different connections rarely contend. The shard index
+//!   comes from folding the 128 structural key bits.
+//! * **Memory-weighted capacity** — every entry carries a caller-supplied
+//!   weight in bytes (see [`run_output_weight`]); each shard evicts its
+//!   least-recently-used entries until an insert fits its slice of the
+//!   global budget. Total resident weight therefore never exceeds
+//!   `capacity_bytes`, fixing the silent unbounded growth of the old
+//!   `CachedRunner` map.
+//! * **Counters** — hits, misses, insertions and evictions are tracked
+//!   with relaxed atomics and snapshot via [`CacheStats`].
+//!
+//! Recency is a per-shard monotonic tick: `get` re-stamps the entry, and
+//! eviction pops the minimum tick from a `BTreeMap` index, so both paths
+//! are `O(log n)` in the shard's entry count.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::executor::{JobKey, RunOutput};
+
+/// A point-in-time snapshot of a cache's activity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found the key resident.
+    pub hits: u64,
+    /// `get` calls that did not.
+    pub misses: u64,
+    /// Entries removed to make room for an insert.
+    pub evictions: u64,
+    /// Successful `insert` calls (replacements included).
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    weight: usize,
+    tick: u64,
+}
+
+struct Shard<V> {
+    map: HashMap<JobKey, Entry<V>>,
+    /// Recency index: tick -> key, ascending ticks are least recent.
+    by_tick: BTreeMap<u64, JobKey>,
+    weight: usize,
+    next_tick: u64,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            map: HashMap::new(),
+            by_tick: BTreeMap::new(),
+            weight: 0,
+            next_tick: 0,
+        }
+    }
+}
+
+impl<V> Shard<V> {
+    fn touch(&mut self, key: JobKey) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(entry) = self.map.get_mut(&key) {
+            self.by_tick.remove(&entry.tick);
+            entry.tick = tick;
+            self.by_tick.insert(tick, key);
+        }
+    }
+
+    fn remove_lru(&mut self) -> bool {
+        let Some((&tick, &key)) = self.by_tick.iter().next() else {
+            return false;
+        };
+        self.by_tick.remove(&tick);
+        if let Some(entry) = self.map.remove(&key) {
+            self.weight -= entry.weight;
+        }
+        true
+    }
+}
+
+/// A concurrent LRU cache keyed by [`JobKey`], sharded to keep lock
+/// contention low and bounded by a global memory-weight budget.
+pub struct ShardedLruCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// Per-shard slice of the global byte budget.
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl<V: Clone> ShardedLruCache<V> {
+    /// A cache holding at most `capacity_bytes` of entry weight, split
+    /// across `n_shards` independently locked shards (rounded up to a
+    /// power of two, at least one).
+    pub fn new(capacity_bytes: usize, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1).next_power_of_two();
+        let shard_capacity = capacity_bytes / n_shards;
+        let shards = (0..n_shards)
+            .map(|_| Mutex::new(Shard::default()))
+            .collect();
+        ShardedLruCache {
+            shards,
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: JobKey) -> &Mutex<Shard<V>> {
+        let bits = key.bits();
+        let folded = (bits ^ (bits >> 64)) as u64;
+        &self.shards[(folded as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: JobKey) -> Option<V> {
+        let mut shard = self.shard_of(key).lock().unwrap();
+        if shard.map.contains_key(&key) {
+            shard.touch(key);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(shard.map[&key].value.clone())
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Insert `value` under `key` with the given weight in bytes,
+    /// evicting least-recently-used entries until it fits. Returns
+    /// `false` (and caches nothing) when `weight` alone exceeds a
+    /// shard's capacity slice — such a value could only ever be resident
+    /// by evicting everything, so it is cheaper to recompute.
+    pub fn insert(&self, key: JobKey, value: V, weight: usize) -> bool {
+        if weight > self.shard_capacity {
+            return false;
+        }
+        let mut shard = self.shard_of(key).lock().unwrap();
+        if let Some(old) = shard.map.remove(&key) {
+            shard.by_tick.remove(&old.tick);
+            shard.weight -= old.weight;
+        }
+        let mut evicted = 0u64;
+        while shard.weight + weight > self.shard_capacity {
+            if !shard.remove_lru() {
+                break;
+            }
+            evicted += 1;
+        }
+        let tick = shard.next_tick;
+        shard.next_tick += 1;
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                weight,
+                tick,
+            },
+        );
+        shard.by_tick.insert(tick, key);
+        shard.weight += weight;
+        drop(shard);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total resident entry weight in bytes across all shards.
+    pub fn weight_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().weight).sum()
+    }
+
+    /// The global byte budget (each shard holds an equal slice).
+    pub fn capacity_bytes(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// Snapshot the activity counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Approximate resident size of a cached [`RunOutput`]: 16 bytes per
+/// stored nonzero (`(u64, f64)`) plus fixed struct overhead.
+pub fn run_output_weight(out: &RunOutput) -> usize {
+    out.dist.support_len() * 16 + 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::BatchJob;
+    use crate::program::Program;
+    use qt_circuit::Circuit;
+    use qt_dist::Distribution;
+
+    fn key(tag: u64) -> JobKey {
+        let mut c = Circuit::new(2);
+        for _ in 0..(tag % 7) {
+            c.h(0);
+        }
+        c.rz(1, tag as f64);
+        BatchJob::key_of(&Program::from_circuit(&c), &[0, 1])
+    }
+
+    fn out(p: f64) -> RunOutput {
+        RunOutput {
+            dist: Distribution::try_from_entries(1, vec![(0, p), (1, 1.0 - p)]).unwrap(),
+            gates: 1,
+            two_qubit_gates: 0,
+        }
+    }
+
+    #[test]
+    fn hit_returns_inserted_value_and_counts() {
+        let cache = ShardedLruCache::new(1 << 20, 4);
+        assert!(cache.get(key(1)).is_none());
+        assert!(cache.insert(key(1), out(0.25), 100));
+        let got = cache.get(key(1)).unwrap();
+        assert_eq!(got.dist.prob(0).to_bits(), 0.25f64.to_bits());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced_by_lru_eviction() {
+        // Single shard so the eviction order is fully deterministic.
+        let cache = ShardedLruCache::new(300, 1);
+        assert!(cache.insert(key(1), out(0.1), 100));
+        assert!(cache.insert(key(2), out(0.2), 100));
+        assert!(cache.insert(key(3), out(0.3), 100));
+        // Refresh key(1) so key(2) is now the LRU entry.
+        assert!(cache.get(key(1)).is_some());
+        assert!(cache.insert(key(4), out(0.4), 100));
+        assert!(cache.weight_bytes() <= cache.capacity_bytes());
+        assert!(cache.get(key(2)).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(key(1)).is_some());
+        assert!(cache.get(key(3)).is_some());
+        assert!(cache.get(key(4)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let cache = ShardedLruCache::new(64, 1);
+        assert!(!cache.insert(key(1), out(0.5), 65));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn replacement_updates_weight_in_place() {
+        let cache = ShardedLruCache::new(300, 1);
+        assert!(cache.insert(key(1), out(0.1), 100));
+        assert!(cache.insert(key(1), out(0.9), 250));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.weight_bytes(), 250);
+        let got = cache.get(key(1)).unwrap();
+        assert_eq!(got.dist.prob(0).to_bits(), 0.9f64.to_bits());
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

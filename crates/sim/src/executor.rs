@@ -20,7 +20,7 @@ use crate::density::DensityMatrix;
 use crate::noise::{apply_readout, NoiseModel};
 use crate::program::{Op, Program};
 use crate::statevector::StateVector;
-use crate::trie::ExecutionTrie;
+use crate::trie::{ExecutionTrie, TrieStats};
 use qt_dist::{Counts, Distribution};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -355,6 +355,28 @@ impl BatchJob {
     fn oracle_string(&self) -> String {
         format!("{:?}|{:?}", self.measured, self.program)
     }
+}
+
+/// Prefix-sharing statistics of one combined batch: jobs grouped by
+/// register size (the coarsest grouping `run_batch_trie` ever uses) and
+/// folded into execution tries, with each group's [`TrieStats`] absorbed
+/// into one total. This is the drain-time instrumentation hook for batch
+/// front-ends (e.g. `qt-serve`) that merge jobs from unrelated requests
+/// and want to report how much circuit prefix the merge actually shared —
+/// it builds the tries for counting only and executes nothing.
+pub fn batch_trie_stats(jobs: &[BatchJob]) -> TrieStats {
+    let mut by_width: BTreeMap<usize, Vec<&Program>> = BTreeMap::new();
+    for job in jobs {
+        by_width
+            .entry(job.program.n_qubits())
+            .or_default()
+            .push(&job.program);
+    }
+    let mut stats = TrieStats::default();
+    for group in by_width.values() {
+        stats.absorb(&ExecutionTrie::build(group).stats());
+    }
+    stats
 }
 
 /// Interns jobs by [`BatchJob::dedup_key`]: equal jobs map to one table

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod backend;
+pub mod cache;
 pub mod classify;
 pub mod density;
 pub mod executor;
@@ -43,11 +44,13 @@ pub use backend::{
     Backend, BackendEngine, DensityMatrixEngine, EngineState, ResolvedEngine,
     SparseStatevectorEngine, StabilizerEngine, StatevectorEngine, TrajectoryEngine,
 };
+pub use cache::{run_output_weight, CacheStats, ShardedLruCache};
 pub use classify::ProgramProfile;
 pub use density::DensityMatrix;
 pub use executor::{
-    ideal_distribution, sample_counts_deterministic, BatchConfigError, BatchJob, BatchPolicy,
-    Executor, JobInterner, JobKey, RunOutput, Runner, SampledOutput, ShotPlan, MAX_MEASURED_BITS,
+    batch_trie_stats, ideal_distribution, sample_counts_deterministic, BatchConfigError, BatchJob,
+    BatchPolicy, Executor, JobInterner, JobKey, RunOutput, Runner, SampledOutput, ShotPlan,
+    MAX_MEASURED_BITS,
 };
 pub use kernel::{ControlledBlock, KernelClass};
 pub use noise::{

@@ -1,0 +1,141 @@
+//! Properties of the sharded LRU result cache under both serial and
+//! interleaved multi-thread workloads: the memory-weight capacity is a
+//! hard invariant (never exceeded, not even transiently observable), and
+//! a hit is always **bit-identical** to the value a fresh execution of
+//! the same job would produce — the cache can forget, it can never lie.
+
+use proptest::prelude::*;
+use qt_circuit::Circuit;
+use qt_dist::Distribution;
+use qt_sim::cache::{run_output_weight, ShardedLruCache};
+use qt_sim::{BatchJob, Executor, JobKey, NoiseModel, Program, RunOutput, Runner};
+
+/// A deterministic job pool: key + the program behind it.
+fn job_pool(n: usize) -> Vec<(JobKey, Program, Vec<usize>)> {
+    (0..n)
+        .map(|v| {
+            let mut c = Circuit::new(2);
+            c.h(0);
+            c.rz(1, 0.1 + v as f64 * 0.37);
+            c.cx(0, 1);
+            let program = Program::from_circuit(&c);
+            let measured = vec![0, 1];
+            let key = BatchJob::key_of(&program, &measured);
+            (key, program, measured)
+        })
+        .collect()
+}
+
+/// The value a fresh pipeline execution of pool job `v` produces.
+fn fresh_output(pool: &[(JobKey, Program, Vec<usize>)], v: usize) -> RunOutput {
+    let exec = Executor::new(NoiseModel::depolarizing(0.001, 0.01).with_readout(0.02));
+    exec.run(&pool[v].1, &pool[v].2)
+}
+
+fn assert_identical(a: &RunOutput, b: &RunOutput) {
+    let xs: Vec<(u64, u64)> = a.dist.iter().map(|(i, p)| (i, p.to_bits())).collect();
+    let ys: Vec<(u64, u64)> = b.dist.iter().map(|(i, p)| (i, p.to_bits())).collect();
+    assert_eq!(xs, ys, "cached hit diverged from a fresh run");
+    assert_eq!((a.gates, a.two_qubit_gates), (b.gates, b.two_qubit_gates));
+}
+
+/// A cheap synthetic value whose distribution encodes `(job, weight)` so
+/// any cross-key mixup is visible bitwise.
+fn synthetic(v: usize, weight: usize) -> RunOutput {
+    let p = 1.0 / (2.0 + v as f64 + weight as f64 * 1e-3);
+    RunOutput {
+        dist: Distribution::try_from_entries(2, vec![(0, p), (3, 1.0 - p)]).unwrap(),
+        gates: v,
+        two_qubit_gates: weight,
+    }
+}
+
+proptest! {
+    /// Serial oracle: arbitrary insert/get sequences never exceed the
+    /// byte budget, and every hit equals the last value stored there.
+    #[test]
+    fn capacity_and_hits_hold_serially(
+        capacity in 64usize..2048,
+        shards in 1usize..5,
+        ops in prop::collection::vec((0usize..12, 16usize..256, prop::bool::ANY), 1..80),
+    ) {
+        let pool = job_pool(12);
+        let cache = ShardedLruCache::new(capacity, shards);
+        let mut last: Vec<Option<RunOutput>> = vec![None; 12];
+        for (v, weight, is_insert) in ops {
+            if is_insert {
+                let value = synthetic(v, weight);
+                if cache.insert(pool[v].0, value.clone(), weight) {
+                    last[v] = Some(value);
+                }
+            } else if let Some(hit) = cache.get(pool[v].0) {
+                let expected = last[v].as_ref().expect("hit without a prior insert");
+                assert_identical(&hit, expected);
+            }
+            prop_assert!(
+                cache.weight_bytes() <= cache.capacity_bytes(),
+                "resident weight {} exceeds capacity {}",
+                cache.weight_bytes(),
+                cache.capacity_bytes()
+            );
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.hits + stats.misses > 0 || stats.insertions > 0);
+    }
+}
+
+proptest! {
+    /// Interleaved writers and readers over a deliberately tiny cache
+    /// (constant eviction pressure): the capacity invariant holds at
+    /// every concurrent observation point, and every hit any thread sees
+    /// is bit-identical to a fresh pipeline run of that job — values are
+    /// only ever stored under their own key.
+    #[test]
+    fn capacity_and_hit_integrity_hold_under_threads(
+        capacity in 256usize..1024,
+        shards in 1usize..5,
+        schedules in prop::collection::vec(
+            prop::collection::vec((0usize..6, prop::bool::ANY), 10..40),
+            2..5,
+        ),
+    ) {
+        let pool = job_pool(6);
+        // Ground truth: what a fresh execution of each pool job returns.
+        let fresh: Vec<RunOutput> = (0..6).map(|v| fresh_output(&pool, v)).collect();
+        let cache = ShardedLruCache::new(capacity, shards);
+
+        std::thread::scope(|scope| {
+            for schedule in &schedules {
+                let cache = &cache;
+                let pool = &pool;
+                let fresh = &fresh;
+                scope.spawn(move || {
+                    for &(v, is_insert) in schedule {
+                        if is_insert {
+                            let out = fresh[v].clone();
+                            let weight = run_output_weight(&out);
+                            cache.insert(pool[v].0, out, weight);
+                        } else if let Some(hit) = cache.get(pool[v].0) {
+                            assert_identical(&hit, &fresh[v]);
+                        }
+                        assert!(
+                            cache.weight_bytes() <= cache.capacity_bytes(),
+                            "capacity exceeded under concurrency"
+                        );
+                    }
+                });
+            }
+        });
+
+        prop_assert!(cache.weight_bytes() <= cache.capacity_bytes());
+        let stats = cache.stats();
+        prop_assert_eq!(
+            stats.hits + stats.misses,
+            schedules
+                .iter()
+                .flatten()
+                .filter(|(_, is_insert)| !is_insert)
+                .count() as u64
+        );
+    }
+}

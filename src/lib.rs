@@ -13,4 +13,5 @@ pub use qt_device as device;
 pub use qt_dist as dist;
 pub use qt_math as math;
 pub use qt_pcs as pcs;
+pub use qt_serve as serve;
 pub use qt_sim as sim;
