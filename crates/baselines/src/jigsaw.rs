@@ -133,6 +133,7 @@ impl JigsawArtifacts<'_> {
                 batch: None,
                 total_shots: None,
                 engine_mix: None,
+                failures: None,
             },
         }
     }

@@ -36,4 +36,11 @@ pub struct OverheadStats {
     /// chose. `None` for runners without engine introspection and for
     /// plan-time (pre-execution) statistics.
     pub engine_mix: Option<Vec<(String, usize)>>,
+    /// What the failure domain did during execution: retries spent on
+    /// transient errors, quarantined panics, jobs failed past the budget,
+    /// and mitigation subsets voided by those failures (see
+    /// `qt_sim::FailureStats`). `None` for infallible execution paths,
+    /// `Some` (possibly all-zero) whenever a fallible path produced the
+    /// report — so a degraded report always says *how* it degraded.
+    pub failures: Option<qt_sim::FailureStats>,
 }

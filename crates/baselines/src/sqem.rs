@@ -264,6 +264,7 @@ impl SqemArtifacts<'_> {
                 batch: None,
                 total_shots: None,
                 engine_mix: None,
+                failures: None,
             },
         }
     }

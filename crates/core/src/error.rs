@@ -107,6 +107,17 @@ pub enum ExecError {
         /// Human-readable diagnosis.
         detail: String,
     },
+    /// A fallible execution lost a job the report cannot degrade around:
+    /// the global run itself (every mitigation subset refines it, so
+    /// nothing survives its loss), after the bounded retry budget was
+    /// spent. Subset-only failures degrade instead — see
+    /// [`crate::MitigationPlan::execute_fallible`].
+    JobFailed {
+        /// The failed program slot (plan program order).
+        slot: usize,
+        /// The terminal typed failure of that job.
+        error: qt_sim::RunError,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -135,11 +146,21 @@ impl std::fmt::Display for ExecError {
                 )
             }
             ExecError::PlanMismatch { detail } => write!(f, "plan/artifact mismatch: {detail}"),
+            ExecError::JobFailed { slot, error } => {
+                write!(f, "program slot {slot} failed: {error}")
+            }
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::JobFailed { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 /// A subset the planner could not trace, with the typed reason. The final
 /// [`crate::QuTracerReport`] keeps these so callers can tell *why* a subset

@@ -51,3 +51,6 @@ pub use pipeline::{
     ExecutionArtifacts, MitigationPlan, PlanView, QuTracer, ShotPolicy, SubsetPlanSummary,
 };
 pub use trace::{trace_pair, trace_single, JobKind, JobTag, TraceConfig, TraceOutcome};
+// Failure-domain vocabulary of the fallible execution paths, re-exported
+// so pipeline callers need not depend on `qt_sim` directly.
+pub use qt_sim::{FailureStats, RetryPolicy, RunError, RunErrorKind};

@@ -56,7 +56,8 @@ use qt_circuit::Circuit;
 use qt_dist::{recombine, Distribution};
 use qt_pcs::QspcStats;
 use qt_sim::{
-    BatchJob, ExecutionTrie, JobInterner, Program, RunOutput, Runner, ShotPlan, TrieStats,
+    job_sample_seed, try_run_batch_resilient, BatchJob, ExecutionTrie, FailureStats, JobInterner,
+    Program, RetryPolicy, RunError, RunOutput, Runner, SampledOutput, ShotPlan, TrieStats,
 };
 use std::collections::BTreeMap;
 
@@ -399,6 +400,7 @@ impl MitigationPlan {
             batch: Some(self.batch_stats),
             total_shots: None,
             engine_mix: None,
+            failures: None,
         }
     }
 
@@ -491,6 +493,75 @@ impl MitigationPlan {
             outputs,
             sampled_shots: None,
             engine_mix,
+            failures: None,
+        })
+    }
+
+    /// Stage 2 with a failure domain: executes the plan's batch through
+    /// the fallible surface ([`Runner::try_run_batch`]) under panic
+    /// quarantine, with bounded retry-with-backoff for transient
+    /// [`RunError`]s (`retry`), then *degrades partially*: a job that
+    /// still fails after the budget voids only the traced subsets whose
+    /// walks depend on it, while every surviving output is bit-identical
+    /// to the fault-free run. The resulting report records what happened
+    /// in [`OverheadStats::failures`]; only the loss of the global run —
+    /// which every subset refines — turns into a typed
+    /// [`ExecError::JobFailed`] at recombination.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::ResultCountMismatch`] if the runner violates the
+    /// batch contract.
+    pub fn execute_fallible<'p, R: Runner>(
+        &'p self,
+        runner: &R,
+        retry: &RetryPolicy,
+    ) -> Result<ExecutionArtifacts<'p>, ExecError> {
+        let jobs = self.batch_jobs();
+        let engine_mix = runner.engine_mix(&jobs);
+        let (clustered, stats) = try_run_batch_resilient(runner, &jobs, retry);
+        self.artifacts_from_results(clustered, engine_mix, None, stats)
+    }
+
+    /// [`MitigationPlan::artifacts_from_outputs`] for fallible results:
+    /// scatters per-job `Result`s back to program-slot order, parking a
+    /// placeholder at failed slots and recording the typed errors for
+    /// recombination to degrade around.
+    fn artifacts_from_results(
+        &self,
+        clustered: Vec<Result<RunOutput, RunError>>,
+        engine_mix: Option<Vec<(String, usize)>>,
+        sampled_shots: Option<Vec<u64>>,
+        stats: FailureStats,
+    ) -> Result<ExecutionArtifacts<'_>, ExecError> {
+        if clustered.len() != self.batch_order.len() {
+            return Err(ExecError::ResultCountMismatch {
+                expected: self.batch_order.len(),
+                got: clustered.len(),
+            });
+        }
+        let mut outputs: Vec<Option<RunOutput>> = vec![None; self.programs.len()];
+        let mut per_slot: Vec<Option<RunError>> = vec![None; self.programs.len()];
+        for (&slot, res) in self.batch_order.iter().zip(clustered) {
+            match res {
+                Ok(out) => outputs[slot] = Some(out),
+                Err(err) => {
+                    outputs[slot] =
+                        Some(placeholder_output(self.programs[slot].job.measured.len()));
+                    per_slot[slot] = Some(err);
+                }
+            }
+        }
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.expect("batch order is a permutation of the program slots"))
+            .collect();
+        Ok(ExecutionArtifacts {
+            plan: self,
+            outputs,
+            sampled_shots,
+            engine_mix,
+            failures: Some(SlotFailures { per_slot, stats }),
         })
     }
 
@@ -639,7 +710,62 @@ impl MitigationPlan {
             outputs,
             sampled_shots: Some(per_slot_shots),
             engine_mix,
+            failures: None,
         })
+    }
+
+    /// [`MitigationPlan::execute_sampled`] with the failure domain of
+    /// [`MitigationPlan::execute_fallible`]. Exact distributions come from
+    /// the fallible batch surface (so transient failures retry against
+    /// *exact* re-execution), and each surviving job is then sampled with
+    /// the seed derived from its original submission index — a retried
+    /// job's counts are therefore bit-identical to the fault-free sampled
+    /// run, no matter how many attempts it took.
+    ///
+    /// # Errors
+    ///
+    /// The shot-plan validation errors of
+    /// [`MitigationPlan::execute_sampled`], plus
+    /// [`ExecError::ResultCountMismatch`] for a contract-violating runner.
+    pub fn execute_sampled_fallible<'p, R: Runner>(
+        &'p self,
+        runner: &R,
+        shots: &ShotPlan,
+        seed: u64,
+        retry: &RetryPolicy,
+    ) -> Result<ExecutionArtifacts<'p>, ExecError> {
+        if shots.n_jobs() != self.programs.len() {
+            return Err(ExecError::ShotPlanMismatch {
+                expected: self.programs.len(),
+                got: shots.n_jobs(),
+            });
+        }
+        if let Some(slot) = shots.per_job().iter().position(|&s| s == 0) {
+            return Err(ExecError::EmptyShotAllocation { slot });
+        }
+        let jobs = self.batch_jobs();
+        let ordered =
+            ShotPlan::from_shots(self.batch_order.iter().map(|&s| shots.shots(s)).collect());
+        let engine_mix = runner.engine_mix(&jobs);
+        let (clustered, stats) = try_run_batch_resilient(runner, &jobs, retry);
+        let mut shot_record: Vec<u64> = vec![0; jobs.len()];
+        let sampled: Vec<Result<RunOutput, RunError>> = clustered
+            .into_iter()
+            .enumerate()
+            .map(|(i, res)| {
+                res.map(|out| {
+                    let s =
+                        SampledOutput::from_run(&out, ordered.shots(i), job_sample_seed(seed, i));
+                    shot_record[i] = s.counts.shots();
+                    s.to_run_output()
+                })
+            })
+            .collect();
+        let mut per_slot_shots: Vec<u64> = vec![0; self.programs.len()];
+        for (&slot, &n) in self.batch_order.iter().zip(&shot_record) {
+            per_slot_shots[slot] = n;
+        }
+        self.artifacts_from_results(sampled, engine_mix, Some(per_slot_shots), stats)
     }
 }
 
@@ -657,6 +783,33 @@ pub struct ExecutionArtifacts<'p> {
     /// Per-engine job counts the runner reported for the batch (`None`
     /// for runners without engine introspection).
     engine_mix: Option<Vec<(String, usize)>>,
+    /// Failure record of a fallible execution (`None` for the infallible
+    /// paths). Failed slots hold a zero-mass placeholder in `outputs`
+    /// that recombination never reads: it voids every trace depending on
+    /// a failed slot instead.
+    failures: Option<SlotFailures>,
+}
+
+/// Per-slot failure record of one fallible execution.
+#[derive(Debug, Clone)]
+struct SlotFailures {
+    /// Terminal error per program slot (plan program order).
+    per_slot: Vec<Option<RunError>>,
+    /// What the retry/quarantine engine did to get here.
+    stats: FailureStats,
+}
+
+/// The stand-in output stored at a failed slot: a zero-mass distribution
+/// of the job's own measured width. Never consumed — recombination skips
+/// every walk that would read it — but keeps `outputs` densely indexed by
+/// program slot.
+fn placeholder_output(measured_bits: usize) -> RunOutput {
+    RunOutput {
+        dist: Distribution::try_from_entries(measured_bits.max(1), Vec::new())
+            .expect("an empty entry list over a nonzero register is always valid"),
+        gates: 0,
+        two_qubit_gates: 0,
+    }
 }
 
 impl ExecutionArtifacts<'_> {
@@ -687,20 +840,62 @@ impl ExecutionArtifacts<'_> {
         self.engine_mix.as_deref()
     }
 
+    /// Terminal typed failures per program slot, aligned with
+    /// [`MitigationPlan::programs`] (`None` for infallible executions;
+    /// `Some` of all-`None` entries for a fallible run that lost nothing).
+    pub fn slot_failures(&self) -> Option<&[Option<RunError>]> {
+        self.failures.as_ref().map(|f| f.per_slot.as_slice())
+    }
+
+    /// What the retry/quarantine engine did during a fallible execution
+    /// (`None` for infallible paths). `voided_subsets` is filled in by
+    /// [`ExecutionArtifacts::recombine`], which knows the dependency
+    /// structure; here it is always 0.
+    pub fn failure_stats(&self) -> Option<FailureStats> {
+        self.failures.as_ref().map(|f| f.stats)
+    }
+
+    /// The typed failure of `slot`, if that program failed.
+    fn slot_failure(&self, slot: usize) -> Option<&RunError> {
+        self.failures
+            .as_ref()
+            .and_then(|f| f.per_slot[slot].as_ref())
+    }
+
     /// Stage 3: replays every subset's walk against the recorded results
     /// (purely classical) and performs the Bayesian recombination.
+    ///
+    /// Fallible executions degrade partially here: a trace whose walk
+    /// depends on a failed slot is *voided* — its subsets drop out of the
+    /// recombination and the report's locals, counted in
+    /// [`OverheadStats::failures`] — while every surviving subset's
+    /// contribution stays bit-identical to the fault-free run.
     ///
     /// # Errors
     ///
     /// [`ExecError`] if the artifacts do not match the plan (wrong count,
-    /// or a walk consuming a different request stream than planned).
+    /// or a walk consuming a different request stream than planned);
+    /// [`ExecError::JobFailed`] when a fallible execution lost the global
+    /// run itself, which no subset can degrade around.
     pub fn recombine(&self) -> Result<QuTracerReport, ExecError> {
         let plan = self.plan;
+        if let Some(err) = self.slot_failure(plan.global_slot) {
+            return Err(ExecError::JobFailed {
+                slot: plan.global_slot,
+                error: err.clone(),
+            });
+        }
         let global_out = &self.outputs[plan.global_slot];
         let global = global_out.dist.clone();
 
-        let mut outcomes: Vec<TraceOutcome> = Vec::with_capacity(plan.traces.len());
+        let mut outcomes: Vec<Option<TraceOutcome>> = Vec::with_capacity(plan.traces.len());
         for t in &plan.traces {
+            if t.slots.iter().any(|&s| self.slot_failure(s).is_some()) {
+                // A job this walk depends on failed for good: void the
+                // trace instead of replaying it against placeholders.
+                outcomes.push(None);
+                continue;
+            }
             let outs: Vec<RunOutput> = t.slots.iter().map(|&s| self.outputs[s].clone()).collect();
             let mut port = ReplayPort::new(&outs);
             let walk = if t.qubits.len() == 1 {
@@ -724,19 +919,29 @@ impl ExecutionArtifacts<'_> {
                     detail: format!("subset {:?} consumed fewer results than planned", t.qubits),
                 });
             }
-            outcomes.push(outcome);
+            outcomes.push(Some(outcome));
         }
 
         let locals: Vec<(Distribution, Vec<usize>)> = plan
             .assignments
             .iter()
-            .map(|a| (outcomes[a.trace].local.clone(), a.positions.clone()))
+            .filter_map(|a| {
+                outcomes[a.trace]
+                    .as_ref()
+                    .map(|o| (o.local.clone(), a.positions.clone()))
+            })
             .collect();
+        let voided_subsets = plan
+            .assignments
+            .iter()
+            .filter(|a| outcomes[a.trace].is_none())
+            .count() as u64;
         // Stats accounting is derived from the plan: each distinct walk
         // counts once, independent of enumeration order; values come from
         // the executed outputs (so transpiling runners report real gate
-        // counts).
-        let subset_stats: Vec<QspcStats> = outcomes.iter().map(|o| o.stats).collect();
+        // counts). Voided walks contribute nothing — the report prices
+        // what was actually recombined.
+        let subset_stats: Vec<QspcStats> = outcomes.iter().flatten().map(|o| o.stats).collect();
         let refined = recombine::try_bayesian_update_all(
             &global,
             locals.iter().map(|(d, p)| (d, p.as_slice())),
@@ -763,6 +968,10 @@ impl ExecutionArtifacts<'_> {
                 batch: Some(plan.batch_stats),
                 total_shots: self.total_sampled_shots(),
                 engine_mix: self.engine_mix.clone(),
+                failures: self.failures.as_ref().map(|f| FailureStats {
+                    voided_subsets,
+                    ..f.stats
+                }),
             },
             subset_stats,
         })

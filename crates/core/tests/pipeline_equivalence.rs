@@ -127,6 +127,7 @@ fn legacy_oracle<R: Runner>(
             batch: None,
             total_shots: None,
             engine_mix: None,
+            failures: None,
         },
         subset_stats,
     }

@@ -12,8 +12,14 @@ use crate::layout::choose_layout;
 use crate::route::{compact_program, lower_program, route_program};
 use qt_circuit::Circuit;
 use qt_sim::{
-    backend, Backend, BatchJob, Executor, Op, Program, ResolvedEngine, RunOutput, Runner,
+    backend, Backend, BatchJob, Executor, Op, Program, ResolvedEngine, RunError, RunErrorKind,
+    RunOutput, Runner,
 };
+
+/// A transpiled job: the compact physical program, the physical qubits
+/// backing each compact index, and the compact indices of the measured
+/// qubits.
+type Transpiled = (Program, Vec<usize>, Vec<usize>);
 
 /// A device-backed program runner.
 #[derive(Debug, Clone)]
@@ -50,11 +56,53 @@ impl DeviceExecutor {
     ///
     /// Returns the compact program, the physical qubits backing each compact
     /// index, and the compact indices of `measured`.
-    pub fn transpile(
+    ///
+    /// # Panics
+    ///
+    /// Panics on jobs [`DeviceExecutor::try_transpile`] rejects (program
+    /// wider than the device, measured qubit out of range). The fallible
+    /// batch surface ([`Runner::try_run_batch`]) reports those as typed
+    /// [`RunError`]s instead.
+    pub fn transpile(&self, program: &Program, measured: &[usize]) -> Transpiled {
+        match self.try_transpile(program, measured) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`DeviceExecutor::transpile`] with typed failure: a job the device
+    /// cannot host (more program qubits than physical qubits, a measured
+    /// qubit outside the register, a measured qubit the routed program
+    /// never uses) returns a permanent [`RunErrorKind::Transpile`] error
+    /// instead of panicking — calibration and layout failures become
+    /// per-job typed failures the retry/degradation machinery upstream
+    /// can route around.
+    ///
+    /// # Errors
+    ///
+    /// Permanent [`RunErrorKind::Transpile`] errors as above; transpile
+    /// failures are never transient (the same program fails the same way
+    /// on every attempt).
+    pub fn try_transpile(
         &self,
         program: &Program,
         measured: &[usize],
-    ) -> (Program, Vec<usize>, Vec<usize>) {
+    ) -> Result<Transpiled, RunError> {
+        let transpile_err = |detail: String| RunError::permanent(RunErrorKind::Transpile, detail);
+        if program.n_qubits() > self.device.n_qubits() {
+            return Err(transpile_err(format!(
+                "program needs {} qubits but device {} has {}",
+                program.n_qubits(),
+                self.device.name,
+                self.device.n_qubits()
+            )));
+        }
+        if let Some(&q) = measured.iter().find(|&&q| q >= program.n_qubits()) {
+            return Err(transpile_err(format!(
+                "measured qubit {q} outside the {}-qubit program register",
+                program.n_qubits()
+            )));
+        }
         let lowered = lower_program(program);
         // Layout works on the gate skeleton.
         let mut skeleton = Circuit::new(program.n_qubits());
@@ -76,21 +124,23 @@ impl DeviceExecutor {
             let (compact, physical) = compact_program(&routed.program);
             let cx = compact.two_qubit_gate_count();
             if best.as_ref().is_none_or(|(c, ..)| cx < *c) {
-                let compact_measured = measured
+                let compact_measured: Vec<usize> = measured
                     .iter()
                     .map(|&l| {
                         let p = routed.final_layout[l];
-                        physical
-                            .iter()
-                            .position(|&x| x == p)
-                            .expect("measured qubit must be used")
+                        physical.iter().position(|&x| x == p).ok_or_else(|| {
+                            transpile_err(format!(
+                                "measured qubit {l} maps to physical {p}, which the routed \
+                                 program never uses"
+                            ))
+                        })
                     })
-                    .collect();
+                    .collect::<Result<_, RunError>>()?;
                 best = Some((cx, compact, physical, compact_measured));
             }
         }
         let (_, compact, physical, compact_measured) = best.expect("at least one trial");
-        (compact, physical, compact_measured)
+        Ok((compact, physical, compact_measured))
     }
 }
 
@@ -132,10 +182,60 @@ impl Runner for DeviceExecutor {
             return Vec::new();
         }
         let (workers, _) = backend::batch_split(jobs.len());
-        let transpiled: Vec<(Program, Vec<usize>, Vec<usize>)> =
+        let transpiled: Vec<Transpiled> =
             backend::parallel_indexed(jobs.len(), workers.max(1), |i| {
                 self.transpile(&jobs[i].program, &jobs[i].measured)
             });
+        self.execute_transpiled(transpiled)
+    }
+
+    /// The fallible surface: transpilation failures become per-job typed
+    /// [`RunErrorKind::Transpile`] errors instead of panics, and the
+    /// remaining jobs execute exactly as [`Runner::run_batch`] would —
+    /// grouped execution is bit-identical for any subset of the batch, so
+    /// an untranspilable cohabitant never perturbs healthy results.
+    fn try_run_batch(&self, jobs: &[BatchJob]) -> Vec<Result<RunOutput, RunError>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let (workers, _) = backend::batch_split(jobs.len());
+        let transpiled: Vec<Result<Transpiled, RunError>> =
+            backend::parallel_indexed(jobs.len(), workers.max(1), |i| {
+                self.try_transpile(&jobs[i].program, &jobs[i].measured)
+            });
+        let ok_idx: Vec<usize> = transpiled
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ok())
+            .map(|(i, _)| i)
+            .collect();
+        let mut ok_jobs = Vec::with_capacity(ok_idx.len());
+        let mut results: Vec<Result<RunOutput, RunError>> = transpiled
+            .into_iter()
+            .map(|t| match t {
+                Ok(tr) => {
+                    ok_jobs.push(tr);
+                    // Placeholder, overwritten by the scatter below.
+                    Err(RunError::permanent(RunErrorKind::Backend, String::new()))
+                }
+                Err(e) => Err(e),
+            })
+            .collect();
+        for (&i, out) in ok_idx.iter().zip(self.execute_transpiled(ok_jobs)) {
+            results[i] = Ok(out);
+        }
+        results
+    }
+}
+
+impl DeviceExecutor {
+    /// Everything [`Runner::run_batch`] does after transpilation: group
+    /// the compacted programs by backing physical register and execute
+    /// each group as one batch on an inner [`Executor`].
+    fn execute_transpiled(&self, transpiled: Vec<Transpiled>) -> Vec<RunOutput> {
+        if transpiled.is_empty() {
+            return Vec::new();
+        }
         // Group by backing physical register: the calibration-derived
         // noise model (and therefore the simulated batch) is a function
         // of that list alone.
@@ -169,7 +269,7 @@ impl Runner for DeviceExecutor {
         // nested batch_split degrades to a serial walk, so the device
         // path never oversubscribes but also never regresses to one
         // group after another on an idle machine.
-        let mut out: Vec<Option<RunOutput>> = vec![None; jobs.len()];
+        let mut out: Vec<Option<RunOutput>> = vec![None; transpiled.len()];
         let (group_workers, inner) = backend::batch_split(groups.len());
         if groups.len() == 1 || group_workers <= 1 {
             for (physical, idxs) in &groups {
@@ -263,6 +363,36 @@ mod tests {
         c.h(0).cp(0, 1, 0.4);
         let out = exec.run(&Program::from_circuit(&c), &[0, 1]);
         assert_eq!(out.two_qubit_gates, 2, "CP lowers to 2 CX");
+    }
+
+    #[test]
+    fn untranspilable_jobs_fail_typed_without_poisoning_the_batch() {
+        let exec = DeviceExecutor::new(Device::fake_hanoi());
+        let mut good = Circuit::new(2);
+        good.h(0).cx(0, 1);
+        let good_prog = Program::from_circuit(&good);
+        let mut wide = Circuit::new(28); // fake_hanoi has 27 physical qubits
+        wide.h(0);
+        let jobs = vec![
+            BatchJob::new(good_prog.clone(), vec![0, 1]),
+            BatchJob::new(Program::from_circuit(&wide), vec![0]),
+            BatchJob::new(good_prog.clone(), vec![5]), // out of register
+        ];
+        let results = exec.try_run_batch(&jobs);
+        let clean = exec.run(&good_prog, &[0, 1]);
+        let healthy = results[0].as_ref().expect("healthy job must survive");
+        let xs: Vec<(u64, u64)> = healthy.dist.iter().map(|(i, p)| (i, p.to_bits())).collect();
+        let ys: Vec<(u64, u64)> = clean.dist.iter().map(|(i, p)| (i, p.to_bits())).collect();
+        assert_eq!(xs, ys, "cohabiting failures perturbed a healthy result");
+        for (i, r) in results.iter().enumerate().skip(1) {
+            match r {
+                Err(e) => {
+                    assert_eq!(e.kind, RunErrorKind::Transpile, "job {i}");
+                    assert!(!e.transient, "transpile failures are permanent");
+                }
+                Ok(_) => panic!("job {i} should be untranspilable"),
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub enum ClientError {
         /// The job that was still unfinished.
         job: u64,
     },
+    /// Connecting failed on every attempt of the retry budget — the
+    /// service is down or unreachable, not merely slow.
+    Unreachable {
+        /// Connection attempts spent (the configured budget).
+        attempts: u32,
+        /// The last connect error observed.
+        last: String,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -47,6 +55,9 @@ impl fmt::Display for ClientError {
             } => write!(f, "server error {status} ({kind}): {message}"),
             ClientError::Decode(e) => write!(f, "undecodable response: {e}"),
             ClientError::Timeout { job } => write!(f, "timed out waiting for job {job}"),
+            ClientError::Unreachable { attempts, last } => {
+                write!(f, "unreachable after {attempts} connect attempts: {last}")
+            }
         }
     }
 }
@@ -62,20 +73,61 @@ impl ClientError {
 }
 
 /// A blocking HTTP client bound to one service address.
+///
+/// Connection establishment retries transient failures with bounded
+/// exponential backoff (see [`ServiceClient::with_connect_retry`]);
+/// nothing has been sent yet at that point, so the retry is safe for
+/// every endpoint. Failures *after* connecting are surfaced immediately
+/// as [`ClientError::Io`] — the request may have reached the server.
 #[derive(Debug, Clone)]
 pub struct ServiceClient {
     addr: SocketAddr,
+    connect_attempts: u32,
+    connect_backoff: Duration,
 }
 
 impl ServiceClient {
-    /// A client for the service at `addr`.
+    /// A client for the service at `addr` with the default connect-retry
+    /// budget (3 attempts, 1 ms base backoff).
     pub fn new(addr: SocketAddr) -> Self {
-        ServiceClient { addr }
+        ServiceClient {
+            addr,
+            connect_attempts: 3,
+            connect_backoff: Duration::from_millis(1),
+        }
+    }
+
+    /// Overrides the connect-retry budget: `attempts` total connection
+    /// attempts (minimum 1) with `base_backoff` before the first retry,
+    /// doubling per attempt and capped at 100 ms. Once the budget is
+    /// spent the call fails with [`ClientError::Unreachable`].
+    pub fn with_connect_retry(mut self, attempts: u32, base_backoff: Duration) -> Self {
+        self.connect_attempts = attempts.max(1);
+        self.connect_backoff = base_backoff;
+        self
+    }
+
+    fn connect(&self) -> Result<TcpStream, ClientError> {
+        let mut backoff = self.connect_backoff;
+        let mut last = String::new();
+        for attempt in 1..=self.connect_attempts {
+            match TcpStream::connect(self.addr) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = e.to_string(),
+            }
+            if attempt < self.connect_attempts {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+            }
+        }
+        Err(ClientError::Unreachable {
+            attempts: self.connect_attempts,
+            last,
+        })
     }
 
     fn call(&self, method: &str, path: &str, body: &str) -> Result<(u16, Json), ClientError> {
-        let mut stream =
-            TcpStream::connect(self.addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut stream = self.connect()?;
         write_request(&mut stream, method, path, body)
             .map_err(|e| ClientError::Io(e.to_string()))?;
         let msg = read_message(&mut stream).map_err(|e| ClientError::Io(e.to_string()))?;

@@ -27,6 +27,14 @@ pub enum ServiceError {
         /// The requested job id.
         job: u64,
     },
+    /// The job overran the server-side request deadline before a report
+    /// could be delivered; its work (if any) was discarded.
+    DeadlineExceeded {
+        /// The expired job id.
+        job: u64,
+        /// The configured deadline that was exceeded.
+        deadline_millis: u64,
+    },
     /// The service is draining and accepts no new work.
     ShuttingDown,
 }
@@ -40,6 +48,7 @@ impl ServiceError {
             ServiceError::Plan(_) => 422,
             ServiceError::Exec(_) => 500,
             ServiceError::NotFound { .. } => 404,
+            ServiceError::DeadlineExceeded { .. } => 504,
             ServiceError::ShuttingDown => 503,
         }
     }
@@ -52,6 +61,7 @@ impl ServiceError {
             ServiceError::Plan(_) => "plan_error",
             ServiceError::Exec(_) => "exec_error",
             ServiceError::NotFound { .. } => "not_found",
+            ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServiceError::ShuttingDown => "shutting_down",
         }
     }
@@ -75,6 +85,13 @@ impl fmt::Display for ServiceError {
             ServiceError::Plan(e) => write!(f, "planning failed: {e}"),
             ServiceError::Exec(e) => write!(f, "execution failed: {e}"),
             ServiceError::NotFound { job } => write!(f, "no such job: {job}"),
+            ServiceError::DeadlineExceeded {
+                job,
+                deadline_millis,
+            } => write!(
+                f,
+                "job {job} exceeded the {deadline_millis} ms request deadline"
+            ),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }

@@ -8,6 +8,7 @@
 //! wake, whichever comes first. That window is what lets unrelated
 //! requests land in one batch and share circuit prefixes downstream.
 
+use qt_sim::{wait_recover, wait_timeout_recover, LockRecoverExt};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -53,7 +54,13 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently pending.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        self.state.lock_recover().items.len()
+    }
+
+    /// `true` once the queue has been closed (admission refuses with
+    /// [`PushError::Closed`]) — the service's readiness probe.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock_recover().closed
     }
 
     /// `true` when nothing is pending.
@@ -63,7 +70,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueues `item` or rejects immediately — never blocks.
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock_recover();
         if state.closed {
             return Err(PushError::Closed);
         }
@@ -82,12 +89,12 @@ impl<T> BoundedQueue<T> {
     /// is closed *and* drained — the consumer's exit signal.
     pub fn drain(&self, max: usize, deadline: Duration) -> Option<Vec<T>> {
         let max = max.max(1);
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock_recover();
         while state.items.is_empty() {
             if state.closed {
                 return None;
             }
-            state = self.cv.wait(state).unwrap();
+            state = wait_recover(&self.cv, state);
         }
         let woke = Instant::now();
         while state.items.len() < max && !state.closed {
@@ -95,7 +102,7 @@ impl<T> BoundedQueue<T> {
             if elapsed >= deadline {
                 break;
             }
-            let (next, timeout) = self.cv.wait_timeout(state, deadline - elapsed).unwrap();
+            let (next, timeout) = wait_timeout_recover(&self.cv, state, deadline - elapsed);
             state = next;
             if timeout.timed_out() {
                 break;
@@ -108,8 +115,23 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: future pushes fail with [`PushError::Closed`] and
     /// the consumer drains whatever remains, then sees `None`.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        self.state.lock_recover().closed = true;
         self.cv.notify_all();
+    }
+
+    /// Closes the queue *and* takes everything still pending, atomically:
+    /// nothing taken here can also be drained by the consumer, and the
+    /// consumer's next [`BoundedQueue::drain`] sees the exit signal. This
+    /// is the fail-queued-work half of a drain-shutdown — the caller owns
+    /// the orphans and must resolve them (e.g. with a typed
+    /// shutting-down error) so no waiter hangs.
+    pub fn close_and_take(&self) -> Vec<T> {
+        let mut state = self.state.lock_recover();
+        state.closed = true;
+        let orphans = state.items.drain(..).collect();
+        drop(state);
+        self.cv.notify_all();
+        orphans
     }
 }
 
@@ -155,6 +177,19 @@ mod tests {
         let batch = q.drain(4, Duration::from_secs(30)).unwrap();
         assert_eq!(batch.len(), 4);
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn close_and_take_owns_the_orphans_atomically() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let orphans = q.close_and_take();
+        assert_eq!(orphans, vec![1, 2]);
+        assert!(q.is_closed());
+        // The consumer can never see what the closer took.
+        assert_eq!(q.drain(4, Duration::from_millis(1)), None);
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
     }
 
     #[test]

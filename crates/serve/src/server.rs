@@ -6,8 +6,10 @@
 //! |--------------------|----------------------------------------|---------|
 //! | `POST /submit`     | `{circuit, measured, config?}`         | `202 {"job_id":N}`, `429` overloaded, `422` plan error |
 //! | `GET /status/<id>` | —                                      | `200 {"job_id","state",...}`, `404` |
-//! | `GET /result/<id>` | —                                      | `200` report, `202` pending, `404`, `500` failed |
+//! | `GET /result/<id>` | —                                      | `200` report, `202` pending, `404`, `500` failed, `504` deadline |
 //! | `GET /stats`       | —                                      | `200` service counters |
+//! | `GET /health`      | —                                      | `200` liveness (the process answers) |
+//! | `GET /ready`       | —                                      | `200` accepting, `503` draining |
 //!
 //! Every error body is `{"error": kind, "message": text}` (see
 //! [`ServiceError`]).
@@ -128,6 +130,16 @@ fn route<R: Runner + Send + Sync + 'static>(
     match (msg.method.as_str(), msg.path.as_str()) {
         ("POST", "/submit") => reply(handle_submit(msg, service)),
         ("GET", "/stats") => (200, service_stats_json(service)),
+        // Liveness: answering at all is the signal.
+        ("GET", "/health") => (200, obj([("status", Json::Str("ok".into()))])),
+        // Readiness: admission must actually be open.
+        ("GET", "/ready") => {
+            if service.is_accepting() {
+                (200, obj([("status", Json::Str("ready".into()))]))
+            } else {
+                (503, obj([("status", Json::Str("draining".into()))]))
+            }
+        }
         ("GET", path) => {
             if let Some(id) = parse_id(path, "/status/") {
                 reply(handle_status(id, service))
@@ -253,5 +265,25 @@ fn service_stats_json<R: Runner + Send + Sync + 'static>(service: &MitigationSer
             ]),
         ),
         ("batch_trie", wire::trie_stats_to_json(&s.batch_trie)),
+        (
+            "run_failures",
+            obj([
+                ("retries", Json::Num(s.run_failures.retries as f64)),
+                (
+                    "retried_jobs",
+                    Json::Num(s.run_failures.retried_jobs as f64),
+                ),
+                ("failed_jobs", Json::Num(s.run_failures.failed_jobs as f64)),
+                (
+                    "isolated_panics",
+                    Json::Num(s.run_failures.isolated_panics as f64),
+                ),
+                (
+                    "corrupt_outputs",
+                    Json::Num(s.run_failures.corrupt_outputs as f64),
+                ),
+            ]),
+        ),
+        ("deadline_expired", Json::Num(s.deadline_expired as f64)),
     ])
 }

@@ -22,13 +22,28 @@
 //! `run_qutracer` call with the same runner: plan-order jobs, trie
 //! execution and cache hits are all exact — the end-to-end tests assert
 //! this with `f64::to_bits` equality through the wire format.
+//!
+//! # Failure domain
+//!
+//! Execution runs through [`qt_sim::try_run_batch_resilient`]: panics are
+//! caught and quarantined to the offending job by batch bisection,
+//! transient errors are retried within [`ServiceConfig::retry`], and a job
+//! that still fails voids only the requests depending on it — cohabiting
+//! healthy requests keep their bit-identical reports. Per-request
+//! deadlines ([`ServiceConfig::request_deadline`]) turn overdue jobs into
+//! typed 504s, and [`MitigationService::shutdown`] drains in-flight work
+//! while failing queued work with [`ServiceError::ShuttingDown`] — every
+//! submitted job terminates with a report or a typed error, never a hang.
 
 use crate::error::ServiceError;
 use crate::queue::{BoundedQueue, PushError};
 use qt_circuit::Circuit;
-use qt_core::{MitigationPlan, PlanView, QuTracer, QuTracerConfig, QuTracerReport};
+use qt_core::{ExecError, MitigationPlan, PlanView, QuTracer, QuTracerConfig, QuTracerReport};
 use qt_sim::cache::{run_output_weight, CacheStats, ShardedLruCache};
-use qt_sim::{batch_trie_stats, BatchJob, JobInterner, RunOutput, Runner, TrieStats};
+use qt_sim::{
+    batch_trie_stats, try_run_batch_resilient, wait_timeout_recover, BatchJob, FailureStats,
+    JobInterner, LockRecoverExt, RetryPolicy, RunError, RunOutput, Runner, TrieStats,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -51,6 +66,16 @@ pub struct ServiceConfig {
     pub cache_bytes: usize,
     /// Shard count of the result cache (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Retry budget for transient job failures during batch execution
+    /// (see [`qt_sim::try_run_batch_resilient`]). Retried work is
+    /// bit-identical to first-attempt success, so retries never change a
+    /// served report — only whether one is served.
+    pub retry: RetryPolicy,
+    /// Server-side wall-clock budget per request, measured from
+    /// admission. A job still undelivered when it expires fails with
+    /// [`ServiceError::DeadlineExceeded`] (HTTP 504) and its pending work
+    /// is discarded; `None` disables deadlines.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +86,8 @@ impl Default for ServiceConfig {
             batch_deadline: Duration::from_millis(2),
             cache_bytes: 32 << 20,
             cache_shards: 8,
+            retry: RetryPolicy::default(),
+            request_deadline: None,
         }
     }
 }
@@ -103,7 +130,24 @@ impl JobState {
     }
 }
 
-/// One admitted request travelling from `submit` to the batcher.
+impl JobState {
+    /// `true` once the job can no longer change state.
+    fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_))
+    }
+}
+
+/// A job-registry entry: where the job is plus its server-side deadline.
+struct JobEntry {
+    state: JobState,
+    /// Instant past which the job fails with
+    /// [`ServiceError::DeadlineExceeded`]; `None` when deadlines are off.
+    deadline: Option<Instant>,
+}
+
+/// One admitted request travelling from `submit` to the batcher. The
+/// job's deadline lives in its [`JobEntry`]; the batcher observes it
+/// through [`MitigationService::expire_if_overdue`] at pick-up/delivery.
 struct Ticket {
     id: u64,
     plan: MitigationPlan,
@@ -138,6 +182,12 @@ pub struct ServiceStats {
     /// Accumulated prefix-sharing statistics of the executed (miss)
     /// batches — how much gate work cross-request merging shared.
     pub batch_trie: TrieStats,
+    /// Accumulated failure-domain activity of the resilient execution
+    /// path: retries spent, jobs recovered or failed, quarantined panics
+    /// and corrupt outputs (see [`FailureStats`]).
+    pub run_failures: FailureStats,
+    /// Requests failed with [`ServiceError::DeadlineExceeded`].
+    pub deadline_expired: u64,
 }
 
 /// The long-running mitigation engine behind the HTTP front-end.
@@ -145,7 +195,7 @@ pub struct MitigationService<R> {
     runner: R,
     config: ServiceConfig,
     queue: BoundedQueue<Ticket>,
-    jobs: Mutex<HashMap<u64, JobState>>,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
     /// Signalled whenever a job reaches a terminal state.
     done_cv: Condvar,
     next_id: AtomicU64,
@@ -160,6 +210,8 @@ pub struct MitigationService<R> {
     cache_hit_jobs: AtomicU64,
     executed_jobs: AtomicU64,
     batch_trie: Mutex<TrieStats>,
+    run_failures: Mutex<FailureStats>,
+    deadline_expired: AtomicU64,
 }
 
 impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
@@ -187,6 +239,8 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
             cache_hit_jobs: AtomicU64::new(0),
             executed_jobs: AtomicU64::new(0),
             batch_trie: Mutex::new(TrieStats::default()),
+            run_failures: Mutex::new(FailureStats::default()),
+            deadline_expired: AtomicU64::new(0),
         })
     }
 
@@ -219,14 +273,21 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
         let plan = QuTracer::plan(circuit, measured, config).map_err(ServiceError::Plan)?;
         let view = plan.view();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.jobs.lock().unwrap().insert(id, JobState::Queued(view));
+        let deadline = self.config.request_deadline.map(|d| Instant::now() + d);
+        self.jobs.lock_recover().insert(
+            id,
+            JobEntry {
+                state: JobState::Queued(view),
+                deadline,
+            },
+        );
         match self.queue.try_push(Ticket { id, plan }) {
             Ok(()) => {
                 self.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(id)
             }
             Err(e) => {
-                self.jobs.lock().unwrap().remove(&id);
+                self.jobs.lock_recover().remove(&id);
                 match e {
                     PushError::Full => {
                         self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -240,18 +301,40 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
         }
     }
 
+    /// Fails `entry` with [`ServiceError::DeadlineExceeded`] if its
+    /// server-side deadline has passed and it is still non-terminal.
+    /// Expiry is observed lazily — at every registry access and at the
+    /// batcher's pick-up and delivery points — so an expired job turns
+    /// into a typed 504 wherever it is next touched.
+    fn expire_if_overdue(&self, id: u64, entry: &mut JobEntry) {
+        let overdue =
+            !entry.state.is_terminal() && entry.deadline.is_some_and(|d| Instant::now() >= d);
+        if overdue {
+            entry.state = JobState::Failed(ServiceError::DeadlineExceeded {
+                job: id,
+                deadline_millis: self
+                    .config
+                    .request_deadline
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0),
+            });
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// The current state of job `id`.
     ///
     /// # Errors
     ///
     /// [`ServiceError::NotFound`] for unknown ids.
     pub fn status(&self, id: u64) -> Result<JobState, ServiceError> {
-        self.jobs
-            .lock()
-            .unwrap()
-            .get(&id)
-            .cloned()
-            .ok_or(ServiceError::NotFound { job: id })
+        let mut jobs = self.jobs.lock_recover();
+        let entry = jobs
+            .get_mut(&id)
+            .ok_or(ServiceError::NotFound { job: id })?;
+        self.expire_if_overdue(id, entry);
+        Ok(entry.state.clone())
     }
 
     /// The finished report for job `id`, `None` while it is still in
@@ -282,18 +365,32 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
         timeout: Duration,
     ) -> Result<Arc<QuTracerReport>, ServiceError> {
         let deadline = Instant::now() + timeout;
-        let mut jobs = self.jobs.lock().unwrap();
+        let mut jobs = self.jobs.lock_recover();
         loop {
-            match jobs.get(&id) {
-                None => return Err(ServiceError::NotFound { job: id }),
-                Some(JobState::Done(report)) => return Ok(Arc::clone(report)),
-                Some(JobState::Failed(e)) => return Err(e.clone()),
-                Some(_) => {
+            let Some(entry) = jobs.get_mut(&id) else {
+                return Err(ServiceError::NotFound { job: id });
+            };
+            self.expire_if_overdue(id, entry);
+            match &entry.state {
+                JobState::Done(report) => return Ok(Arc::clone(report)),
+                JobState::Failed(e) => return Err(e.clone()),
+                _ => {
                     let now = Instant::now();
                     if now >= deadline {
                         return Err(ServiceError::NotFound { job: id });
                     }
-                    let (next, _) = self.done_cv.wait_timeout(jobs, deadline - now).unwrap();
+                    let mut wait = deadline - now;
+                    if let Some(d) = entry.deadline {
+                        // Wake when the job's own server-side deadline
+                        // lands, so expiry is observed even if nothing is
+                        // ever delivered. The floor avoids a hot loop when
+                        // the deadline falls between two clock reads.
+                        let until_expiry = d
+                            .saturating_duration_since(now)
+                            .max(Duration::from_micros(50));
+                        wait = wait.min(until_expiry);
+                    }
+                    let (next, _) = wait_timeout_recover(&self.done_cv, jobs, wait);
                     jobs = next;
                 }
             }
@@ -314,7 +411,9 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
             cache_hit_jobs: self.cache_hit_jobs.load(Ordering::Relaxed),
             executed_jobs: self.executed_jobs.load(Ordering::Relaxed),
             cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
-            batch_trie: *self.batch_trie.lock().unwrap(),
+            batch_trie: *self.batch_trie.lock_recover(),
+            run_failures: *self.run_failures.lock_recover(),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -324,10 +423,32 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
         self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
-    /// Stops admission and lets the batcher drain what is already queued;
-    /// its thread exits afterwards.
+    /// `true` while the service accepts new submissions — the readiness
+    /// probe behind `GET /ready`. Liveness (`GET /health`) is simply the
+    /// process answering.
+    pub fn is_accepting(&self) -> bool {
+        !self.queue.is_closed()
+    }
+
+    /// Drain-shutdown: stops admission, fails everything still *queued*
+    /// with a typed [`ServiceError::ShuttingDown`], and lets work already
+    /// picked up by the batcher finish normally. Waiters are woken, so
+    /// [`MitigationService::wait_result`] never hangs across a shutdown —
+    /// every job resolves to its report or a typed error.
     pub fn shutdown(&self) {
-        self.queue.close();
+        let orphans = self.queue.close_and_take();
+        if !orphans.is_empty() {
+            let mut jobs = self.jobs.lock_recover();
+            for ticket in &orphans {
+                if let Some(entry) = jobs.get_mut(&ticket.id) {
+                    if !entry.state.is_terminal() {
+                        entry.state = JobState::Failed(ServiceError::ShuttingDown);
+                        self.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        self.done_cv.notify_all();
     }
 
     /// Drains and processes one batch. Returns `false` once the queue is
@@ -344,27 +465,44 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
     }
 
     /// Executes one drained batch: cross-request dedup, cache lookups,
-    /// one merged `run_batch` over the misses, then per-request scatter
-    /// and recombination.
+    /// one merged *resilient* run over the misses (panic quarantine by
+    /// bisection, bounded retry of transients — see
+    /// [`qt_sim::try_run_batch_resilient`]), then per-request scatter and
+    /// recombination. A job failure voids only the requests that depend
+    /// on that job: healthy cohabitants of the same batch still get
+    /// reports bit-identical to a fault-free run.
     fn process_batch(&self, batch: Vec<Ticket>) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // Pick-up: requests already past their deadline fail right here
+        // (typed 504, no execution spent); the rest are marked Running.
+        let mut live: Vec<Ticket> = Vec::with_capacity(batch.len());
         {
-            let mut jobs = self.jobs.lock().unwrap();
-            for ticket in &batch {
-                if let Some(state) = jobs.get_mut(&ticket.id) {
-                    if let JobState::Queued(view) = state {
-                        *state = JobState::Running(view.clone());
-                    }
+            let mut jobs = self.jobs.lock_recover();
+            for ticket in batch {
+                let Some(entry) = jobs.get_mut(&ticket.id) else {
+                    continue;
+                };
+                self.expire_if_overdue(ticket.id, entry);
+                if entry.state.is_terminal() {
+                    continue;
                 }
+                if let JobState::Queued(view) = &entry.state {
+                    entry.state = JobState::Running(view.clone());
+                }
+                live.push(ticket);
             }
+        }
+        if live.is_empty() {
+            self.done_cv.notify_all();
+            return;
         }
 
         // Cross-request dedup: every request's plan-order jobs land in one
         // shared table; equal jobs (same structural key) occupy one slot
         // no matter which user submitted them.
-        let per_request: Vec<Vec<BatchJob>> = batch.iter().map(|t| t.plan.batch_jobs()).collect();
+        let per_request: Vec<Vec<BatchJob>> = live.iter().map(|t| t.plan.batch_jobs()).collect();
         let mut interner = JobInterner::new();
         let mut table: Vec<BatchJob> = Vec::new();
         let request_slots: Vec<Vec<usize>> = per_request
@@ -380,13 +518,14 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
 
         // Cache lookups per distinct job; the remainder executes as ONE
         // batch so the trie scheduler merges shared prefixes across
-        // requests.
-        let mut results: Vec<Option<RunOutput>> = vec![None; table.len()];
+        // requests. Results are per-slot `Result`s: a failed job poisons
+        // only the requests whose plans reference its slot.
+        let mut results: Vec<Option<Result<RunOutput, RunError>>> = vec![None; table.len()];
         let mut miss_slots: Vec<usize> = Vec::new();
         for (slot, job) in table.iter().enumerate() {
             if let Some(cache) = &self.cache {
                 if let Some(out) = cache.get(job.dedup_key()) {
-                    results[slot] = Some(out);
+                    results[slot] = Some(Ok(out));
                     continue;
                 }
             }
@@ -401,46 +540,60 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
             let miss_jobs: Vec<BatchJob> =
                 miss_slots.iter().map(|&slot| table[slot].clone()).collect();
             self.batch_trie
-                .lock()
-                .unwrap()
+                .lock_recover()
                 .absorb(&batch_trie_stats(&miss_jobs));
-            let fresh = self.runner.run_batch(&miss_jobs);
-            // A runner violating the run_batch contract fails the whole
-            // drained batch below (every request sees a scatter mismatch)
-            // instead of panicking the batcher thread.
-            if fresh.len() == miss_jobs.len() {
-                for (&slot, out) in miss_slots.iter().zip(fresh) {
-                    if let Some(cache) = &self.cache {
-                        let weight = run_output_weight(&out);
-                        cache.insert(table[slot].dedup_key(), out.clone(), weight);
-                    }
-                    results[slot] = Some(out);
+            // The resilient path isolates panics (batch bisection), turns
+            // contract violations and corrupt shapes into typed errors and
+            // retries transients within the configured budget — it always
+            // returns exactly one Result per job and never unwinds into
+            // the batcher thread.
+            let (fresh, fail_stats) =
+                try_run_batch_resilient(&self.runner, &miss_jobs, &self.config.retry);
+            self.run_failures.lock_recover().merge(&fail_stats);
+            for (&slot, res) in miss_slots.iter().zip(fresh) {
+                if let (Some(cache), Ok(out)) = (&self.cache, &res) {
+                    cache.insert(table[slot].dedup_key(), out.clone(), run_output_weight(out));
                 }
+                results[slot] = Some(res);
             }
         }
 
         // Scatter back per request and recombine each plan independently.
-        let mut jobs = self.jobs.lock().unwrap();
-        for ((ticket, slots), own_jobs) in batch.iter().zip(&request_slots).zip(&per_request) {
-            let outputs: Option<Vec<RunOutput>> =
-                slots.iter().map(|&slot| results[slot].clone()).collect();
-            let outcome = match outputs {
-                Some(outputs) => {
-                    let engine_mix = self.runner.engine_mix(own_jobs);
-                    ticket
-                        .plan
-                        .artifacts_from_outputs(outputs, engine_mix)
-                        .and_then(|artifacts| artifacts.recombine())
-                        .map_err(ServiceError::Exec)
-                }
-                None => Err(ServiceError::Exec(
-                    qt_core::ExecError::ResultCountMismatch {
+        let mut jobs = self.jobs.lock_recover();
+        for ((ticket, slots), own_jobs) in live.iter().zip(&request_slots).zip(&per_request) {
+            let Some(entry) = jobs.get_mut(&ticket.id) else {
+                continue;
+            };
+            // Delivery-point deadline check: a report that missed its
+            // deadline is discarded, not delivered late.
+            self.expire_if_overdue(ticket.id, entry);
+            if entry.state.is_terminal() {
+                continue;
+            }
+            let gathered: Result<Vec<RunOutput>, ServiceError> = slots
+                .iter()
+                .enumerate()
+                .map(|(local, &slot)| match &results[slot] {
+                    Some(Ok(out)) => Ok(out.clone()),
+                    Some(Err(error)) => Err(ServiceError::Exec(ExecError::JobFailed {
+                        slot: local,
+                        error: error.clone(),
+                    })),
+                    None => Err(ServiceError::Exec(ExecError::ResultCountMismatch {
                         expected: slots.len(),
                         got: 0,
-                    },
-                )),
-            };
-            let state = match outcome {
+                    })),
+                })
+                .collect();
+            let outcome = gathered.and_then(|outputs| {
+                let engine_mix = self.runner.engine_mix(own_jobs);
+                ticket
+                    .plan
+                    .artifacts_from_outputs(outputs, engine_mix)
+                    .and_then(|artifacts| artifacts.recombine())
+                    .map_err(ServiceError::Exec)
+            });
+            entry.state = match outcome {
                 Ok(report) => {
                     self.completed.fetch_add(1, Ordering::Relaxed);
                     JobState::Done(Arc::new(report))
@@ -450,7 +603,6 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
                     JobState::Failed(e)
                 }
             };
-            jobs.insert(ticket.id, state);
         }
         drop(jobs);
         self.done_cv.notify_all();

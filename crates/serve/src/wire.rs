@@ -267,6 +267,33 @@ pub fn trie_stats_from_json(j: &Json) -> Result<TrieStats, String> {
     })
 }
 
+/// Encodes [`qt_sim::FailureStats`] field-by-field (u64s as decimal
+/// strings, like every other u64 on the wire).
+pub fn failure_stats_to_json(s: &qt_sim::FailureStats) -> Json {
+    obj([
+        ("retries", u64_str(s.retries)),
+        ("retried_jobs", u64_str(s.retried_jobs)),
+        ("failed_jobs", u64_str(s.failed_jobs)),
+        ("isolated_panics", u64_str(s.isolated_panics)),
+        ("corrupt_outputs", u64_str(s.corrupt_outputs)),
+        ("voided_subsets", u64_str(s.voided_subsets)),
+    ])
+}
+
+/// Decodes [`failure_stats_to_json`]'s form.
+pub fn failure_stats_from_json(j: &Json) -> Result<qt_sim::FailureStats, String> {
+    let get =
+        |name: &str| -> Result<u64, String> { j.field(name, "failure_stats")?.as_u64_str(name) };
+    Ok(qt_sim::FailureStats {
+        retries: get("retries")?,
+        retried_jobs: get("retried_jobs")?,
+        failed_jobs: get("failed_jobs")?,
+        isolated_panics: get("isolated_panics")?,
+        corrupt_outputs: get("corrupt_outputs")?,
+        voided_subsets: get("voided_subsets")?,
+    })
+}
+
 /// Encodes [`OverheadStats`]; optional fields serialize as `null`.
 pub fn overhead_stats_to_json(s: &OverheadStats) -> Json {
     obj([
@@ -293,6 +320,12 @@ pub fn overhead_stats_to_json(s: &OverheadStats) -> Json {
                         .collect(),
                 )
             }),
+        ),
+        (
+            "failures",
+            s.failures
+                .as_ref()
+                .map_or(Json::Null, failure_stats_to_json),
         ),
     ])
 }
@@ -339,6 +372,10 @@ pub fn overhead_stats_from_json(j: &Json) -> Result<OverheadStats, String> {
             .map(|v| v.as_u64_str("total_shots"))
             .transpose()?,
         engine_mix,
+        failures: j
+            .opt_field("failures", "overhead_stats")?
+            .map(failure_stats_from_json)
+            .transpose()?,
     })
 }
 

@@ -8,9 +8,9 @@ use qt_algos::{qaoa_maxcut, ring_graph, QaoaParams};
 use qt_circuit::Circuit;
 use qt_core::{run_qutracer, QuTracerConfig, QuTracerReport};
 use qt_dist::Distribution;
-use qt_serve::{serve, MitigationService, ServiceClient, ServiceConfig, ServiceError};
-use qt_sim::{Backend, Executor, NoiseModel};
-use std::time::Duration;
+use qt_serve::{serve, JobState, MitigationService, ServiceClient, ServiceConfig, ServiceError};
+use qt_sim::{Backend, ChaosConfig, ChaosRunner, Executor, NoiseModel};
+use std::time::{Duration, Instant};
 
 fn runner() -> Executor {
     Executor::with_backend(
@@ -191,6 +191,77 @@ fn plan_errors_are_rejected_at_submission() {
     );
     assert_eq!(service.stats().submitted, 0);
     service.shutdown();
+}
+
+/// Shutdown landing mid-batch: the in-flight request completes with a
+/// report bit-identical to a fault-free run, the still-queued request
+/// fails with a typed `ShuttingDown`, and `wait_result` never hangs on
+/// either — the drain-shutdown contract.
+#[test]
+fn shutdown_mid_batch_completes_in_flight_and_fails_queued_typed() {
+    let edges = ring_graph(3);
+    let circuit = qaoa_maxcut(3, &edges, &QaoaParams::seeded(5, 1));
+    let measured = [0, 1, 2];
+    let cfg = QuTracerConfig::single();
+
+    // Latency-only chaos: every batch stalls ~300 ms inside the runner,
+    // giving shutdown a wide window to land while job A is in flight.
+    // Latency never changes results, so A must still be bit-identical.
+    let chaos = ChaosRunner::new(
+        runner(),
+        ChaosConfig {
+            seed: 11,
+            latency_rate: 1.0,
+            latency_millis: 300,
+            ..ChaosConfig::default()
+        },
+    );
+    let service = MitigationService::new(
+        chaos,
+        ServiceConfig {
+            batch_max_requests: 1,
+            batch_deadline: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let batcher = service.spawn_batcher();
+
+    let job_a = service.submit(&circuit, &measured, &cfg).expect("submit A");
+    // Wait until the batcher has picked A up — from then on it is
+    // in-flight work that shutdown must let finish.
+    let pickup = Instant::now();
+    while !matches!(
+        service.status(job_a),
+        Ok(JobState::Running(_) | JobState::Done(_))
+    ) {
+        assert!(
+            pickup.elapsed() < Duration::from_secs(30),
+            "job A was never picked up"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let job_b = service.submit(&circuit, &measured, &cfg).expect("submit B");
+    service.shutdown();
+
+    // B was still queued: typed ShuttingDown, delivered without a hang.
+    match service.wait_result(job_b, Duration::from_secs(30)) {
+        Err(ServiceError::ShuttingDown) => {}
+        other => panic!("queued job B should fail ShuttingDown, got {other:?}"),
+    }
+    // A was in flight: it completes, and the report is exact.
+    let served = service
+        .wait_result(job_a, Duration::from_secs(120))
+        .expect("in-flight job A must complete across shutdown");
+    let local = run_qutracer(&runner(), &circuit, &measured, &cfg);
+    assert_report_identical(&served, &local);
+
+    batcher
+        .join()
+        .expect("batcher exits cleanly after the drain");
+    let stats = service.stats();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 1);
 }
 
 /// The HTTP shell maps unknown jobs and unknown routes to typed errors.

@@ -90,11 +90,20 @@ fn overhead_stats_roundtrip_with_and_without_options() {
         }),
         total_shots: Some(u64::MAX),
         engine_mix: Some(vec![("density".into(), 4), ("stabilizer".into(), 1)]),
+        failures: Some(qt_sim::FailureStats {
+            retries: u64::MAX - 1,
+            retried_jobs: 3,
+            failed_jobs: 1,
+            isolated_panics: 2,
+            corrupt_outputs: 4,
+            voided_subsets: 5,
+        }),
     };
     let bare = OverheadStats {
         batch: None,
         total_shots: None,
         engine_mix: None,
+        failures: None,
         ..full.clone()
     };
     for s in [full, bare] {
@@ -112,6 +121,7 @@ fn overhead_stats_roundtrip_with_and_without_options() {
         assert_eq!(back.batch, s.batch);
         assert_eq!(back.total_shots, s.total_shots);
         assert_eq!(back.engine_mix, s.engine_mix);
+        assert_eq!(back.failures, s.failures);
     }
 }
 

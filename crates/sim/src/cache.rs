@@ -21,6 +21,7 @@
 //! eviction pops the minimum tick from a `BTreeMap` index, so both paths
 //! are `O(log n)` in the shard's entry count.
 
+use crate::sync::LockRecoverExt;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -140,7 +141,7 @@ impl<V: Clone> ShardedLruCache<V> {
 
     /// Look up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: JobKey) -> Option<V> {
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let mut shard = self.shard_of(key).lock_recover();
         if shard.map.contains_key(&key) {
             shard.touch(key);
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -160,7 +161,7 @@ impl<V: Clone> ShardedLruCache<V> {
         if weight > self.shard_capacity {
             return false;
         }
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let mut shard = self.shard_of(key).lock_recover();
         if let Some(old) = shard.map.remove(&key) {
             shard.by_tick.remove(&old.tick);
             shard.weight -= old.weight;
@@ -194,10 +195,7 @@ impl<V: Clone> ShardedLruCache<V> {
 
     /// Number of resident entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().map.len())
-            .sum()
+        self.shards.iter().map(|s| s.lock_recover().map.len()).sum()
     }
 
     /// `true` when no entries are resident.
@@ -207,7 +205,7 @@ impl<V: Clone> ShardedLruCache<V> {
 
     /// Total resident entry weight in bytes across all shards.
     pub fn weight_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().weight).sum()
+        self.shards.iter().map(|s| s.lock_recover().weight).sum()
     }
 
     /// The global byte budget (each shard holds an equal slice).

@@ -131,7 +131,12 @@ impl ShotPlan {
 /// SplitMix64-style avalanche over `(seed, index)`, decorrelating jobs from
 /// each other *and* from the per-stream offsets inside one job's sampler
 /// (which are additive in the raw seed).
-fn job_seed(seed: u64, index: usize) -> u64 {
+///
+/// Public because fallible execution paths (`qt_core`'s
+/// `execute_sampled_fallible`) sample retried jobs *after* exact
+/// re-execution and must reuse the seed of each job's original submission
+/// index to stay bit-identical to the fault-free run.
+pub fn job_sample_seed(seed: u64, index: usize) -> u64 {
     let mut z = seed
         ^ (index as u64)
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -500,7 +505,7 @@ pub trait Runner {
         self.run_batch(jobs)
             .iter()
             .enumerate()
-            .map(|(i, out)| SampledOutput::from_run(out, shots.shots(i), job_seed(seed, i)))
+            .map(|(i, out)| SampledOutput::from_run(out, shots.shots(i), job_sample_seed(seed, i)))
             .collect()
     }
 
@@ -510,6 +515,52 @@ pub trait Runner {
     /// execution.
     fn engine_mix(&self, _jobs: &[BatchJob]) -> Option<Vec<(String, usize)>> {
         None
+    }
+
+    /// The fallible batch surface: one `Result` per job, in job order.
+    /// Runners that can observe per-job failure (device backends, the
+    /// fault-injecting [`crate::ChaosRunner`]) override this to return
+    /// typed [`crate::RunError`]s; the default rides the infallible
+    /// [`Runner::run_batch`], so every existing runner keeps working
+    /// unchanged and simply never reports a failure.
+    ///
+    /// Contract: the returned vector has exactly `jobs.len()` entries, and
+    /// every `Ok` output is bit-identical to what the infallible path
+    /// would produce for that job — failure handling must never perturb
+    /// healthy results.
+    fn try_run_batch(&self, jobs: &[BatchJob]) -> Vec<Result<RunOutput, crate::RunError>> {
+        self.run_batch(jobs).into_iter().map(Ok).collect()
+    }
+
+    /// Fallible finite-shot batch surface. Mirrors
+    /// [`Runner::run_batch_sampled`]: exact distributions come from
+    /// [`Runner::try_run_batch`], then each successful job is sampled with
+    /// its index-derived seed — so the `Ok` entries are bit-identical to
+    /// the infallible sampled path regardless of which other jobs failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots` does not cover exactly `jobs.len()` jobs.
+    fn try_run_batch_sampled(
+        &self,
+        jobs: &[BatchJob],
+        shots: &ShotPlan,
+        seed: u64,
+    ) -> Vec<Result<SampledOutput, crate::RunError>> {
+        assert_eq!(
+            jobs.len(),
+            shots.n_jobs(),
+            "shot plan covers a different number of jobs than submitted"
+        );
+        self.try_run_batch(jobs)
+            .into_iter()
+            .enumerate()
+            .map(|(i, res)| {
+                res.map(|out| {
+                    SampledOutput::from_run(&out, shots.shots(i), job_sample_seed(seed, i))
+                })
+            })
+            .collect()
     }
 }
 
@@ -635,7 +686,7 @@ impl Runner for Executor {
         let outs = self.run_batch(jobs);
         let workers = backend::available_threads().min(jobs.len().max(1));
         backend::parallel_indexed(jobs.len(), workers, |i| {
-            SampledOutput::from_run(&outs[i], shots.shots(i), job_seed(seed, i))
+            SampledOutput::from_run(&outs[i], shots.shots(i), job_sample_seed(seed, i))
         })
     }
 

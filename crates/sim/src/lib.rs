@@ -31,12 +31,14 @@ pub mod cache;
 pub mod classify;
 pub mod density;
 pub mod executor;
+pub mod fault;
 pub mod kernel;
 pub mod noise;
 pub mod program;
 pub mod sparse;
 pub mod stabilizer;
 pub mod statevector;
+pub mod sync;
 pub mod trajectory;
 pub mod trie;
 
@@ -48,9 +50,13 @@ pub use cache::{run_output_weight, CacheStats, ShardedLruCache};
 pub use classify::ProgramProfile;
 pub use density::DensityMatrix;
 pub use executor::{
-    batch_trie_stats, ideal_distribution, sample_counts_deterministic, BatchConfigError, BatchJob,
-    BatchPolicy, Executor, JobInterner, JobKey, RunOutput, Runner, SampledOutput, ShotPlan,
-    MAX_MEASURED_BITS,
+    batch_trie_stats, ideal_distribution, job_sample_seed, sample_counts_deterministic,
+    BatchConfigError, BatchJob, BatchPolicy, Executor, JobInterner, JobKey, RunOutput, Runner,
+    SampledOutput, ShotPlan, MAX_MEASURED_BITS,
+};
+pub use fault::{
+    try_run_batch_isolated, try_run_batch_resilient, ChaosConfig, ChaosRunner, FailureStats, Fault,
+    InjectedFaults, RetryPolicy, RunError, RunErrorKind,
 };
 pub use kernel::{ControlledBlock, KernelClass};
 pub use noise::{
@@ -58,5 +64,6 @@ pub use noise::{
 };
 pub use program::{Op, Program};
 pub use statevector::StateVector;
+pub use sync::{wait_recover, wait_timeout_recover, LockRecoverExt};
 pub use trajectory::TrajectoryConfig;
 pub use trie::{ExecutionTrie, TrieStats};
