@@ -7,10 +7,11 @@
 //! measurement crosstalk. The local distributions then refine the global
 //! one by Bayesian recombination. Jigsaw does not touch gate errors.
 
+use crate::strategy::{ExecutionRecord, MitigationStrategy, StrategyError};
 use crate::OverheadStats;
 use qt_circuit::Circuit;
 use qt_dist::{recombine, Distribution};
-use qt_sim::{BatchJob, Program, Runner};
+use qt_sim::{BatchJob, Program, RunOutput, Runner};
 
 /// Result of a Jigsaw run.
 #[derive(Debug, Clone)]
@@ -102,14 +103,58 @@ impl JigsawArtifacts<'_> {
     /// Stage 3: Bayesian recombination of the subset modes into the global
     /// distribution.
     pub fn recombine(&self) -> JigsawReport {
-        let plan = self.plan;
-        let mut outs = self.outputs.iter().cloned();
+        self.plan
+            .recombine_outputs(self.outputs.clone(), &ExecutionRecord::exact(None))
+            .expect("artifacts were produced by this plan")
+    }
+}
+
+impl MitigationStrategy for JigsawPlan {
+    type Report = JigsawReport;
+
+    fn name(&self) -> &'static str {
+        "jigsaw"
+    }
+
+    fn batch_jobs(&self) -> Vec<BatchJob> {
+        self.jobs.clone()
+    }
+
+    fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn recombine_outputs(
+        &self,
+        outputs: Vec<RunOutput>,
+        record: &ExecutionRecord,
+    ) -> Result<JigsawReport, StrategyError> {
+        if outputs.len() != self.jobs.len() {
+            return Err(StrategyError::ResultCountMismatch {
+                expected: self.jobs.len(),
+                got: outputs.len(),
+            });
+        }
+        // Every mode feeds the Bayesian update, so Jigsaw cannot degrade
+        // around any lost job: the first terminal failure is the error.
+        if let Some(f) = &record.failures {
+            if let Some(job) = f.per_job.iter().position(|e| e.is_some()) {
+                return Err(StrategyError::JobFailed {
+                    job,
+                    detail: f.per_job[job]
+                        .as_ref()
+                        .expect("position found an error")
+                        .to_string(),
+                });
+            }
+        }
+        let mut outs = outputs.into_iter();
         let global_out = outs.next().expect("global job present");
         let global = global_out.dist.clone();
 
         let mut locals = Vec::new();
         let mut n_circuits = 1;
-        for (positions, out) in plan.subsets.iter().zip(outs) {
+        for (positions, out) in self.subsets.iter().zip(outs) {
             n_circuits += 1;
             locals.push((out.dist, positions.clone()));
         }
@@ -118,8 +163,10 @@ impl JigsawArtifacts<'_> {
             &global,
             locals.iter().map(|(d, p)| (d, p.as_slice())),
         )
-        .expect("Jigsaw subset modes match the planned positions");
-        JigsawReport {
+        .map_err(|e| StrategyError::Recombine {
+            detail: e.to_string(),
+        })?;
+        Ok(JigsawReport {
             distribution: refined,
             global,
             locals,
@@ -131,11 +178,12 @@ impl JigsawArtifacts<'_> {
                 avg_two_qubit_gates: global_out.two_qubit_gates as f64,
                 global_two_qubit_gates: global_out.two_qubit_gates,
                 batch: None,
-                total_shots: None,
-                engine_mix: None,
-                failures: None,
+                total_shots: record.sampled_shots.as_ref().map(|s| s.iter().sum()),
+                round_shots: record.round_shots.clone(),
+                engine_mix: record.engine_mix.clone(),
+                failures: record.failures.as_ref().map(|f| f.stats),
             },
-        }
+        })
     }
 }
 

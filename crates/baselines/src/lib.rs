@@ -1,11 +1,21 @@
-//! Comparison baselines: Jigsaw (measurement subsetting) and SQEM
-//! (classically simulated Pauli checks via full circuit cutting).
+//! Comparison baselines — Jigsaw (measurement subsetting), SQEM
+//! (classically simulated Pauli checks via full circuit cutting), and
+//! truncated-Neumann readout mitigation — plus the
+//! [`MitigationStrategy`] trait that unifies them (and QuTracer's staged
+//! pipeline in `qt-core`) behind one plan → jobs → recombine surface.
 
 pub mod jigsaw;
+pub mod neumann;
 pub mod sqem;
+pub mod strategy;
 
 pub use jigsaw::{plan_jigsaw, run_jigsaw, JigsawArtifacts, JigsawPlan, JigsawReport};
+pub use neumann::{neumann_mitigate, plan_neumann, run_neumann, NeumannPlan, NeumannReport};
 pub use sqem::{plan_sqem, run_sqem, SqemArtifacts, SqemPlan, SqemReport, SqemUnsupported};
+pub use strategy::{
+    apportion_shots, execute_strategy, ExecutionRecord, JobFailures, MitigationStrategy,
+    StrategyError,
+};
 
 /// Execution-cost bookkeeping shared by the result tables.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -30,6 +40,9 @@ pub struct OverheadStats {
     /// (the paper's real cost denomination). `None` for exact-distribution
     /// flows, which pay in density matrices rather than shots.
     pub total_shots: Option<u64>,
+    /// Shots spent per session round (pilot first), for multi-round
+    /// adaptive executions. `None` for single-round and exact flows.
+    pub round_shots: Option<Vec<u64>>,
     /// Per-engine job counts of the executed batch (`(engine name, jobs)`
     /// sorted by name — e.g. `[("density-matrix", 3), ("stabilizer", 40)]`),
     /// recording what `Backend::Auto`'s per-program selection actually

@@ -15,6 +15,7 @@
 //! deduplicated batch, and [`SqemArtifacts::recombine`] reconstructs the
 //! local states classically. [`run_sqem`] wraps the three stages.
 
+use crate::strategy::{ExecutionRecord, MitigationStrategy, StrategyError};
 use crate::OverheadStats;
 use qt_circuit::{passes, Circuit, Instruction};
 use qt_dist::{recombine, Distribution};
@@ -209,19 +210,63 @@ impl SqemArtifacts<'_> {
     /// Stage 3: reconstructs every traced qubit's mitigated state and
     /// refines the global distribution.
     pub fn recombine(&self) -> SqemReport {
-        let plan = self.plan;
-        let global_out = &self.outputs[plan.global_slot];
+        self.plan
+            .recombine_outputs(self.outputs.clone(), &ExecutionRecord::exact(None))
+            .expect("artifacts were produced by this plan")
+    }
+}
+
+impl MitigationStrategy for SqemPlan {
+    type Report = SqemReport;
+
+    fn name(&self) -> &'static str {
+        "sqem"
+    }
+
+    fn batch_jobs(&self) -> Vec<BatchJob> {
+        self.programs.clone()
+    }
+
+    fn n_jobs(&self) -> usize {
+        self.programs.len()
+    }
+
+    fn recombine_outputs(
+        &self,
+        outputs: Vec<RunOutput>,
+        record: &ExecutionRecord,
+    ) -> Result<SqemReport, StrategyError> {
+        if outputs.len() != self.programs.len() {
+            return Err(StrategyError::ResultCountMismatch {
+                expected: self.programs.len(),
+                got: outputs.len(),
+            });
+        }
+        // Every reconstruction circuit contributes to some qubit's
+        // tomographic combination, so SQEM cannot degrade around any lost
+        // job: the first terminal failure is the error.
+        if let Some(f) = &record.failures {
+            if let Some(job) = f.per_job.iter().position(|e| e.is_some()) {
+                return Err(StrategyError::JobFailed {
+                    job,
+                    detail: f.per_job[job]
+                        .as_ref()
+                        .expect("position found an error")
+                        .to_string(),
+                });
+            }
+        }
+        let global_out = &outputs[self.global_slot];
         let global = global_out.dist.clone();
 
         let mut locals = Vec::new();
         let mut n_circuits = 1usize;
         let mut mitig_2q_total = 0usize;
         let mut mitig_circuits = 0usize;
-        for qp in &plan.qubits {
+        for qp in &self.qubits {
             let mut rho = qp.rho_pre.clone();
             if let Some(cp) = &qp.check {
-                let outs: Vec<RunOutput> =
-                    cp.slots.iter().map(|&s| self.outputs[s].clone()).collect();
+                let outs: Vec<RunOutput> = cp.slots.iter().map(|&s| outputs[s].clone()).collect();
                 let (e, stats) = tabulate_single(&cp.keys, &outs);
                 let (exps, _den) = combine_single_mitigated(
                     &QspcConfig::sqem(),
@@ -248,8 +293,10 @@ impl SqemArtifacts<'_> {
             &global,
             locals.iter().map(|(d, p)| (d, p.as_slice())),
         )
-        .expect("SQEM per-qubit locals match their planned positions");
-        SqemReport {
+        .map_err(|e| StrategyError::Recombine {
+            detail: e.to_string(),
+        })?;
+        Ok(SqemReport {
             distribution: refined,
             global,
             stats: OverheadStats {
@@ -262,11 +309,12 @@ impl SqemArtifacts<'_> {
                 },
                 global_two_qubit_gates: global_out.two_qubit_gates,
                 batch: None,
-                total_shots: None,
-                engine_mix: None,
-                failures: None,
+                total_shots: record.sampled_shots.as_ref().map(|s| s.iter().sum()),
+                round_shots: record.round_shots.clone(),
+                engine_mix: record.engine_mix.clone(),
+                failures: record.failures.as_ref().map(|f| f.stats),
             },
-        }
+        })
     }
 }
 

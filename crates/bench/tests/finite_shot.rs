@@ -69,7 +69,9 @@ fn execute_sampled_matches_sampled_runner_regime() {
     let measured = [0usize, 1, 2];
     let plan = QuTracer::plan(&circ, &measured, &QuTracerConfig::single()).unwrap();
     let exact = plan.execute(&exec).unwrap().recombine().unwrap();
-    let shots = plan.allocate_shots(16_384 * plan.n_programs(), ShotPolicy::Uniform);
+    let shots = plan
+        .allocate_shots(16_384 * plan.n_programs(), ShotPolicy::Uniform)
+        .unwrap();
     let sampled = plan
         .execute_sampled(&exec, &shots, 0xCAFE)
         .unwrap()

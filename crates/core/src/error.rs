@@ -100,6 +100,23 @@ pub enum ExecError {
         /// The zero-shot program slot.
         slot: usize,
     },
+    /// A total shot budget below the plan's program count: the 1-shot
+    /// floor cannot be funded without either overspending the budget or
+    /// leaving zero-shot programs, so allocation refuses outright instead
+    /// of producing a plan that fails later (or spends shots the caller
+    /// never granted).
+    InsufficientShotBudget {
+        /// The granted budget.
+        total_shots: usize,
+        /// Deduplicated programs the plan must fund.
+        n_programs: usize,
+    },
+    /// An adaptive shot policy carried a pilot fraction outside `[0, 1]`
+    /// (or a non-finite one) — there is no meaningful pilot round to run.
+    InvalidPilotFraction {
+        /// The offending fraction.
+        value: f64,
+    },
     /// Recombination consumed fewer results than the plan recorded, or the
     /// plan's circuit analysis no longer reproduces — the plan and the
     /// artifacts diverged.
@@ -144,6 +161,19 @@ impl std::fmt::Display for ExecError {
                     "program slot {slot} was allocated zero shots; every planned program \
                      needs at least one shot to measure anything"
                 )
+            }
+            ExecError::InsufficientShotBudget {
+                total_shots,
+                n_programs,
+            } => {
+                write!(
+                    f,
+                    "shot budget {total_shots} cannot fund the 1-shot floor of \
+                     {n_programs} programs"
+                )
+            }
+            ExecError::InvalidPilotFraction { value } => {
+                write!(f, "pilot fraction must lie in [0, 1], got {value}")
             }
             ExecError::PlanMismatch { detail } => write!(f, "plan/artifact mismatch: {detail}"),
             ExecError::JobFailed { slot, error } => {

@@ -43,6 +43,7 @@
 pub mod error;
 pub mod framework;
 pub mod pipeline;
+pub mod session;
 pub mod trace;
 
 pub use error::{ExecError, PlanError, SkippedSubset};
@@ -50,7 +51,11 @@ pub use framework::{run_qutracer, QuTracerConfig, QuTracerReport};
 pub use pipeline::{
     ExecutionArtifacts, MitigationPlan, PlanView, QuTracer, ShotPolicy, SubsetPlanSummary,
 };
+pub use session::{neyman_weights, MitigationSession, RoundSpec};
 pub use trace::{trace_pair, trace_single, JobKind, JobTag, TraceConfig, TraceOutcome};
 // Failure-domain vocabulary of the fallible execution paths, re-exported
 // so pipeline callers need not depend on `qt_sim` directly.
 pub use qt_sim::{FailureStats, RetryPolicy, RunError, RunErrorKind};
+// The strategy-unified mitigation surface, re-exported so session callers
+// need not depend on `qt_baselines` directly.
+pub use qt_baselines::{ExecutionRecord, JobFailures, MitigationStrategy, StrategyError};

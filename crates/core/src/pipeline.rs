@@ -47,17 +47,20 @@
 
 use crate::error::{ExecError, PlanError, SkippedSubset};
 use crate::framework::{enumerate_subset_positions, QuTracerConfig, QuTracerReport};
+use crate::session::MitigationSession;
 use crate::trace::{
     trace_pair_with_port, trace_single_with_port, CollectPort, JobKind, JobTag, ReplayPort,
     TraceError, TraceOutcome,
 };
-use qt_baselines::OverheadStats;
+use qt_baselines::{
+    apportion_shots, ExecutionRecord, MitigationStrategy, OverheadStats, StrategyError,
+};
 use qt_circuit::Circuit;
 use qt_dist::{recombine, Distribution};
 use qt_pcs::QspcStats;
 use qt_sim::{
-    job_sample_seed, try_run_batch_resilient, BatchJob, ExecutionTrie, FailureStats, JobInterner,
-    Program, RetryPolicy, RunError, RunOutput, Runner, SampledOutput, ShotPlan, TrieStats,
+    try_run_batch_resilient, BatchJob, ExecutionTrie, FailureStats, JobInterner, Program,
+    RetryPolicy, RunError, RunOutput, Runner, ShotPlan, TrieStats,
 };
 use std::collections::BTreeMap;
 
@@ -66,7 +69,7 @@ pub struct QuTracer;
 
 /// How [`MitigationPlan::allocate_shots`] splits a total shot budget
 /// across the plan's deduplicated programs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ShotPolicy {
     /// Every deduplicated program gets an equal share — what a naive
     /// executor without fan-out awareness would pay.
@@ -77,6 +80,24 @@ pub enum ShotPolicy {
     /// effective budget — the paper's per-circuit shot accounting carried
     /// through deduplication.
     WeightedByFanout,
+    /// Two-round Neyman allocation (see
+    /// [`MitigationSession`](crate::MitigationSession)): a *pilot* round
+    /// spends `⌊pilot_fraction · total⌋` shots uniformly, per-program
+    /// sampling dispersions are estimated from the pilot counts, and the
+    /// remaining budget is split proportionally to those dispersions
+    /// (`n_i ∝ σ_i` — the Neyman optimum for equal per-estimate error).
+    /// Pilot counts are absorbed into the final tally, so no shot is
+    /// wasted. A fraction that leaves either round below one shot per
+    /// program degrades to the single-round uniform allocation — at
+    /// `pilot_fraction` 0 or 1 the session is bit-identical to
+    /// [`ShotPolicy::Uniform`]. Static use via
+    /// [`MitigationPlan::allocate_shots`] allocates the uniform pilot
+    /// prior.
+    Adaptive {
+        /// Fraction of the total budget spent on the pilot round; must
+        /// lie in `[0, 1]`.
+        pilot_fraction: f64,
+    },
 }
 
 /// One deduplicated program of a plan, with every logical request mapped
@@ -399,6 +420,7 @@ impl MitigationPlan {
                 .two_qubit_gate_count(),
             batch: Some(self.batch_stats),
             total_shots: None,
+            round_shots: None,
             engine_mix: None,
             failures: None,
         }
@@ -494,6 +516,7 @@ impl MitigationPlan {
             sampled_shots: None,
             engine_mix,
             failures: None,
+            round_shots: None,
         })
     }
 
@@ -562,6 +585,7 @@ impl MitigationPlan {
             sampled_shots,
             engine_mix,
             failures: Some(SlotFailures { per_slot, stats }),
+            round_shots: None,
         })
     }
 
@@ -582,14 +606,53 @@ impl MitigationPlan {
 
     /// Splits a total shot budget across the plan's deduplicated programs
     /// (slot order matches [`MitigationPlan::programs`]). Apportionment is
-    /// largest-remainder, so the allocation sums to exactly `total_shots`;
-    /// when the budget covers at least one shot per program, no program is
+    /// largest-remainder ([`qt_baselines::apportion_shots`]), so the
+    /// allocation sums to exactly `total_shots` and — because the budget
+    /// is validated to cover at least one shot per program — no program is
     /// left at zero (a zero-shot program would report a uniform — i.e.
     /// information-free — distribution).
-    pub fn allocate_shots(&self, total_shots: usize, policy: ShotPolicy) -> ShotPlan {
+    ///
+    /// [`ShotPolicy::Adaptive`] is a *session* policy; allocating it
+    /// statically here yields its uniform pilot prior (after validating
+    /// the pilot fraction).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InsufficientShotBudget`] when `total_shots` is below
+    /// the program count — the 1-shot floor would otherwise have to
+    /// overspend the budget or leave zero-shot programs;
+    /// [`ExecError::InvalidPilotFraction`] for an adaptive policy with a
+    /// fraction outside `[0, 1]`.
+    pub fn allocate_shots(
+        &self,
+        total_shots: usize,
+        policy: ShotPolicy,
+    ) -> Result<ShotPlan, ExecError> {
         let n = self.programs.len();
-        let weights: Vec<f64> = match policy {
-            ShotPolicy::Uniform => vec![1.0; n],
+        if total_shots < n {
+            return Err(ExecError::InsufficientShotBudget {
+                total_shots,
+                n_programs: n,
+            });
+        }
+        if let ShotPolicy::Adaptive { pilot_fraction } = policy {
+            if !pilot_fraction.is_finite() || !(0.0..=1.0).contains(&pilot_fraction) {
+                return Err(ExecError::InvalidPilotFraction {
+                    value: pilot_fraction,
+                });
+            }
+        }
+        Ok(ShotPlan::from_shots(apportion_shots(
+            total_shots,
+            &self.slot_weights(policy),
+        )))
+    }
+
+    /// Static per-slot shot weights of `policy`, in program-slot order.
+    fn slot_weights(&self, policy: ShotPolicy) -> Vec<f64> {
+        let n = self.programs.len();
+        match policy {
+            ShotPolicy::Uniform | ShotPolicy::Adaptive { .. } => vec![1.0; n],
             ShotPolicy::WeightedByFanout => {
                 // Logical requests per program slot: the global run plus
                 // one request per slot occurrence in every assignment's
@@ -605,42 +668,7 @@ impl MitigationPlan {
                 }
                 fanout.iter().map(|&f| f.max(1) as f64).collect()
             }
-        };
-        let total_weight: f64 = weights.iter().sum();
-        if n == 0 || total_weight <= 0.0 {
-            return ShotPlan::from_shots(vec![0; n]);
         }
-        let quotas: Vec<f64> = weights
-            .iter()
-            .map(|w| total_shots as f64 * w / total_weight)
-            .collect();
-        let mut shots: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
-        // The quotas sum to `total_shots` exactly, so the rounding shortfall
-        // is strictly less than `n`: one extra shot to each of the largest
-        // fractional remainders settles it (ties resolved by slot order so
-        // the allocation is deterministic).
-        let leftover = total_shots.saturating_sub(shots.iter().sum::<usize>());
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            let (fa, fb) = (quotas[a].fract(), quotas[b].fract());
-            fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
-        });
-        for &i in order.iter().take(leftover) {
-            shots[i] += 1;
-        }
-        // Floor of one shot per program when the budget affords it, funded
-        // from the largest allocations.
-        if total_shots >= n {
-            while let Some(zero) = shots.iter().position(|&s| s == 0) {
-                let donor = (0..n).max_by_key(|&i| shots[i]).expect("n > 0");
-                if shots[donor] <= 1 {
-                    break;
-                }
-                shots[donor] -= 1;
-                shots[zero] += 1;
-            }
-        }
-        ShotPlan::from_shots(shots)
     }
 
     /// Stage 2 at a finite shot budget: executes every planned program as
@@ -671,6 +699,24 @@ impl MitigationPlan {
         shots: &ShotPlan,
         seed: u64,
     ) -> Result<ExecutionArtifacts<'p>, ExecError> {
+        self.validate_shot_plan(shots)?;
+        let ordered =
+            ShotPlan::from_shots(self.batch_order.iter().map(|&s| shots.shots(s)).collect());
+        let mut session = MitigationSession::with_shots(self, ordered, seed)?;
+        session.set_engine_mix(runner.engine_mix(session.jobs()));
+        let spec = session
+            .next_round()
+            .expect("a fresh session always has a first round");
+        let clustered = runner.run_batch_sampled(session.jobs(), &spec.shots, spec.seed);
+        session.absorb_sampled(&spec, clustered)?;
+        let (_, outputs, record, _) = session.collect();
+        self.artifacts_from_record(outputs, record)
+    }
+
+    /// Validates a slot-ordered shot plan against this plan's programs:
+    /// the allocation must cover exactly the deduplicated programs and
+    /// leave none at zero shots.
+    fn validate_shot_plan(&self, shots: &ShotPlan) -> Result<(), ExecError> {
         if shots.n_jobs() != self.programs.len() {
             return Err(ExecError::ShotPlanMismatch {
                 expected: self.programs.len(),
@@ -680,38 +726,96 @@ impl MitigationPlan {
         if let Some(slot) = shots.per_job().iter().position(|&s| s == 0) {
             return Err(ExecError::EmptyShotAllocation { slot });
         }
-        let jobs: Vec<BatchJob> = self
-            .batch_order
-            .iter()
-            .map(|&slot| self.programs[slot].job.clone())
-            .collect();
-        let ordered =
-            ShotPlan::from_shots(self.batch_order.iter().map(|&s| shots.shots(s)).collect());
-        let engine_mix = runner.engine_mix(&jobs);
-        let clustered = runner.run_batch_sampled(&jobs, &ordered, seed);
-        if clustered.len() != jobs.len() {
+        Ok(())
+    }
+
+    /// Builds [`ExecutionArtifacts`] from a session's batch-ordered
+    /// outputs and execution record, scattering everything back to
+    /// program-slot order.
+    fn artifacts_from_record(
+        &self,
+        outputs: Vec<RunOutput>,
+        record: ExecutionRecord,
+    ) -> Result<ExecutionArtifacts<'_>, ExecError> {
+        let n = self.programs.len();
+        if outputs.len() != n {
             return Err(ExecError::ResultCountMismatch {
-                expected: jobs.len(),
-                got: clustered.len(),
+                expected: n,
+                got: outputs.len(),
             });
         }
-        let mut outputs: Vec<Option<RunOutput>> = vec![None; self.programs.len()];
-        let mut per_slot_shots: Vec<u64> = vec![0; self.programs.len()];
-        for (&slot, out) in self.batch_order.iter().zip(&clustered) {
-            per_slot_shots[slot] = out.counts.shots();
-            outputs[slot] = Some(out.to_run_output());
+        let mut slot_outputs: Vec<Option<RunOutput>> = vec![None; n];
+        for (&slot, out) in self.batch_order.iter().zip(outputs) {
+            slot_outputs[slot] = Some(out);
         }
-        let outputs = outputs
+        let outputs: Vec<RunOutput> = slot_outputs
             .into_iter()
             .map(|o| o.expect("batch order is a permutation of the program slots"))
             .collect();
+        let sampled_shots = record.sampled_shots.as_ref().map(|per_job| {
+            let mut per_slot = vec![0u64; n];
+            for (&slot, &shots) in self.batch_order.iter().zip(per_job) {
+                per_slot[slot] = shots;
+            }
+            per_slot
+        });
+        let failures = record.failures.as_ref().map(|jf| {
+            let mut per_slot: Vec<Option<RunError>> = vec![None; n];
+            for (&slot, err) in self.batch_order.iter().zip(&jf.per_job) {
+                per_slot[slot] = err.clone();
+            }
+            SlotFailures {
+                per_slot,
+                stats: jf.stats,
+            }
+        });
         Ok(ExecutionArtifacts {
             plan: self,
             outputs,
-            sampled_shots: Some(per_slot_shots),
-            engine_mix,
-            failures: None,
+            sampled_shots,
+            engine_mix: record.engine_mix,
+            failures,
+            round_shots: record.round_shots,
         })
+    }
+
+    /// Runs the plan as a policy-driven
+    /// [`MitigationSession`](crate::MitigationSession) and recombines —
+    /// the one-call form of `session.run(runner)` for callers that want a
+    /// report, not artifacts. With [`ShotPolicy::Adaptive`] this is the
+    /// full two-round pilot/Neyman schedule.
+    ///
+    /// # Errors
+    ///
+    /// The session-construction errors of
+    /// [`MitigationSession::new`](crate::MitigationSession::new) plus
+    /// whatever execution and recombination report.
+    pub fn run_sampled<R: Runner>(
+        &self,
+        runner: &R,
+        total_shots: usize,
+        policy: ShotPolicy,
+        seed: u64,
+    ) -> Result<QuTracerReport, ExecError> {
+        MitigationSession::new(self, policy, total_shots, seed)?.run(runner)
+    }
+
+    /// [`MitigationPlan::run_sampled`] with the failure domain of
+    /// [`MitigationPlan::execute_sampled_fallible`]: every session round
+    /// executes through the resilient surface and degrades typed.
+    ///
+    /// # Errors
+    ///
+    /// As [`MitigationPlan::run_sampled`].
+    pub fn run_sampled_fallible<R: Runner>(
+        &self,
+        runner: &R,
+        total_shots: usize,
+        policy: ShotPolicy,
+        seed: u64,
+        retry: &RetryPolicy,
+    ) -> Result<QuTracerReport, ExecError> {
+        MitigationSession::new(self, policy, total_shots, seed)?.run_fallible(runner, retry)
     }
 
     /// [`MitigationPlan::execute_sampled`] with the failure domain of
@@ -734,38 +838,87 @@ impl MitigationPlan {
         seed: u64,
         retry: &RetryPolicy,
     ) -> Result<ExecutionArtifacts<'p>, ExecError> {
-        if shots.n_jobs() != self.programs.len() {
-            return Err(ExecError::ShotPlanMismatch {
-                expected: self.programs.len(),
-                got: shots.n_jobs(),
-            });
-        }
-        if let Some(slot) = shots.per_job().iter().position(|&s| s == 0) {
-            return Err(ExecError::EmptyShotAllocation { slot });
-        }
-        let jobs = self.batch_jobs();
+        self.validate_shot_plan(shots)?;
         let ordered =
             ShotPlan::from_shots(self.batch_order.iter().map(|&s| shots.shots(s)).collect());
-        let engine_mix = runner.engine_mix(&jobs);
-        let (clustered, stats) = try_run_batch_resilient(runner, &jobs, retry);
-        let mut shot_record: Vec<u64> = vec![0; jobs.len()];
-        let sampled: Vec<Result<RunOutput, RunError>> = clustered
-            .into_iter()
-            .enumerate()
-            .map(|(i, res)| {
-                res.map(|out| {
-                    let s =
-                        SampledOutput::from_run(&out, ordered.shots(i), job_sample_seed(seed, i));
-                    shot_record[i] = s.counts.shots();
-                    s.to_run_output()
-                })
-            })
-            .collect();
-        let mut per_slot_shots: Vec<u64> = vec![0; self.programs.len()];
-        for (&slot, &n) in self.batch_order.iter().zip(&shot_record) {
-            per_slot_shots[slot] = n;
+        let mut session = MitigationSession::with_shots(self, ordered, seed)?;
+        session.set_engine_mix(runner.engine_mix(session.jobs()));
+        let spec = session
+            .next_round()
+            .expect("a fresh session always has a first round");
+        let (clustered, stats) = try_run_batch_resilient(runner, session.jobs(), retry);
+        session.absorb_fallible(&spec, clustered, stats)?;
+        let (_, outputs, record, _) = session.collect();
+        self.artifacts_from_record(outputs, record)
+    }
+}
+
+/// The staged pipeline behind the strategy-unified surface: jobs are the
+/// prefix-clustered batch ([`MitigationPlan::batch_jobs`]), recombination
+/// scatters outputs back to program-slot order and runs the full Bayesian
+/// recombination. Budget allocation apportions in *slot* order (the
+/// tie-breaking order of [`MitigationPlan::allocate_shots`]) and permutes
+/// to batch order, so a uniform session round reproduces the legacy
+/// single-round allocation bit-for-bit.
+impl MitigationStrategy for MitigationPlan {
+    type Report = QuTracerReport;
+
+    fn name(&self) -> &'static str {
+        "qutracer"
+    }
+
+    fn batch_jobs(&self) -> Vec<BatchJob> {
+        MitigationPlan::batch_jobs(self)
+    }
+
+    fn n_jobs(&self) -> usize {
+        self.programs.len()
+    }
+
+    fn shot_fanout(&self) -> Vec<f64> {
+        let slot_weights = self.slot_weights(ShotPolicy::WeightedByFanout);
+        self.batch_order.iter().map(|&s| slot_weights[s]).collect()
+    }
+
+    fn allocate_budget(&self, total_shots: usize, weights: &[f64]) -> Vec<usize> {
+        let mut slot_weights = vec![0.0; self.programs.len()];
+        for (&slot, &w) in self.batch_order.iter().zip(weights) {
+            slot_weights[slot] = w;
         }
-        self.artifacts_from_results(sampled, engine_mix, Some(per_slot_shots), stats)
+        let slot_shots = apportion_shots(total_shots, &slot_weights);
+        self.batch_order.iter().map(|&s| slot_shots[s]).collect()
+    }
+
+    fn recombine_outputs(
+        &self,
+        outputs: Vec<RunOutput>,
+        record: &ExecutionRecord,
+    ) -> Result<QuTracerReport, StrategyError> {
+        let artifacts = self
+            .artifacts_from_record(outputs, record.clone())
+            .map_err(|e| match e {
+                ExecError::ResultCountMismatch { expected, got } => {
+                    StrategyError::ResultCountMismatch { expected, got }
+                }
+                other => StrategyError::Recombine {
+                    detail: other.to_string(),
+                },
+            })?;
+        artifacts.recombine().map_err(|e| match e {
+            // Report failed jobs in batch-jobs order — the trait's index
+            // space — rather than internal slot order.
+            ExecError::JobFailed { slot, error } => StrategyError::JobFailed {
+                job: self
+                    .batch_order
+                    .iter()
+                    .position(|&s| s == slot)
+                    .unwrap_or(slot),
+                detail: error.to_string(),
+            },
+            other => StrategyError::Recombine {
+                detail: other.to_string(),
+            },
+        })
     }
 }
 
@@ -788,6 +941,10 @@ pub struct ExecutionArtifacts<'p> {
     /// that recombination never reads: it voids every trace depending on
     /// a failed slot instead.
     failures: Option<SlotFailures>,
+    /// Shots spent per session round (pilot first) when the artifacts
+    /// came out of a multi-round [`MitigationSession`](crate::session);
+    /// `None` for single-round and exact executions.
+    round_shots: Option<Vec<u64>>,
 }
 
 /// Per-slot failure record of one fallible execution.
@@ -803,7 +960,7 @@ struct SlotFailures {
 /// of the job's own measured width. Never consumed — recombination skips
 /// every walk that would read it — but keeps `outputs` densely indexed by
 /// program slot.
-fn placeholder_output(measured_bits: usize) -> RunOutput {
+pub(crate) fn placeholder_output(measured_bits: usize) -> RunOutput {
     RunOutput {
         dist: Distribution::try_from_entries(measured_bits.max(1), Vec::new())
             .expect("an empty entry list over a nonzero register is always valid"),
@@ -967,6 +1124,7 @@ impl ExecutionArtifacts<'_> {
                 global_two_qubit_gates: global_out.two_qubit_gates,
                 batch: Some(plan.batch_stats),
                 total_shots: self.total_sampled_shots(),
+                round_shots: self.round_shots.clone(),
                 engine_mix: self.engine_mix.clone(),
                 failures: self.failures.as_ref().map(|f| FailureStats {
                     voided_subsets,

@@ -1,0 +1,564 @@
+//! Multi-round mitigation sessions with adaptive Neyman shot allocation.
+//!
+//! A [`MitigationSession`] owns a [`MitigationStrategy`] and drives it
+//! through one or two *rounds* of finite-shot execution:
+//!
+//! * Under the static policies ([`ShotPolicy::Uniform`],
+//!   [`ShotPolicy::WeightedByFanout`]) — or an explicit
+//!   [`ShotPlan`] — the session is a single round, bit-identical to the
+//!   legacy `allocate_shots → execute_sampled` path.
+//! * Under [`ShotPolicy::Adaptive`] a *pilot* round spends
+//!   `P = ⌊pilot_fraction · total⌋` shots uniformly, the per-program
+//!   sampling dispersion `σ̂_i = √(1 − Σ_o p̂_i(o)²)` is estimated from the
+//!   pilot counts ([`qt_dist::Counts::sampling_dispersion`] — the l2-pooled
+//!   per-outcome standard error), and the remaining `total − P` shots are
+//!   apportioned proportionally to `σ̂_i`. That is Neyman allocation: for a
+//!   fixed total, the variance of the pooled frequency estimates is
+//!   minimized by `n_i ∝ σ_i`. Pilot counts are *absorbed* — merged
+//!   outcome-by-outcome into the final tally — so every shot contributes
+//!   to the recombined report.
+//!
+//! **Pilot-absorption soundness.** Both rounds draw from the *same*
+//! per-program distribution (engines are deterministic given the job, and
+//! rounds use independent derived seeds), so merging the two multinomial
+//! samples yields exactly the multinomial sample of the combined shot
+//! count: the pooled estimator is unbiased and its per-program variance is
+//! `σ_i²/(n_i^pilot + n_i^final)`. Adaptivity only chooses `n_i^final`
+//! *after* observing the pilot, which rescales variances but cannot bias
+//! the frequencies — what the shots *are* never depends on their outcomes,
+//! only how many more are drawn.
+//!
+//! A fraction whose pilot (or remainder) cannot fund one shot per program
+//! degrades to the single uniform round — so `pilot_fraction` 0 and 1 are
+//! bit-identical to [`ShotPolicy::Uniform`], property-tested in
+//! `tests/adaptive_session.rs`.
+
+use crate::error::ExecError;
+use crate::pipeline::{placeholder_output, ShotPolicy};
+use qt_baselines::{ExecutionRecord, JobFailures, MitigationStrategy, StrategyError};
+use qt_sim::{
+    job_sample_seed, try_run_batch_resilient, BatchJob, FailureStats, RetryPolicy, RunError,
+    RunOutput, Runner, SampledOutput, ShotPlan,
+};
+
+/// One executable round of a session: which round it is, the per-job shot
+/// allocation (batch-jobs order) and the seed the round samples with.
+///
+/// A spec is a pure function of the session state — callers may recompute
+/// it, ship it to a remote executor, or log it; absorption validates that
+/// the spec matches the session's current round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSpec {
+    /// Round index (0 = pilot or the only round, 1 = adaptive final).
+    pub round: usize,
+    /// Per-job shots, in [`MitigationStrategy::batch_jobs`] order.
+    pub shots: ShotPlan,
+    /// Seed for this round's sampling. Single-round sessions use the
+    /// caller's seed untouched (bit-compatibility with the legacy path);
+    /// genuine two-round sessions derive one seed per round.
+    pub seed: u64,
+}
+
+/// Neyman weights from per-program pilot dispersions: jobs whose pilot
+/// produced no usable estimate (failed, zero shots) get the mean of the
+/// valid dispersions — neutral, neither starved nor favored. If *no* job
+/// produced an estimate (or every dispersion is zero), the weights fall
+/// back to uniform so the final round still allocates.
+pub fn neyman_weights(dispersions: &[Option<f64>]) -> Vec<f64> {
+    let valid: Vec<f64> = dispersions
+        .iter()
+        .filter_map(|d| d.filter(|s| s.is_finite() && *s >= 0.0))
+        .collect();
+    if valid.is_empty() {
+        return vec![1.0; dispersions.len()];
+    }
+    let mean = valid.iter().sum::<f64>() / valid.len() as f64;
+    let weights: Vec<f64> = dispersions
+        .iter()
+        .map(|d| match d {
+            Some(s) if s.is_finite() && *s >= 0.0 => *s,
+            _ => mean,
+        })
+        .collect();
+    if weights.iter().sum::<f64>() <= 0.0 {
+        vec![1.0; dispersions.len()]
+    } else {
+        weights
+    }
+}
+
+/// A multi-round finite-shot execution of one [`MitigationStrategy`].
+///
+/// The session is a small state machine: [`MitigationSession::next_round`]
+/// yields the next [`RoundSpec`] (or `None` when done), one of the
+/// `absorb_*` methods feeds that round's results back, and
+/// [`MitigationSession::finish`] recombines the accumulated counts into
+/// the strategy's report. [`MitigationSession::run`] and
+/// [`MitigationSession::run_fallible`] drive the loop against a
+/// [`Runner`] directly; the stepwise surface exists for executors that own
+/// the batching themselves (the `qt-serve` service runs each round through
+/// its cross-request trie batcher and cache).
+pub struct MitigationSession<S: MitigationStrategy> {
+    strategy: S,
+    jobs: Vec<BatchJob>,
+    policy: ShotPolicy,
+    total_shots: usize,
+    seed: u64,
+    /// `Some(P)` when the session is genuinely two-round: the pilot gets
+    /// `P` shots and both rounds can fund every job's 1-shot floor.
+    pilot: Option<usize>,
+    /// Explicit single-round allocation (batch-jobs order), bypassing
+    /// policy-driven allocation — what `execute_sampled` builds.
+    explicit: Option<ShotPlan>,
+    /// Accumulated counts per job; `None` until a round lands counts.
+    acc: Vec<Option<SampledOutput>>,
+    /// Terminal error per job with *no* usable counts from any round.
+    errors: Vec<Option<RunError>>,
+    fail_stats: FailureStats,
+    /// Whether any round ran through the fallible surface (the report
+    /// then carries a failure record even when nothing failed).
+    fallible: bool,
+    engine_mix: Option<Vec<(String, usize)>>,
+    completed_rounds: usize,
+    round_shots: Vec<u64>,
+}
+
+impl<S: MitigationStrategy> MitigationSession<S> {
+    /// Opens a session over `strategy` with a policy-driven budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InsufficientShotBudget`] when `total_shots` cannot
+    /// fund one shot per job; [`ExecError::InvalidPilotFraction`] for an
+    /// adaptive policy with a fraction outside `[0, 1]`.
+    pub fn new(
+        strategy: S,
+        policy: ShotPolicy,
+        total_shots: usize,
+        seed: u64,
+    ) -> Result<Self, ExecError> {
+        let jobs = strategy.batch_jobs();
+        let n = jobs.len();
+        if total_shots < n {
+            return Err(ExecError::InsufficientShotBudget {
+                total_shots,
+                n_programs: n,
+            });
+        }
+        let pilot = match policy {
+            ShotPolicy::Adaptive { pilot_fraction } => {
+                if !pilot_fraction.is_finite() || !(0.0..=1.0).contains(&pilot_fraction) {
+                    return Err(ExecError::InvalidPilotFraction {
+                        value: pilot_fraction,
+                    });
+                }
+                let p = (total_shots as f64 * pilot_fraction).floor() as usize;
+                // Genuine two-round adaptivity needs both rounds to fund
+                // every job's 1-shot floor; otherwise degrade to the
+                // single uniform round (pilot_fraction 0 and 1 land here
+                // by construction).
+                (n > 0 && p >= n && total_shots - p >= n).then_some(p)
+            }
+            _ => None,
+        };
+        Ok(Self::with_state(
+            strategy,
+            jobs,
+            policy,
+            total_shots,
+            seed,
+            pilot,
+            None,
+        ))
+    }
+
+    /// Opens a single-round session with an explicit per-job allocation
+    /// (batch-jobs order) — the session form of the legacy
+    /// `execute_sampled` call.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::ShotPlanMismatch`] when `shots` does not cover
+    /// exactly the strategy's batch jobs.
+    pub fn with_shots(strategy: S, shots: ShotPlan, seed: u64) -> Result<Self, ExecError> {
+        let jobs = strategy.batch_jobs();
+        if shots.n_jobs() != jobs.len() {
+            return Err(ExecError::ShotPlanMismatch {
+                expected: jobs.len(),
+                got: shots.n_jobs(),
+            });
+        }
+        let total = shots.total_shots() as usize;
+        Ok(Self::with_state(
+            strategy,
+            jobs,
+            ShotPolicy::Uniform,
+            total,
+            seed,
+            None,
+            Some(shots),
+        ))
+    }
+
+    fn with_state(
+        strategy: S,
+        jobs: Vec<BatchJob>,
+        policy: ShotPolicy,
+        total_shots: usize,
+        seed: u64,
+        pilot: Option<usize>,
+        explicit: Option<ShotPlan>,
+    ) -> Self {
+        let n = jobs.len();
+        MitigationSession {
+            strategy,
+            jobs,
+            policy,
+            total_shots,
+            seed,
+            pilot,
+            explicit,
+            acc: vec![None; n],
+            errors: vec![None; n],
+            fail_stats: FailureStats::default(),
+            fallible: false,
+            engine_mix: None,
+            completed_rounds: 0,
+            round_shots: Vec::new(),
+        }
+    }
+
+    /// The strategy's batch jobs, in submission order — what every round
+    /// executes.
+    pub fn jobs(&self) -> &[BatchJob] {
+        &self.jobs
+    }
+
+    /// The strategy driving this session.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// Whether the session runs a genuine two-round adaptive schedule.
+    pub fn is_adaptive(&self) -> bool {
+        self.pilot.is_some()
+    }
+
+    /// Rounds already absorbed.
+    pub fn rounds_completed(&self) -> usize {
+        self.completed_rounds
+    }
+
+    /// Records the engine mix the executing runner reported for the
+    /// session's batch (carried into the report's overhead stats).
+    pub fn set_engine_mix(&mut self, mix: Option<Vec<(String, usize)>>) {
+        self.engine_mix = mix;
+    }
+
+    /// Static prior weights for the first (or only) round.
+    fn static_weights(&self) -> Vec<f64> {
+        match self.policy {
+            // The adaptive pilot uses the uniform prior: at degenerate
+            // pilot fractions the session must reproduce the uniform
+            // single round bit-for-bit.
+            ShotPolicy::Uniform | ShotPolicy::Adaptive { .. } => vec![1.0; self.jobs.len()],
+            ShotPolicy::WeightedByFanout => self.strategy.shot_fanout(),
+        }
+    }
+
+    /// Per-job pilot dispersions (`None` where the pilot produced no
+    /// usable counts).
+    fn pilot_dispersions(&self) -> Vec<Option<f64>> {
+        self.acc
+            .iter()
+            .map(|a| a.as_ref().and_then(|s| s.counts.sampling_dispersion()))
+            .collect()
+    }
+
+    /// The next round to execute, or `None` when the session has absorbed
+    /// every round and is ready to [`MitigationSession::finish`].
+    pub fn next_round(&self) -> Option<RoundSpec> {
+        match self.pilot {
+            None => (self.completed_rounds == 0).then(|| RoundSpec {
+                round: 0,
+                shots: match &self.explicit {
+                    Some(plan) => plan.clone(),
+                    None => ShotPlan::from_shots(
+                        self.strategy
+                            .allocate_budget(self.total_shots, &self.static_weights()),
+                    ),
+                },
+                seed: self.seed,
+            }),
+            Some(p) => match self.completed_rounds {
+                0 => Some(RoundSpec {
+                    round: 0,
+                    shots: ShotPlan::from_shots(
+                        self.strategy.allocate_budget(p, &self.static_weights()),
+                    ),
+                    seed: job_sample_seed(self.seed, 0),
+                }),
+                1 => Some(RoundSpec {
+                    round: 1,
+                    shots: ShotPlan::from_shots(self.strategy.allocate_budget(
+                        self.total_shots - p,
+                        &neyman_weights(&self.pilot_dispersions()),
+                    )),
+                    seed: job_sample_seed(self.seed, 1),
+                }),
+                _ => None,
+            },
+        }
+    }
+
+    fn check_spec(&self, spec: &RoundSpec, got_outputs: usize) -> Result<(), ExecError> {
+        if spec.round != self.completed_rounds {
+            return Err(ExecError::PlanMismatch {
+                detail: format!(
+                    "absorbed round {} but the session expects round {}",
+                    spec.round, self.completed_rounds
+                ),
+            });
+        }
+        if spec.shots.n_jobs() != self.jobs.len() {
+            return Err(ExecError::ShotPlanMismatch {
+                expected: self.jobs.len(),
+                got: spec.shots.n_jobs(),
+            });
+        }
+        if got_outputs != self.jobs.len() {
+            return Err(ExecError::ResultCountMismatch {
+                expected: self.jobs.len(),
+                got: got_outputs,
+            });
+        }
+        Ok(())
+    }
+
+    /// Absorbs a round executed through a [`Runner`]'s sampled surface
+    /// (outputs in batch-jobs order), merging counts outcome-by-outcome
+    /// into the session tally.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::PlanMismatch`] for an out-of-order round,
+    /// [`ExecError::ShotPlanMismatch`] /
+    /// [`ExecError::ResultCountMismatch`] for a spec or result vector
+    /// that does not cover the session's jobs.
+    pub fn absorb_sampled(
+        &mut self,
+        spec: &RoundSpec,
+        outputs: Vec<SampledOutput>,
+    ) -> Result<(), ExecError> {
+        self.check_spec(spec, outputs.len())?;
+        self.absorb_round_unchecked(outputs);
+        Ok(())
+    }
+
+    /// Absorbs a round executed as *exact* distributions (batch-jobs
+    /// order), sampling each job deterministically with the round's shot
+    /// allocation and per-job derived seed — the same
+    /// `dist → multinomial` formula as the [`Runner`] sampled surface, so
+    /// a session fed exact outputs (e.g. by a caching service that
+    /// executes jobs once and samples per request) is bit-identical to
+    /// one run against the runner directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`MitigationSession::absorb_sampled`].
+    pub fn absorb_exact(
+        &mut self,
+        spec: &RoundSpec,
+        outputs: &[RunOutput],
+    ) -> Result<(), ExecError> {
+        self.check_spec(spec, outputs.len())?;
+        let sampled: Vec<SampledOutput> = outputs
+            .iter()
+            .enumerate()
+            .map(|(i, out)| {
+                SampledOutput::from_run(out, spec.shots.shots(i), job_sample_seed(spec.seed, i))
+            })
+            .collect();
+        self.absorb_round_unchecked(sampled);
+        Ok(())
+    }
+
+    /// Absorbs a round executed through the fallible surface: surviving
+    /// jobs are sampled exactly as in [`MitigationSession::absorb_exact`]
+    /// (so a retried job's counts are bit-identical to the fault-free
+    /// run); failed jobs keep any counts from earlier rounds and only
+    /// count as *failed* if no round ever produced counts for them.
+    ///
+    /// # Errors
+    ///
+    /// As [`MitigationSession::absorb_sampled`].
+    pub fn absorb_fallible(
+        &mut self,
+        spec: &RoundSpec,
+        results: Vec<Result<RunOutput, RunError>>,
+        stats: FailureStats,
+    ) -> Result<(), ExecError> {
+        self.check_spec(spec, results.len())?;
+        self.fallible = true;
+        self.fail_stats.merge(&stats);
+        let mut round_total = 0u64;
+        for (i, res) in results.into_iter().enumerate() {
+            match res {
+                Ok(out) => {
+                    let s = SampledOutput::from_run(
+                        &out,
+                        spec.shots.shots(i),
+                        job_sample_seed(spec.seed, i),
+                    );
+                    round_total += s.counts.shots();
+                    match &mut self.acc[i] {
+                        Some(acc) => acc.absorb(&s),
+                        None => self.acc[i] = Some(s),
+                    }
+                    self.errors[i] = None;
+                }
+                Err(err) => {
+                    if self.acc[i].is_none() {
+                        self.errors[i] = Some(err);
+                    }
+                }
+            }
+        }
+        self.round_shots.push(round_total);
+        self.completed_rounds += 1;
+        Ok(())
+    }
+
+    fn absorb_round_unchecked(&mut self, outputs: Vec<SampledOutput>) {
+        let mut round_total = 0u64;
+        for (i, out) in outputs.into_iter().enumerate() {
+            round_total += out.counts.shots();
+            match &mut self.acc[i] {
+                Some(acc) => acc.absorb(&out),
+                None => self.acc[i] = Some(out),
+            }
+            self.errors[i] = None;
+        }
+        self.round_shots.push(round_total);
+        self.completed_rounds += 1;
+    }
+
+    /// Tears the session down into `(strategy, outputs, record, errors)` —
+    /// the raw material of recombination. Failed jobs hold a zero-mass
+    /// placeholder output and their terminal error sits in both the
+    /// record's failure entry and the returned `errors` vector.
+    pub(crate) fn collect(self) -> (S, Vec<RunOutput>, ExecutionRecord, Vec<Option<RunError>>) {
+        let n = self.jobs.len();
+        let mut outputs = Vec::with_capacity(n);
+        let mut per_job_shots = vec![0u64; n];
+        for (i, acc) in self.acc.iter().enumerate() {
+            match acc {
+                Some(s) => {
+                    per_job_shots[i] = s.counts.shots();
+                    outputs.push(s.to_run_output());
+                }
+                None => outputs.push(placeholder_output(self.jobs[i].measured.len())),
+            }
+        }
+        let failures = self.fallible.then(|| JobFailures {
+            per_job: self.errors.clone(),
+            stats: self.fail_stats,
+        });
+        let record = ExecutionRecord {
+            sampled_shots: Some(per_job_shots),
+            // Round accounting only for genuine multi-round sessions: a
+            // single round must reproduce the legacy report bit-for-bit,
+            // which carries no per-round field.
+            round_shots: self.pilot.is_some().then(|| self.round_shots.clone()),
+            engine_mix: self.engine_mix.clone(),
+            failures,
+        };
+        (self.strategy, outputs, record, self.errors)
+    }
+
+    /// Recombines the absorbed rounds into the strategy's report.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the strategy's recombination reports, lifted to
+    /// [`ExecError`]: a terminally failed job the method cannot degrade
+    /// around becomes [`ExecError::JobFailed`] (indexed in batch-jobs
+    /// order), contract violations keep their typed forms.
+    pub fn finish(self) -> Result<S::Report, ExecError> {
+        let (strategy, outputs, record, errors) = self.collect();
+        strategy
+            .recombine_outputs(outputs, &record)
+            .map_err(|e| match e {
+                StrategyError::ResultCountMismatch { expected, got } => {
+                    ExecError::ResultCountMismatch { expected, got }
+                }
+                StrategyError::JobFailed { job, detail } => {
+                    match errors.get(job).and_then(|e| e.clone()) {
+                        Some(error) => ExecError::JobFailed { slot: job, error },
+                        None => ExecError::PlanMismatch { detail },
+                    }
+                }
+                StrategyError::Recombine { detail } => ExecError::PlanMismatch { detail },
+            })
+    }
+
+    /// Drives every round against `runner`'s sampled batch surface and
+    /// recombines — the offline convenience over the stepwise API.
+    ///
+    /// # Errors
+    ///
+    /// As [`MitigationSession::absorb_sampled`] and
+    /// [`MitigationSession::finish`].
+    pub fn run<R: Runner>(mut self, runner: &R) -> Result<S::Report, ExecError> {
+        self.engine_mix = runner.engine_mix(&self.jobs);
+        while let Some(spec) = self.next_round() {
+            let outputs = runner.run_batch_sampled(&self.jobs, &spec.shots, spec.seed);
+            self.absorb_sampled(&spec, outputs)?;
+        }
+        self.finish()
+    }
+
+    /// [`MitigationSession::run`] with the failure domain of
+    /// `execute_sampled_fallible`: every round executes through the
+    /// resilient batch surface (panic quarantine, bounded retry), failed
+    /// jobs degrade per round, and the final report carries the merged
+    /// failure statistics of all rounds.
+    ///
+    /// # Errors
+    ///
+    /// As [`MitigationSession::absorb_fallible`] and
+    /// [`MitigationSession::finish`].
+    pub fn run_fallible<R: Runner>(
+        mut self,
+        runner: &R,
+        retry: &RetryPolicy,
+    ) -> Result<S::Report, ExecError> {
+        self.engine_mix = runner.engine_mix(&self.jobs);
+        while let Some(spec) = self.next_round() {
+            let (results, stats) = try_run_batch_resilient(runner, &self.jobs, retry);
+            self.absorb_fallible(&spec, results, stats)?;
+        }
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neyman_weights_fill_missing_with_the_valid_mean() {
+        let w = neyman_weights(&[Some(2.0), None, Some(4.0)]);
+        assert_eq!(w, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn neyman_weights_degrade_to_uniform() {
+        assert_eq!(neyman_weights(&[None, None]), vec![1.0, 1.0]);
+        assert_eq!(neyman_weights(&[Some(0.0), Some(0.0)]), vec![1.0, 1.0]);
+        assert_eq!(
+            neyman_weights(&[Some(f64::NAN), Some(f64::INFINITY)]),
+            vec![1.0, 1.0]
+        );
+    }
+}

@@ -148,7 +148,8 @@ proptest! {
         sample_seed in 0u64..1000,
     ) {
         let plan = QuTracer::plan(&circ, &measured, &cfg).expect("plannable workload");
-        let shots = plan.allocate_shots(512 * plan.n_programs(), ShotPolicy::Uniform);
+        let shots = plan.allocate_shots(512 * plan.n_programs(), ShotPolicy::Uniform)
+            .expect("budget funds the floor");
         let clean = plan
             .execute_sampled(&executor(), &shots, sample_seed)
             .expect("fault-free sampled execution")

@@ -126,6 +126,7 @@ fn legacy_oracle<R: Runner>(
             global_two_qubit_gates: global_out.two_qubit_gates,
             batch: None,
             total_shots: None,
+            round_shots: None,
             engine_mix: None,
             failures: None,
         },

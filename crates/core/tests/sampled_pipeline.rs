@@ -60,7 +60,7 @@ proptest! {
         let mut fidelities = Vec::new();
         for per_program in [64usize, 65_536] {
             let budget = per_program * plan.n_programs();
-            let shots = plan.allocate_shots(budget, ShotPolicy::Uniform);
+            let shots = plan.allocate_shots(budget, ShotPolicy::Uniform).expect("budget funds the floor");
             let report = plan
                 .execute_sampled(&exec, &shots, seed)
                 .expect("sampled execution")
@@ -84,7 +84,8 @@ proptest! {
     fn sampled_pipeline_is_seed_stable((circ, measured, cfg) in arb_workload()) {
         let exec = executor();
         let plan = QuTracer::plan(&circ, &measured, &cfg).expect("plannable workload");
-        let shots = plan.allocate_shots(2048 * plan.n_programs(), ShotPolicy::Uniform);
+        let shots = plan.allocate_shots(2048 * plan.n_programs(), ShotPolicy::Uniform)
+        .expect("budget funds the floor");
         let a = plan.execute_sampled(&exec, &shots, 5).unwrap().recombine().unwrap();
         let b = plan.execute_sampled(&exec, &shots, 5).unwrap().recombine().unwrap();
         let xs: Vec<(u64, f64)> = a.distribution.iter().collect();
@@ -106,7 +107,7 @@ fn uniform_allocation_splits_exactly() {
     // A budget that does not divide evenly: largest-remainder must still
     // sum exactly, with every program within one shot of the others.
     let total = 10 * n + n / 2;
-    let shots = plan.allocate_shots(total, ShotPolicy::Uniform);
+    let shots = plan.allocate_shots(total, ShotPolicy::Uniform).unwrap();
     assert_eq!(shots.n_jobs(), n);
     assert_eq!(shots.total_shots(), total as u64);
     let (min, max) = (
@@ -128,7 +129,9 @@ fn fanout_weighted_allocation_favors_shared_programs() {
     assert!(plan.n_requests() > plan.n_programs(), "dedup happened");
 
     let total = 1000 * plan.n_requests();
-    let weighted = plan.allocate_shots(total, ShotPolicy::WeightedByFanout);
+    let weighted = plan
+        .allocate_shots(total, ShotPolicy::WeightedByFanout)
+        .unwrap();
     assert_eq!(weighted.total_shots(), total as u64);
     // Programs serving many requests get proportionally more than the
     // single-request ones.
@@ -142,7 +145,9 @@ fn fanout_weighted_allocation_favors_shared_programs() {
     );
     // Every program gets at least one shot when the budget affords it.
     assert!(min >= 1, "no zero-shot programs");
-    let uniform = plan.allocate_shots(plan.n_programs(), ShotPolicy::Uniform);
+    let uniform = plan
+        .allocate_shots(plan.n_programs(), ShotPolicy::Uniform)
+        .unwrap();
     assert!(uniform.per_job().iter().all(|&s| s == 1));
 }
 
@@ -179,7 +184,9 @@ fn sampled_artifacts_expose_per_program_shots() {
     let measured: Vec<usize> = (0..4).collect();
     let plan = QuTracer::plan(&circ, &measured, &QuTracerConfig::single()).unwrap();
     let exec = executor();
-    let shots = plan.allocate_shots(500 * plan.n_programs(), ShotPolicy::Uniform);
+    let shots = plan
+        .allocate_shots(500 * plan.n_programs(), ShotPolicy::Uniform)
+        .unwrap();
     let artifacts = plan.execute_sampled(&exec, &shots, 3).unwrap();
     let per_slot = artifacts
         .sampled_shots()

@@ -783,6 +783,37 @@ impl Counts {
         (p * (1.0 - p) / shots as f64).sqrt()
     }
 
+    /// The per-shot sampling dispersion of the empirical distribution:
+    /// the l2-pooled [`Counts::std_error`] over the observed outcomes,
+    /// rescaled to a single shot — `√(Σ_o p̂_o(1−p̂_o)) = √(1 − Σ_o p̂_o²)`.
+    ///
+    /// This is the multinomial analogue of a per-shot standard deviation:
+    /// the total shot-noise "size" of one additional measurement. A
+    /// deterministic outcome yields 0; the spread is maximal for the
+    /// uniform distribution. It is the variance signal Neyman allocation
+    /// consumes (`n_i ∝ σ_i`): programs whose outcome distributions are
+    /// nearly deterministic need few shots, spread-out ones need many.
+    ///
+    /// Returns `None` when no shots were recorded (every `std_error` is
+    /// infinite, so there is no finite pooled value).
+    pub fn sampling_dispersion(&self) -> Option<f64> {
+        let shots = self.shots();
+        if shots == 0 {
+            return None;
+        }
+        // Σ_o std_error(o)² · N  =  Σ_o p̂_o(1−p̂_o)  =  1 − Σ_o p̂_o²,
+        // accumulated over the support only (zero-count outcomes
+        // contribute 0 to both forms).
+        let pooled: f64 = self
+            .iter()
+            .map(|(o, _)| {
+                let se = self.std_error(o);
+                se * se * shots as f64
+            })
+            .sum();
+        Some(pooled.max(0.0).sqrt())
+    }
+
     /// Accumulates another count table over the same outcome space — a
     /// sorted two-pointer merge of the nonzero streams.
     ///

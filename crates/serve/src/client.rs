@@ -179,6 +179,48 @@ impl ServiceClient {
             .map_err(ClientError::Decode)
     }
 
+    /// Submits a circuit as a finite-shot mitigation session under
+    /// `policy`, returning the job id. The server runs every session
+    /// round through its batcher and cache; the served report is
+    /// bit-identical to running the same session offline.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::submit`]; additionally HTTP 400 for a malformed
+    /// policy and 500 for an unfundable shot budget.
+    pub fn submit_sampled(
+        &self,
+        circuit: &Circuit,
+        measured: &[usize],
+        config: &QuTracerConfig,
+        total_shots: u64,
+        policy: &qt_core::ShotPolicy,
+        seed: u64,
+    ) -> Result<u64, ClientError> {
+        let body = crate::json::obj([
+            ("circuit", wire::circuit_to_json(circuit)),
+            (
+                "measured",
+                Json::Arr(measured.iter().map(|&q| Json::Num(q as f64)).collect()),
+            ),
+            ("config", wire::config_to_json(config)),
+            (
+                "sampling",
+                crate::json::obj([
+                    ("total_shots", crate::json::u64_str(total_shots)),
+                    ("policy", wire::shot_policy_to_json(policy)),
+                    ("seed", crate::json::u64_str(seed)),
+                ]),
+            ),
+        ])
+        .to_string();
+        let (_, doc) = self.call("POST", "/submit", &body)?;
+        doc.field("job_id", "submit response")
+            .and_then(|id| id.as_usize("job_id"))
+            .map(|id| id as u64)
+            .map_err(ClientError::Decode)
+    }
+
     /// Fetches a finished report, `None` while the job is in flight.
     pub fn result(&self, job: u64) -> Result<Option<QuTracerReport>, ClientError> {
         let (status, doc) = self.call("GET", &format!("/result/{job}"), "")?;

@@ -201,7 +201,36 @@ fn handle_submit<R: Runner + Send + Sync + 'static>(
         Some(c) => wire::config_from_json(c).map_err(ServiceError::BadRequest)?,
         None => Default::default(),
     };
-    let id = service.submit(&circuit, &measured, &config)?;
+    // An optional `sampling` envelope turns the request into a finite-shot
+    // mitigation session: {"total_shots":"40000", "policy":{...}, "seed":"7"}.
+    // Policy defaults to uniform, seed to 0; total_shots is required.
+    let id = match doc
+        .opt_field("sampling", "submit")
+        .map_err(ServiceError::BadRequest)?
+    {
+        None => service.submit(&circuit, &measured, &config)?,
+        Some(s) => {
+            let total_shots = s
+                .field("total_shots", "submit.sampling")
+                .and_then(|v| v.as_u64_str("sampling.total_shots"))
+                .map_err(ServiceError::BadRequest)? as usize;
+            let policy = match s
+                .opt_field("policy", "submit.sampling")
+                .map_err(ServiceError::BadRequest)?
+            {
+                Some(p) => wire::shot_policy_from_json(p).map_err(ServiceError::BadRequest)?,
+                None => qt_core::ShotPolicy::Uniform,
+            };
+            let seed = s
+                .opt_field("seed", "submit.sampling")
+                .map_err(ServiceError::BadRequest)?
+                .map(|v| v.as_u64_str("sampling.seed"))
+                .transpose()
+                .map_err(ServiceError::BadRequest)?
+                .unwrap_or(0);
+            service.submit_sampled(&circuit, &measured, &config, total_shots, policy, seed)?
+        }
+    };
     Ok((202, obj([("job_id", Json::Num(id as f64))])))
 }
 

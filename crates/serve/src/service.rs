@@ -38,7 +38,10 @@
 use crate::error::ServiceError;
 use crate::queue::{BoundedQueue, PushError};
 use qt_circuit::Circuit;
-use qt_core::{ExecError, MitigationPlan, PlanView, QuTracer, QuTracerConfig, QuTracerReport};
+use qt_core::{
+    ExecError, MitigationPlan, MitigationSession, PlanView, QuTracer, QuTracerConfig,
+    QuTracerReport, ShotPolicy,
+};
 use qt_sim::cache::{run_output_weight, CacheStats, ShardedLruCache};
 use qt_sim::{
     batch_trie_stats, try_run_batch_resilient, wait_timeout_recover, BatchJob, FailureStats,
@@ -150,7 +153,37 @@ struct JobEntry {
 /// through [`MitigationService::expire_if_overdue`] at pick-up/delivery.
 struct Ticket {
     id: u64,
-    plan: MitigationPlan,
+    work: Work,
+}
+
+/// What a ticket carries through the batcher.
+enum Work {
+    /// An exact single-pass request (the original `submit` surface).
+    Exact(Box<MitigationPlan>),
+    /// A finite-shot mitigation session: each pending round re-enters the
+    /// queue, executes through the same cross-request batcher and cache as
+    /// exact work, and the session samples counts from the exact outputs
+    /// ([`MitigationSession::absorb_exact`]) — bit-identical to running
+    /// the session offline against the same runner.
+    Session(Box<MitigationSession<MitigationPlan>>),
+}
+
+impl Work {
+    /// The request's batch jobs, in the order its recombination expects
+    /// results back.
+    fn batch_jobs(&self) -> Vec<BatchJob> {
+        match self {
+            Work::Exact(plan) => plan.batch_jobs(),
+            Work::Session(session) => session.jobs().to_vec(),
+        }
+    }
+
+    fn view(&self) -> PlanView {
+        match self {
+            Work::Exact(plan) => plan.view(),
+            Work::Session(session) => session.strategy().view(),
+        }
+    }
 }
 
 /// A point-in-time snapshot of the service's counters.
@@ -271,7 +304,40 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
         config: &QuTracerConfig,
     ) -> Result<u64, ServiceError> {
         let plan = QuTracer::plan(circuit, measured, config).map_err(ServiceError::Plan)?;
-        let view = plan.view();
+        self.admit(Work::Exact(Box::new(plan)))
+    }
+
+    /// Plans `circuit` and admits it as a finite-shot mitigation session
+    /// under `policy` with `total_shots` and sampling seed `seed`. Each
+    /// round of the session (two for a genuinely adaptive policy) runs
+    /// through the shared batcher and result cache; the served report is
+    /// bit-identical to [`MitigationPlan::run_sampled`] offline against
+    /// the same runner.
+    ///
+    /// # Errors
+    ///
+    /// As [`MitigationService::submit`], plus
+    /// [`ServiceError::Exec`] wrapping
+    /// [`ExecError::InsufficientShotBudget`] /
+    /// [`ExecError::InvalidPilotFraction`] for an unfundable budget or a
+    /// malformed adaptive policy.
+    pub fn submit_sampled(
+        &self,
+        circuit: &Circuit,
+        measured: &[usize],
+        config: &QuTracerConfig,
+        total_shots: usize,
+        policy: ShotPolicy,
+        seed: u64,
+    ) -> Result<u64, ServiceError> {
+        let plan = QuTracer::plan(circuit, measured, config).map_err(ServiceError::Plan)?;
+        let session =
+            MitigationSession::new(plan, policy, total_shots, seed).map_err(ServiceError::Exec)?;
+        self.admit(Work::Session(Box::new(session)))
+    }
+
+    fn admit(&self, work: Work) -> Result<u64, ServiceError> {
+        let view = work.view();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let deadline = self.config.request_deadline.map(|d| Instant::now() + d);
         self.jobs.lock_recover().insert(
@@ -281,7 +347,7 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
                 deadline,
             },
         );
-        match self.queue.try_push(Ticket { id, plan }) {
+        match self.queue.try_push(Ticket { id, work }) {
             Ok(()) => {
                 self.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(id)
@@ -502,7 +568,7 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
         // Cross-request dedup: every request's plan-order jobs land in one
         // shared table; equal jobs (same structural key) occupy one slot
         // no matter which user submitted them.
-        let per_request: Vec<Vec<BatchJob>> = live.iter().map(|t| t.plan.batch_jobs()).collect();
+        let per_request: Vec<Vec<BatchJob>> = live.iter().map(|t| t.work.batch_jobs()).collect();
         let mut interner = JobInterner::new();
         let mut table: Vec<BatchJob> = Vec::new();
         let request_slots: Vec<Vec<usize>> = per_request
@@ -559,14 +625,18 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
         }
 
         // Scatter back per request and recombine each plan independently.
+        // A session with rounds left is collected for requeueing instead
+        // of resolving; everything else reaches a terminal state here.
+        let mut requeues: Vec<Ticket> = Vec::new();
         let mut jobs = self.jobs.lock_recover();
-        for ((ticket, slots), own_jobs) in live.iter().zip(&request_slots).zip(&per_request) {
-            let Some(entry) = jobs.get_mut(&ticket.id) else {
+        for ((ticket, slots), own_jobs) in live.into_iter().zip(&request_slots).zip(&per_request) {
+            let id = ticket.id;
+            let Some(entry) = jobs.get_mut(&id) else {
                 continue;
             };
             // Delivery-point deadline check: a report that missed its
             // deadline is discarded, not delivered late.
-            self.expire_if_overdue(ticket.id, entry);
+            self.expire_if_overdue(id, entry);
             if entry.state.is_terminal() {
                 continue;
             }
@@ -585,26 +655,87 @@ impl<R: Runner + Send + Sync + 'static> MitigationService<R> {
                     })),
                 })
                 .collect();
-            let outcome = gathered.and_then(|outputs| {
-                let engine_mix = self.runner.engine_mix(own_jobs);
-                ticket
-                    .plan
-                    .artifacts_from_outputs(outputs, engine_mix)
-                    .and_then(|artifacts| artifacts.recombine())
-                    .map_err(ServiceError::Exec)
-            });
-            entry.state = match outcome {
-                Ok(report) => {
-                    self.completed.fetch_add(1, Ordering::Relaxed);
-                    JobState::Done(Arc::new(report))
+            match ticket.work {
+                Work::Exact(plan) => {
+                    let outcome = gathered.and_then(|outputs| {
+                        let engine_mix = self.runner.engine_mix(own_jobs);
+                        plan.artifacts_from_outputs(outputs, engine_mix)
+                            .and_then(|artifacts| artifacts.recombine())
+                            .map_err(ServiceError::Exec)
+                    });
+                    entry.state = match outcome {
+                        Ok(report) => {
+                            self.completed.fetch_add(1, Ordering::Relaxed);
+                            JobState::Done(Arc::new(report))
+                        }
+                        Err(e) => {
+                            self.failed.fetch_add(1, Ordering::Relaxed);
+                            JobState::Failed(e)
+                        }
+                    };
                 }
-                Err(e) => {
-                    self.failed.fetch_add(1, Ordering::Relaxed);
-                    JobState::Failed(e)
+                Work::Session(mut session) => {
+                    let absorbed = gathered.and_then(|outputs| {
+                        if session.rounds_completed() == 0 {
+                            session.set_engine_mix(self.runner.engine_mix(own_jobs));
+                        }
+                        let spec = session
+                            .next_round()
+                            .expect("an admitted session ticket has a pending round");
+                        session
+                            .absorb_exact(&spec, &outputs)
+                            .map_err(ServiceError::Exec)
+                    });
+                    match absorbed {
+                        Err(e) => {
+                            self.failed.fetch_add(1, Ordering::Relaxed);
+                            entry.state = JobState::Failed(e);
+                        }
+                        Ok(()) if session.next_round().is_some() => {
+                            // Still Running: the next round re-enters the
+                            // queue below, outside the registry lock. An
+                            // adaptive final round resubmits the same jobs,
+                            // so it is served from the result cache.
+                            requeues.push(Ticket {
+                                id,
+                                work: Work::Session(session),
+                            });
+                        }
+                        Ok(()) => {
+                            entry.state = match session.finish().map_err(ServiceError::Exec) {
+                                Ok(report) => {
+                                    self.completed.fetch_add(1, Ordering::Relaxed);
+                                    JobState::Done(Arc::new(report))
+                                }
+                                Err(e) => {
+                                    self.failed.fetch_add(1, Ordering::Relaxed);
+                                    JobState::Failed(e)
+                                }
+                            };
+                        }
+                    }
                 }
-            };
+            }
         }
         drop(jobs);
         self.done_cv.notify_all();
+        // Pending session rounds go back through admission (bypassing the
+        // capacity bound — they are not new load). A closed queue means a
+        // drain-shutdown landed mid-session: resolve the job typed so no
+        // waiter hangs.
+        for ticket in requeues {
+            let id = ticket.id;
+            if self.queue.requeue(ticket).is_err() {
+                let mut jobs = self.jobs.lock_recover();
+                if let Some(entry) = jobs.get_mut(&id) {
+                    if !entry.state.is_terminal() {
+                        entry.state = JobState::Failed(ServiceError::ShuttingDown);
+                        self.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                drop(jobs);
+                self.done_cv.notify_all();
+            }
+        }
     }
 }

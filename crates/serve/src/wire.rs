@@ -21,7 +21,9 @@ use crate::json::{obj, u64_str, Json};
 use qt_baselines::OverheadStats;
 use qt_circuit::passes::UnsupportedCoupling;
 use qt_circuit::{Circuit, Gate};
-use qt_core::{PlanError, PlanView, QuTracerConfig, QuTracerReport, SkippedSubset, TraceConfig};
+use qt_core::{
+    PlanError, PlanView, QuTracerConfig, QuTracerReport, ShotPolicy, SkippedSubset, TraceConfig,
+};
 use qt_dist::{Counts, Distribution};
 use qt_pcs::QspcStats;
 use qt_sim::TrieStats;
@@ -310,6 +312,12 @@ pub fn overhead_stats_to_json(s: &OverheadStats) -> Json {
         ),
         ("total_shots", s.total_shots.map_or(Json::Null, u64_str)),
         (
+            "round_shots",
+            s.round_shots.as_ref().map_or(Json::Null, |rounds| {
+                Json::Arr(rounds.iter().map(|&r| u64_str(r)).collect())
+            }),
+        ),
+        (
             "engine_mix",
             s.engine_mix.as_ref().map_or(Json::Null, |mix| {
                 Json::Arr(
@@ -370,6 +378,15 @@ pub fn overhead_stats_from_json(j: &Json) -> Result<OverheadStats, String> {
         total_shots: j
             .opt_field("total_shots", "overhead_stats")?
             .map(|v| v.as_u64_str("total_shots"))
+            .transpose()?,
+        round_shots: j
+            .opt_field("round_shots", "overhead_stats")?
+            .map(|v| {
+                v.as_arr("round_shots")?
+                    .iter()
+                    .map(|r| r.as_u64_str("round_shots entry"))
+                    .collect::<Result<Vec<u64>, String>>()
+            })
             .transpose()?,
         engine_mix,
         failures: j
@@ -590,6 +607,43 @@ pub fn config_from_json(j: &Json) -> Result<QuTracerConfig, String> {
     }
     c.trace = t;
     Ok(c)
+}
+
+/// Encodes a [`ShotPolicy`] as a variant-tagged object:
+/// `{"kind":"uniform"}`, `{"kind":"weighted_by_fanout"}` or
+/// `{"kind":"adaptive","pilot_fraction":0.25}`.
+pub fn shot_policy_to_json(p: &ShotPolicy) -> Json {
+    match p {
+        ShotPolicy::Uniform => obj([("kind", Json::Str("uniform".into()))]),
+        ShotPolicy::WeightedByFanout => obj([("kind", Json::Str("weighted_by_fanout".into()))]),
+        ShotPolicy::Adaptive { pilot_fraction } => obj([
+            ("kind", Json::Str("adaptive".into())),
+            ("pilot_fraction", Json::Num(*pilot_fraction)),
+        ]),
+    }
+}
+
+/// Decodes [`shot_policy_to_json`]'s form, rejecting unknown variants and
+/// adaptive pilot fractions outside `[0, 1]` (or non-finite ones) at the
+/// boundary — a malformed policy never reaches the session layer.
+pub fn shot_policy_from_json(j: &Json) -> Result<ShotPolicy, String> {
+    let kind = j.field("kind", "shot_policy")?.as_str("shot_policy.kind")?;
+    match kind {
+        "uniform" => Ok(ShotPolicy::Uniform),
+        "weighted_by_fanout" => Ok(ShotPolicy::WeightedByFanout),
+        "adaptive" => {
+            let pilot_fraction = j
+                .field("pilot_fraction", "shot_policy")?
+                .as_f64("shot_policy.pilot_fraction")?;
+            if !pilot_fraction.is_finite() || !(0.0..=1.0).contains(&pilot_fraction) {
+                return Err(format!(
+                    "shot_policy.pilot_fraction: {pilot_fraction} outside [0, 1]"
+                ));
+            }
+            Ok(ShotPolicy::Adaptive { pilot_fraction })
+        }
+        other => Err(format!("shot_policy.kind: unknown variant {other:?}")),
+    }
 }
 
 /// Encodes a [`PlanView`] (status-endpoint payload for queued jobs).

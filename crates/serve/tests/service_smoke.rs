@@ -6,7 +6,7 @@
 
 use qt_algos::{qaoa_maxcut, ring_graph, QaoaParams};
 use qt_circuit::Circuit;
-use qt_core::{run_qutracer, QuTracerConfig, QuTracerReport};
+use qt_core::{run_qutracer, QuTracer, QuTracerConfig, QuTracerReport, ShotPolicy};
 use qt_dist::Distribution;
 use qt_serve::{serve, JobState, MitigationService, ServiceClient, ServiceConfig, ServiceError};
 use qt_sim::{Backend, ChaosConfig, ChaosRunner, Executor, NoiseModel};
@@ -262,6 +262,95 @@ fn shutdown_mid_batch_completes_in_flight_and_fails_queued_typed() {
     let stats = service.stats();
     assert_eq!(stats.completed, 1);
     assert_eq!(stats.failed, 1);
+}
+
+/// An adaptive two-round session served over HTTP must be bit-identical
+/// to the same session run offline: the service executes the pilot
+/// through its batcher, requeues the final round (served from the result
+/// cache — same jobs), and the recombined report matches
+/// `MitigationPlan::run_sampled` to the last bit, including the per-round
+/// shot accounting on the wire.
+#[test]
+fn adaptive_session_is_served_bit_identical_to_offline() {
+    let edges = ring_graph(4);
+    let circuit = qaoa_maxcut(4, &edges, &QaoaParams::seeded(3, 2));
+    let measured = [0, 1, 2, 3];
+    let cfg = QuTracerConfig::single();
+    let policy = ShotPolicy::Adaptive {
+        pilot_fraction: 0.25,
+    };
+    let total = 40_000u64;
+    let seed = 7u64;
+
+    let server = serve("127.0.0.1:0", runner(), ServiceConfig::default()).expect("bind");
+    let client = ServiceClient::new(server.addr());
+    let job = client
+        .submit_sampled(&circuit, &measured, &cfg, total, &policy, seed)
+        .expect("submit session");
+    let served = client.wait_result(job, Duration::from_secs(120)).unwrap();
+    let cache = server.service().cache_stats();
+    server.shutdown();
+
+    let plan = QuTracer::plan(&circuit, &measured, &cfg).unwrap();
+    let local = plan
+        .run_sampled(&runner(), total as usize, policy, seed)
+        .unwrap();
+
+    assert_report_identical(&served, &local);
+    assert_eq!(served.stats.total_shots, local.stats.total_shots);
+    assert_eq!(served.stats.round_shots, local.stats.round_shots);
+    let rounds = served.stats.round_shots.as_ref().expect("round accounting");
+    assert_eq!(rounds.len(), 2, "session must be genuinely two-round");
+    assert_eq!(rounds.iter().sum::<u64>(), total);
+    // The adaptive final round resubmits the same jobs, so it is served
+    // entirely from the result cache.
+    assert!(cache.hits > 0, "final round produced no cache hits");
+}
+
+/// A sampled session with an unfundable budget (or malformed policy) is
+/// rejected at submission with a typed error, not queued to fail later.
+#[test]
+fn sampled_submissions_validate_budget_and_policy_at_admission() {
+    let edges = ring_graph(3);
+    let circuit = qaoa_maxcut(3, &edges, &QaoaParams::seeded(4, 0));
+    let measured = [0, 1, 2];
+    let cfg = QuTracerConfig::single();
+    let service = MitigationService::new(runner(), ServiceConfig::default());
+
+    // Budget below the plan's 1-shot-per-program floor.
+    let err = service
+        .submit_sampled(&circuit, &measured, &cfg, 1, ShotPolicy::Uniform, 0)
+        .expect_err("one shot cannot fund the floor");
+    assert!(
+        matches!(
+            err,
+            ServiceError::Exec(qt_core::ExecError::InsufficientShotBudget { .. })
+        ),
+        "got {err:?}"
+    );
+
+    // Malformed adaptive fraction.
+    let err = service
+        .submit_sampled(
+            &circuit,
+            &measured,
+            &cfg,
+            10_000,
+            ShotPolicy::Adaptive {
+                pilot_fraction: 1.5,
+            },
+            0,
+        )
+        .expect_err("pilot fraction outside [0, 1]");
+    assert!(
+        matches!(
+            err,
+            ServiceError::Exec(qt_core::ExecError::InvalidPilotFraction { .. })
+        ),
+        "got {err:?}"
+    );
+    assert_eq!(service.stats().submitted, 0);
+    service.shutdown();
 }
 
 /// The HTTP shell maps unknown jobs and unknown routes to typed errors.

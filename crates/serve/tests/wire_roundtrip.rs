@@ -8,13 +8,14 @@
 
 use qt_algos::{qaoa_maxcut, ring_graph, QaoaParams};
 use qt_baselines::OverheadStats;
-use qt_core::{run_qutracer, QuTracerConfig, TraceConfig};
+use qt_core::{run_qutracer, QuTracerConfig, ShotPolicy, TraceConfig};
 use qt_dist::{Counts, Distribution};
 use qt_serve::json::Json;
 use qt_serve::wire::{
     circuit_from_json, circuit_to_json, config_from_json, config_to_json, counts_from_json,
     counts_to_json, distribution_from_json, distribution_to_json, overhead_stats_from_json,
-    overhead_stats_to_json, report_from_json, report_to_json,
+    overhead_stats_to_json, report_from_json, report_to_json, shot_policy_from_json,
+    shot_policy_to_json,
 };
 use qt_sim::{Executor, NoiseModel, TrieStats};
 
@@ -89,6 +90,7 @@ fn overhead_stats_roundtrip_with_and_without_options() {
             interior_gates: 30,
         }),
         total_shots: Some(u64::MAX),
+        round_shots: Some(vec![1000, u64::MAX - 7]),
         engine_mix: Some(vec![("density".into(), 4), ("stabilizer".into(), 1)]),
         failures: Some(qt_sim::FailureStats {
             retries: u64::MAX - 1,
@@ -102,6 +104,7 @@ fn overhead_stats_roundtrip_with_and_without_options() {
     let bare = OverheadStats {
         batch: None,
         total_shots: None,
+        round_shots: None,
         engine_mix: None,
         failures: None,
         ..full.clone()
@@ -120,6 +123,7 @@ fn overhead_stats_roundtrip_with_and_without_options() {
         assert_eq!(back.global_two_qubit_gates, s.global_two_qubit_gates);
         assert_eq!(back.batch, s.batch);
         assert_eq!(back.total_shots, s.total_shots);
+        assert_eq!(back.round_shots, s.round_shots);
         assert_eq!(back.engine_mix, s.engine_mix);
         assert_eq!(back.failures, s.failures);
     }
@@ -194,6 +198,76 @@ fn config_roundtrip_and_sparse_decode() {
     let sparse = config_from_json(&Json::parse(r#"{"subset_size": 2}"#).unwrap()).unwrap();
     assert_eq!(sparse.subset_size, 2);
     assert_eq!(sparse.trace.den_floor, TraceConfig::default().den_floor);
+}
+
+#[test]
+fn shot_policy_roundtrips_all_variants_bitwise() {
+    let awkward = 0.1 + 0.2; // 0.30000000000000004: stresses float formatting
+    for p in [
+        ShotPolicy::Uniform,
+        ShotPolicy::WeightedByFanout,
+        ShotPolicy::Adaptive {
+            pilot_fraction: awkward,
+        },
+        ShotPolicy::Adaptive {
+            pilot_fraction: 0.0,
+        },
+        ShotPolicy::Adaptive {
+            pilot_fraction: 1.0,
+        },
+    ] {
+        let back = shot_policy_from_json(&through_wire(shot_policy_to_json(&p))).unwrap();
+        match (back, p) {
+            (
+                ShotPolicy::Adaptive { pilot_fraction: a },
+                ShotPolicy::Adaptive { pilot_fraction: b },
+            ) => assert_eq!(a.to_bits(), b.to_bits()),
+            (a, b) => assert_eq!(a, b),
+        }
+    }
+}
+
+#[test]
+fn malformed_shot_policies_are_rejected_at_the_boundary() {
+    for (doc, why) in [
+        (
+            r#"{"kind": "adaptive", "pilot_fraction": -0.25}"#,
+            "negative",
+        ),
+        (r#"{"kind": "adaptive", "pilot_fraction": 1.5}"#, "above 1"),
+        (
+            r#"{"kind": "adaptive", "pilot_fraction": "lots"}"#,
+            "non-numeric",
+        ),
+        (r#"{"kind": "adaptive"}"#, "missing fraction"),
+        (r#"{"kind": "neyman_or_bust"}"#, "unknown variant"),
+        (r#"{}"#, "missing kind"),
+    ] {
+        let err = shot_policy_from_json(&Json::parse(doc).unwrap()).unwrap_err();
+        assert!(
+            err.contains("shot_policy"),
+            "{why}: error lacks context: {err}"
+        );
+    }
+}
+
+#[test]
+fn malformed_round_shots_are_rejected_with_context() {
+    // Entries must be string-encoded u64s, like every u64 on the wire.
+    for doc in [
+        r#"{"n_circuits": 1, "normalized_shots": 1.0, "avg_two_qubit_gates": 0.0,
+            "global_two_qubit_gates": 0, "batch": null, "total_shots": null,
+            "round_shots": [1000, 2000], "engine_mix": null, "failures": null}"#,
+        r#"{"n_circuits": 1, "normalized_shots": 1.0, "avg_two_qubit_gates": 0.0,
+            "global_two_qubit_gates": 0, "batch": null, "total_shots": null,
+            "round_shots": ["-5"], "engine_mix": null, "failures": null}"#,
+        r#"{"n_circuits": 1, "normalized_shots": 1.0, "avg_two_qubit_gates": 0.0,
+            "global_two_qubit_gates": 0, "batch": null, "total_shots": null,
+            "round_shots": "1000", "engine_mix": null, "failures": null}"#,
+    ] {
+        let err = overhead_stats_from_json(&Json::parse(doc).unwrap()).unwrap_err();
+        assert!(err.contains("round_shots"), "got: {err}");
+    }
 }
 
 #[test]

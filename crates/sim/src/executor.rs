@@ -78,6 +78,22 @@ impl SampledOutput {
             two_qubit_gates: self.two_qubit_gates,
         }
     }
+
+    /// Merges another round's counts for the *same* job into this output —
+    /// the pilot-absorption primitive of multi-round sessions: counts add
+    /// outcome-wise ([`Counts::absorb`]) and the shot totals sum, so no
+    /// sampled shot is ever discarded between rounds. Gate statistics
+    /// describe one execution of the job and are identical across rounds;
+    /// they stay as recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome spaces differ (different measured widths —
+    /// these are not the same job).
+    pub fn absorb(&mut self, other: &SampledOutput) {
+        self.counts.absorb(&other.counts);
+        self.shots += other.shots;
+    }
 }
 
 /// Per-job shot allocation of one [`Runner::run_batch_sampled`] submission.
@@ -124,6 +140,29 @@ impl ShotPlan {
     /// Total shots across all jobs.
     pub fn total_shots(&self) -> u64 {
         self.per_job.iter().map(|&s| s as u64).sum()
+    }
+
+    /// The job-wise sum of two allocations over the same batch — what a
+    /// multi-round session has spent *in total* after merging a pilot
+    /// round into the final one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plans cover different job counts.
+    pub fn merge(&self, other: &ShotPlan) -> ShotPlan {
+        assert_eq!(
+            self.per_job.len(),
+            other.per_job.len(),
+            "cannot merge shot plans over different batches"
+        );
+        ShotPlan {
+            per_job: self
+                .per_job
+                .iter()
+                .zip(&other.per_job)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
     }
 }
 
